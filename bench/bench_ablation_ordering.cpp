@@ -1,0 +1,73 @@
+// Ablation: particle ordering (Peano-Hilbert vs Morton).
+//
+// The paper sorts particles "in a proximity-preserving order (a
+// Peano-Hilbert ordering)" before aggregating blocks of w particles into
+// threads. This ablation quantifies what the Hilbert curve buys over the
+// simpler Morton order: block compactness (the spatial diameter of each
+// w-particle work unit), wall time, and the 32-way load balance of the
+// measured partition.
+//
+//   ./bench_ablation_ordering [--n 32k] [--alpha 0.5] [--degree 4]
+//                             [--block 64]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace treecode;
+
+double mean_block_diameter(const Tree& tree, std::size_t block) {
+  double total = 0.0;
+  std::size_t blocks = 0;
+  for (std::size_t b = 0; b + block <= tree.num_particles(); b += block) {
+    Aabb box;
+    for (std::size_t i = b; i < b + block; ++i) box.expand(tree.positions()[i]);
+    total += norm(box.extents());
+    ++blocks;
+  }
+  return blocks == 0 ? 0.0 : total / static_cast<double>(blocks);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv, {"n", "alpha", "degree", "block"});
+    const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 32'000));
+    const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 64));
+    EvalConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.5);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.mode = DegreeMode::kAdaptive;
+    cfg.block_size = block;
+
+    std::printf("== Ablation: Hilbert vs Morton ordering (n=%zu, w=%zu) ==\n\n", n, block);
+    Table t({"ordering", "mean block diameter", "eval(s)", "load balance@32",
+             "modeled speedup@32"});
+    for (const auto& [name, ord] :
+         {std::pair{"Peano-Hilbert", Ordering::kHilbert}, {"Morton", Ordering::kMorton}}) {
+      const ParticleSystem ps = dist::overlapped_gaussians(n, 4, 19, 0.07);
+      const Tree tree(ps, {.leaf_capacity = 16, .ordering = ord});
+      ThreadPool pool(32);
+      const BarnesHutEvaluator eval(tree, cfg, &pool);
+      Timer timer;
+      const EvalResult r = eval.evaluate(pool);
+      t.add_row({name, fmt_fixed(mean_block_diameter(tree, block), 4),
+                 fmt_fixed(timer.seconds(), 3), fmt_fixed(r.stats.work.load_balance(), 3),
+                 fmt_fixed(r.stats.work.modeled_speedup(), 2)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf("expected: Hilbert blocks are spatially tighter (smaller diameter),\n"
+                "which is what gives the paper's threaded formulation its cache\n"
+                "behavior; load balance is high for both (dynamic scheduling).\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+// Figure 2: "A comparison of the error and computational cost of the
+// original and new methods illustrates the close agreement with theoretical
+// results and advantages of the new scheme."
+//
+// Renders the two panels as ASCII plots (and prints the underlying series):
+//   left  — relative error vs n (log-log): original grows, new near-flat;
+//   right — multipole terms vs n (log-log): the two curves nearly coincide.
+//
+//   ./bench_fig2_error_cost [--full] [--alpha 0.5] [--degree 4] [--threads 4]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  using namespace treecode::bench;
+  try {
+    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads"});
+    PairConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.4);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+
+    std::printf("== Figure 2: error and cost vs n, original vs new ==\n\n");
+    const auto rows = run_ladder(
+        [](std::size_t n, std::uint64_t seed) { return dist::uniform_cube(n, seed); },
+        default_ladder(flags.get_bool("full")), cfg);
+
+    PlotSeries err_orig{"error original", 'o', {}, {}};
+    PlotSeries err_new{"error new", '+', {}, {}};
+    PlotSeries terms_orig{"terms original", 'o', {}, {}};
+    PlotSeries terms_new{"terms new", '+', {}, {}};
+    for (const PairRow& r : rows) {
+      const double n = static_cast<double>(r.n);
+      err_orig.x.push_back(n);
+      err_orig.y.push_back(r.err_orig);
+      err_new.x.push_back(n);
+      err_new.y.push_back(r.err_new);
+      terms_orig.x.push_back(n);
+      terms_orig.y.push_back(static_cast<double>(r.terms_orig));
+      terms_new.x.push_back(n);
+      terms_new.y.push_back(static_cast<double>(r.terms_new));
+    }
+
+    PlotOptions popt;
+    popt.log_x = true;
+    popt.log_y = true;
+    popt.title = "Figure 2 (left): error vs n";
+    popt.x_label = "n (log)";
+    popt.y_label = "2-norm error (log)";
+    std::printf("%s\n", render_plot({err_orig, err_new}, popt).c_str());
+
+    popt.title = "Figure 2 (right): multipole terms evaluated vs n";
+    popt.y_label = "terms (log)";
+    std::printf("%s\n", render_plot({terms_orig, terms_new}, popt).c_str());
+
+    const Table t = table1_format(rows);
+    std::printf("underlying data:\n%s\n", t.to_string().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

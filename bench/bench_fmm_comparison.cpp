@@ -1,0 +1,68 @@
+// Extension: the Fast Multipole Method.
+//
+// "The results presented in this paper can easily be extended to the Fast
+// Multipole Method as well. We are currently exploring this." This bench
+// runs that exploration: Barnes-Hut vs FMM (both with adaptive degrees)
+// across an n-ladder, reporting error, term counts, and wall time, exposing
+// the BH-vs-FMM cost crossover.
+//
+//   ./bench_fmm_comparison [--full] [--alpha 0.5] [--degree 4] [--threads 4]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  using namespace treecode::bench;
+  try {
+    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads"});
+    EvalConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.5);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    cfg.mode = DegreeMode::kAdaptive;
+
+    std::printf("== Extension: Barnes-Hut vs FMM (adaptive degrees, alpha=%.2f,"
+                " base degree=%d) ==\n\n",
+                cfg.alpha, cfg.degree);
+    Table t({"n", "err(BH)", "err(FMM)", "terms(BH)", "terms(FMM)", "BH(s)", "FMM(s)",
+             "FMM+rot(s)"});
+    for (std::size_t n : default_ladder(flags.get_bool("full"))) {
+      const ParticleSystem ps = dist::uniform_cube(n, 17);
+      const Tree tree(ps, {.leaf_capacity = 16});
+      const EvalResult exact = evaluate_direct(ps, cfg.threads ? cfg.threads : 4);
+      Timer tb;
+      const EvalResult bh = evaluate_barnes_hut(tree, cfg);
+      const double bh_s = tb.seconds();
+      Timer tf;
+      const EvalResult fmm = evaluate_fmm(tree, cfg);
+      const double fmm_s = tf.seconds();
+      EvalConfig rot_cfg = cfg;
+      rot_cfg.use_rotation_translations = true;
+      Timer tr;
+      const EvalResult fmm_rot = evaluate_fmm(tree, rot_cfg);
+      const double rot_s = tr.seconds();
+      (void)fmm_rot;
+      t.add_row({fmt_count(static_cast<long long>(n)),
+                 fmt_sci(relative_error_2norm(exact.potential, bh.potential), 2),
+                 fmt_sci(relative_error_2norm(exact.potential, fmm.potential), 2),
+                 fmt_millions(static_cast<long long>(bh.stats.multipole_terms)),
+                 fmt_millions(static_cast<long long>(fmm.stats.multipole_terms)),
+                 fmt_fixed(bh_s, 3), fmt_fixed(fmm_s, 3), fmt_fixed(rot_s, 3)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf("expected: comparable errors; FMM's term-operation count grows ~linearly\n"
+                "in n while BH's grows ~n log n, so the FMM/BH cost ratio falls as n\n"
+                "grows. (With these O(p^4) dense M2L translations the absolute\n"
+                "crossover sits beyond laptop-scale n; the *trend* is the paper's\n"
+                "'extends to FMM' claim made measurable.)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

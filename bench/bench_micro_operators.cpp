@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark) for the kernel-level building blocks:
+// expansion operators vs degree, tree construction, SFC key throughput.
+// These are the constants behind every table; run with --benchmark_filter
+// to focus.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "dist/distributions.hpp"
+#include "geom/hilbert.hpp"
+#include "multipole/operators.hpp"
+#include "multipole/rotation.hpp"
+#include "tree/octree.hpp"
+
+namespace {
+
+using namespace treecode;
+
+struct Fixture {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 center{0.1, 0.2, 0.3};
+
+  explicit Fixture(int n = 64) {
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> u(-0.5, 0.5);
+    for (int i = 0; i < n; ++i) {
+      pos.push_back(center + Vec3{u(rng), u(rng), u(rng)});
+      q.push_back(u(rng));
+    }
+  }
+};
+
+void BM_P2M(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MultipoleExpansion m(p);
+    p2m(f.center, f.pos, f.q, m);
+    benchmark::DoNotOptimize(m.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(f.pos.size()));
+}
+BENCHMARK(BM_P2M)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_M2P(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  MultipoleExpansion m(p);
+  p2m(f.center, f.pos, f.q, m);
+  const Vec3 point{3.0, 2.0, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m2p(m, f.center, point));
+  }
+}
+BENCHMARK(BM_M2P)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_M2P_Grad(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  MultipoleExpansion m(p);
+  p2m(f.center, f.pos, f.q, m);
+  const Vec3 point{3.0, 2.0, 1.0};
+  for (auto _ : state) {
+    const PotentialGrad g = m2p_grad(m, f.center, point);
+    benchmark::DoNotOptimize(g.potential);
+  }
+}
+BENCHMARK(BM_M2P_Grad)->Arg(4)->Arg(8);
+
+void BM_M2M(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  MultipoleExpansion src(p);
+  p2m(f.center, f.pos, f.q, src);
+  const Vec3 dst_center{1.0, 0.5, -0.2};
+  for (auto _ : state) {
+    MultipoleExpansion dst(p);
+    m2m(src, f.center, dst, dst_center);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+}
+BENCHMARK(BM_M2M)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_M2L(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  MultipoleExpansion src(p);
+  p2m(f.center, f.pos, f.q, src);
+  const Vec3 local_center{4.0, 0.0, 0.0};
+  for (auto _ : state) {
+    LocalExpansion l(p);
+    m2l(src, f.center, l, local_center);
+    benchmark::DoNotOptimize(l.data().data());
+  }
+}
+BENCHMARK(BM_M2L)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_M2L_Rotated(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  MultipoleExpansion src(p);
+  p2m(f.center, f.pos, f.q, src);
+  const Vec3 local_center{4.0, 1.0, -2.0};
+  for (auto _ : state) {
+    LocalExpansion l(p);
+    m2l_rotated(src, f.center, l, local_center);
+    benchmark::DoNotOptimize(l.data().data());
+  }
+}
+BENCHMARK(BM_M2L_Rotated)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_M2M_Rotated(benchmark::State& state) {
+  const Fixture f;
+  const int p = static_cast<int>(state.range(0));
+  MultipoleExpansion src(p);
+  p2m(f.center, f.pos, f.q, src);
+  const Vec3 dst_center{1.0, 0.5, -0.2};
+  for (auto _ : state) {
+    MultipoleExpansion dst(p);
+    m2m_rotated(src, f.center, dst, dst_center);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+}
+BENCHMARK(BM_M2M_Rotated)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WignerD(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const WignerD d(p, 1.1);
+    benchmark::DoNotOptimize(d.at(p, 0, 0));
+  }
+}
+BENCHMARK(BM_WignerD)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_P2P(benchmark::State& state) {
+  const Fixture f(static_cast<int>(state.range(0)));
+  const Vec3 point{0.9, 0.9, 0.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p2p(point, f.pos, f.q));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_P2P)->Arg(32)->Arg(256);
+
+void BM_HilbertKey(benchmark::State& state) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<Vec3> pts(1024);
+  for (auto& pnt : pts) pnt = {u(rng), u(rng), u(rng)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbert_key(pts[i++ & 1023], box));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HilbertKey);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const ParticleSystem ps =
+      dist::uniform_cube(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    const Tree tree(ps, {.leaf_capacity = 8});
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

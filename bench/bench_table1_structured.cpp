@@ -1,0 +1,44 @@
+// Table 1 (structured distributions): error and term-count comparison of the
+// original fixed-degree Barnes-Hut method and the improved adaptive-degree
+// method on uniform random particle distributions.
+//
+// Paper shape to reproduce: the original method's error grows much faster
+// with n, while the total multipole terms evaluated stay comparable
+// (Terms(new)/Terms(orig) close to 1).
+//
+//   ./bench_table1_structured [--full] [--alpha 0.5] [--degree 4]
+//                             [--threads 4] [--csv]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  using namespace treecode::bench;
+  try {
+    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads", "csv"});
+    PairConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.4);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+
+    std::printf("== Table 1 (structured / uniform distributions) ==\n");
+    std::printf("alpha=%.2f base degree=%d (original: fixed degree; new: Theorem-3"
+                " adaptive)\n\n",
+                cfg.alpha, cfg.degree);
+    const auto rows = run_ladder(
+        [](std::size_t n, std::uint64_t seed) { return dist::uniform_cube(n, seed); },
+        default_ladder(flags.get_bool("full")), cfg);
+    const Table t = table1_format(rows);
+    std::printf("%s\n", flags.get_bool("csv") ? t.to_csv().c_str() : t.to_string().c_str());
+    std::printf("expected shape: err(orig) grows near-linearly with n; err(new) grows\n"
+                "much slower (the O(log n) per-particle bound), so the orig/new error\n"
+                "gap widens with n while the terms ratio stays a small constant.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

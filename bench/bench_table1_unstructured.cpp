@@ -1,0 +1,50 @@
+// Table 1 (unstructured distributions): the same original-vs-new comparison
+// on irregular particle sets — "generated using a Gaussian density function
+// or overlapped Gaussian distributions (multiple Gaussians superimposed)".
+//
+//   ./bench_table1_unstructured [--full] [--alpha 0.5] [--degree 4]
+//                               [--threads 4] [--csv]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  using namespace treecode::bench;
+  try {
+    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads", "csv"});
+    PairConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.4);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    const bool csv = flags.get_bool("csv");
+    const auto ladder = default_ladder(flags.get_bool("full"));
+
+    std::printf("== Table 1 (unstructured distributions) ==\n");
+    std::printf("alpha=%.2f base degree=%d\n\n", cfg.alpha, cfg.degree);
+
+    std::printf("-- Gaussian density --\n");
+    const auto g_rows = run_ladder(
+        [](std::size_t n, std::uint64_t seed) { return dist::gaussian_ball(n, seed); },
+        ladder, cfg);
+    const Table tg = table1_format(g_rows);
+    std::printf("%s\n", csv ? tg.to_csv().c_str() : tg.to_string().c_str());
+
+    std::printf("-- Overlapped Gaussians (5 superimposed) --\n");
+    const auto o_rows = run_ladder(
+        [](std::size_t n, std::uint64_t seed) {
+          return dist::overlapped_gaussians(n, 5, seed, 0.06);
+        },
+        ladder, cfg);
+    const Table to = table1_format(o_rows);
+    std::printf("%s\n", csv ? to.to_csv().c_str() : to.to_string().c_str());
+    std::printf("expected shape: same as structured — the paradigm works for\n"
+                "unstructured domains as well (paper, Section 'Experimental Results').\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,142 @@
+// Table 2: "Runtimes (in seconds) and speedups (in parenthesis) for
+// single-thread and multithreaded versions of a single iteration of the
+// treecode on a 32 processor SGI Origin 2000."
+//
+// Problems: uniform40k and non-uniform46k, original and new methods.
+//
+// Hardware substitution (see DESIGN.md): this machine does not have 32
+// processors, so two measurements are reported:
+//   1. real wall-clock times for serial and for P = hardware threads;
+//   2. a *measured load-balance speedup model* at P = 32: the evaluation is
+//      partitioned across 32 workers exactly as the threaded code would
+//      (Hilbert-ordered w-particle blocks, dynamic scheduling) and the
+//      per-thread work (terms + direct pairs) is recorded; the modeled
+//      speedup is total_work / max_thread_work — Brent's bound evaluated on
+//      the real measured partition, which is what determined the Origin
+//      2000 numbers up to memory effects.
+//
+//   ./bench_table2_parallel [--threads 32] [--alpha 0.5] [--degree 4]
+//                           [--block 64] [--n-uniform 40k] [--n-gauss 46k]
+
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace treecode;
+
+struct MethodTimes {
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;   // at hardware threads
+  unsigned hw_threads = 1;
+  double modeled_speedup32 = 0.0;  // from 32-way measured partition
+  double load_balance32 = 0.0;
+  std::uint64_t coeff_volume = 0;  // multipole coefficients fetched (comm proxy)
+};
+
+MethodTimes measure(const Tree& tree, EvalConfig cfg, unsigned model_threads) {
+  MethodTimes out;
+  // Build once; evaluation reuses the same operator, as the paper's "single
+  // iteration of the treecode" measures the force evaluation.
+  ThreadPool build_pool(ThreadPool::hardware_threads());
+  const BarnesHutEvaluator eval(tree, cfg, &build_pool);
+  {
+    ThreadPool serial(0);
+    Timer t;
+    (void)eval.evaluate(serial);
+    out.serial_seconds = t.seconds();
+  }
+  {
+    out.hw_threads = ThreadPool::hardware_threads();
+    ThreadPool parallel(out.hw_threads);
+    Timer t;
+    (void)eval.evaluate(parallel);
+    out.parallel_seconds = t.seconds();
+  }
+  {
+    ThreadPool wide(model_threads);
+    const EvalResult r = eval.evaluate(wide);
+    out.modeled_speedup32 = r.stats.work.modeled_speedup();
+    out.load_balance32 = r.stats.work.load_balance();
+    out.coeff_volume = r.stats.multipole_terms;
+  }
+  return out;
+}
+
+void report(const char* problem, const Tree& tree, const EvalConfig& base,
+            std::size_t block, unsigned model_threads) {
+  std::printf("-- %s --\n", problem);
+  Table t({"method", "serial(s)", std::string("P=") + std::to_string(
+                                      ThreadPool::hardware_threads()) + "(s)",
+           "modeled speedup@32", "modeled time@32(s)", "efficiency@32"});
+  std::uint64_t volume_orig = 0;
+  std::uint64_t volume_new = 0;
+  for (const bool adaptive : {false, true}) {
+    EvalConfig cfg = base;
+    cfg.block_size = block;
+    cfg.mode = adaptive ? DegreeMode::kAdaptive : DegreeMode::kFixed;
+    const MethodTimes m = measure(tree, cfg, model_threads);
+    (adaptive ? volume_new : volume_orig) = m.coeff_volume;
+    t.add_row({adaptive ? "New (adaptive)" : "Original (fixed)",
+               fmt_fixed(m.serial_seconds, 3), fmt_fixed(m.parallel_seconds, 3),
+               fmt_fixed(m.modeled_speedup32, 2),
+               fmt_fixed(m.serial_seconds / m.modeled_speedup32, 3),
+               fmt_fixed(100.0 * m.modeled_speedup32 / static_cast<double>(model_threads),
+                         1) + "%"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  // The paper attributes the new method's slightly lower speedup to
+  // "fetch[ing] longer multipole series"; the work-balance model cannot see
+  // memory traffic, so report it explicitly as coefficient volume.
+  std::printf("multipole coefficient volume fetched: orig %s, new %s (x%.2f) —\n"
+              "on a NUMA machine this extra traffic trims the new method's speedup,\n"
+              "the effect behind the paper's slightly lower 'New' speedups.\n\n",
+              fmt_millions(static_cast<long long>(volume_orig)).c_str(),
+              fmt_millions(static_cast<long long>(volume_new)).c_str(),
+              volume_orig ? static_cast<double>(volume_new) / static_cast<double>(volume_orig)
+                          : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv,
+                         {"threads", "alpha", "degree", "block", "n-uniform", "n-gauss"});
+    const unsigned model_threads = static_cast<unsigned>(flags.get_int("threads", 32));
+    const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 64));
+    EvalConfig base;
+    base.alpha = flags.get_double("alpha", 0.5);
+    base.degree = static_cast<int>(flags.get_int("degree", 4));
+
+    std::printf("== Table 2: parallel runtimes and speedups (single treecode"
+                " iteration) ==\n");
+    std::printf("hardware threads here: %u; paper machine: 32-proc Origin 2000\n",
+                ThreadPool::hardware_threads());
+    std::printf("block size w=%zu, alpha=%.2f, degree=%d\n\n", block, base.alpha,
+                base.degree);
+
+    const ParticleSystem uniform =
+        dist::uniform_cube(static_cast<std::size_t>(flags.get_int("n-uniform", 40'000)), 2);
+    const Tree t_uniform(uniform);
+    report("uniform40k", t_uniform, base, block, model_threads);
+
+    const ParticleSystem gauss =
+        dist::gaussian_ball(static_cast<std::size_t>(flags.get_int("n-gauss", 46'000)), 3);
+    const Tree t_gauss(gauss);
+    report("non-uniform46k", t_gauss, base, block, model_threads);
+
+    std::printf("expected shape (paper): parallel efficiencies 80-90%%; the new\n"
+                "method slightly below the original (it moves longer multipole\n"
+                "series per interaction).\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

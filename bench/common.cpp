@@ -1,0 +1,82 @@
+#include "common.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace treecode::bench {
+
+namespace {
+double abs_error_2norm(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+}  // namespace
+
+PairRow run_pair(const ParticleSystem& ps, const PairConfig& config) {
+  PairRow row;
+  row.n = ps.size();
+  const Tree tree(ps, {.leaf_capacity = config.leaf_capacity});
+  const EvalResult exact = evaluate_direct(ps, config.threads ? config.threads : 4);
+
+  EvalConfig cfg;
+  cfg.alpha = config.alpha;
+  cfg.degree = config.degree;
+  cfg.threads = config.threads;
+  {
+    Timer t;
+    const EvalResult r = evaluate_barnes_hut(tree, cfg);
+    row.seconds_orig = t.seconds();
+    row.err_orig = abs_error_2norm(exact.potential, r.potential);
+    row.rel_orig = relative_error_2norm(exact.potential, r.potential);
+    row.terms_orig = static_cast<long long>(r.stats.multipole_terms);
+  }
+  cfg.mode = DegreeMode::kAdaptive;
+  {
+    Timer t;
+    const EvalResult r = evaluate_barnes_hut(tree, cfg);
+    row.seconds_new = t.seconds();
+    row.err_new = abs_error_2norm(exact.potential, r.potential);
+    row.rel_new = relative_error_2norm(exact.potential, r.potential);
+    row.terms_new = static_cast<long long>(r.stats.multipole_terms);
+    row.max_degree_new = r.stats.max_degree_used;
+  }
+  return row;
+}
+
+std::vector<PairRow> run_ladder(const DistFactory& factory, const std::vector<std::size_t>& ns,
+                                const PairConfig& config, std::uint64_t seed) {
+  std::vector<PairRow> rows;
+  rows.reserve(ns.size());
+  for (std::size_t n : ns) {
+    rows.push_back(run_pair(factory(n, seed), config));
+  }
+  return rows;
+}
+
+Table table1_format(const std::vector<PairRow>& rows) {
+  Table t({"n", "err(orig)", "err(new)", "rel(orig)", "rel(new)", "Terms(orig)",
+           "Terms(new)", "ratio"});
+  for (const PairRow& r : rows) {
+    t.add_row({fmt_count(static_cast<long long>(r.n)), fmt_sci(r.err_orig, 2),
+               fmt_sci(r.err_new, 2), fmt_sci(r.rel_orig, 2), fmt_sci(r.rel_new, 2),
+               fmt_millions(r.terms_orig), fmt_millions(r.terms_new),
+               fmt_fixed(static_cast<double>(r.terms_new) /
+                             static_cast<double>(r.terms_orig ? r.terms_orig : 1),
+                         2)});
+  }
+  return t;
+}
+
+std::vector<std::size_t> default_ladder(bool full) {
+  if (full) return {4'000, 8'000, 16'000, 32'000, 64'000, 128'000};
+  return {4'000, 8'000, 16'000, 32'000};
+}
+
+}  // namespace treecode::bench

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared machinery for the table/figure reproduction binaries.
+///
+/// Each bench binary regenerates one table or figure of the paper
+/// (see DESIGN.md's per-experiment index). They share this engine: run the
+/// "original" (fixed-degree) and "new" (adaptive-degree) Barnes-Hut methods
+/// over a particle distribution, measure the paper's quantities (relative
+/// error vs direct summation, multipole terms evaluated), and format rows.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "util/table.hpp"
+
+namespace treecode::bench {
+
+/// Result of one (distribution, method-pair) measurement.
+///
+/// `err_*` is the 2-norm of the potential error ||a - a'||_2 — the paper's
+/// aggregate-error quantity, which grows with the interacted cluster
+/// charges (near-linearly in n for the fixed-degree method). `rel_*` is the
+/// relative 2-norm for context.
+struct PairRow {
+  std::size_t n = 0;
+  double err_orig = 0.0;
+  double err_new = 0.0;
+  double rel_orig = 0.0;
+  double rel_new = 0.0;
+  long long terms_orig = 0;
+  long long terms_new = 0;
+  double seconds_orig = 0.0;
+  double seconds_new = 0.0;
+  int max_degree_new = 0;
+};
+
+/// Parameters of a method-pair comparison. The defaults (alpha = 0.4,
+/// 16-particle leaves, base degree 4) sit in the paper's operating regime:
+/// the adaptive method's term count stays within a small factor (~1.7) of
+/// the fixed method while the error improves severalfold.
+struct PairConfig {
+  double alpha = 0.4;
+  int degree = 4;          ///< fixed degree == adaptive base degree
+  unsigned threads = 0;    ///< for the evaluation (errors are unaffected)
+  std::size_t leaf_capacity = 16;
+};
+
+/// Factory for a particle distribution at size n.
+using DistFactory = std::function<ParticleSystem(std::size_t n, std::uint64_t seed)>;
+
+/// Run original vs new on one instance; error measured against (threaded)
+/// direct summation.
+PairRow run_pair(const ParticleSystem& ps, const PairConfig& config);
+
+/// Run a ladder of sizes.
+std::vector<PairRow> run_ladder(const DistFactory& factory, const std::vector<std::size_t>& ns,
+                                const PairConfig& config, std::uint64_t seed = 1);
+
+/// Render rows in the paper's Table 1 format.
+Table table1_format(const std::vector<PairRow>& rows);
+
+/// Standard size ladders (the `--full` flag of each binary switches).
+std::vector<std::size_t> default_ladder(bool full);
+
+}  // namespace treecode::bench

@@ -1,0 +1,129 @@
+// Boundary-element solve: the paper's second application domain.
+//
+// Solves the first-kind integral equation of potential theory
+//     integral_Gamma sigma(y) / |x - y| dS(y) = f(x),   x on Gamma
+// on a procedurally generated propeller (or gripper/sphere/torus) surface,
+// with the treecode supplying every GMRES(10) matrix-vector product —
+// "Using this method, we were able to solve dense systems with over 100,000
+// unknowns within a few minutes."
+//
+// The Dirichlet data f comes from an exterior point charge, so the solved
+// density must reproduce that charge's field inside the surface; the example
+// verifies this at interior probe points.
+//
+//   ./examples/bem_solver [--mesh propeller|gripper|sphere|torus]
+//                         [--elements 8k] [--degree 4] [--alpha 0.5]
+//                         [--adaptive] [--threads 4] [--tol 1e-8]
+//                         [--second-kind]   (well-conditioned double-layer form)
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "bem/bem_operator.hpp"
+#include "bem/double_layer.hpp"
+#include "bem/meshgen.hpp"
+#include "linalg/gmres.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv, {"mesh", "elements", "degree", "alpha", "adaptive",
+                                      "threads", "tol", "second-kind"});
+    const std::string mesh_name = flags.get_string("mesh", "propeller");
+    const std::size_t elements = static_cast<std::size_t>(flags.get_int("elements", 8'000));
+    const LatLonSize size = latlon_for_triangles(elements);
+
+    TriangleMesh mesh;
+    if (mesh_name == "propeller") {
+      mesh = make_propeller(size.n_lat, size.n_lon);
+    } else if (mesh_name == "gripper") {
+      mesh = make_gripper(size.n_lat, size.n_lon);
+    } else if (mesh_name == "sphere") {
+      mesh = make_sphere(size.n_lat, size.n_lon);
+    } else if (mesh_name == "torus") {
+      mesh = make_torus(size.n_lat, size.n_lon);
+    } else {
+      std::fprintf(stderr, "unknown mesh: %s\n", mesh_name.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu elements, %zu nodes (unknowns), 6 Gauss points/element\n",
+                mesh_name.c_str(), mesh.num_triangles(), mesh.num_vertices());
+
+    SingleLayerOperator::Options opt;
+    opt.eval.alpha = flags.get_double("alpha", 0.5);
+    opt.eval.degree = static_cast<int>(flags.get_int("degree", 4));
+    opt.eval.mode = flags.get_bool("adaptive") ? DegreeMode::kAdaptive : DegreeMode::kFixed;
+    opt.eval.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    opt.gauss_points = 6;
+
+    Timer setup;
+    const SingleLayerOperator A(mesh, opt);
+    std::printf("operator set up in %.3f s (%zu source points in tree)\n", setup.seconds(),
+                A.num_sources());
+
+    // Dirichlet data from a point charge outside the surface.
+    const Vec3 source{3.0, 1.0, 2.0};
+    const std::vector<double> f = A.point_charge_rhs(source, 1.0);
+
+    GmresOptions gopt;
+    gopt.restart = 10;  // the paper's setting
+    gopt.tolerance = flags.get_double("tol", 1e-8);
+    gopt.max_iterations = 400;
+    std::vector<double> sigma(A.cols(), 0.0);
+    GmresResult r;
+    Timer solve;
+    const bool second_kind = flags.get_bool("second-kind");
+    DoubleLayerOperator::Options dlopt;
+    dlopt.eval = opt.eval;
+    dlopt.gauss_points = opt.gauss_points;
+    std::unique_ptr<DoubleLayerOperator> K;
+    if (second_kind) {
+      // Well-conditioned second-kind formulation (-2 pi I + K) sigma = f.
+      K = std::make_unique<DoubleLayerOperator>(mesh, dlopt);
+      const SecondKindDirichletOperator A2(*K);
+      r = gmres(A2, f, sigma, gopt);
+    } else {
+      r = gmres(A, f, sigma, gopt);
+    }
+    std::printf("GMRES(10)%s: %s in %d iterations, %.3f s, residual %.2e\n",
+                second_kind ? " [second-kind]" : "",
+                r.converged ? "converged" : "NOT converged", r.iterations, solve.seconds(),
+                r.relative_residual);
+
+    // Verify: the layer potential with the solved density reproduces the
+    // source's field inside the surface.
+    const auto pts = quadrature_points(mesh, triangle_rule(6));
+    const std::vector<Vec3> probes{{0, 0, 0}, {0.1, -0.05, 0.08}};
+    std::vector<double> phis(probes.size(), 0.0);
+    if (second_kind) {
+      phis = K->potential_at(probes, sigma);
+    } else {
+      for (std::size_t pi = 0; pi < probes.size(); ++pi) {
+        double phi = 0.0;
+        for (const auto& g : pts) {
+          const Triangle& tri = mesh.triangle(g.triangle);
+          double dens = 0.0;
+          for (int k = 0; k < 3; ++k) dens += g.shape[static_cast<std::size_t>(k)] *
+                                              sigma[tri.v[static_cast<std::size_t>(k)]];
+          phi += dens * g.weight / distance(probes[pi], g.position);
+        }
+        phis[pi] = phi;
+      }
+    }
+    for (std::size_t pi = 0; pi < probes.size(); ++pi) {
+      const Vec3& probe = probes[pi];
+      const double expected = 1.0 / distance(probe, source);
+      std::printf("probe (%.2f, %.2f, %.2f): potential %.6f, expected %.6f (%.2f%% off)\n",
+                  probe.x, probe.y, probe.z, phis[pi], expected,
+                  100.0 * std::abs(phis[pi] - expected) / expected);
+    }
+    return r.converged ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,89 @@
+// Error-analysis walkthrough: reproduces the paper's reasoning on live data.
+//
+// For a single particle-cluster interaction it prints the measured
+// truncation error against the Theorem 1 and Theorem 2 bounds across
+// degrees; then it shows how the fixed-degree method's per-interaction
+// bound grows with cluster size up the tree while the Theorem-3 adaptive
+// degrees pin it flat.
+//
+//   ./examples/error_analysis [--alpha 0.5] [--degree 3] [--n 8k]
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "multipole/error_bounds.hpp"
+#include "multipole/operators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv, {"alpha", "degree", "n"});
+    const double alpha = flags.get_double("alpha", 0.5);
+    const int p_min = static_cast<int>(flags.get_int("degree", 3));
+    const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 8'000));
+
+    // Part 1: one cluster, one evaluation point at the MAC limit.
+    std::printf("== Theorem 1/2: measured truncation error vs bounds ==\n");
+    const ParticleSystem cluster = dist::uniform_cube(500, 3);
+    const Tree ctree(cluster, {.leaf_capacity = 512});
+    const TreeNode& root = ctree.root();
+    const double r = root.radius / alpha;  // exactly at the alpha-criterion
+    const Vec3 point = root.center + Vec3{r, 0, 0};
+    const double exact = p2p(point, cluster.positions(), cluster.charges());
+    Table t1({"p", "measured |error|", "Thm 1 bound", "Thm 2 bound"});
+    for (int p = 0; p <= 12; p += 2) {
+      MultipoleExpansion m(p);
+      p2m(root.center, ctree.positions(), ctree.charges(), m);
+      const double approx = m2p(m, root.center, point);
+      t1.add_row({std::to_string(p), fmt_sci(std::abs(approx - exact), 2),
+                  fmt_sci(multipole_error_bound(root.abs_charge, root.radius, r, p), 2),
+                  fmt_sci(mac_error_bound(root.abs_charge, r, alpha, p), 2)});
+    }
+    std::printf("%s\n", t1.to_string().c_str());
+
+    // Part 2: per-level interaction bounds, fixed vs adaptive degrees.
+    std::printf("== Theorem 3: per-level Theorem-2 bounds at the MAC limit ==\n");
+    const ParticleSystem ps = dist::uniform_cube(n, 5);
+    const Tree tree(ps, {.leaf_capacity = 8});
+    EvalConfig cfg;
+    cfg.alpha = alpha;
+    cfg.degree = p_min;
+    cfg.mode = DegreeMode::kAdaptive;
+    const DegreeAssignment deg = assign_degrees(tree, cfg);
+
+    Table t2({"level", "typical A", "fixed p", "bound(fixed)", "adaptive p",
+              "bound(adaptive)"});
+    for (int level = 0; level < tree.height(); ++level) {
+      // Find a representative (median-charge) node at this level.
+      double best_a = -1.0;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+        const TreeNode& node = tree.node(i);
+        if (node.level == level && node.abs_charge > best_a) {
+          best_a = node.abs_charge;
+          best_i = i;
+        }
+      }
+      if (best_a < 0.0) continue;
+      const TreeNode& node = tree.node(best_i);
+      const double rr = std::max(node.radius, 1e-12) / alpha;
+      t2.add_row({std::to_string(level), fmt_fixed(node.abs_charge, 1),
+                  std::to_string(p_min),
+                  fmt_sci(mac_error_bound(node.abs_charge, rr, alpha, p_min), 2),
+                  std::to_string(deg.degree[best_i]),
+                  fmt_sci(mac_error_bound(node.abs_charge, rr, alpha, deg.degree[best_i]), 2)});
+    }
+    std::printf("%s\n", t2.to_string().c_str());
+    std::printf("The fixed-degree bound grows up the tree with the cluster charge;\n"
+                "the Theorem-3 degrees hold it to the leaf-level bound.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,89 @@
+// Molecular-dynamics-style electrostatics: the paper's other motivating
+// domain ("accelerated molecular dynamics with the fast multipole
+// algorithm"). Builds a rock-salt (NaCl) ion lattice — alternating +1/-1
+// charges, the archetypal mixed-sign system where net cluster charges
+// partially cancel — and computes the electrostatic potential at the
+// central ion with the adaptive treecode.
+//
+// For an infinite lattice that potential is -M/d with M = 1.747565 (the
+// Madelung constant) and d the nearest-neighbor spacing; a finite cube of
+// ions approaches it from below as the cube grows. The example reports the
+// treecode result against direct summation (machine-precision agreement on
+// the same finite lattice) and against the infinite-lattice constant
+// (finite-size physics, converging in L).
+//
+//   ./examples/madelung [--cells 8] [--alpha 0.5] [--degree 6] [--threads 4]
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "core/treecode.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace treecode;
+
+/// (2L+1)^3 ions of a rock-salt lattice with spacing d, centered so ion 0
+/// sits at the exact center with charge +1.
+ParticleSystem nacl_lattice(int half_cells, double spacing) {
+  ParticleSystem ps;
+  const int L = half_cells;
+  // Center first so its index is 0.
+  ps.add({0, 0, 0}, 1.0);
+  for (int i = -L; i <= L; ++i) {
+    for (int j = -L; j <= L; ++j) {
+      for (int k = -L; k <= L; ++k) {
+        if (i == 0 && j == 0 && k == 0) continue;
+        const double sign = ((i + j + k) % 2 == 0) ? 1.0 : -1.0;
+        ps.add({i * spacing, j * spacing, k * spacing}, sign);
+      }
+    }
+  }
+  return ps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv, {"cells", "alpha", "degree", "threads"});
+    const int half = static_cast<int>(flags.get_int("cells", 8));
+    const double d = 1.0;
+    const double kMadelung = 1.7475645946;
+
+    EvalConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.5);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 6));
+    cfg.mode = DegreeMode::kAdaptive;
+    cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+
+    std::printf("NaCl lattice Madelung check (infinite-lattice constant %.6f)\n",
+                kMadelung);
+    std::printf("L     ions      phi(center)  -phi*d     |vs direct|  terms        time(s)\n");
+    for (int L = 2; L <= half; L += 2) {
+      const ParticleSystem ps = nacl_lattice(L, d);
+      const Tree tree(ps, {.leaf_capacity = 16});
+      Timer timer;
+      const EvalResult r = evaluate_potentials(tree, cfg);
+      const double secs = timer.seconds();
+      const EvalResult exact = evaluate_direct(ps, cfg.threads);
+      std::printf("%-4d  %-8zu  %9.6f   %8.6f   %.2e     %-11llu  %.3f\n", L, ps.size(),
+                  r.potential[0], -r.potential[0] * d,
+                  std::abs(r.potential[0] - exact.potential[0]),
+                  static_cast<unsigned long long>(r.stats.multipole_terms), secs);
+    }
+    std::printf("\nexpected: -phi*d approaches %.6f as L grows (finite-cube surface\n"
+                "effects decay); treecode matches direct summation to the Theorem-2\n"
+                "tolerance on every lattice. Mixed-sign charges make this the\n"
+                "cancellation-heavy case for cluster charges A = sum |q|.\n",
+                kMadelung);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

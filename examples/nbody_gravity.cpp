@@ -1,0 +1,68 @@
+// N-body gravity: leapfrog integration of a Plummer star cluster with
+// adaptive-degree treecode forces — the astrophysics workload that motivates
+// treecodes in the paper's introduction (galaxy formation, quasar
+// simulations, ...).
+//
+// Per-step output reports the conservation diagnostics of the NBodySimulation
+// module: with treecode forces the energy drift stays small, demonstrating
+// that the paper's controlled error bounds translate into stable dynamics.
+//
+//   ./examples/nbody_gravity [--n 10k] [--steps 10] [--dt 1e-3]
+//                            [--alpha 0.6] [--degree 4] [--threads 4]
+//                            [--softening 0.01] [--dist plummer|galaxy]
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "dist/distributions.hpp"
+#include "nbody/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv,
+                         {"n", "steps", "dt", "alpha", "degree", "threads", "softening",
+                          "dist"});
+    const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 10'000));
+    const int steps = static_cast<int>(flags.get_int("steps", 10));
+    const double dt = flags.get_double("dt", 1e-3);
+
+    NBodyConfig cfg;
+    cfg.eval.alpha = flags.get_double("alpha", 0.6);
+    cfg.eval.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.eval.mode = DegreeMode::kAdaptive;
+    cfg.eval.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    cfg.eval.softening = flags.get_double("softening", 0.01);
+
+    const std::string which = flags.get_string("dist", "plummer");
+    ParticleSystem ps =
+        which == "galaxy" ? dist::galaxy_disk(n, 7) : dist::plummer(n, 7);
+    NBodySimulation sim(std::move(ps), cfg);
+
+    const NBodyDiagnostics d0 = sim.diagnostics();
+    std::printf("%zu bodies (%s), softening %.3g, alpha %.2f, degree %d (adaptive)\n", n,
+                which.c_str(), cfg.eval.softening, cfg.eval.alpha, cfg.eval.degree);
+    std::printf("step    time(s)   kinetic     potential    total      |dE/E0|    |P|\n");
+    std::printf("%4d   %8.3f   %9.5f   %10.5f   %9.5f   %8.2e   %.2e\n", 0, 0.0,
+                d0.kinetic, d0.potential, d0.total_energy(), 0.0, norm(d0.momentum));
+
+    Timer total;
+    for (int s = 1; s <= steps; ++s) {
+      sim.step(dt);
+      const NBodyDiagnostics d = sim.diagnostics();
+      std::printf("%4d   %8.3f   %9.5f   %10.5f   %9.5f   %8.2e   %.2e\n", s,
+                  total.seconds(), d.kinetic, d.potential, d.total_energy(),
+                  std::abs((d.total_energy() - d0.total_energy()) /
+                           (d0.total_energy() == 0.0 ? 1.0 : d0.total_energy())),
+                  norm(d.momentum));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

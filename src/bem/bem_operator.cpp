@@ -1,0 +1,124 @@
+#include "bem/bem_operator.hpp"
+
+#include <cmath>
+
+#include "core/direct.hpp"
+#include "util/timer.hpp"
+
+namespace treecode {
+
+namespace {
+
+/// Build a ParticleSystem over the Gauss points with positive placeholder
+/// charges (the quadrature weights). Geometry, centers, radii, and the
+/// adaptive degree assignment derive from these — they are a faithful
+/// stand-in for |density| mass since weights scale with element area.
+ParticleSystem gauss_particles(const std::vector<MeshQuadPoint>& pts) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(pts.size());
+  q.reserve(pts.size());
+  for (const MeshQuadPoint& p : pts) {
+    pos.push_back(p.position);
+    q.push_back(p.weight);
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+}  // namespace
+
+SingleLayerOperator::SingleLayerOperator(const TriangleMesh& mesh, const Options& options)
+    : mesh_(mesh),
+      options_(options),
+      quad_points_(quadrature_points(mesh, triangle_rule(options.gauss_points))),
+      tree_(std::make_unique<Tree>(gauss_particles(quad_points_), options.tree)),
+      pool_(options.eval.threads),
+      sorted_charges_(quad_points_.size(), 0.0) {}
+
+void SingleLayerOperator::apply(std::span<const double> x, std::span<double> y) const {
+  check_sizes(x, y);
+  Timer timer;
+  // Charge at each Gauss point, scattered into the tree's sorted order.
+  const auto& orig = tree_->original_index();
+  for (std::size_t si = 0; si < sorted_charges_.size(); ++si) {
+    const MeshQuadPoint& g = quad_points_[orig[si]];
+    const Triangle& tri = mesh_.triangle(g.triangle);
+    double q = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      q += g.shape[static_cast<std::size_t>(k)] * x[tri.v[static_cast<std::size_t>(k)]];
+    }
+    sorted_charges_[si] = q * g.weight;
+  }
+  const BarnesHutEvaluator eval(*tree_, options_.eval, &pool_, sorted_charges_);
+  EvalResult r = eval.evaluate_at(pool_, mesh_.vertices());
+  std::copy(r.potential.begin(), r.potential.end(), y.begin());
+  last_stats_ = r.stats;
+  last_stats_.eval_seconds = timer.seconds();
+}
+
+void SingleLayerOperator::apply_direct(std::span<const double> x, std::span<double> y) const {
+  check_sizes(x, y);
+  std::vector<Vec3> pos(quad_points_.size());
+  std::vector<double> q(quad_points_.size());
+  for (std::size_t g = 0; g < quad_points_.size(); ++g) {
+    const MeshQuadPoint& p = quad_points_[g];
+    const Triangle& tri = mesh_.triangle(p.triangle);
+    pos[g] = p.position;
+    double val = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      val += p.shape[static_cast<std::size_t>(k)] * x[tri.v[static_cast<std::size_t>(k)]];
+    }
+    q[g] = val * p.weight;
+  }
+  const ParticleSystem ps(std::move(pos), std::move(q));
+  const EvalResult r = evaluate_direct_at(ps, mesh_.vertices(), options_.eval.threads);
+  std::copy(r.potential.begin(), r.potential.end(), y.begin());
+}
+
+DenseMatrix SingleLayerOperator::assemble_dense() const {
+  DenseMatrix A(rows(), cols());
+  for (std::size_t i = 0; i < mesh_.num_vertices(); ++i) {
+    const Vec3& xi = mesh_.vertex(i);
+    for (const MeshQuadPoint& g : quad_points_) {
+      const double r = distance(xi, g.position);
+      if (r == 0.0) continue;  // cannot happen for interior Gauss points
+      const Triangle& tri = mesh_.triangle(g.triangle);
+      const double f = g.weight / r;
+      for (int k = 0; k < 3; ++k) {
+        A.at(i, tri.v[static_cast<std::size_t>(k)]) +=
+            g.shape[static_cast<std::size_t>(k)] * f;
+      }
+    }
+  }
+  return A;
+}
+
+std::vector<double> SingleLayerOperator::near_diagonal() const {
+  std::vector<double> diag(mesh_.num_vertices(), 0.0);
+  // One pass over all Gauss points: point g on triangle t contributes to
+  // A_ii for each vertex i of t (N_i(g) w_g / |x_i - y_g|), which is
+  // exactly the incident-triangle restriction of the diagonal.
+  for (const MeshQuadPoint& g : quad_points_) {
+    const Triangle& tri = mesh_.triangle(g.triangle);
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t v = tri.v[static_cast<std::size_t>(k)];
+      const double r = distance(mesh_.vertex(v), g.position);
+      if (r > 0.0) {
+        diag[v] += g.shape[static_cast<std::size_t>(k)] * g.weight / r;
+      }
+    }
+  }
+  return diag;
+}
+
+std::vector<double> SingleLayerOperator::point_charge_rhs(const Vec3& source,
+                                                          double q) const {
+  std::vector<double> f(mesh_.num_vertices());
+  for (std::size_t i = 0; i < mesh_.num_vertices(); ++i) {
+    const double r = distance(mesh_.vertex(i), source);
+    f[i] = r > 0.0 ? q / r : 0.0;
+  }
+  return f;
+}
+
+}  // namespace treecode

@@ -1,0 +1,112 @@
+#include "bem/double_layer.hpp"
+
+#include <cmath>
+
+#include "multipole/operators.hpp"
+#include "util/timer.hpp"
+
+namespace treecode {
+
+namespace {
+
+/// Tree over the Gauss points; placeholder charges are the quadrature
+/// weights so the adaptive degree assignment sees the dipole strength
+/// distribution (|moment| <= |sigma| w_g).
+ParticleSystem gauss_particles(const std::vector<MeshQuadPoint>& pts) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(pts.size());
+  q.reserve(pts.size());
+  for (const MeshQuadPoint& p : pts) {
+    pos.push_back(p.position);
+    q.push_back(p.weight);
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+}  // namespace
+
+DoubleLayerOperator::DoubleLayerOperator(const TriangleMesh& mesh, const Options& options)
+    : mesh_(mesh),
+      options_(options),
+      quad_points_(quadrature_points(mesh, triangle_rule(options.gauss_points))),
+      tree_(std::make_unique<Tree>(gauss_particles(quad_points_), options.tree)),
+      pool_(options.eval.threads),
+      sorted_moments_(quad_points_.size(), Vec3{}) {
+  normals_.reserve(quad_points_.size());
+  for (const MeshQuadPoint& g : quad_points_) {
+    normals_.push_back(mesh_.normal(g.triangle));
+  }
+}
+
+void DoubleLayerOperator::set_moments(std::span<const double> x) const {
+  const auto& orig = tree_->original_index();
+  for (std::size_t si = 0; si < sorted_moments_.size(); ++si) {
+    const std::size_t gi = orig[si];
+    const MeshQuadPoint& g = quad_points_[gi];
+    const Triangle& tri = mesh_.triangle(g.triangle);
+    double dens = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      dens += g.shape[static_cast<std::size_t>(k)] * x[tri.v[static_cast<std::size_t>(k)]];
+    }
+    sorted_moments_[si] = normals_[gi] * (dens * g.weight);
+  }
+}
+
+void DoubleLayerOperator::apply(std::span<const double> x, std::span<double> y) const {
+  check_sizes(x, y);
+  Timer timer;
+  set_moments(x);
+  const DipoleBarnesHutEvaluator eval(*tree_, options_.eval, sorted_moments_, &pool_);
+  const EvalResult r = eval.evaluate_at(pool_, mesh_.vertices());
+  std::copy(r.potential.begin(), r.potential.end(), y.begin());
+  last_stats_ = r.stats;
+  last_stats_.eval_seconds = timer.seconds();
+}
+
+void DoubleLayerOperator::apply_direct(std::span<const double> x, std::span<double> y) const {
+  check_sizes(x, y);
+  std::vector<Vec3> pos(quad_points_.size());
+  std::vector<Vec3> mom(quad_points_.size());
+  for (std::size_t g = 0; g < quad_points_.size(); ++g) {
+    const MeshQuadPoint& p = quad_points_[g];
+    const Triangle& tri = mesh_.triangle(p.triangle);
+    double dens = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      dens += p.shape[static_cast<std::size_t>(k)] * x[tri.v[static_cast<std::size_t>(k)]];
+    }
+    pos[g] = p.position;
+    mom[g] = normals_[g] * (dens * p.weight);
+  }
+  for (std::size_t i = 0; i < mesh_.num_vertices(); ++i) {
+    y[i] = p2p_dipole(mesh_.vertex(i), pos, mom);
+  }
+}
+
+std::vector<double> DoubleLayerOperator::potential_at(std::span<const Vec3> points,
+                                                      std::span<const double> sigma) const {
+  set_moments(sigma);
+  const DipoleBarnesHutEvaluator eval(*tree_, options_.eval, sorted_moments_, &pool_);
+  return eval.evaluate_at(pool_, points).potential;
+}
+
+std::vector<double> DoubleLayerOperator::point_charge_rhs(const Vec3& source,
+                                                          double q) const {
+  std::vector<double> f(mesh_.num_vertices());
+  for (std::size_t i = 0; i < mesh_.num_vertices(); ++i) {
+    const double r = distance(mesh_.vertex(i), source);
+    f[i] = r > 0.0 ? q / r : 0.0;
+  }
+  return f;
+}
+
+void SecondKindDirichletOperator::apply(std::span<const double> x,
+                                        std::span<double> y) const {
+  check_sizes(x, y);
+  k_.apply(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] -= 2.0 * M_PI * x[i];
+  }
+}
+
+}  // namespace treecode

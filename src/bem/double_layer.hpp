@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file double_layer.hpp
+/// The treecode-accelerated double-layer boundary operator and the
+/// second-kind formulation of the Dirichlet problem.
+///
+/// The single-layer equation of bem_operator.hpp is a first-kind integral
+/// equation (ill-conditioned: GMRES iteration counts grow under mesh
+/// refinement). The classical remedy is the double-layer representation
+///
+///     u(x) = W[sigma](x) = int_Gamma sigma(y) d/dn_y (1/|x-y|) dS(y),
+///
+/// whose interior Dirichlet jump relation gives the *second-kind* equation
+///
+///     (-2 pi I + K) sigma = f      on Gamma,
+///
+/// with K the restriction of W to the boundary. Second-kind operators are
+/// bounded perturbations of the identity, so GMRES converges in a
+/// mesh-independent handful of iterations — the conditioning contrast is
+/// measured in bench_table3_bem's solver section and tested in
+/// tests/bem/test_double_layer.cpp.
+///
+/// Each matvec assigns every Gauss point the dipole moment
+/// sigma(y_g) w_g n(y_g) and evaluates the resulting dipole field at the
+/// collocation vertices with the dipole Barnes-Hut evaluator. Requires an
+/// outward-oriented watertight mesh (all procedural generators qualify;
+/// validated via TriangleMesh::signed_volume()).
+
+#include <memory>
+
+#include "bem/mesh.hpp"
+#include "bem/quadrature.hpp"
+#include "core/dipole_barnes_hut.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/operator.hpp"
+
+namespace treecode {
+
+/// Treecode-backed double-layer operator K on mesh vertices.
+class DoubleLayerOperator final : public LinearOperator {
+ public:
+  struct Options {
+    EvalConfig eval;
+    int gauss_points = 6;
+    TreeConfig tree;
+  };
+
+  DoubleLayerOperator(const TriangleMesh& mesh, const Options& options);
+
+  [[nodiscard]] std::size_t rows() const override { return mesh_.num_vertices(); }
+  [[nodiscard]] std::size_t cols() const override { return mesh_.num_vertices(); }
+
+  /// y = K x via the dipole treecode.
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// Exact O(vertices * gauss points) reference product.
+  void apply_direct(std::span<const double> x, std::span<double> y) const;
+
+  /// Evaluate the double-layer potential W[sigma] at arbitrary points
+  /// (e.g. interior probes after a solve) with the treecode.
+  [[nodiscard]] std::vector<double> potential_at(std::span<const Vec3> points,
+                                                 std::span<const double> sigma) const;
+
+  /// Dirichlet data from a point charge (same as the single-layer helper).
+  [[nodiscard]] std::vector<double> point_charge_rhs(const Vec3& source, double q) const;
+
+  [[nodiscard]] const TriangleMesh& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] std::size_t num_sources() const noexcept { return quad_points_.size(); }
+  [[nodiscard]] const EvalStats& last_stats() const noexcept { return last_stats_; }
+
+ private:
+  /// Fill sorted_moments_ for density x and return an evaluator over them.
+  void set_moments(std::span<const double> x) const;
+
+  const TriangleMesh& mesh_;
+  Options options_;
+  std::vector<MeshQuadPoint> quad_points_;
+  std::vector<Vec3> normals_;  ///< per quad point (owning triangle's normal)
+  std::unique_ptr<Tree> tree_;
+  mutable ThreadPool pool_;
+  mutable std::vector<Vec3> sorted_moments_;
+  mutable EvalStats last_stats_;
+};
+
+/// The second-kind interior Dirichlet operator (-2 pi I + K) as a
+/// LinearOperator view over a DoubleLayerOperator (no copies).
+class SecondKindDirichletOperator final : public LinearOperator {
+ public:
+  explicit SecondKindDirichletOperator(const DoubleLayerOperator& k) : k_(k) {}
+  [[nodiscard]] std::size_t rows() const override { return k_.rows(); }
+  [[nodiscard]] std::size_t cols() const override { return k_.cols(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+ private:
+  const DoubleLayerOperator& k_;
+};
+
+}  // namespace treecode

@@ -1,0 +1,82 @@
+#include "bem/mesh.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace treecode {
+
+TriangleMesh::TriangleMesh(std::vector<Vec3> vertices, std::vector<Triangle> triangles)
+    : vertices_(std::move(vertices)), triangles_(std::move(triangles)) {}
+
+double TriangleMesh::area(std::size_t t) const noexcept {
+  const Triangle& tri = triangles_[t];
+  const Vec3 e1 = vertices_[tri.v[1]] - vertices_[tri.v[0]];
+  const Vec3 e2 = vertices_[tri.v[2]] - vertices_[tri.v[0]];
+  return 0.5 * norm(cross(e1, e2));
+}
+
+Vec3 TriangleMesh::normal(std::size_t t) const noexcept {
+  const Triangle& tri = triangles_[t];
+  const Vec3 e1 = vertices_[tri.v[1]] - vertices_[tri.v[0]];
+  const Vec3 e2 = vertices_[tri.v[2]] - vertices_[tri.v[0]];
+  const Vec3 n = cross(e1, e2);
+  const double len = norm(n);
+  return len > 0.0 ? n / len : Vec3{};
+}
+
+Vec3 TriangleMesh::centroid(std::size_t t) const noexcept {
+  const Triangle& tri = triangles_[t];
+  return (vertices_[tri.v[0]] + vertices_[tri.v[1]] + vertices_[tri.v[2]]) / 3.0;
+}
+
+double TriangleMesh::total_area() const noexcept {
+  double a = 0.0;
+  for (std::size_t t = 0; t < triangles_.size(); ++t) a += area(t);
+  return a;
+}
+
+double TriangleMesh::signed_volume() const noexcept {
+  double v = 0.0;
+  for (const Triangle& tri : triangles_) {
+    v += dot(vertices_[tri.v[0]], cross(vertices_[tri.v[1]], vertices_[tri.v[2]]));
+  }
+  return v / 6.0;
+}
+
+Aabb TriangleMesh::bounds() const noexcept {
+  return bounding_box(vertices_.begin(), vertices_.end());
+}
+
+bool TriangleMesh::is_watertight() const {
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_count;
+  for (const Triangle& tri : triangles_) {
+    for (int e = 0; e < 3; ++e) {
+      std::size_t a = tri.v[static_cast<std::size_t>(e)];
+      std::size_t b = tri.v[static_cast<std::size_t>((e + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) {
+    if (count != 2) return false;
+  }
+  return true;
+}
+
+void TriangleMesh::validate() const {
+  for (std::size_t t = 0; t < triangles_.size(); ++t) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (triangles_[t].v[k] >= vertices_.size()) {
+        throw std::invalid_argument("mesh: vertex index out of range in triangle " +
+                                    std::to_string(t));
+      }
+    }
+    if (area(t) <= 0.0) {
+      throw std::invalid_argument("mesh: degenerate triangle " + std::to_string(t));
+    }
+  }
+}
+
+}  // namespace treecode

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file mesh.hpp
+/// Triangle surface meshes for the boundary-element experiments.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace treecode {
+
+/// One triangle: indices into the mesh's vertex array.
+struct Triangle {
+  std::array<std::size_t, 3> v{};
+};
+
+/// An indexed triangle surface mesh.
+///
+/// The paper's problem instances are "highly unstructured... a bulk of the
+/// volume is empty and the nodes are concentrated on the surface". All
+/// BEM machinery (quadrature points, collocation at vertices) reads from
+/// this structure.
+class TriangleMesh {
+ public:
+  TriangleMesh() = default;
+  TriangleMesh(std::vector<Vec3> vertices, std::vector<Triangle> triangles);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return vertices_.size(); }
+  [[nodiscard]] std::size_t num_triangles() const noexcept { return triangles_.size(); }
+  [[nodiscard]] const std::vector<Vec3>& vertices() const noexcept { return vertices_; }
+  [[nodiscard]] const std::vector<Triangle>& triangles() const noexcept { return triangles_; }
+
+  [[nodiscard]] const Vec3& vertex(std::size_t i) const noexcept { return vertices_[i]; }
+  [[nodiscard]] const Triangle& triangle(std::size_t t) const noexcept { return triangles_[t]; }
+
+  /// Area of triangle t.
+  [[nodiscard]] double area(std::size_t t) const noexcept;
+
+  /// Unit normal of triangle t (right-handed winding).
+  [[nodiscard]] Vec3 normal(std::size_t t) const noexcept;
+
+  /// Centroid of triangle t.
+  [[nodiscard]] Vec3 centroid(std::size_t t) const noexcept;
+
+  /// Total surface area.
+  [[nodiscard]] double total_area() const noexcept;
+
+  /// Signed enclosed volume by the divergence theorem
+  /// (sum of v0 . (v1 x v2) / 6). Positive iff the winding is consistently
+  /// outward — the orientation the double-layer operator requires; all
+  /// procedural generators guarantee it.
+  [[nodiscard]] double signed_volume() const noexcept;
+
+  /// Bounding box of all vertices.
+  [[nodiscard]] Aabb bounds() const noexcept;
+
+  /// True if every edge is shared by exactly two triangles (closed,
+  /// manifold surface) — the invariant the procedural generators promise.
+  [[nodiscard]] bool is_watertight() const;
+
+  /// Validity check: all indices in range, no degenerate (zero-area)
+  /// triangles. Throws std::invalid_argument with a description if not.
+  void validate() const;
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<Triangle> triangles_;
+};
+
+}  // namespace treecode

@@ -1,0 +1,94 @@
+#include "bem/mesh_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace treecode {
+
+namespace {
+
+/// Parse an OBJ face index token like "3", "3/1", "3//2", "3/1/2".
+/// Supports negative (relative) indices per the OBJ spec.
+std::size_t parse_face_index(const std::string& token, std::size_t num_vertices) {
+  const std::size_t slash = token.find('/');
+  const std::string head = slash == std::string::npos ? token : token.substr(0, slash);
+  long idx = 0;
+  try {
+    idx = std::stol(head);
+  } catch (...) {
+    throw std::runtime_error("obj: bad face index '" + token + "'");
+  }
+  if (idx < 0) idx = static_cast<long>(num_vertices) + idx + 1;
+  if (idx < 1 || static_cast<std::size_t>(idx) > num_vertices) {
+    throw std::runtime_error("obj: face index out of range: " + token);
+  }
+  return static_cast<std::size_t>(idx - 1);
+}
+
+}  // namespace
+
+void save_obj(const TriangleMesh& mesh, std::ostream& os) {
+  os << "# adaptive_treecode surface mesh: " << mesh.num_vertices() << " vertices, "
+     << mesh.num_triangles() << " triangles\n";
+  os.precision(17);
+  for (const Vec3& v : mesh.vertices()) {
+    os << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  for (const Triangle& t : mesh.triangles()) {
+    os << "f " << t.v[0] + 1 << ' ' << t.v[1] + 1 << ' ' << t.v[2] + 1 << '\n';
+  }
+}
+
+void save_obj(const TriangleMesh& mesh, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("obj: cannot open for writing: " + path);
+  save_obj(mesh, os);
+  if (!os) throw std::runtime_error("obj: write failed: " + path);
+}
+
+TriangleMesh load_obj(std::istream& is) {
+  std::vector<Vec3> vertices;
+  std::vector<Triangle> triangles;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag == "v") {
+      Vec3 v;
+      if (!(ls >> v.x >> v.y >> v.z)) {
+        throw std::runtime_error("obj: bad vertex at line " + std::to_string(line_no));
+      }
+      vertices.push_back(v);
+    } else if (tag == "f") {
+      std::vector<std::size_t> idx;
+      std::string token;
+      while (ls >> token) idx.push_back(parse_face_index(token, vertices.size()));
+      if (idx.size() < 3) {
+        throw std::runtime_error("obj: face with <3 vertices at line " +
+                                 std::to_string(line_no));
+      }
+      // Fan-triangulate polygons.
+      for (std::size_t k = 1; k + 1 < idx.size(); ++k) {
+        triangles.push_back(Triangle{{idx[0], idx[k], idx[k + 1]}});
+      }
+    }
+    // Other tags (vn, vt, o, g, s, mtllib, usemtl, #) are ignored.
+  }
+  TriangleMesh mesh(std::move(vertices), std::move(triangles));
+  mesh.validate();
+  return mesh;
+}
+
+TriangleMesh load_obj(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("obj: cannot open: " + path);
+  return load_obj(is);
+}
+
+}  // namespace treecode

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file mesh_io.hpp
+/// Wavefront OBJ import/export for triangle meshes.
+///
+/// Lets users bring their own surface discretizations (the paper's
+/// propeller and gripper were industrial meshes) and inspect the procedural
+/// generators' output in standard tooling. Only the OBJ subset relevant to
+/// BEM is handled: `v` vertices and triangular `f` faces (polygon faces are
+/// fan-triangulated; normals/texcoords in face indices are ignored).
+
+#include <iosfwd>
+#include <string>
+
+#include "bem/mesh.hpp"
+
+namespace treecode {
+
+/// Write `mesh` in OBJ format.
+void save_obj(const TriangleMesh& mesh, std::ostream& os);
+
+/// Write `mesh` to a file; throws std::runtime_error if the file cannot be
+/// opened.
+void save_obj(const TriangleMesh& mesh, const std::string& path);
+
+/// Parse an OBJ stream. Throws std::runtime_error on malformed input
+/// (bad vertex counts, out-of-range indices). The result is validated.
+TriangleMesh load_obj(std::istream& is);
+
+/// Load an OBJ file; throws std::runtime_error if the file cannot be opened
+/// or parsed.
+TriangleMesh load_obj(const std::string& path);
+
+}  // namespace treecode

@@ -1,0 +1,148 @@
+#include "bem/meshgen.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace treecode {
+
+namespace {
+
+/// Build a closed lat-lon surface whose radius in direction (theta, phi)
+/// is given by `radial`. Poles are single vertices; interior is a periodic
+/// quad grid split into triangles. Watertight by construction.
+TriangleMesh make_radial_surface(std::size_t n_lat, std::size_t n_lon,
+                                 const std::function<double(double, double)>& radial,
+                                 const Vec3& center) {
+  if (n_lat < 2 || n_lon < 3) {
+    throw std::invalid_argument("make_radial_surface: n_lat >= 2, n_lon >= 3 required");
+  }
+  std::vector<Vec3> verts;
+  std::vector<Triangle> tris;
+  auto point = [&](double theta, double phi) {
+    const double r = radial(theta, phi);
+    return center + Vec3{r * std::sin(theta) * std::cos(phi),
+                         r * std::sin(theta) * std::sin(phi), r * std::cos(theta)};
+  };
+  // Pole vertices.
+  const std::size_t north = 0;
+  verts.push_back(point(0.0, 0.0));
+  // Interior rings: i = 1..n_lat-1, j = 0..n_lon-1.
+  for (std::size_t i = 1; i < n_lat; ++i) {
+    const double theta = M_PI * static_cast<double>(i) / static_cast<double>(n_lat);
+    for (std::size_t j = 0; j < n_lon; ++j) {
+      const double phi = 2.0 * M_PI * static_cast<double>(j) / static_cast<double>(n_lon);
+      verts.push_back(point(theta, phi));
+    }
+  }
+  const std::size_t south = verts.size();
+  verts.push_back(point(M_PI, 0.0));
+
+  auto ring = [&](std::size_t i, std::size_t j) {
+    return 1 + (i - 1) * n_lon + (j % n_lon);
+  };
+  // North fan.
+  for (std::size_t j = 0; j < n_lon; ++j) {
+    tris.push_back({{north, ring(1, j), ring(1, j + 1)}});
+  }
+  // Body quads.
+  for (std::size_t i = 1; i + 1 < n_lat; ++i) {
+    for (std::size_t j = 0; j < n_lon; ++j) {
+      const std::size_t a = ring(i, j);
+      const std::size_t b = ring(i, j + 1);
+      const std::size_t c = ring(i + 1, j);
+      const std::size_t d = ring(i + 1, j + 1);
+      tris.push_back({{a, c, b}});
+      tris.push_back({{b, c, d}});
+    }
+  }
+  // South fan.
+  for (std::size_t j = 0; j < n_lon; ++j) {
+    tris.push_back({{south, ring(n_lat - 1, j + 1), ring(n_lat - 1, j)}});
+  }
+  TriangleMesh mesh(std::move(verts), std::move(tris));
+  mesh.validate();
+  return mesh;
+}
+
+}  // namespace
+
+TriangleMesh make_sphere(std::size_t n_lat, std::size_t n_lon, double radius,
+                         const Vec3& center) {
+  return make_radial_surface(n_lat, n_lon, [radius](double, double) { return radius; },
+                             center);
+}
+
+TriangleMesh make_torus(std::size_t nu, std::size_t nv, double R, double r,
+                        const Vec3& center) {
+  if (nu < 3 || nv < 3) throw std::invalid_argument("make_torus: nu, nv >= 3 required");
+  std::vector<Vec3> verts;
+  verts.reserve(nu * nv);
+  for (std::size_t i = 0; i < nu; ++i) {
+    const double u = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(nu);
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double v = 2.0 * M_PI * static_cast<double>(j) / static_cast<double>(nv);
+      verts.push_back(center + Vec3{(R + r * std::cos(v)) * std::cos(u),
+                                    (R + r * std::cos(v)) * std::sin(u), r * std::sin(v)});
+    }
+  }
+  std::vector<Triangle> tris;
+  tris.reserve(2 * nu * nv);
+  auto at = [&](std::size_t i, std::size_t j) { return (i % nu) * nv + (j % nv); };
+  for (std::size_t i = 0; i < nu; ++i) {
+    for (std::size_t j = 0; j < nv; ++j) {
+      const std::size_t a = at(i, j);
+      const std::size_t b = at(i + 1, j);
+      const std::size_t c = at(i, j + 1);
+      const std::size_t d = at(i + 1, j + 1);
+      tris.push_back({{a, b, c}});
+      tris.push_back({{c, b, d}});
+    }
+  }
+  TriangleMesh mesh(std::move(verts), std::move(tris));
+  mesh.validate();
+  return mesh;
+}
+
+TriangleMesh make_propeller(std::size_t n_lat, std::size_t n_lon, int blades) {
+  if (blades < 2) throw std::invalid_argument("make_propeller: blades >= 2 required");
+  const double k = static_cast<double>(blades);
+  return make_radial_surface(
+      n_lat, n_lon,
+      [k](double theta, double phi) {
+        // Spherical hub of radius 0.25 plus `blades` lobes in the equator
+        // plane, twisted in theta (blade pitch). The lobe amplitude decays
+        // toward the poles, keeping the surface star-shaped.
+        const double s = std::sin(theta);
+        const double twist = 2.0 * (theta - M_PI / 2.0);  // blade pitch
+        const double lobe = std::pow(std::abs(std::cos(0.5 * k * (phi + twist))), 6.0);
+        return 0.25 + 0.75 * s * s * lobe;
+      },
+      {0, 0, 0});
+}
+
+TriangleMesh make_gripper(std::size_t n_lat, std::size_t n_lon) {
+  return make_radial_surface(
+      n_lat, n_lon,
+      [](double theta, double phi) {
+        // A flattened palm (oblate base) plus two finger lobes extending
+        // toward +z at phi = 0 and phi = pi. Fingers are long and thin:
+        // high radius near theta ~ pi/4 in two azimuthal windows.
+        const double palm = 0.3 * (1.0 + 0.4 * std::cos(theta) * std::cos(theta));
+        const double az = std::pow(std::cos(phi), 2.0);  // lobes at phi = 0, pi
+        const double elev = std::exp(-8.0 * (theta - 0.6) * (theta - 0.6));
+        const double fingers = 0.9 * az * elev;
+        return palm + fingers;
+      },
+      {0, 0, 0});
+}
+
+LatLonSize latlon_for_triangles(std::size_t target_triangles) {
+  // Triangles ~ 2 * n_lat * n_lon with n_lon = 2 n_lat: T = 4 n_lat^2.
+  std::size_t n_lat = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(target_triangles) / 4.0)));
+  if (n_lat < 2) n_lat = 2;
+  return {n_lat, 2 * n_lat};
+}
+
+}  // namespace treecode

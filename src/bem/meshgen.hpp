@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file meshgen.hpp
+/// Procedural watertight triangle meshes.
+///
+/// The paper's BEM experiments use two industrial surface meshes we do not
+/// have: an airplane "propeller" (140,800 elements / 70,439 nodes) and an
+/// industrial "gripper" (185,856 elements / 92,918 nodes). What the
+/// treecode experiments actually need from them is their *character*: a
+/// closed 2-D surface embedded in mostly-empty 3-D volume, with strongly
+/// non-uniform node density relative to an octree. These generators produce
+/// watertight parametric stand-ins with the same character at any element
+/// count (see DESIGN.md, substitutions table):
+///
+///  * make_sphere      — smooth convex baseline
+///  * make_torus       — genus-1, non-star-shaped
+///  * make_propeller   — a hub with `blades` twisted lobes (star-shaped
+///                       radial deformation of a sphere)
+///  * make_gripper     — a palm with two elongated finger lobes
+///
+/// All generators return validated, watertight meshes.
+
+#include <cstddef>
+
+#include "bem/mesh.hpp"
+
+namespace treecode {
+
+/// Latitude-longitude sphere of radius `radius` centered at `center`.
+/// Triangles: 2 * n_lat * n_lon - 2 * n_lon (pole fans). n_lat >= 2,
+/// n_lon >= 3.
+TriangleMesh make_sphere(std::size_t n_lat, std::size_t n_lon, double radius = 1.0,
+                         const Vec3& center = {0, 0, 0});
+
+/// Torus with major radius R, minor radius r; (nu x nv) quad grid split
+/// into 2*nu*nv triangles. nu, nv >= 3.
+TriangleMesh make_torus(std::size_t nu, std::size_t nv, double R = 1.0, double r = 0.35,
+                        const Vec3& center = {0, 0, 0});
+
+/// Propeller-like closed surface: `blades` twisted lobes around the z axis
+/// on a spherical hub. n_lat/n_lon control resolution as in make_sphere.
+TriangleMesh make_propeller(std::size_t n_lat, std::size_t n_lon, int blades = 3);
+
+/// Gripper-like closed surface: a flattened palm with two elongated finger
+/// lobes extending in +z.
+TriangleMesh make_gripper(std::size_t n_lat, std::size_t n_lon);
+
+/// Pick (n_lat, n_lon) so a lat-lon generator yields approximately
+/// `target_triangles` triangles with a 1:2 lat:lon aspect.
+struct LatLonSize {
+  std::size_t n_lat = 0;
+  std::size_t n_lon = 0;
+};
+LatLonSize latlon_for_triangles(std::size_t target_triangles);
+
+}  // namespace treecode

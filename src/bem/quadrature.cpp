@@ -1,0 +1,127 @@
+#include "bem/quadrature.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace treecode {
+
+namespace {
+
+TriQuadRule make_rule(int n) {
+  TriQuadRule rule;
+  switch (n) {
+    case 1:
+      rule.exact_degree = 1;
+      rule.points = {{{1.0 / 3, 1.0 / 3, 1.0 / 3}, 1.0}};
+      break;
+    case 3:
+      rule.exact_degree = 2;
+      rule.points = {
+          {{2.0 / 3, 1.0 / 6, 1.0 / 6}, 1.0 / 3},
+          {{1.0 / 6, 2.0 / 3, 1.0 / 6}, 1.0 / 3},
+          {{1.0 / 6, 1.0 / 6, 2.0 / 3}, 1.0 / 3},
+      };
+      break;
+    case 4:
+      rule.exact_degree = 3;
+      rule.points = {
+          {{1.0 / 3, 1.0 / 3, 1.0 / 3}, -27.0 / 48},
+          {{0.6, 0.2, 0.2}, 25.0 / 48},
+          {{0.2, 0.6, 0.2}, 25.0 / 48},
+          {{0.2, 0.2, 0.6}, 25.0 / 48},
+      };
+      break;
+    case 6: {
+      rule.exact_degree = 4;
+      const double a1 = 0.816847572980459;
+      const double b1 = 0.091576213509771;
+      const double w1 = 0.109951743655322;
+      const double a2 = 0.108103018168070;
+      const double b2 = 0.445948490915965;
+      const double w2 = 0.223381589678011;
+      rule.points = {
+          {{a1, b1, b1}, w1}, {{b1, a1, b1}, w1}, {{b1, b1, a1}, w1},
+          {{a2, b2, b2}, w2}, {{b2, a2, b2}, w2}, {{b2, b2, a2}, w2},
+      };
+      break;
+    }
+    case 7: {
+      rule.exact_degree = 5;
+      const double a1 = 0.797426985353087;
+      const double b1 = 0.101286507323456;
+      const double w1 = 0.125939180544827;
+      const double a2 = 0.059715871789770;
+      const double b2 = 0.470142064105115;
+      const double w2 = 0.132394152788506;
+      rule.points = {
+          {{1.0 / 3, 1.0 / 3, 1.0 / 3}, 0.225},
+          {{a1, b1, b1}, w1}, {{b1, a1, b1}, w1}, {{b1, b1, a1}, w1},
+          {{a2, b2, b2}, w2}, {{b2, a2, b2}, w2}, {{b2, b2, a2}, w2},
+      };
+      break;
+    }
+    default:
+      throw std::invalid_argument("triangle_rule: supported point counts are 1,3,4,6,7");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const TriQuadRule& triangle_rule(int n) {
+  switch (n) {
+    case 1: {
+      static const TriQuadRule r = make_rule(1);
+      return r;
+    }
+    case 3: {
+      static const TriQuadRule r = make_rule(3);
+      return r;
+    }
+    case 4: {
+      static const TriQuadRule r = make_rule(4);
+      return r;
+    }
+    case 6: {
+      static const TriQuadRule r = make_rule(6);
+      return r;
+    }
+    case 7: {
+      static const TriQuadRule r = make_rule(7);
+      return r;
+    }
+    default:
+      throw std::invalid_argument("triangle_rule: supported point counts are 1,3,4,6,7");
+  }
+}
+
+std::vector<MeshQuadPoint> quadrature_points(const TriangleMesh& mesh,
+                                             const TriQuadRule& rule) {
+  std::vector<MeshQuadPoint> out;
+  out.reserve(mesh.num_triangles() * rule.points.size());
+  for (std::size_t t = 0; t < mesh.num_triangles(); ++t) {
+    const Triangle& tri = mesh.triangle(t);
+    const Vec3& v0 = mesh.vertex(tri.v[0]);
+    const Vec3& v1 = mesh.vertex(tri.v[1]);
+    const Vec3& v2 = mesh.vertex(tri.v[2]);
+    const double area = mesh.area(t);
+    for (const TriQuadPoint& qp : rule.points) {
+      MeshQuadPoint m;
+      m.position = qp.bary[0] * v0 + qp.bary[1] * v1 + qp.bary[2] * v2;
+      m.triangle = t;
+      m.shape = qp.bary;  // linear elements: shape functions = barycentrics
+      m.weight = qp.weight * area;
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+double integrate(std::span<const MeshQuadPoint> points, std::span<const double> values) {
+  assert(points.size() == values.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) s += values[i] * points[i].weight;
+  return s;
+}
+
+}  // namespace treecode

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file quadrature.hpp
+/// Gaussian quadrature rules on triangles.
+///
+/// The paper: "Gaussian quadrature is used for integration over the
+/// surface. Typically, a fixed number of Gauss-points are located inside
+/// each element". The 6-point rule (degree 4) is what both Table 3
+/// instances use; 1/3/4/7-point rules are provided for ablations and
+/// convergence tests.
+///
+/// Points are expressed in barycentric coordinates (l0, l1, l2), weights
+/// sum to 1 and are multiplied by the triangle area on use.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "bem/mesh.hpp"
+
+namespace treecode {
+
+/// One quadrature node on the reference triangle.
+struct TriQuadPoint {
+  std::array<double, 3> bary{};  ///< barycentric coordinates, sum to 1
+  double weight = 0.0;           ///< reference weight; sum over rule is 1
+};
+
+/// A quadrature rule: its nodes and polynomial exactness degree.
+struct TriQuadRule {
+  std::vector<TriQuadPoint> points;
+  int exact_degree = 0;
+};
+
+/// Rule with `n` points; n must be one of 1, 3, 4, 6, 7.
+/// Throws std::invalid_argument otherwise.
+const TriQuadRule& triangle_rule(int n);
+
+/// A quadrature point instantiated on a concrete mesh triangle.
+struct MeshQuadPoint {
+  Vec3 position;                  ///< world-space location
+  std::size_t triangle = 0;       ///< owning triangle
+  std::array<double, 3> shape{};  ///< vertex shape functions N_k at the point
+  double weight = 0.0;            ///< quadrature weight * triangle area
+};
+
+/// Instantiate `rule` on every triangle of `mesh` (row-major: triangle 0's
+/// points first).
+std::vector<MeshQuadPoint> quadrature_points(const TriangleMesh& mesh,
+                                             const TriQuadRule& rule);
+
+/// Integrate a scalar field given by its values at the quadrature points:
+/// sum of value * weight. (The weights already include triangle areas.)
+double integrate(std::span<const MeshQuadPoint> points, std::span<const double> values);
+
+}  // namespace treecode

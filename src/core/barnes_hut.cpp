@@ -1,0 +1,205 @@
+#include "core/barnes_hut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "multipole/error_bounds.hpp"
+#include "multipole/operators.hpp"
+#include "util/timer.hpp"
+
+namespace treecode {
+
+namespace {
+
+/// The alpha-criterion. Accept the cluster when its radius-to-distance
+/// ratio is at most alpha (and the point is strictly outside the cluster
+/// sphere, which alpha < 1 implies for r > 0).
+inline bool mac_accepts(const TreeNode& node, const Vec3& point, double alpha,
+                        double& r_out) noexcept {
+  const double r = distance(point, node.center);
+  r_out = r;
+  return r > 0.0 && node.radius <= alpha * r;
+}
+
+}  // namespace
+
+struct BarnesHutEvaluator::ThreadAccumulator {
+  std::uint64_t terms = 0;
+  std::uint64_t m2p = 0;
+  std::uint64_t p2p = 0;
+  double max_bound = 0.0;
+};
+
+BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& config,
+                                       ThreadPool* pool, std::span<const double> sorted_charges)
+    : tree_(tree), config_(config), degrees_(assign_degrees(tree, config)) {
+  if (!sorted_charges.empty() && sorted_charges.size() != tree.num_particles()) {
+    throw std::invalid_argument("BarnesHutEvaluator: charge override size mismatch");
+  }
+  charges_ = sorted_charges.empty() ? std::span<const double>(tree_.charges())
+                                    : sorted_charges;
+  Timer timer;
+  const auto& nodes = tree_.nodes();
+  multipoles_.resize(nodes.size());
+  const auto& pos = tree_.positions();
+  const auto& q = charges_;
+  auto build_node = [&](std::size_t i) {
+    const TreeNode& node = nodes[i];
+    if (node.count() == 0) return;
+    multipoles_[i].reset(degrees_.degree[i]);
+    p2m(node.center,
+        std::span<const Vec3>(pos.data() + node.begin, node.count()),
+        std::span<const double>(q.data() + node.begin, node.count()), multipoles_[i]);
+  };
+  if (pool != nullptr && pool->width() > 1) {
+    parallel_for(*pool, nodes.size(), 8,
+                 [&](std::size_t b, std::size_t e, unsigned) {
+                   for (std::size_t i = b; i < e; ++i) build_node(i);
+                 });
+  } else {
+    for (std::size_t i = 0; i < nodes.size(); ++i) build_node(i);
+  }
+  build_seconds_ = timer.seconds();
+}
+
+std::uint64_t BarnesHutEvaluator::stored_coefficients() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& m : multipoles_) total += m.size();
+  return total;
+}
+
+EvalResult BarnesHutEvaluator::evaluate(ThreadPool& pool) const {
+  return run(pool, tree_.positions(), /*self=*/true);
+}
+
+EvalResult BarnesHutEvaluator::evaluate_at(ThreadPool& pool,
+                                           std::span<const Vec3> points) const {
+  return run(pool, points, /*self=*/false);
+}
+
+EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> points,
+                                   bool self) const {
+  EvalResult result;
+  const std::size_t n = points.size();
+  result.potential.assign(n, 0.0);
+  if (config_.compute_gradient) result.gradient.assign(n, Vec3{});
+  if (config_.track_error_bounds) result.error_bound.assign(n, 0.0);
+  result.stats.min_degree_used = degrees_.min_degree;
+  result.stats.max_degree_used = degrees_.max_degree;
+  result.stats.reference_charge = degrees_.reference_charge;
+  result.stats.build_seconds = build_seconds_;
+  if (n == 0 || tree_.num_particles() == 0) return result;
+
+  const auto& nodes = tree_.nodes();
+  const auto& pos = tree_.positions();
+  const auto& q = charges_;
+  const double alpha = config_.alpha;
+  const bool want_grad = config_.compute_gradient;
+  const bool want_bounds = config_.track_error_bounds;
+  const double softening2 = config_.softening * config_.softening;
+
+  // Results are computed into sorted-order slots, then scattered to the
+  // caller's order at the end (self mode only; external points are already
+  // in caller order).
+  std::vector<double> phi(n, 0.0);
+  std::vector<Vec3> grad(want_grad ? n : 0, Vec3{});
+  std::vector<double> bound(want_bounds ? n : 0, 0.0);
+  std::vector<ThreadAccumulator> acc(pool.width());
+
+  Timer timer;
+  result.stats.work = parallel_for_blocked(
+      pool, n, config_.block_size,
+      [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
+        ThreadAccumulator& a = acc[t];
+        const std::uint64_t terms_before = a.terms + a.p2p;
+        std::vector<int> stack;
+        stack.reserve(64);
+        for (std::size_t i = block_begin; i < block_end; ++i) {
+          const Vec3 x = points[i];
+          double my_phi = 0.0;
+          double my_bound = 0.0;
+          Vec3 my_grad{};
+          stack.clear();
+          stack.push_back(0);
+          while (!stack.empty()) {
+            const int ni = stack.back();
+            stack.pop_back();
+            const TreeNode& node = nodes[static_cast<std::size_t>(ni)];
+            if (node.count() == 0) continue;
+            double r = 0.0;
+            if (mac_accepts(node, x, alpha, r)) {
+              const MultipoleExpansion& m = multipoles_[static_cast<std::size_t>(ni)];
+              if (want_grad) {
+                const PotentialGrad pg = m2p_grad(m, node.center, x);
+                my_phi += pg.potential;
+                my_grad += pg.gradient;
+              } else {
+                my_phi += m2p(m, node.center, x);
+              }
+              a.terms += static_cast<std::uint64_t>(m.term_count());
+              ++a.m2p;
+              const double thm2 = mac_error_bound(node.abs_charge, r, alpha, m.degree());
+              a.max_bound = std::max(a.max_bound, thm2);
+              if (want_bounds) {
+                // Theorem 1 with the actual cluster radius and distance —
+                // rigorous and tighter than the alpha-form of Theorem 2.
+                my_bound +=
+                    multipole_error_bound(node.abs_charge, node.radius, r, m.degree());
+              }
+            } else if (node.is_leaf()) {
+              const std::span<const Vec3> ppos(pos.data() + node.begin, node.count());
+              const std::span<const double> pq(q.data() + node.begin, node.count());
+              if (want_grad) {
+                const PotentialGrad pg = p2p_grad(x, ppos, pq, softening2);
+                my_phi += pg.potential;
+                my_grad += pg.gradient;
+              } else {
+                my_phi += p2p(x, ppos, pq, softening2);
+              }
+              a.p2p += node.count();
+            } else {
+              for (int c = 0; c < node.num_children; ++c) {
+                stack.push_back(node.first_child + c);
+              }
+            }
+          }
+          phi[i] = my_phi;
+          if (want_grad) grad[i] = my_grad;
+          if (want_bounds) bound[i] = my_bound;
+        }
+        return (a.terms + a.p2p) - terms_before;  // cost of this block
+      });
+  result.stats.eval_seconds = timer.seconds();
+
+  for (const auto& a : acc) {
+    result.stats.multipole_terms += a.terms;
+    result.stats.m2p_count += a.m2p;
+    result.stats.p2p_pairs += a.p2p;
+    result.stats.max_interaction_bound =
+        std::max(result.stats.max_interaction_bound, a.max_bound);
+  }
+
+  if (self) {
+    // Scatter from sorted order back to the caller's particle order.
+    const auto& orig = tree_.original_index();
+    for (std::size_t i = 0; i < n; ++i) {
+      result.potential[orig[i]] = phi[i];
+      if (want_grad) result.gradient[orig[i]] = grad[i];
+      if (want_bounds) result.error_bound[orig[i]] = bound[i];
+    }
+  } else {
+    result.potential = std::move(phi);
+    if (want_grad) result.gradient = std::move(grad);
+    if (want_bounds) result.error_bound = std::move(bound);
+  }
+  return result;
+}
+
+EvalResult evaluate_barnes_hut(const Tree& tree, const EvalConfig& config) {
+  ThreadPool pool(config.threads);
+  BarnesHutEvaluator eval(tree, config, &pool);
+  return eval.evaluate(pool);
+}
+
+}  // namespace treecode

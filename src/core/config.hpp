@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file config.hpp
+/// Evaluator configuration and result types shared by all treecode
+/// evaluation methods (Barnes-Hut fixed degree, Barnes-Hut adaptive degree,
+/// FMM, direct summation).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace treecode {
+
+/// Fixed ("original method") vs per-cluster adaptive ("new method")
+/// multipole degree selection.
+enum class DegreeMode {
+  kFixed,     ///< every interaction uses `degree` terms (classic Barnes-Hut)
+  kAdaptive,  ///< per-cluster degree from Theorem 3
+};
+
+/// Which reference value anchors the adaptive degree law. For
+/// DegreeLaw::kCharge the reference is a cluster charge A_ref; for
+/// kChargeOverSize it is a charge density A_ref / d_ref.
+enum class DegreeReference {
+  kMinLeaf,   ///< smallest nonzero leaf value (the paper's choice)
+  kMeanLeaf,  ///< mean leaf value (practical threshold variant)
+  kExplicit,  ///< caller-provided `reference_charge`
+};
+
+/// Which cluster metric the Theorem-3 equalization uses.
+enum class DegreeLaw {
+  /// Equalize A alpha^(p+1): the literal statement of Theorem 3. Degrees
+  /// grow ~3 log2(1/alpha)^-1 per level for uniform density (A ~ volume).
+  kCharge,
+  /// Equalize (A/d) alpha^(p+1): folds in Lemma 1's observation that
+  /// interactions with size-d clusters happen at distance r = Theta(d), so
+  /// the *actual Theorem-2 bound* A/r alpha^(p+1) is what gets equalized.
+  /// Degrees grow ~2 log2(1/alpha)^-1 per level; this is the default and
+  /// what keeps the extra cost within the paper's small constant.
+  kChargeOverSize,
+};
+
+/// All knobs of a treecode evaluation.
+struct EvalConfig {
+  /// MAC opening parameter: a cluster is accepted when a / r <= alpha,
+  /// where a is the cluster radius about its center of charge and r the
+  /// distance from the evaluation point to that center. Must be in (0, 1).
+  double alpha = 0.5;
+
+  /// Fixed degree (kFixed) or base/minimum degree p (kAdaptive).
+  int degree = 4;
+
+  /// Clamp for the adaptive law (keeps unstructured domains from demanding
+  /// "very large degree multipoles", the difficulty the paper notes).
+  int max_degree = 30;
+
+  DegreeMode mode = DegreeMode::kFixed;
+  DegreeLaw law = DegreeLaw::kChargeOverSize;
+  DegreeReference reference = DegreeReference::kMeanLeaf;
+  /// Reference value when reference == kExplicit; ignored otherwise.
+  /// Interpreted as a charge (kCharge) or a charge density (kChargeOverSize).
+  double reference_charge = 0.0;
+
+  /// Worker threads; 0 or 1 runs inline on the caller (true serial).
+  unsigned threads = 0;
+
+  /// The paper's aggregation factor w: particles per unit of thread work.
+  std::size_t block_size = 64;
+
+  /// Use the rotation-accelerated O(p^3) translations (rotation.hpp)
+  /// instead of the dense O(p^4) ones where the evaluator translates
+  /// expansions (currently the FMM's M2L/L2L phases). Numerically
+  /// equivalent to rounding; pays off as the adaptive method pushes
+  /// degrees up. The Barnes-Hut evaluator performs no translations, so
+  /// this flag does not affect it.
+  bool use_rotation_translations = false;
+
+  /// Plummer softening length epsilon applied to *direct* (P2P)
+  /// interactions: kernel q / sqrt(r^2 + eps^2). Multipole-approximated
+  /// interactions stay unsoftened, which is the standard treecode practice
+  /// and accurate when eps is far below the MAC-separated distances (i.e.
+  /// eps much smaller than a leaf cell). Used by n-body integrations to
+  /// bound close-encounter forces; 0 (default) is the exact kernel the
+  /// error analysis assumes.
+  double softening = 0.0;
+
+  /// Also compute grad Phi per particle (forces = -q grad Phi).
+  bool compute_gradient = false;
+
+  /// Also accumulate, per evaluation point, the sum of Theorem-1 truncation
+  /// bounds over its accepted interactions — a rigorous a-posteriori bound
+  /// on |Phi_exact - Phi_treecode| at that point (direct interactions
+  /// contribute no error). Fills EvalResult::error_bound.
+  bool track_error_bounds = false;
+};
+
+/// Instrumentation of one evaluation. `multipole_terms` is the paper's
+/// serial-cost measure: for every particle-cluster interaction of degree p
+/// it adds (p+1)^2 (the number of (n, m) terms evaluated).
+struct EvalStats {
+  std::uint64_t multipole_terms = 0;  ///< sum over M2P/M2L/L2P of (p+1)^2
+  std::uint64_t m2p_count = 0;        ///< accepted particle-cluster interactions
+  std::uint64_t p2p_pairs = 0;        ///< direct particle-particle interactions
+  std::uint64_t m2l_count = 0;        ///< FMM cluster-cluster conversions
+  double max_interaction_bound = 0.0; ///< max Theorem-2 bound among accepted
+  double build_seconds = 0.0;         ///< upward pass (P2M) time
+  double eval_seconds = 0.0;          ///< traversal + evaluation time
+  int min_degree_used = 0;
+  int max_degree_used = 0;
+  double reference_charge = 0.0;      ///< the A_ref actually used
+  WorkStats work;                     ///< per-thread work for speedup models
+};
+
+/// Result of an evaluation, in the *caller's* particle order.
+struct EvalResult {
+  std::vector<double> potential;
+  std::vector<Vec3> gradient;      ///< empty unless compute_gradient
+  std::vector<double> error_bound; ///< empty unless track_error_bounds
+  EvalStats stats;
+};
+
+}  // namespace treecode

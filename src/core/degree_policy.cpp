@@ -1,0 +1,58 @@
+#include "core/degree_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "multipole/error_bounds.hpp"
+#include "multipole/harmonics.hpp"
+
+namespace treecode {
+
+double resolve_reference_charge(const Tree& tree, const EvalConfig& config) {
+  const bool density = config.law == DegreeLaw::kChargeOverSize;
+  switch (config.reference) {
+    case DegreeReference::kMinLeaf:
+      return density ? tree.min_leaf_charge_density() : tree.min_leaf_abs_charge();
+    case DegreeReference::kMeanLeaf:
+      return density ? tree.mean_leaf_charge_density() : tree.mean_leaf_abs_charge();
+    case DegreeReference::kExplicit:
+      return config.reference_charge;
+  }
+  return 0.0;
+}
+
+DegreeAssignment assign_degrees(const Tree& tree, const EvalConfig& config) {
+  if (config.alpha <= 0.0 || config.alpha >= 1.0) {
+    throw std::invalid_argument("EvalConfig.alpha must be in (0, 1)");
+  }
+  if (config.degree < 0 || config.max_degree < config.degree) {
+    throw std::invalid_argument("EvalConfig degree range invalid");
+  }
+  if (config.max_degree > kMaxDegree) {
+    throw std::invalid_argument("EvalConfig.max_degree exceeds library limit");
+  }
+  DegreeAssignment out;
+  out.degree.resize(tree.num_nodes(), config.degree);
+  out.min_degree = config.degree;
+  out.max_degree = config.degree;
+  if (config.mode == DegreeMode::kFixed) {
+    out.reference_charge = 0.0;
+    return out;
+  }
+  const double ref = resolve_reference_charge(tree, config);
+  out.reference_charge = ref;
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& node = tree.node(i);
+    double metric = node.abs_charge;
+    if (config.law == DegreeLaw::kChargeOverSize && node.size() > 0.0) {
+      metric /= node.size();
+    }
+    const int p =
+        adaptive_degree(metric, ref, config.alpha, config.degree, config.max_degree);
+    out.degree[i] = p;
+    out.max_degree = std::max(out.max_degree, p);
+  }
+  return out;
+}
+
+}  // namespace treecode

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file degree_policy.hpp
+/// Per-node multipole degree assignment — the paper's central mechanism.
+///
+/// In the original Barnes-Hut method every cluster uses the same degree p,
+/// so the Theorem-2 interaction error grows linearly with the cluster's
+/// aggregate charge A. Theorem 3 instead prescribes, per cluster,
+///
+///     p(A) = p_min + ceil( log(A / A_ref) / log(1 / alpha) ),
+///
+/// which pins every interaction's error bound to that of the reference
+/// cluster. Degrees depend only on quantities known at tree-construction
+/// time (A per node, alpha), so — as the paper notes — "the multipole
+/// series are computed a-priori to the maximum required degree".
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "tree/octree.hpp"
+
+namespace treecode {
+
+/// Degrees selected for every tree node plus the reference charge used.
+struct DegreeAssignment {
+  std::vector<int> degree;  ///< indexed by node id
+  double reference_charge = 0.0;
+  int min_degree = 0;
+  int max_degree = 0;
+};
+
+/// Resolve the A_ref the config asks for against a built tree.
+double resolve_reference_charge(const Tree& tree, const EvalConfig& config);
+
+/// Assign a degree to every node of `tree` under `config`.
+/// kFixed assigns config.degree everywhere; kAdaptive applies Theorem 3.
+DegreeAssignment assign_degrees(const Tree& tree, const EvalConfig& config);
+
+}  // namespace treecode

@@ -1,0 +1,102 @@
+#include "core/dipole_barnes_hut.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "multipole/operators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/timer.hpp"
+
+namespace treecode {
+
+DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalConfig& config,
+                                                   std::span<const Vec3> sorted_moments,
+                                                   ThreadPool* pool)
+    : tree_(tree),
+      config_(config),
+      degrees_(assign_degrees(tree, config)),
+      moments_(sorted_moments) {
+  if (moments_.size() != tree.num_particles()) {
+    throw std::invalid_argument("DipoleBarnesHutEvaluator: moment count mismatch");
+  }
+  const auto& nodes = tree_.nodes();
+  multipoles_.resize(nodes.size());
+  const auto& pos = tree_.positions();
+  auto build_node = [&](std::size_t i) {
+    const TreeNode& node = nodes[i];
+    if (node.count() == 0) return;
+    multipoles_[i].reset(degrees_.degree[i]);
+    p2m_dipole(node.center,
+               std::span<const Vec3>(pos.data() + node.begin, node.count()),
+               moments_.subspan(node.begin, node.count()), multipoles_[i]);
+  };
+  if (pool != nullptr && pool->width() > 1) {
+    parallel_for(*pool, nodes.size(), 8, [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t i = b; i < e; ++i) build_node(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < nodes.size(); ++i) build_node(i);
+  }
+}
+
+EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
+                                                 std::span<const Vec3> points) const {
+  EvalResult result;
+  const std::size_t n = points.size();
+  result.potential.assign(n, 0.0);
+  result.stats.min_degree_used = degrees_.min_degree;
+  result.stats.max_degree_used = degrees_.max_degree;
+  if (n == 0 || tree_.num_particles() == 0) return result;
+
+  const auto& nodes = tree_.nodes();
+  const auto& pos = tree_.positions();
+  const double alpha = config_.alpha;
+  std::vector<std::uint64_t> terms(pool.width(), 0);
+  std::vector<std::uint64_t> p2p_count(pool.width(), 0);
+
+  Timer timer;
+  result.stats.work = parallel_for_blocked(
+      pool, n, config_.block_size,
+      [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
+        std::uint64_t cost = 0;
+        std::vector<int> stack;
+        stack.reserve(64);
+        for (std::size_t i = block_begin; i < block_end; ++i) {
+          const Vec3 x = points[i];
+          double my_phi = 0.0;
+          stack.clear();
+          stack.push_back(0);
+          while (!stack.empty()) {
+            const int ni = stack.back();
+            stack.pop_back();
+            const TreeNode& node = nodes[static_cast<std::size_t>(ni)];
+            if (node.count() == 0) continue;
+            const double r = distance(x, node.center);
+            if (r > 0.0 && node.radius <= alpha * r) {
+              const MultipoleExpansion& m = multipoles_[static_cast<std::size_t>(ni)];
+              my_phi += m2p(m, node.center, x);
+              terms[t] += static_cast<std::uint64_t>(m.term_count());
+              cost += static_cast<std::uint64_t>(m.term_count());
+            } else if (node.is_leaf()) {
+              my_phi += p2p_dipole(x,
+                                   std::span<const Vec3>(pos.data() + node.begin, node.count()),
+                                   moments_.subspan(node.begin, node.count()));
+              p2p_count[t] += node.count();
+              cost += node.count();
+            } else {
+              for (int c = 0; c < node.num_children; ++c) stack.push_back(node.first_child + c);
+            }
+          }
+          result.potential[i] = my_phi;
+        }
+        return cost;
+      });
+  result.stats.eval_seconds = timer.seconds();
+  for (unsigned t = 0; t < pool.width(); ++t) {
+    result.stats.multipole_terms += terms[t];
+    result.stats.p2p_pairs += p2p_count[t];
+  }
+  return result;
+}
+
+}  // namespace treecode

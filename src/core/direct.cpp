@@ -1,0 +1,54 @@
+#include "core/direct.hpp"
+
+#include "multipole/operators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/timer.hpp"
+
+namespace treecode {
+
+namespace {
+
+EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
+                       unsigned threads, bool compute_gradient, double softening = 0.0) {
+  EvalResult result;
+  const std::size_t n = points.size();
+  result.potential.assign(n, 0.0);
+  if (compute_gradient) result.gradient.assign(n, Vec3{});
+  if (n == 0 || ps.empty()) return result;
+
+  ThreadPool pool(threads);
+  Timer timer;
+  const std::span<const Vec3> src_pos(ps.positions());
+  const std::span<const double> src_q(ps.charges());
+  result.stats.work = parallel_for_blocked(
+      pool, n, 128, [&](std::size_t b, std::size_t e, unsigned) -> std::uint64_t {
+        const double softening2 = softening * softening;
+        for (std::size_t i = b; i < e; ++i) {
+          if (compute_gradient) {
+            const PotentialGrad pg = p2p_grad(points[i], src_pos, src_q, softening2);
+            result.potential[i] = pg.potential;
+            result.gradient[i] = pg.gradient;
+          } else {
+            result.potential[i] = p2p(points[i], src_pos, src_q, softening2);
+          }
+        }
+        return (e - b) * ps.size();
+      });
+  result.stats.eval_seconds = timer.seconds();
+  result.stats.p2p_pairs = static_cast<std::uint64_t>(n) * ps.size();
+  return result;
+}
+
+}  // namespace
+
+EvalResult evaluate_direct(const ParticleSystem& ps, unsigned threads, bool compute_gradient,
+                           double softening) {
+  return direct_impl(ps, ps.positions(), threads, compute_gradient, softening);
+}
+
+EvalResult evaluate_direct_at(const ParticleSystem& ps, std::span<const Vec3> points,
+                              unsigned threads, bool compute_gradient) {
+  return direct_impl(ps, points, threads, compute_gradient);
+}
+
+}  // namespace treecode

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file direct.hpp
+/// Threaded O(n^2) direct summation — the "accurate potentials" reference
+/// the paper measures every treecode error against.
+
+#include <span>
+
+#include "core/config.hpp"
+#include "dist/particle_system.hpp"
+
+namespace treecode {
+
+/// Exact potentials (and optionally gradients) at every particle of `ps`
+/// by direct summation, skipping self-interactions. Parallelized over
+/// `threads` workers (0/1 = serial). Results in the caller's order.
+EvalResult evaluate_direct(const ParticleSystem& ps, unsigned threads = 0,
+                           bool compute_gradient = false, double softening = 0.0);
+
+/// Exact potentials at arbitrary `points` due to the particles of `ps`
+/// (no self-skip unless a point coincides with a source).
+EvalResult evaluate_direct_at(const ParticleSystem& ps, std::span<const Vec3> points,
+                              unsigned threads = 0, bool compute_gradient = false);
+
+}  // namespace treecode

@@ -1,0 +1,27 @@
+#include "core/treecode.hpp"
+
+namespace treecode {
+
+EvalResult evaluate_potentials(const Tree& tree, const EvalConfig& config, Method method) {
+  switch (method) {
+    case Method::kBarnesHut:
+      return evaluate_barnes_hut(tree, config);
+    case Method::kFmm:
+      return evaluate_fmm(tree, config);
+    case Method::kDirect: {
+      // Reconstruct a ParticleSystem view in the tree's original order.
+      const auto& orig = tree.original_index();
+      std::vector<Vec3> pos(tree.num_particles());
+      std::vector<double> q(tree.num_particles());
+      for (std::size_t i = 0; i < tree.num_particles(); ++i) {
+        pos[orig[i]] = tree.positions()[i];
+        q[orig[i]] = tree.charges()[i];
+      }
+      ParticleSystem ps(std::move(pos), std::move(q));
+      return evaluate_direct(ps, config.threads, config.compute_gradient, config.softening);
+    }
+  }
+  return {};
+}
+
+}  // namespace treecode

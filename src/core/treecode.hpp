@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file treecode.hpp
+/// Facade header: the library's high-level public API.
+///
+/// Typical use:
+///
+///   using namespace treecode;
+///   ParticleSystem ps = dist::uniform_cube(40'000, /*seed=*/1);
+///   Tree tree(ps, TreeConfig{.leaf_capacity = 8});
+///   EvalConfig cfg;
+///   cfg.alpha = 0.5;
+///   cfg.degree = 4;
+///   cfg.mode = DegreeMode::kAdaptive;   // the paper's improved method
+///   cfg.threads = 8;
+///   EvalResult r = evaluate_potentials(tree, cfg);
+///   // r.potential[i] is the potential at ps particle i; r.stats has costs.
+
+#include "core/barnes_hut.hpp"
+#include "core/config.hpp"
+#include "core/degree_policy.hpp"
+#include "core/direct.hpp"
+#include "core/fmm.hpp"
+#include "tree/octree.hpp"
+
+namespace treecode {
+
+/// Which evaluation engine to run.
+enum class Method {
+  kBarnesHut,  ///< particle-cluster interactions (the paper's treecode)
+  kFmm,        ///< cluster-cluster interactions (the FMM extension)
+  kDirect,     ///< O(n^2) reference (ignores MAC/degree settings)
+};
+
+/// Evaluate potentials at every particle of the tree with the configured
+/// method; results in the original particle order of the ParticleSystem the
+/// tree was built from.
+EvalResult evaluate_potentials(const Tree& tree, const EvalConfig& config,
+                               Method method = Method::kBarnesHut);
+
+}  // namespace treecode

@@ -1,0 +1,163 @@
+#include "dist/distributions.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace treecode::dist {
+
+namespace {
+
+double draw_charge(ChargeModel model, std::mt19937_64& rng) {
+  switch (model) {
+    case ChargeModel::kUnit:
+      return 1.0;
+    case ChargeModel::kUniform: {
+      std::uniform_real_distribution<double> u(0.5, 1.5);
+      return u(rng);
+    }
+    case ChargeModel::kMixedSign: {
+      std::uniform_real_distribution<double> u(-1.0, 1.0);
+      return u(rng);
+    }
+  }
+  return 1.0;
+}
+
+double clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+}  // namespace
+
+ParticleSystem uniform_cube(std::size_t n, std::uint64_t seed, ChargeModel charges) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(n);
+  q.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back({u(rng), u(rng), u(rng)});
+    q.push_back(draw_charge(charges, rng));
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+ParticleSystem gaussian_ball(std::size_t n, std::uint64_t seed, double sigma,
+                             ChargeModel charges) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.5, sigma);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(n);
+  q.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back({clamp01(g(rng)), clamp01(g(rng)), clamp01(g(rng))});
+    q.push_back(draw_charge(charges, rng));
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+ParticleSystem overlapped_gaussians(std::size_t n, std::size_t k, std::uint64_t seed,
+                                    double sigma, ChargeModel charges) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.15, 0.85);
+  std::vector<Vec3> centers;
+  centers.reserve(k == 0 ? 1 : k);
+  for (std::size_t c = 0; c < (k == 0 ? 1 : k); ++c) {
+    centers.push_back({u(rng), u(rng), u(rng)});
+  }
+  std::normal_distribution<double> g(0.0, sigma);
+  std::uniform_int_distribution<std::size_t> pick(0, centers.size() - 1);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(n);
+  q.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& c = centers[pick(rng)];
+    pos.push_back({clamp01(c.x + g(rng)), clamp01(c.y + g(rng)), clamp01(c.z + g(rng))});
+    q.push_back(draw_charge(charges, rng));
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+ParticleSystem spherical_shell(std::size_t n, std::uint64_t seed, ChargeModel charges) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(n);
+  q.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 v{g(rng), g(rng), g(rng)};
+    double r = norm(v);
+    if (r == 0.0) {
+      v = {1.0, 0.0, 0.0};
+      r = 1.0;
+    }
+    // Unit sphere centered at (0.5, 0.5, 0.5), radius 0.5: fits in [0,1]^3.
+    pos.push_back(Vec3{0.5, 0.5, 0.5} + v * (0.5 / r));
+    q.push_back(draw_charge(charges, rng));
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+ParticleSystem galaxy_disk(std::size_t n, std::uint64_t seed, double scale,
+                           double flattening, double bulge_fraction) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::exponential_distribution<double> radial(1.0 / scale);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(n);
+  q.reserve(n);
+  const double mass = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  const Vec3 center{0.5, 0.5, 0.5};
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 p;
+    if (u(rng) < bulge_fraction) {
+      // Compact isotropic bulge.
+      p = center + Vec3{g(rng), g(rng), g(rng)} * (0.3 * scale);
+    } else {
+      double r;
+      do {
+        r = radial(rng);
+      } while (r > 0.45);  // keep inside the unit cube
+      const double phi = 2.0 * M_PI * u(rng);
+      p = center + Vec3{r * std::cos(phi), r * std::sin(phi), g(rng) * flattening * scale};
+    }
+    p = {clamp01(p.x), clamp01(p.y), clamp01(p.z)};
+    pos.push_back(p);
+    q.push_back(mass);
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+ParticleSystem plummer(std::size_t n, std::uint64_t seed, double scale) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  pos.reserve(n);
+  q.reserve(n);
+  const double mass = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inverse-CDF sampling of the Plummer radial profile, truncated at 10a.
+    double r;
+    do {
+      const double x = u(rng);
+      r = scale / std::sqrt(std::pow(x, -2.0 / 3.0) - 1.0);
+    } while (r > 10.0 * scale);
+    Vec3 dir{g(rng), g(rng), g(rng)};
+    double d = norm(dir);
+    if (d == 0.0) {
+      dir = {1.0, 0.0, 0.0};
+      d = 1.0;
+    }
+    pos.push_back(Vec3{0.5, 0.5, 0.5} + dir * (r / d));
+    q.push_back(mass);
+  }
+  return ParticleSystem(std::move(pos), std::move(q));
+}
+
+}  // namespace treecode::dist

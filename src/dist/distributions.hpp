@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file distributions.hpp
+/// Particle distribution generators for the paper's experiments.
+///
+/// "Problem instances for particle simulations range from uniform to highly
+/// irregular distributions in three dimensions. Uniform distributions
+/// correspond to a random distribution of points distributed equally across
+/// the domain. Irregular distributions are generated using a Gaussian
+/// density function or overlapped Gaussian distributions (multiple Gaussians
+/// superimposed)."
+///
+/// All generators are deterministic for a given seed (std::mt19937_64), so
+/// every experiment is exactly reproducible.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dist/particle_system.hpp"
+
+namespace treecode::dist {
+
+/// How charges are assigned to generated particles.
+enum class ChargeModel {
+  kUnit,       ///< every particle has charge +1 (uniform charge density)
+  kUniform,    ///< charges uniform in [0.5, 1.5] (positive, varying)
+  kMixedSign,  ///< charges uniform in [-1, 1] (signed; nets partially cancel)
+};
+
+/// n points uniform in the cube [0, 1]^3. The paper's "structured"
+/// distribution.
+ParticleSystem uniform_cube(std::size_t n, std::uint64_t seed,
+                            ChargeModel charges = ChargeModel::kUnit);
+
+/// n points from a single isotropic Gaussian (mean 0.5·(1,1,1), the given
+/// sigma), clamped to [0,1]^3. The paper's basic "unstructured" case.
+ParticleSystem gaussian_ball(std::size_t n, std::uint64_t seed, double sigma = 0.12,
+                             ChargeModel charges = ChargeModel::kUnit);
+
+/// n points from `k` superimposed Gaussians with centers uniform in the unit
+/// cube and the given sigma ("overlapped Gaussian distributions").
+ParticleSystem overlapped_gaussians(std::size_t n, std::size_t k, std::uint64_t seed,
+                                    double sigma = 0.06,
+                                    ChargeModel charges = ChargeModel::kUnit);
+
+/// n points on (not in) the unit sphere surface — an extreme "empty volume"
+/// case resembling the paper's boundary-element node distributions.
+ParticleSystem spherical_shell(std::size_t n, std::uint64_t seed,
+                               ChargeModel charges = ChargeModel::kUnit);
+
+/// An exponential galaxy disk with a central bulge — a strongly flattened,
+/// strongly centrally-concentrated distribution (the hierarchical galaxy
+/// formation workloads of the paper's astrophysics citations). Disk:
+/// surface density ~ exp(-R/scale), Gaussian vertical structure of relative
+/// thickness `flattening`; bulge: `bulge_fraction` of the particles from a
+/// compact isotropic Gaussian. Centered in the unit cube; charges 1/n.
+ParticleSystem galaxy_disk(std::size_t n, std::uint64_t seed, double scale = 0.08,
+                           double flattening = 0.05, double bulge_fraction = 0.2);
+
+/// A Plummer-model star cluster (standard astrophysical n-body initial
+/// condition; the paper's intro motivates treecodes with astrophysics).
+/// Positions follow the Plummer density with scale radius `scale`, truncated
+/// at 10·scale and shifted to be centered in a unit-scale domain; charges are
+/// equal masses 1/n.
+ParticleSystem plummer(std::size_t n, std::uint64_t seed, double scale = 0.1);
+
+}  // namespace treecode::dist

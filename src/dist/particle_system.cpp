@@ -1,0 +1,47 @@
+#include "dist/particle_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treecode {
+
+ParticleSystem::ParticleSystem(std::vector<Vec3> positions, std::vector<double> charges)
+    : positions_(std::move(positions)), charges_(std::move(charges)) {
+  if (positions_.size() != charges_.size()) {
+    throw std::invalid_argument("ParticleSystem: positions/charges size mismatch");
+  }
+}
+
+void ParticleSystem::add(const Vec3& pos, double charge) {
+  positions_.push_back(pos);
+  charges_.push_back(charge);
+}
+
+Aabb ParticleSystem::bounds() const {
+  return bounding_box(positions_.begin(), positions_.end());
+}
+
+double ParticleSystem::total_abs_charge() const {
+  double a = 0.0;
+  for (double q : charges_) a += std::abs(q);
+  return a;
+}
+
+void ParticleSystem::permute(const std::vector<std::size_t>& perm) {
+  const std::size_t n = size();
+  if (perm.size() != n) throw std::invalid_argument("permute: wrong size");
+  std::vector<bool> seen(n, false);
+  std::vector<Vec3> new_pos(n);
+  std::vector<double> new_q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = perm[i];
+    if (src >= n || seen[src]) throw std::invalid_argument("permute: not a permutation");
+    seen[src] = true;
+    new_pos[i] = positions_[src];
+    new_q[i] = charges_[src];
+  }
+  positions_ = std::move(new_pos);
+  charges_ = std::move(new_q);
+}
+
+}  // namespace treecode

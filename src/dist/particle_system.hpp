@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file particle_system.hpp
+/// Structure-of-arrays particle storage shared by all evaluators.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace treecode {
+
+/// A set of point charges (or masses): positions and charges in parallel
+/// arrays. SoA layout keeps P2P kernels and P2M passes vectorizable.
+class ParticleSystem {
+ public:
+  ParticleSystem() = default;
+
+  /// Construct from parallel arrays. Throws std::invalid_argument on size
+  /// mismatch.
+  ParticleSystem(std::vector<Vec3> positions, std::vector<double> charges);
+
+  /// Number of particles.
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return positions_.empty(); }
+
+  [[nodiscard]] const std::vector<Vec3>& positions() const noexcept { return positions_; }
+  [[nodiscard]] const std::vector<double>& charges() const noexcept { return charges_; }
+  [[nodiscard]] std::vector<double>& charges() noexcept { return charges_; }
+
+  [[nodiscard]] const Vec3& position(std::size_t i) const noexcept { return positions_[i]; }
+  [[nodiscard]] double charge(std::size_t i) const noexcept { return charges_[i]; }
+
+  /// Append one particle.
+  void add(const Vec3& pos, double charge);
+
+  /// Axis-aligned bounding box of all positions (empty box if no particles).
+  [[nodiscard]] Aabb bounds() const;
+
+  /// Sum of |q_i| — the paper's aggregate charge magnitude "A" for the whole
+  /// system.
+  [[nodiscard]] double total_abs_charge() const;
+
+  /// Reorder particles by the given permutation: new i-th particle is the
+  /// old perm[i]-th. Throws std::invalid_argument if perm is not a
+  /// permutation of [0, size()).
+  void permute(const std::vector<std::size_t>& perm);
+
+ private:
+  std::vector<Vec3> positions_;
+  std::vector<double> charges_;
+};
+
+}  // namespace treecode

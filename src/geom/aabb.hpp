@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file aabb.hpp
+/// Axis-aligned bounding boxes used by the octree and the MAC.
+
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace treecode {
+
+/// An axis-aligned bounding box, stored as (lo, hi) corners.
+///
+/// A default-constructed box is *empty*: `lo` is +inf and `hi` is -inf in
+/// every component, so `expand` works without special cases and `empty()`
+/// is true.
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  /// True if no point has been added.
+  [[nodiscard]] bool empty() const noexcept { return lo.x > hi.x; }
+
+  /// Grow the box to contain point `p`.
+  void expand(const Vec3& p) noexcept {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+
+  /// Grow the box to contain another box.
+  void merge(const Aabb& b) noexcept {
+    lo = min(lo, b.lo);
+    hi = max(hi, b.hi);
+  }
+
+  /// Geometric center. Precondition: not empty.
+  [[nodiscard]] Vec3 center() const noexcept { return 0.5 * (lo + hi); }
+
+  /// Edge lengths. Precondition: not empty.
+  [[nodiscard]] Vec3 extents() const noexcept { return hi - lo; }
+
+  /// Longest edge length ("dimension of the box enclosing the cluster" in
+  /// the paper's MAC). Precondition: not empty.
+  [[nodiscard]] double max_extent() const noexcept {
+    const Vec3 e = extents();
+    return e.x > e.y ? (e.x > e.z ? e.x : e.z) : (e.y > e.z ? e.y : e.z);
+  }
+
+  /// Half of the diagonal: radius of the smallest sphere centered at
+  /// `center()` that contains the whole box.
+  [[nodiscard]] double bounding_radius() const noexcept { return 0.5 * norm(extents()); }
+
+  /// True if `p` lies inside or on the boundary.
+  [[nodiscard]] bool contains(const Vec3& p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+           p.z <= hi.z;
+  }
+
+  /// The smallest *cube* that contains this box and shares its center.
+  /// Octree construction starts from a cubic root so that child cells stay
+  /// cubic and the level -> cell-size relationship of the paper's analysis
+  /// holds exactly.
+  [[nodiscard]] Aabb bounding_cube() const noexcept {
+    const Vec3 c = center();
+    const double h = 0.5 * max_extent();
+    Aabb cube;
+    cube.lo = c - Vec3{h, h, h};
+    cube.hi = c + Vec3{h, h, h};
+    return cube;
+  }
+};
+
+/// Bounding box of a range of points.
+template <typename Iter>
+Aabb bounding_box(Iter first, Iter last) {
+  Aabb box;
+  for (; first != last; ++first) box.expand(*first);
+  return box;
+}
+
+}  // namespace treecode

@@ -1,0 +1,100 @@
+#include "geom/hilbert.hpp"
+
+namespace treecode {
+namespace {
+
+constexpr int kBits = kSfcBitsPerAxis;
+constexpr int kDims = 3;
+
+/// Skilling: transform axes -> transposed Hilbert index, in place.
+/// X[i] holds axis i; on return, bit b of X[i] is bit (b*kDims + i) of the
+/// Hilbert index, counting from the most significant bit.
+void axes_to_transpose(std::uint32_t x[kDims]) noexcept {
+  std::uint32_t m = 1u << (kBits - 1);
+  // Inverse undo
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {      // exchange
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode
+  for (int i = 1; i < kDims; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) x[i] ^= t;
+}
+
+/// Skilling: transform transposed Hilbert index -> axes, in place.
+void transpose_to_axes(std::uint32_t x[kDims]) noexcept {
+  const std::uint32_t n = 1u << kBits;
+  // Gray decode by H ^ (H/2)
+  std::uint32_t t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+/// Interleave the transpose into a single key, MSB-first:
+/// key bit (b*3 + i) (from the top) is bit b (from the top) of X[i].
+std::uint64_t interleave_transpose(const std::uint32_t x[kDims]) noexcept {
+  std::uint64_t key = 0;
+  for (int b = kBits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      key = (key << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+void deinterleave_transpose(std::uint64_t key, std::uint32_t x[kDims]) noexcept {
+  x[0] = x[1] = x[2] = 0;
+  for (int b = kBits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      const int shift = b * kDims + (kDims - 1 - i);
+      x[i] = (x[i] << 1) | static_cast<std::uint32_t>((key >> shift) & 1u);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_encode(std::uint32_t xi, std::uint32_t yi, std::uint32_t zi) noexcept {
+  std::uint32_t x[kDims] = {xi, yi, zi};
+  axes_to_transpose(x);
+  return interleave_transpose(x);
+}
+
+GridCoord hilbert_decode(std::uint64_t key) noexcept {
+  std::uint32_t x[kDims];
+  deinterleave_transpose(key, x);
+  transpose_to_axes(x);
+  return {x[0], x[1], x[2]};
+}
+
+std::uint64_t hilbert_key(const Vec3& p, const Aabb& box) noexcept {
+  const GridCoord g = quantize(p, box);
+  return hilbert_encode(g.x, g.y, g.z);
+}
+
+}  // namespace treecode

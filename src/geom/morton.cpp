@@ -1,0 +1,24 @@
+#include "geom/morton.hpp"
+
+namespace treecode {
+
+GridCoord quantize(const Vec3& p, const Aabb& box) noexcept {
+  constexpr double kCells = static_cast<double>(1u << kSfcBitsPerAxis);
+  constexpr std::uint32_t kMax = (1u << kSfcBitsPerAxis) - 1;
+  const Vec3 e = box.extents();
+  auto axis = [&](double v, double lo, double len) -> std::uint32_t {
+    if (len <= 0.0) return 0;
+    double t = (v - lo) / len * kCells;
+    if (t < 0.0) t = 0.0;
+    auto cell = static_cast<std::uint32_t>(t);
+    return cell > kMax ? kMax : cell;
+  };
+  return {axis(p.x, box.lo.x, e.x), axis(p.y, box.lo.y, e.y), axis(p.z, box.lo.z, e.z)};
+}
+
+std::uint64_t morton_key(const Vec3& p, const Aabb& box) noexcept {
+  const GridCoord g = quantize(p, box);
+  return morton_encode(g.x, g.y, g.z);
+}
+
+}  // namespace treecode

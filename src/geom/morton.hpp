@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file morton.hpp
+/// 3-D Morton (Z-order) codes.
+///
+/// Morton codes are the simpler of the two proximity-preserving orderings the
+/// library offers (the other is the Peano-Hilbert curve in hilbert.hpp, which
+/// the paper uses). They are kept as an ablation alternative and as a cheap
+/// way to bucket points during octree construction.
+
+#include <cstdint>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace treecode {
+
+/// Number of bits of resolution per axis used by 64-bit Morton/Hilbert keys.
+/// 21 bits x 3 axes = 63 bits, the most that fit in a u64.
+inline constexpr int kSfcBitsPerAxis = 21;
+
+/// Interleave the low 21 bits of `v` with two zero bits between each
+/// (the classic "part by 2" bit trick).
+constexpr std::uint64_t morton_part_bits(std::uint64_t v) noexcept {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of morton_part_bits: extract every third bit.
+constexpr std::uint64_t morton_compact_bits(std::uint64_t v) noexcept {
+  v &= 0x1249249249249249ULL;
+  v = (v | (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v | (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v | (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v | (v >> 32)) & 0x1fffff;
+  return v;
+}
+
+/// Morton key of integer grid coordinates (x, y, z), each in [0, 2^21).
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                                      std::uint32_t z) noexcept {
+  return morton_part_bits(x) | (morton_part_bits(y) << 1) | (morton_part_bits(z) << 2);
+}
+
+/// Decoded integer grid coordinates of a Morton key.
+struct GridCoord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+  friend constexpr bool operator==(const GridCoord&, const GridCoord&) = default;
+};
+
+/// Inverse of morton_encode.
+constexpr GridCoord morton_decode(std::uint64_t key) noexcept {
+  return {static_cast<std::uint32_t>(morton_compact_bits(key)),
+          static_cast<std::uint32_t>(morton_compact_bits(key >> 1)),
+          static_cast<std::uint32_t>(morton_compact_bits(key >> 2))};
+}
+
+/// Quantize a point inside `box` onto the 2^21-cell-per-axis integer grid.
+/// Points exactly on the upper face map to the last cell.
+GridCoord quantize(const Vec3& p, const Aabb& box) noexcept;
+
+/// Morton key of a point within a bounding box.
+std::uint64_t morton_key(const Vec3& p, const Aabb& box) noexcept;
+
+}  // namespace treecode

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Minimal 3-D vector type used throughout the treecode library.
+///
+/// The library deliberately avoids pulling in a full linear-algebra package
+/// for particle geometry: every hot loop (P2P kernels, tree traversal, MAC
+/// tests) works on this POD-like value type, which the compiler can keep in
+/// registers and vectorize.
+
+#include <array>
+#include <cmath>
+#include <iosfwd>
+
+namespace treecode {
+
+/// A 3-component double-precision vector with value semantics.
+///
+/// All arithmetic operators are componentwise; `dot`, `cross`, `norm` and
+/// friends provide the usual Euclidean operations. The type is an aggregate
+/// so brace-initialization (`Vec3{x, y, z}`) works everywhere.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) noexcept { return *this *= (1.0 / s); }
+
+  constexpr double operator[](int i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) noexcept { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) noexcept { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) noexcept {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Euclidean dot product.
+constexpr double dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Cross product (right-handed).
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+/// Squared Euclidean norm; cheaper than `norm` when only comparisons matter.
+constexpr double norm2(const Vec3& a) noexcept { return dot(a, a); }
+
+/// Euclidean norm.
+inline double norm(const Vec3& a) noexcept { return std::sqrt(norm2(a)); }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec3& a, const Vec3& b) noexcept { return norm(a - b); }
+
+/// Squared Euclidean distance between two points.
+constexpr double distance2(const Vec3& a, const Vec3& b) noexcept { return norm2(a - b); }
+
+/// Unit vector in the direction of `a`. Precondition: `norm(a) > 0`.
+inline Vec3 normalized(const Vec3& a) noexcept { return a / norm(a); }
+
+/// Componentwise minimum.
+constexpr Vec3 min(const Vec3& a, const Vec3& b) noexcept {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+
+/// Componentwise maximum.
+constexpr Vec3 max(const Vec3& a, const Vec3& b) noexcept {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+/// Stream output in the form `(x, y, z)`; declared here, defined in vec3.cpp
+/// to keep <ostream> out of hot translation units.
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+/// Spherical coordinates (r, theta, phi) of a point relative to the origin.
+///
+/// Conventions match the multipole library: `theta` is the polar angle
+/// measured from the +z axis in [0, pi]; `phi` is the azimuthal angle in
+/// (-pi, pi]. At the origin all angles are defined as zero.
+struct Spherical {
+  double r = 0.0;
+  double theta = 0.0;
+  double phi = 0.0;
+};
+
+/// Convert a Cartesian offset vector to spherical coordinates.
+inline Spherical to_spherical(const Vec3& v) noexcept {
+  Spherical s;
+  s.r = norm(v);
+  if (s.r == 0.0) return s;
+  // Clamp to dodge rounding outside [-1, 1] for points on the z axis.
+  double ct = v.z / s.r;
+  if (ct > 1.0) ct = 1.0;
+  if (ct < -1.0) ct = -1.0;
+  s.theta = std::acos(ct);
+  s.phi = std::atan2(v.y, v.x);
+  return s;
+}
+
+}  // namespace treecode

@@ -1,0 +1,69 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace treecode {
+
+void DenseMatrix::apply(std::span<const double> x, std::span<double> y) const {
+  check_sizes(x, y);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+std::vector<double> DenseMatrix::solve(std::span<const double> b) const {
+  if (rows_ != cols_) throw std::runtime_error("DenseMatrix::solve: not square");
+  if (b.size() != rows_) throw std::runtime_error("DenseMatrix::solve: rhs size");
+  const std::size_t n = rows_;
+  std::vector<double> a(data_);
+  std::vector<double> x(b.begin(), b.end());
+  std::vector<std::size_t> piv(n);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t best = k;
+    double best_val = std::abs(a[k * n + k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(a[r * n + k]);
+      if (v > best_val) {
+        best_val = v;
+        best = r;
+      }
+    }
+    if (best_val == 0.0) throw std::runtime_error("DenseMatrix::solve: singular");
+    if (best != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[k * n + c], a[best * n + c]);
+      std::swap(x[k], x[best]);
+    }
+    const double inv_pivot = 1.0 / a[k * n + k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = a[r * n + k] * inv_pivot;
+      if (f == 0.0) continue;
+      a[r * n + k] = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) a[r * n + c] -= f * a[k * n + c];
+      x[r] -= f * x[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t k = n; k-- > 0;) {
+    double acc = x[k];
+    for (std::size_t c = k + 1; c < n; ++c) acc -= a[k * n + c] * x[c];
+    x[k] = acc / a[k * n + k];
+  }
+  return x;
+}
+
+std::vector<double> DenseMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  return d;
+}
+
+}  // namespace treecode

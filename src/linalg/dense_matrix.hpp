@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file dense_matrix.hpp
+/// Row-major dense matrix with the few operations the project needs:
+/// operator application, and a pivoted-LU direct solve used as the exact
+/// reference for small BEM systems in tests.
+
+#include <vector>
+
+#include "linalg/operator.hpp"
+
+namespace treecode {
+
+/// Row-major dense matrix implementing LinearOperator.
+class DenseMatrix final : public LinearOperator {
+ public:
+  DenseMatrix() = default;
+  /// rows x cols zero matrix.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const override { return rows_; }
+  [[nodiscard]] std::size_t cols() const override { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// Solve A x = b by partial-pivoted Gaussian elimination (A must be
+  /// square and nonsingular; throws std::runtime_error otherwise).
+  /// O(n^3); intended for test-scale reference solves.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Main diagonal (used by the Jacobi preconditioner).
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace treecode

@@ -1,0 +1,161 @@
+#include "linalg/gmres.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treecode {
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double nrm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+Preconditioner jacobi_preconditioner(std::vector<double> diagonal) {
+  for (double& d : diagonal) {
+    d = d == 0.0 ? 1.0 : 1.0 / d;
+  }
+  return [diag = std::move(diagonal)](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = diag[i] * x[i];
+  };
+}
+
+GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<double> x,
+                  const GmresOptions& options, const Preconditioner& precond) {
+  if (A.rows() != A.cols()) throw std::invalid_argument("gmres: operator not square");
+  const std::size_t n = A.rows();
+  if (b.size() != n || x.size() != n) throw std::invalid_argument("gmres: size mismatch");
+  const int m = options.restart > 0 ? options.restart : 10;
+
+  GmresResult result;
+  const double bnorm = nrm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<std::vector<double>> V(static_cast<std::size_t>(m) + 1,
+                                     std::vector<double>(n));
+  // Hessenberg in column-major H[j] has j+2 entries.
+  std::vector<std::vector<double>> H(static_cast<std::size_t>(m));
+  std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m));
+  std::vector<double> g(static_cast<std::size_t>(m) + 1);
+  std::vector<double> w(n), tmp(n), r(n);
+
+  auto apply_precond = [&](std::span<const double> in, std::span<double> out) {
+    if (precond) {
+      precond(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  while (result.iterations < options.max_iterations) {
+    // r = b - A x
+    A.apply(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    double beta = nrm2(r);
+    result.relative_residual = beta / bnorm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) V[0][i] = r[i] / beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && result.iterations < options.max_iterations; ++j) {
+      ++result.iterations;
+      // w = A M^{-1} v_j
+      apply_precond(V[static_cast<std::size_t>(j)], tmp);
+      A.apply(tmp, w);
+      // Arnoldi, modified Gram-Schmidt.
+      auto& h = H[static_cast<std::size_t>(j)];
+      h.assign(static_cast<std::size_t>(j) + 2, 0.0);
+      for (int i = 0; i <= j; ++i) {
+        const double hij = dot(w, V[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)] = hij;
+        axpy(-hij, V[static_cast<std::size_t>(i)], w);
+      }
+      const double hj1 = nrm2(w);
+      h[static_cast<std::size_t>(j) + 1] = hj1;
+      if (hj1 > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) V[static_cast<std::size_t>(j) + 1][i] = w[i] / hj1;
+      }
+      // Apply existing Givens rotations to the new column.
+      for (int i = 0; i < j; ++i) {
+        const double t = cs[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i)] +
+                         sn[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i) + 1];
+        h[static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i)] +
+            cs[static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i) + 1];
+        h[static_cast<std::size_t>(i)] = t;
+      }
+      // New rotation to zero h[j+1].
+      const double denom = std::hypot(h[static_cast<std::size_t>(j)], hj1);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] = h[static_cast<std::size_t>(j)] / denom;
+        sn[static_cast<std::size_t>(j)] = h[static_cast<std::size_t>(j) + 1] / denom;
+      }
+      h[static_cast<std::size_t>(j)] = denom;
+      h[static_cast<std::size_t>(j) + 1] = 0.0;
+      const double t = cs[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] = t;
+
+      const double rel = std::abs(g[static_cast<std::size_t>(j) + 1]) / bnorm;
+      result.residual_history.push_back(rel);
+      if (rel <= options.tolerance) {
+        ++j;
+        break;
+      }
+      if (hj1 == 0.0) {  // lucky breakdown: exact solution in this space
+        ++j;
+        break;
+      }
+    }
+
+    // Solve the triangular system H y = g (size j).
+    std::vector<double> y(static_cast<std::size_t>(j));
+    for (int i = j - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k) {
+        acc -= H[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(k)];
+      }
+      y[static_cast<std::size_t>(i)] = acc / H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    // x += M^{-1} (V y)
+    std::fill(tmp.begin(), tmp.end(), 0.0);
+    for (int i = 0; i < j; ++i) {
+      axpy(y[static_cast<std::size_t>(i)], V[static_cast<std::size_t>(i)], tmp);
+    }
+    apply_precond(tmp, w);
+    axpy(1.0, w, x);
+  }
+
+  // Final residual check.
+  A.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  result.relative_residual = nrm2(r) / bnorm;
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+}  // namespace treecode

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file gmres.hpp
+/// Restarted GMRES with Givens rotations.
+///
+/// This is the iterative solver of the paper's BEM experiments: "The
+/// matrix-vector product was used in a GMRES solver with a restart of 10
+/// and was observed to converge very well." The implementation is the
+/// standard Saad-Schultz GMRES(m): Arnoldi with modified Gram-Schmidt,
+/// least-squares via Givens rotations, optional right preconditioning.
+
+#include <functional>
+#include <vector>
+
+#include "linalg/operator.hpp"
+
+namespace treecode {
+
+/// Solver parameters. Defaults mirror the paper (restart 10).
+struct GmresOptions {
+  int restart = 10;            ///< Krylov dimension m per cycle
+  int max_iterations = 1000;   ///< total inner iterations across cycles
+  double tolerance = 1e-8;     ///< relative residual ||r||/||b|| target
+};
+
+/// Solve outcome.
+struct GmresResult {
+  bool converged = false;
+  int iterations = 0;                    ///< total inner iterations performed
+  double relative_residual = 0.0;        ///< final ||b - A x|| / ||b||
+  std::vector<double> residual_history;  ///< relative residual per iteration
+};
+
+/// Optional right preconditioner: y = M^{-1} x. Identity when empty.
+using Preconditioner = std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Build a Jacobi (diagonal) right preconditioner from the matrix diagonal.
+/// Zero diagonal entries are treated as 1 (no scaling).
+Preconditioner jacobi_preconditioner(std::vector<double> diagonal);
+
+/// Solve A x = b. `x` holds the initial guess on entry and the solution on
+/// exit (sizes must equal A.cols() == A.rows()).
+GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<double> x,
+                  const GmresOptions& options = {}, const Preconditioner& precond = {});
+
+}  // namespace treecode

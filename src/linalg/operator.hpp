@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file operator.hpp
+/// Matrix-free linear operator abstraction.
+///
+/// The paper's BEM solver never forms the dense system: "the treecode was
+/// used to compute matrix-vector products with the approximation of the
+/// dense matrices in each iteration of the GMRES iterative solver."
+/// LinearOperator is that contract: anything that can apply y = A x.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <stdexcept>
+
+namespace treecode {
+
+/// Abstract square-or-rectangular linear operator y = A x.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Number of rows (length of y).
+  [[nodiscard]] virtual std::size_t rows() const = 0;
+  /// Number of columns (length of x).
+  [[nodiscard]] virtual std::size_t cols() const = 0;
+
+  /// Compute y = A x. Spans must have sizes cols() and rows().
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+
+ protected:
+  /// Shared argument validation for implementations.
+  void check_sizes(std::span<const double> x, std::span<double> y) const {
+    if (x.size() != cols() || y.size() != rows()) {
+      throw std::invalid_argument("LinearOperator::apply: size mismatch");
+    }
+  }
+};
+
+/// Adapts a callable (y = f(x)) into a LinearOperator.
+class FunctionOperator final : public LinearOperator {
+ public:
+  using Fn = std::function<void(std::span<const double>, std::span<double>)>;
+
+  FunctionOperator(std::size_t rows, std::size_t cols, Fn fn)
+      : rows_(rows), cols_(cols), fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::size_t rows() const override { return rows_; }
+  [[nodiscard]] std::size_t cols() const override { return cols_; }
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    check_sizes(x, y);
+    fn_(x, y);
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  Fn fn_;
+};
+
+}  // namespace treecode

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file error_bounds.hpp
+/// The paper's error analysis, as executable formulas.
+///
+/// Theorem 1 (Greengard & Rokhlin): for charges of total absolute magnitude
+/// A inside a sphere of radius a about the expansion center, the degree-p
+/// multipole series evaluated at distance r > a satisfies
+///
+///     |Phi - Phi_p| <= A / (r - a) * (a / r)^(p+1).
+///
+/// Theorem 2: under the alpha-MAC (a / r <= alpha < 1) this becomes
+///
+///     |Phi - Phi_p| <= A / r * alpha^(p+1) / (1 - alpha).
+///
+/// Theorem 3: equalizing the Theorem-2 bound between a cluster of charge A
+/// and the reference cluster of charge A_ref evaluated with degree p_min
+/// yields the adaptive degree
+///
+///     p(A) = p_min + ceil( log(A / A_ref) / log(1 / alpha) ).
+///
+/// Lemma 1 bounds the distance-to-box-size ratio of any accepted
+/// interaction; Lemma 2 turns it into a constant bound K(alpha) on the
+/// number of accepted interactions per particle per box size.
+
+#include <cstdint>
+
+namespace treecode {
+
+/// Theorem 1: truncation error bound of a degree-p multipole expansion.
+/// Preconditions: A >= 0, 0 <= a < r, p >= 0. Returns +inf if r <= a.
+double multipole_error_bound(double A, double a, double r, int p);
+
+/// Theorem 2: interaction error bound under the alpha-criterion.
+/// Preconditions: A >= 0, r > 0, 0 < alpha < 1, p >= 0.
+double mac_error_bound(double A, double r, double alpha, int p);
+
+/// Theorem 3: smallest integer degree >= p_min whose Theorem-2 bound for
+/// charge A does not exceed the bound for charge A_ref at degree p_min.
+/// Clamped to [p_min, p_max]. A <= A_ref or A_ref <= 0 returns p_min.
+int adaptive_degree(double A, double A_ref, double alpha, int p_min, int p_max);
+
+/// Lemma 1: bounds on r / d for an accepted interaction between a particle
+/// and a box of size d (the particle failed the MAC for the parent box).
+/// `lo` is the MAC itself (r >= d/(2 alpha) for a cubic cell whose bounding
+/// radius is d sqrt(3)/2... see .cpp for the exact geometry used); `hi`
+/// follows from the triangle inequality through the parent box.
+struct InteractionDistanceBounds {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+InteractionDistanceBounds interaction_distance_bounds(double alpha);
+
+/// Lemma 2: upper bound K(alpha) on the number of boxes of one size whose
+/// interaction a single particle can accept: the volume of the annulus
+/// allowed by Lemma 1 (inflated by one box diagonal so whole boxes fit)
+/// divided by the box volume.
+double max_interactions_per_level(double alpha);
+
+}  // namespace treecode

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file expansion.hpp
+/// Coefficient containers for multipole and local expansions.
+///
+/// Both expansions of a real charge distribution satisfy
+/// C_n^{-m} = conj(C_n^m), so only m >= 0 coefficients are stored, in the
+/// packed triangular layout of tri_index(). Degrees vary *per tree node* in
+/// the adaptive method, so the containers carry their own degree.
+
+#include <complex>
+#include <vector>
+
+#include "multipole/harmonics.hpp"
+
+namespace treecode {
+
+namespace detail {
+
+/// Shared storage/indexing for both expansion flavors.
+class ExpansionBase {
+ public:
+  ExpansionBase() = default;
+  explicit ExpansionBase(int degree) : degree_(degree), coeff_(tri_size(degree)) {}
+
+  /// Truncation degree p; valid orders are 0..p. -1 means "empty/unset".
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+  /// Number of stored (m >= 0) complex coefficients.
+  [[nodiscard]] std::size_t size() const noexcept { return coeff_.size(); }
+
+  /// Total number of real/complex terms (n, m) with |m| <= n <= p — the
+  /// "multipole terms" unit the paper counts for serial complexity.
+  [[nodiscard]] long long term_count() const noexcept {
+    return static_cast<long long>(degree_ + 1) * (degree_ + 1);
+  }
+
+  /// Coefficient for m >= 0. Precondition: 0 <= m <= n <= degree().
+  [[nodiscard]] Complex coeff(int n, int m) const noexcept { return coeff_[tri_index(n, m)]; }
+  Complex& coeff(int n, int m) noexcept { return coeff_[tri_index(n, m)]; }
+
+  /// Coefficient for any m in [-n, n], using the conjugate symmetry.
+  /// Returns 0 for orders beyond the truncation degree, which makes the
+  /// translation operators naturally handle sources of lower degree.
+  [[nodiscard]] Complex coeff_signed(int n, int m) const noexcept {
+    if (n > degree_) return {0.0, 0.0};
+    if (m >= 0) return coeff_[tri_index(n, m)];
+    return std::conj(coeff_[tri_index(n, -m)]);
+  }
+
+  /// Zero all coefficients, keeping the degree.
+  void clear() noexcept {
+    for (auto& c : coeff_) c = Complex{0.0, 0.0};
+  }
+
+  /// Reset to a (possibly different) degree with zeroed coefficients.
+  void reset(int degree) {
+    degree_ = degree;
+    coeff_.assign(tri_size(degree), Complex{0.0, 0.0});
+  }
+
+  [[nodiscard]] const std::vector<Complex>& data() const noexcept { return coeff_; }
+  [[nodiscard]] std::vector<Complex>& data() noexcept { return coeff_; }
+
+ protected:
+  int degree_ = -1;
+  std::vector<Complex> coeff_;
+};
+
+}  // namespace detail
+
+/// Truncated multipole (outer) expansion: Phi(P) = sum M_n^m Y_n^m / r^(n+1).
+/// Valid outside the sphere containing the sources.
+class MultipoleExpansion : public detail::ExpansionBase {
+ public:
+  using ExpansionBase::ExpansionBase;
+};
+
+/// Truncated local (inner) expansion: Phi(P) = sum L_n^m Y_n^m r^n.
+/// Valid inside a sphere free of sources.
+class LocalExpansion : public detail::ExpansionBase {
+ public:
+  using ExpansionBase::ExpansionBase;
+};
+
+}  // namespace treecode

@@ -1,0 +1,111 @@
+#include "multipole/harmonics.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace treecode {
+
+namespace {
+
+constexpr int kFactTableSize = 2 * kMaxDegree + 1;
+
+const std::array<double, kFactTableSize>& factorial_table() {
+  static const std::array<double, kFactTableSize> table = [] {
+    std::array<double, kFactTableSize> t{};
+    t[0] = 1.0;
+    for (int k = 1; k < kFactTableSize; ++k) t[k] = t[k - 1] * k;
+    return t;
+  }();
+  return table;
+}
+
+/// e^{i m phi} for m = 0..p, computed by repeated multiplication.
+void eval_phases(int p, double phi, std::vector<Complex>& e) {
+  e.resize(static_cast<std::size_t>(p) + 1);
+  const Complex step{std::cos(phi), std::sin(phi)};
+  e[0] = Complex{1.0, 0.0};
+  for (int m = 1; m <= p; ++m) e[static_cast<std::size_t>(m)] = e[static_cast<std::size_t>(m - 1)] * step;
+}
+
+}  // namespace
+
+double factorial(int k) noexcept {
+  assert(k >= 0 && k < kFactTableSize);
+  return factorial_table()[static_cast<std::size_t>(k)];
+}
+
+double a_coeff(int n, int m) noexcept {
+  const int am = m < 0 ? -m : m;
+  assert(am <= n && n <= kMaxDegree);
+  const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+  return sign / std::sqrt(factorial(n - am) * factorial(n + am));
+}
+
+double y_norm(int n, int m) noexcept {
+  assert(0 <= m && m <= n && n <= kMaxDegree);
+  return std::sqrt(factorial(n - m) / factorial(n + m));
+}
+
+Complex ipow(int k) noexcept {
+  int r = k % 4;
+  if (r < 0) r += 4;
+  switch (r) {
+    case 0:
+      return {1.0, 0.0};
+    case 1:
+      return {0.0, 1.0};
+    case 2:
+      return {-1.0, 0.0};
+    default:
+      return {0.0, -1.0};
+  }
+}
+
+void eval_harmonics(int p, double theta, double phi, std::span<Complex> Y) {
+  assert(p >= 0 && p <= kMaxDegree);
+  assert(Y.size() >= tri_size(p));
+  const double x = std::cos(theta);
+  const double s = std::sin(theta);
+  thread_local std::vector<double> P;
+  thread_local std::vector<Complex> phase;
+  P.resize(tri_size(p));
+  legendre_all(p, x, s, P);
+  eval_phases(p, phi, phase);
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const std::size_t i = tri_index(n, m);
+      Y[i] = y_norm(n, m) * P[i] * phase[static_cast<std::size_t>(m)];
+    }
+  }
+}
+
+void eval_harmonics_derivs(int p, double theta, double phi, std::span<Complex> Y,
+                           std::span<Complex> dY, std::span<Complex> Ysin) {
+  assert(p >= 0 && p <= kMaxDegree);
+  assert(Y.size() >= tri_size(p));
+  assert(dY.size() >= tri_size(p));
+  assert(Ysin.size() >= tri_size(p));
+  const double x = std::cos(theta);
+  const double s = std::sin(theta);
+  thread_local std::vector<double> P, T, U;
+  thread_local std::vector<Complex> phase;
+  P.resize(tri_size(p));
+  T.resize(tri_size(p));
+  U.resize(tri_size(p));
+  legendre_all_derivs(p, x, s, P, T, U);
+  eval_phases(p, phi, phase);
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const std::size_t i = tri_index(n, m);
+      const Complex em = phase[static_cast<std::size_t>(m)];
+      const double norm = y_norm(n, m);
+      Y[i] = norm * P[i] * em;
+      dY[i] = norm * T[i] * em;
+      Ysin[i] = norm * U[i] * em;
+    }
+  }
+}
+
+}  // namespace treecode

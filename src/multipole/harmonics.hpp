@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file harmonics.hpp
+/// Spherical harmonics in the normalization used by Greengard & Rokhlin.
+///
+///   Y_n^m(theta, phi) = sqrt((n-|m|)! / (n+|m|)!) P_n^{|m|}(cos theta) e^{i m phi}
+///
+/// with the Condon-Shortley phase folded into P_n^m (see legendre.hpp).
+/// Under this convention Y_n^{-m} = conj(Y_n^m), so all expansion types store
+/// only m >= 0 coefficients.
+///
+/// Also provides the factorial table and the A_n^m = (-1)^n / sqrt((n-m)!(n+m)!)
+/// combinatorial coefficients of the translation operators.
+
+#include <complex>
+#include <span>
+
+#include "multipole/legendre.hpp"
+
+namespace treecode {
+
+using Complex = std::complex<double>;
+
+/// Largest supported expansion degree. Factorials up to (2*kMaxDegree)! must
+/// fit in a double; 60 keeps 120! ~ 6.7e198 comfortably below DBL_MAX.
+inline constexpr int kMaxDegree = 60;
+
+/// k! for k in [0, 2*kMaxDegree], from a precomputed table.
+double factorial(int k) noexcept;
+
+/// Translation coefficient A_n^m = (-1)^n / sqrt((n-m)! (n+m)!).
+/// `m` may be negative (A is even in m). Precondition: |m| <= n <= kMaxDegree.
+double a_coeff(int n, int m) noexcept;
+
+/// Harmonic normalization sqrt((n-m)!/(n+m)!) for 0 <= m <= n.
+double y_norm(int n, int m) noexcept;
+
+/// i^k for any integer k (k may be negative).
+Complex ipow(int k) noexcept;
+
+/// Evaluate Y_n^m(theta, phi) for all 0 <= m <= n <= p into `Y`
+/// (packed layout tri_index(n, m); size >= tri_size(p)).
+void eval_harmonics(int p, double theta, double phi, std::span<Complex> Y);
+
+/// Evaluate Y plus the two angular derivative arrays needed for gradients:
+///   dY[n][m]     = d/dtheta Y_n^m(theta, phi)
+///   Ysin[n][m]   = Y_n^m / sin(theta), computed pole-safely (0 for m = 0)
+void eval_harmonics_derivs(int p, double theta, double phi, std::span<Complex> Y,
+                           std::span<Complex> dY, std::span<Complex> Ysin);
+
+}  // namespace treecode

@@ -1,0 +1,393 @@
+#include "multipole/operators.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace treecode {
+
+namespace {
+
+/// Y_n^m for any sign of m from an m >= 0 packed array.
+inline Complex y_signed(std::span<const Complex> Y, int n, int m) noexcept {
+  return m >= 0 ? Y[tri_index(n, m)] : std::conj(Y[tri_index(n, -m)]);
+}
+
+/// rho^0..rho^p into `powers`.
+void eval_powers(double rho, int p, std::vector<double>& powers) {
+  powers.resize(static_cast<std::size_t>(p) + 1);
+  powers[0] = 1.0;
+  for (int n = 1; n <= p; ++n) powers[static_cast<std::size_t>(n)] = powers[static_cast<std::size_t>(n - 1)] * rho;
+}
+
+/// When translating between coincident centers the operators degenerate to
+/// coefficient addition (degree-aware).
+template <typename Expansion>
+void add_coincident(const Expansion& src, Expansion& dst) {
+  const int p = dst.degree() < src.degree() ? dst.degree() : src.degree();
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) dst.coeff(n, m) += src.coeff(n, m);
+  }
+}
+
+}  // namespace
+
+void p2m(const Vec3& center, std::span<const Vec3> positions, std::span<const double> charges,
+         MultipoleExpansion& out) {
+  assert(positions.size() == charges.size());
+  const int p = out.degree();
+  assert(p >= 0 && p <= kMaxDegree);
+  thread_local std::vector<Complex> Y;
+  thread_local std::vector<double> rho_pow;
+  Y.resize(tri_size(p));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Spherical s = to_spherical(positions[i] - center);
+    eval_harmonics(p, s.theta, s.phi, Y);
+    eval_powers(s.r, p, rho_pow);
+    const double q = charges[i];
+    for (int n = 0; n <= p; ++n) {
+      const double qr = q * rho_pow[static_cast<std::size_t>(n)];
+      for (int m = 0; m <= n; ++m) {
+        // M_n^m += q rho^n Y_n^{-m} = q rho^n conj(Y_n^m)
+        out.coeff(n, m) += qr * std::conj(Y[tri_index(n, m)]);
+      }
+    }
+  }
+}
+
+void p2m_dipole(const Vec3& center, std::span<const Vec3> positions,
+                std::span<const Vec3> moments, MultipoleExpansion& out) {
+  assert(positions.size() == moments.size());
+  const int p = out.degree();
+  assert(p >= 0 && p <= kMaxDegree);
+  thread_local std::vector<Complex> Y, dY, Ysin;
+  Y.resize(tri_size(p));
+  dY.resize(tri_size(p));
+  Ysin.resize(tri_size(p));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Spherical s = to_spherical(positions[i] - center);
+    eval_harmonics_derivs(p, s.theta, s.phi, Y, dY, Ysin);
+    const double st = std::sin(s.theta);
+    const double ct = std::cos(s.theta);
+    const double sp = std::sin(s.phi);
+    const double cp = std::cos(s.phi);
+    const Vec3 rhat{st * cp, st * sp, ct};
+    const Vec3 that{ct * cp, ct * sp, -st};
+    const Vec3 phat{-sp, cp, 0.0};
+    // Components of the dipole moment in the local spherical frame.
+    const double dr = dot(moments[i], rhat);
+    const double dth = dot(moments[i], that);
+    const double dph = dot(moments[i], phat);
+    // M_n^m += d . grad_y [rho^n conj(Y_n^m)]; the n = 0 term is constant
+    // in y, so dipoles contribute nothing there (zero net charge).
+    double rp = 1.0;  // rho^(n-1)
+    for (int n = 1; n <= p; ++n) {
+      for (int m = 0; m <= n; ++m) {
+        const std::size_t idx = tri_index(n, m);
+        // conj(i m Ysin) = -i m conj(Ysin)
+        const Complex grad_f =
+            rp * (dr * static_cast<double>(n) * std::conj(Y[idx]) +
+                  dth * std::conj(dY[idx]) +
+                  dph * Complex{0.0, -static_cast<double>(m)} * std::conj(Ysin[idx]));
+        out.coeff(n, m) += grad_f;
+      }
+      rp *= s.r;
+    }
+  }
+}
+
+void m2m(const MultipoleExpansion& src, const Vec3& src_center, MultipoleExpansion& dst,
+         const Vec3& dst_center) {
+  const int pd = dst.degree();
+  assert(pd >= 0 && pd <= kMaxDegree);
+  const Vec3 d = src_center - dst_center;
+  const Spherical sp = to_spherical(d);
+  if (sp.r == 0.0) {
+    add_coincident(src, dst);
+    return;
+  }
+  thread_local std::vector<Complex> Y;
+  thread_local std::vector<double> rho_pow;
+  Y.resize(tri_size(pd));
+  eval_harmonics(pd, sp.theta, sp.phi, Y);
+  eval_powers(sp.r, pd, rho_pow);
+
+  for (int j = 0; j <= pd; ++j) {
+    for (int k = 0; k <= j; ++k) {
+      Complex acc{0.0, 0.0};
+      for (int n = 0; n <= j; ++n) {
+        const int jn = j - n;
+        for (int m = -n; m <= n; ++m) {
+          const int km = k - m;
+          if (km < -jn || km > jn) continue;
+          const Complex o = src.coeff_signed(jn, km);
+          if (o == Complex{0.0, 0.0}) continue;
+          const int absk = k;  // k >= 0 here
+          const int absm = m < 0 ? -m : m;
+          const int abskm = km < 0 ? -km : km;
+          acc += o * ipow(absk - absm - abskm) *
+                 (a_coeff(n, m) * a_coeff(jn, km) * rho_pow[static_cast<std::size_t>(n)]) *
+                 y_signed(Y, n, -m);
+        }
+      }
+      dst.coeff(j, k) += acc / a_coeff(j, k);
+    }
+  }
+}
+
+void m2l(const MultipoleExpansion& src, const Vec3& src_center, LocalExpansion& dst,
+         const Vec3& dst_center) {
+  const int ps = src.degree();
+  const int pd = dst.degree();
+  assert(ps >= 0 && pd >= 0 && ps + pd <= kMaxDegree);
+  const Vec3 d = src_center - dst_center;
+  const Spherical sp = to_spherical(d);
+  assert(sp.r > 0.0 && "m2l requires separated centers");
+  const int ptot = ps + pd;
+  thread_local std::vector<Complex> Y;
+  thread_local std::vector<double> inv_rho_pow;
+  Y.resize(tri_size(ptot));
+  eval_harmonics(ptot, sp.theta, sp.phi, Y);
+  // 1/rho^(j+n+1) for j+n in [0, ptot]
+  inv_rho_pow.resize(static_cast<std::size_t>(ptot) + 2);
+  inv_rho_pow[0] = 1.0 / sp.r;
+  for (int n = 1; n <= ptot + 1; ++n) {
+    inv_rho_pow[static_cast<std::size_t>(n)] = inv_rho_pow[static_cast<std::size_t>(n - 1)] / sp.r;
+  }
+
+  for (int j = 0; j <= pd; ++j) {
+    for (int k = 0; k <= j; ++k) {
+      Complex acc{0.0, 0.0};
+      for (int n = 0; n <= ps; ++n) {
+        const double sign_n = (n % 2 == 0) ? 1.0 : -1.0;
+        for (int m = -n; m <= n; ++m) {
+          const Complex o = src.coeff_signed(n, m);
+          if (o == Complex{0.0, 0.0}) continue;
+          const int absm = m < 0 ? -m : m;
+          const int mk = m - k;
+          const int absmk = mk < 0 ? -mk : mk;
+          acc += o * ipow(absmk - k - absm) *
+                 (a_coeff(n, m) * a_coeff(j, k) /
+                  (sign_n * a_coeff(j + n, mk))) *
+                 y_signed(Y, j + n, mk) * inv_rho_pow[static_cast<std::size_t>(j + n)];
+        }
+      }
+      dst.coeff(j, k) += acc;
+    }
+  }
+}
+
+void l2l(const LocalExpansion& src, const Vec3& src_center, LocalExpansion& dst,
+         const Vec3& dst_center) {
+  const int ps = src.degree();
+  const int pd = dst.degree();
+  assert(ps >= 0 && pd >= 0 && ps <= kMaxDegree);
+  const Vec3 d = src_center - dst_center;
+  const Spherical sp = to_spherical(d);
+  if (sp.r == 0.0) {
+    add_coincident(src, dst);
+    return;
+  }
+  thread_local std::vector<Complex> Y;
+  thread_local std::vector<double> rho_pow;
+  Y.resize(tri_size(ps));
+  eval_harmonics(ps, sp.theta, sp.phi, Y);
+  eval_powers(sp.r, ps, rho_pow);
+
+  for (int j = 0; j <= pd && j <= ps; ++j) {
+    for (int k = 0; k <= j; ++k) {
+      Complex acc{0.0, 0.0};
+      for (int n = j; n <= ps; ++n) {
+        const int nj = n - j;
+        const double sign_nj = ((n + j) % 2 == 0) ? 1.0 : -1.0;
+        for (int m = -n; m <= n; ++m) {
+          const int mk = m - k;
+          if (mk < -nj || mk > nj) continue;
+          const Complex o = src.coeff_signed(n, m);
+          if (o == Complex{0.0, 0.0}) continue;
+          const int absm = m < 0 ? -m : m;
+          const int absmk = mk < 0 ? -mk : mk;
+          acc += o * ipow(absm - absmk - k) *
+                 (a_coeff(nj, mk) * a_coeff(j, k) /
+                  (sign_nj * a_coeff(n, m))) *
+                 y_signed(Y, nj, mk) * rho_pow[static_cast<std::size_t>(nj)];
+        }
+      }
+      dst.coeff(j, k) += acc;
+    }
+  }
+}
+
+double m2p(const MultipoleExpansion& mexp, const Vec3& center, const Vec3& point) {
+  const int p = mexp.degree();
+  const Spherical s = to_spherical(point - center);
+  assert(s.r > 0.0);
+  thread_local std::vector<Complex> Y;
+  Y.resize(tri_size(p));
+  eval_harmonics(p, s.theta, s.phi, Y);
+  const double inv_r = 1.0 / s.r;
+  double phi = 0.0;
+  double rpow = inv_r;  // 1/r^(n+1)
+  for (int n = 0; n <= p; ++n) {
+    double bracket = (mexp.coeff(n, 0) * Y[tri_index(n, 0)]).real();
+    for (int m = 1; m <= n; ++m) {
+      bracket += 2.0 * (mexp.coeff(n, m) * Y[tri_index(n, m)]).real();
+    }
+    phi += bracket * rpow;
+    rpow *= inv_r;
+  }
+  return phi;
+}
+
+PotentialGrad m2p_grad(const MultipoleExpansion& mexp, const Vec3& center, const Vec3& point) {
+  const int p = mexp.degree();
+  const Spherical s = to_spherical(point - center);
+  assert(s.r > 0.0);
+  thread_local std::vector<Complex> Y, dY, Ysin;
+  Y.resize(tri_size(p));
+  dY.resize(tri_size(p));
+  Ysin.resize(tri_size(p));
+  eval_harmonics_derivs(p, s.theta, s.phi, Y, dY, Ysin);
+
+  const double inv_r = 1.0 / s.r;
+  double phi = 0.0;
+  double dphi_dr = 0.0;        // d/dr
+  double dphi_dth_over_r = 0.0;  // (1/r) d/dtheta
+  double dphi_az = 0.0;          // (1/(r sin)) d/dphi
+  double rpow = inv_r;           // 1/r^(n+1)
+  for (int n = 0; n <= p; ++n) {
+    double bval = (mexp.coeff(n, 0) * Y[tri_index(n, 0)]).real();
+    double bth = (mexp.coeff(n, 0) * dY[tri_index(n, 0)]).real();
+    double baz = 0.0;
+    for (int m = 1; m <= n; ++m) {
+      const Complex c = mexp.coeff(n, m);
+      bval += 2.0 * (c * Y[tri_index(n, m)]).real();
+      bth += 2.0 * (c * dY[tri_index(n, m)]).real();
+      baz += -2.0 * m * (c * Ysin[tri_index(n, m)]).imag();
+    }
+    phi += bval * rpow;
+    dphi_dr += -(n + 1) * bval * rpow * inv_r;
+    dphi_dth_over_r += bth * rpow * inv_r;
+    dphi_az += baz * rpow * inv_r;
+    rpow *= inv_r;
+  }
+  const double st = std::sin(s.theta);
+  const double ct = std::cos(s.theta);
+  const double sp = std::sin(s.phi);
+  const double cp = std::cos(s.phi);
+  PotentialGrad out;
+  out.potential = phi;
+  const Vec3 rhat{st * cp, st * sp, ct};
+  const Vec3 that{ct * cp, ct * sp, -st};
+  const Vec3 phat{-sp, cp, 0.0};
+  out.gradient = dphi_dr * rhat + dphi_dth_over_r * that + dphi_az * phat;
+  return out;
+}
+
+double l2p(const LocalExpansion& lexp, const Vec3& center, const Vec3& point) {
+  const int p = lexp.degree();
+  const Spherical s = to_spherical(point - center);
+  thread_local std::vector<Complex> Y;
+  Y.resize(tri_size(p));
+  eval_harmonics(p, s.theta, s.phi, Y);
+  double phi = 0.0;
+  double rpow = 1.0;  // r^n
+  for (int n = 0; n <= p; ++n) {
+    double bracket = (lexp.coeff(n, 0) * Y[tri_index(n, 0)]).real();
+    for (int m = 1; m <= n; ++m) {
+      bracket += 2.0 * (lexp.coeff(n, m) * Y[tri_index(n, m)]).real();
+    }
+    phi += bracket * rpow;
+    rpow *= s.r;
+  }
+  return phi;
+}
+
+PotentialGrad l2p_grad(const LocalExpansion& lexp, const Vec3& center, const Vec3& point) {
+  const int p = lexp.degree();
+  const Spherical s = to_spherical(point - center);
+  thread_local std::vector<Complex> Y, dY, Ysin;
+  Y.resize(tri_size(p));
+  dY.resize(tri_size(p));
+  Ysin.resize(tri_size(p));
+  eval_harmonics_derivs(p, s.theta, s.phi, Y, dY, Ysin);
+
+  double phi = 0.0;
+  double dphi_dr = 0.0;
+  double dphi_dth_over_r = 0.0;  // sum over n of r^(n-1) * theta-bracket
+  double dphi_az = 0.0;
+  double rpow = 1.0;       // r^n
+  double rpow_m1 = 0.0;    // r^(n-1), defined for n >= 1
+  for (int n = 0; n <= p; ++n) {
+    double bval = (lexp.coeff(n, 0) * Y[tri_index(n, 0)]).real();
+    double bth = (lexp.coeff(n, 0) * dY[tri_index(n, 0)]).real();
+    double baz = 0.0;
+    for (int m = 1; m <= n; ++m) {
+      const Complex c = lexp.coeff(n, m);
+      bval += 2.0 * (c * Y[tri_index(n, m)]).real();
+      bth += 2.0 * (c * dY[tri_index(n, m)]).real();
+      baz += -2.0 * m * (c * Ysin[tri_index(n, m)]).imag();
+    }
+    phi += bval * rpow;
+    if (n >= 1) {
+      dphi_dr += n * bval * rpow_m1;
+      dphi_dth_over_r += bth * rpow_m1;
+      dphi_az += baz * rpow_m1;
+    }
+    rpow_m1 = rpow;
+    rpow *= s.r;
+  }
+  const double st = std::sin(s.theta);
+  const double ct = std::cos(s.theta);
+  const double sp = std::sin(s.phi);
+  const double cp = std::cos(s.phi);
+  PotentialGrad out;
+  out.potential = phi;
+  const Vec3 rhat{st * cp, st * sp, ct};
+  const Vec3 that{ct * cp, ct * sp, -st};
+  const Vec3 phat{-sp, cp, 0.0};
+  out.gradient = dphi_dr * rhat + dphi_dth_over_r * that + dphi_az * phat;
+  return out;
+}
+
+double p2p(const Vec3& point, std::span<const Vec3> positions, std::span<const double> charges,
+           double softening2) {
+  double phi = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double r2 = distance2(point, positions[i]);
+    if (r2 == 0.0) continue;
+    phi += charges[i] / std::sqrt(r2 + softening2);
+  }
+  return phi;
+}
+
+PotentialGrad p2p_grad(const Vec3& point, std::span<const Vec3> positions,
+                       std::span<const double> charges, double softening2) {
+  PotentialGrad out;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 d = point - positions[i];
+    const double r2 = norm2(d);
+    if (r2 == 0.0) continue;
+    const double inv_r = 1.0 / std::sqrt(r2 + softening2);
+    const double inv_r3 = inv_r * inv_r * inv_r;
+    out.potential += charges[i] * inv_r;
+    // grad (q (r^2 + e^2)^{-1/2}) = -q r (r^2 + e^2)^{-3/2}
+    out.gradient += d * (-charges[i] * inv_r3);
+  }
+  return out;
+}
+
+double p2p_dipole(const Vec3& point, std::span<const Vec3> positions,
+                  std::span<const Vec3> moments) {
+  double phi = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 d = point - positions[i];
+    const double r2 = norm2(d);
+    if (r2 == 0.0) continue;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    phi += dot(moments[i], d) * inv_r * inv_r * inv_r;
+  }
+  return phi;
+}
+
+}  // namespace treecode

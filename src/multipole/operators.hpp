@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file operators.hpp
+/// The multipole operator set: P2M, M2M, M2L, L2L, M2P, L2P, P2P.
+///
+/// Conventions (Greengard & Rokhlin; see harmonics.hpp):
+///  * multipole expansion about center c:
+///      Phi(P) = sum_{n<=p} sum_{|m|<=n} M_n^m Y_n^m(theta,phi) / r^(n+1),
+///      M_n^m = sum_i q_i rho_i^n Y_n^{-m}(alpha_i, beta_i),
+///    where (rho_i, alpha_i, beta_i) are spherical coordinates of source i
+///    about c and (r, theta, phi) those of the evaluation point P.
+///  * local expansion about center c:
+///      Phi(P) = sum_{n<=p} sum_{|m|<=n} L_n^m Y_n^m(theta,phi) r^n.
+///
+/// Translations are the classical O(p^4) operators (Greengard's Lemmas
+/// 3.2.3-3.2.5). M2M is *exact* order-by-order: shifted coefficients of
+/// degree <= p depend only on source coefficients of degree <= p. M2L and
+/// L2L are exact given the truncated source. Sources of lower degree than
+/// the target are handled transparently (missing orders read as zero).
+
+#include <span>
+
+#include "geom/vec3.hpp"
+#include "multipole/expansion.hpp"
+
+namespace treecode {
+
+// ---------------------------------------------------------------------------
+// Particle -> multipole
+
+/// Accumulate the multipole expansion of point charges about `center` into
+/// `out` (which fixes the degree). Positions/charges are parallel spans.
+void p2m(const Vec3& center, std::span<const Vec3> positions, std::span<const double> charges,
+         MultipoleExpansion& out);
+
+/// Accumulate the multipole expansion of point *dipoles* about `center`:
+/// source i contributes the field d_i . grad_y (1/|x - y_i|), i.e. the
+/// coefficients are M_n^m += d_i . grad_y [rho^n Y_n^{-m}(y)] — the
+/// derivative of the regular solid harmonic at the source, computed with
+/// the pole-safe Legendre-derivative recurrences. Used by the double-layer
+/// (second-kind) boundary operator.
+void p2m_dipole(const Vec3& center, std::span<const Vec3> positions,
+                std::span<const Vec3> moments, MultipoleExpansion& out);
+
+// ---------------------------------------------------------------------------
+// Translations
+
+/// Shift `src` (about src_center) and accumulate into `dst` (about
+/// dst_center). Exact for orders <= min(src.degree, dst.degree); if
+/// dst.degree > src.degree the missing source orders contribute nothing
+/// (the usual truncation of the adaptive method).
+void m2m(const MultipoleExpansion& src, const Vec3& src_center, MultipoleExpansion& dst,
+         const Vec3& dst_center);
+
+/// Convert `src` (multipole about src_center) into a local expansion about
+/// dst_center, accumulating into `dst`. Requires the evaluation sphere of
+/// `dst` to be well-separated from the source sphere (caller enforces the
+/// MAC); degree of the internal harmonics is src.degree + dst.degree.
+void m2l(const MultipoleExpansion& src, const Vec3& src_center, LocalExpansion& dst,
+         const Vec3& dst_center);
+
+/// Shift the local expansion `src` (about src_center) to dst_center,
+/// accumulating into `dst`. Exact (triangular in the opposite direction of
+/// m2m).
+void l2l(const LocalExpansion& src, const Vec3& src_center, LocalExpansion& dst,
+         const Vec3& dst_center);
+
+// ---------------------------------------------------------------------------
+// Evaluations
+
+/// Potential and (optionally) its gradient at one point.
+struct PotentialGrad {
+  double potential = 0.0;
+  Vec3 gradient{};  ///< grad Phi; the force on a unit charge is -grad Phi.
+};
+
+/// Evaluate the multipole expansion at `point` (outside the source sphere).
+double m2p(const MultipoleExpansion& m, const Vec3& center, const Vec3& point);
+
+/// Evaluate potential and analytic gradient of the multipole expansion.
+PotentialGrad m2p_grad(const MultipoleExpansion& m, const Vec3& center, const Vec3& point);
+
+/// Evaluate the local expansion at `point` (inside its validity sphere).
+double l2p(const LocalExpansion& l, const Vec3& center, const Vec3& point);
+
+/// Evaluate potential and analytic gradient of the local expansion.
+PotentialGrad l2p_grad(const LocalExpansion& l, const Vec3& center, const Vec3& point);
+
+// ---------------------------------------------------------------------------
+// Direct kernels
+
+/// Potential at `point` due to charges, by direct summation of
+/// q / sqrt(|r|^2 + softening2). `softening2` is the square of the Plummer
+/// softening length (0 = exact Coulomb/Newton kernel, the default used by
+/// the error analysis; n-body integrations use a small epsilon to bound
+/// close-encounter forces). Sources located exactly at `point` are skipped
+/// (self-interaction rule) regardless of softening.
+double p2p(const Vec3& point, std::span<const Vec3> positions, std::span<const double> charges,
+           double softening2 = 0.0);
+
+/// Potential and gradient at `point` by direct summation (softened as p2p).
+PotentialGrad p2p_grad(const Vec3& point, std::span<const Vec3> positions,
+                       std::span<const double> charges, double softening2 = 0.0);
+
+/// Potential at `point` due to point dipoles, by direct summation of
+/// d_i . (point - y_i) / |point - y_i|^3. Coincident sources are skipped.
+double p2p_dipole(const Vec3& point, std::span<const Vec3> positions,
+                  std::span<const Vec3> moments);
+
+}  // namespace treecode

@@ -1,0 +1,259 @@
+#include "multipole/rotation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace treecode {
+
+double wigner_d_entry(int j, int mp, int m, double theta) {
+  // Reference implementation: the explicit Wigner sum. O(j) per entry —
+  // used to seed boundary entries and to validate the recurrence in tests.
+  assert(std::abs(mp) <= j && std::abs(m) <= j);
+  const double c = std::cos(0.5 * theta);
+  const double s = std::sin(0.5 * theta);
+  const double pref = std::sqrt(factorial(j + mp) * factorial(j - mp) * factorial(j + m) *
+                                factorial(j - m));
+  const int k_lo = std::max(0, m - mp);
+  const int k_hi = std::min(j + m, j - mp);
+  double sum = 0.0;
+  for (int k = k_lo; k <= k_hi; ++k) {
+    const double sign = ((mp - m + k) % 2 == 0) ? 1.0 : -1.0;
+    const double denom = factorial(j + m - k) * factorial(k) * factorial(mp - m + k) *
+                         factorial(j - mp - k);
+    sum += sign / denom * std::pow(c, 2 * j + m - mp - 2 * k) *
+           std::pow(s, mp - m + 2 * k);
+  }
+  return pref * sum;
+}
+
+WignerD::WignerD(int p, double theta) : p_(p) {
+  assert(p >= 0 && p <= kMaxDegree);
+  offset_.resize(static_cast<std::size_t>(p) + 1);
+  std::size_t total = 0;
+  for (int n = 0; n <= p; ++n) {
+    offset_[static_cast<std::size_t>(n)] = total;
+    total += (2 * static_cast<std::size_t>(n) + 1) * (2 * static_cast<std::size_t>(n) + 1);
+  }
+  data_.resize(total);
+  auto set = [&](int n, int mp, int m, double v) {
+    data_[offset_[static_cast<std::size_t>(n)] +
+          static_cast<std::size_t>(mp + n) * (2 * static_cast<std::size_t>(n) + 1) +
+          static_cast<std::size_t>(m + n)] = v;
+  };
+
+  const double x = std::cos(theta);
+  data_[0] = 1.0;  // d^0_00
+
+  for (int n = 1; n <= p; ++n) {
+    // Boundary entries (|m'| = n or |m| = n) from the closed forms; they
+    // have a single term in the Wigner sum, so the reference entry is both
+    // exact and O(1) there (the pow calls dominate).
+    for (int m = -n; m <= n; ++m) {
+      set(n, n, m, wigner_d_entry(n, n, m, theta));
+      set(n, -n, m, wigner_d_entry(n, -n, m, theta));
+      if (std::abs(m) != n) {
+        set(n, m, n, wigner_d_entry(n, m, n, theta));
+        set(n, m, -n, wigner_d_entry(n, m, -n, theta));
+      }
+    }
+    // Interior entries by the three-term recurrence over degree
+    // (Kostelec-Rockmore): stable for the degrees this library supports.
+    for (int mp = -(n - 1); mp <= n - 1; ++mp) {
+      for (int m = -(n - 1); m <= n - 1; ++m) {
+        const double nn = static_cast<double>(n);
+        const double root_n =
+            std::sqrt((nn * nn - mp * mp) * (nn * nn - m * m));
+        const double w1 = nn * (2.0 * nn - 1.0) / root_n;
+        // Guard the 0/0 at n = 1 (interior there is only m' = m = 0).
+        const double mpm = static_cast<double>(mp) * m;
+        const double correction = mpm == 0.0 ? 0.0 : mpm / (nn * (nn - 1.0));
+        const double term1 = w1 * (x - correction) * at(n - 1, mp, m);
+        double term2 = 0.0;
+        const double n1 = nn - 1.0;
+        const double root_n1 = std::sqrt((n1 * n1 - mp * mp) * (n1 * n1 - m * m));
+        if (root_n1 > 0.0) {  // zero exactly when |m'| or |m| == n-1
+          const double w2 = root_n1 * nn / (n1 * root_n);
+          term2 = w2 * at(n - 2, mp, m);
+        }
+        set(n, mp, m, term1 - term2);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Signed-m coefficient access helper shared by the rotations.
+inline Complex signed_coeff(const detail::ExpansionBase& e, int n, int m) {
+  return e.coeff_signed(n, m);
+}
+
+}  // namespace
+
+void rotate_coefficients(detail::ExpansionBase& e, const WignerD& d, double phi,
+                         RotateDirection direction) {
+  const int p = e.degree();
+  assert(p <= d.degree());
+  std::vector<Complex> out(tri_size(p));
+  // Phases e^{i m phi} for m = 0..p.
+  std::vector<Complex> phase(static_cast<std::size_t>(p) + 1);
+  phase[0] = Complex{1.0, 0.0};
+  const Complex step{std::cos(phi), std::sin(phi)};
+  for (int m = 1; m <= p; ++m) phase[static_cast<std::size_t>(m)] = phase[static_cast<std::size_t>(m - 1)] * step;
+  auto signed_phase = [&](int m) {
+    return m >= 0 ? phase[static_cast<std::size_t>(m)]
+                  : std::conj(phase[static_cast<std::size_t>(-m)]);
+  };
+  // Basis-change sign: this library stores negative orders via
+  // C_n^{-m} = conj(C_n^m), whereas the Wigner-D machinery assumes the
+  // standard physics convention Y_l^{-m} = (-1)^m conj(Y_l^m). The two
+  // bases differ by sigma_m = (-1)^m on negative orders only.
+  auto sigma = [](int m) { return (m < 0 && (-m) % 2 != 0) ? -1.0 : 1.0; };
+
+  for (int n = 0; n <= p; ++n) {
+    for (int mp = 0; mp <= n; ++mp) {
+      Complex acc{0.0, 0.0};
+      if (direction == RotateDirection::kForward) {
+        // M~_n^{m'} = sum_m sigma_m M_n^m e^{i m phi} d^n_{m m'}(theta)
+        for (int m = -n; m <= n; ++m) {
+          acc += signed_coeff(e, n, m) * (sigma(m) * d.at(n, m, mp)) * signed_phase(m);
+        }
+      } else {
+        // M_n^{m'} = e^{-i m' phi} sum_m sigma_m d^n_{m' m}(theta) M~_n^m
+        for (int m = -n; m <= n; ++m) {
+          acc += (sigma(m) * d.at(n, mp, m)) * signed_coeff(e, n, m);
+        }
+        acc *= std::conj(signed_phase(mp));
+      }
+      out[tri_index(n, mp)] = acc;
+    }
+  }
+  e.data() = std::move(out);
+}
+
+void m2m_axial(const MultipoleExpansion& src, double t, MultipoleExpansion& dst) {
+  const int pd = dst.degree();
+  const int ps = src.degree();
+  assert(t != 0.0);
+  // t^0..t^pd
+  std::vector<double> tp(static_cast<std::size_t>(pd) + 1);
+  tp[0] = 1.0;
+  for (int n = 1; n <= pd; ++n) tp[static_cast<std::size_t>(n)] = tp[static_cast<std::size_t>(n - 1)] * t;
+  for (int j = 0; j <= pd; ++j) {
+    for (int k = 0; k <= j; ++k) {
+      Complex acc{0.0, 0.0};
+      const int n_hi = j - k;  // |k| <= j - n
+      for (int n = 0; n <= n_hi; ++n) {
+        const int jn = j - n;
+        if (jn > ps) continue;
+        // a(n,0) = (-1)^n / n!
+        acc += src.coeff(jn, k) *
+               (a_coeff(n, 0) * a_coeff(jn, k) * tp[static_cast<std::size_t>(n)]);
+      }
+      dst.coeff(j, k) += acc / a_coeff(j, k);
+    }
+  }
+}
+
+void m2l_axial(const MultipoleExpansion& src, double t, LocalExpansion& dst) {
+  const int pd = dst.degree();
+  const int ps = src.degree();
+  assert(t != 0.0);
+  const double at = std::abs(t);
+  const double axis_sign = t > 0.0 ? 1.0 : -1.0;  // Y_{j+n}^0(theta) = (+-1)^{j+n}
+  // |t|^-(1..ps+pd+1)
+  std::vector<double> itp(static_cast<std::size_t>(ps + pd) + 2);
+  itp[0] = 1.0 / at;
+  for (std::size_t i = 1; i < itp.size(); ++i) itp[i] = itp[i - 1] / at;
+  for (int j = 0; j <= pd; ++j) {
+    const double sign_j = (j % 2 == 0) ? 1.0 : -1.0;
+    for (int k = 0; k <= j; ++k) {
+      const double sign_k = (k % 2 == 0) ? 1.0 : -1.0;
+      Complex acc{0.0, 0.0};
+      for (int n = k; n <= ps; ++n) {
+        const double axis = ((j + n) % 2 == 0 || axis_sign > 0.0) ? 1.0 : -1.0;
+        acc += src.coeff(n, k) *
+               (sign_k * a_coeff(n, k) * a_coeff(j, k) * sign_j * factorial(j + n) * axis *
+                itp[static_cast<std::size_t>(j + n)]);
+      }
+      dst.coeff(j, k) += acc;
+    }
+  }
+}
+
+void l2l_axial(const LocalExpansion& src, double t, LocalExpansion& dst) {
+  const int pd = dst.degree();
+  const int ps = src.degree();
+  assert(t != 0.0);
+  std::vector<double> tp(static_cast<std::size_t>(ps) + 1);
+  tp[0] = 1.0;
+  for (int n = 1; n <= ps; ++n) tp[static_cast<std::size_t>(n)] = tp[static_cast<std::size_t>(n - 1)] * t;
+  for (int j = 0; j <= pd && j <= ps; ++j) {
+    for (int k = 0; k <= j; ++k) {
+      Complex acc{0.0, 0.0};
+      for (int n = std::max(j, k); n <= ps; ++n) {
+        const double sign_nj = ((n + j) % 2 == 0) ? 1.0 : -1.0;
+        acc += src.coeff(n, k) * (a_coeff(n - j, 0) * a_coeff(j, k) *
+                                  tp[static_cast<std::size_t>(n - j)] /
+                                  (sign_nj * a_coeff(n, k)));
+      }
+      dst.coeff(j, k) += acc;
+    }
+  }
+}
+
+namespace {
+
+/// Shared rotate-translate-rotate driver.
+template <typename Src, typename Dst, typename AxialOp>
+void rotated_translate(const Src& src, const Vec3& src_center, Dst& dst,
+                       const Vec3& dst_center, const AxialOp& axial) {
+  const Vec3 d = src_center - dst_center;
+  const Spherical sp = to_spherical(d);
+  const int pmax = std::max(src.degree(), dst.degree());
+  if (sp.r == 0.0) {
+    // Coincident centers: plain coefficient addition (degree-aware).
+    const int p = std::min(src.degree(), dst.degree());
+    for (int n = 0; n <= p; ++n) {
+      for (int m = 0; m <= n; ++m) dst.coeff(n, m) += src.coeff(n, m);
+    }
+    return;
+  }
+  const WignerD wd(pmax, sp.theta);
+  Src tmp_src = src;
+  rotate_coefficients(tmp_src, wd, sp.phi, RotateDirection::kForward);
+  Dst tmp_dst(dst.degree());
+  axial(tmp_src, sp.r, tmp_dst);
+  rotate_coefficients(tmp_dst, wd, sp.phi, RotateDirection::kInverse);
+  for (int n = 0; n <= dst.degree(); ++n) {
+    for (int m = 0; m <= n; ++m) dst.coeff(n, m) += tmp_dst.coeff(n, m);
+  }
+}
+
+}  // namespace
+
+void m2m_rotated(const MultipoleExpansion& src, const Vec3& src_center,
+                 MultipoleExpansion& dst, const Vec3& dst_center) {
+  rotated_translate(src, src_center, dst, dst_center,
+                    [](const MultipoleExpansion& s, double t, MultipoleExpansion& d) {
+                      m2m_axial(s, t, d);
+                    });
+}
+
+void m2l_rotated(const MultipoleExpansion& src, const Vec3& src_center, LocalExpansion& dst,
+                 const Vec3& dst_center) {
+  rotated_translate(src, src_center, dst, dst_center,
+                    [](const MultipoleExpansion& s, double t, LocalExpansion& d) {
+                      m2l_axial(s, t, d);
+                    });
+}
+
+void l2l_rotated(const LocalExpansion& src, const Vec3& src_center, LocalExpansion& dst,
+                 const Vec3& dst_center) {
+  rotated_translate(src, src_center, dst, dst_center,
+                    [](const LocalExpansion& s, double t, LocalExpansion& d) {
+                      l2l_axial(s, t, d);
+                    });
+}
+
+}  // namespace treecode

@@ -1,0 +1,76 @@
+#include "nbody/simulation.hpp"
+
+#include <stdexcept>
+
+namespace treecode {
+
+NBodySimulation::NBodySimulation(ParticleSystem ps, NBodyConfig config,
+                                 std::vector<Vec3> velocities)
+    : particles_(std::move(ps)), velocities_(std::move(velocities)), config_(config) {
+  if (velocities_.empty()) {
+    velocities_.assign(particles_.size(), Vec3{});
+  }
+  if (velocities_.size() != particles_.size()) {
+    throw std::invalid_argument("NBodySimulation: velocity count mismatch");
+  }
+  for (double m : particles_.charges()) {
+    if (m <= 0.0) throw std::invalid_argument("NBodySimulation: masses must be positive");
+  }
+  config_.eval.compute_gradient = true;
+  accel_ = accelerations();
+}
+
+std::vector<Vec3> NBodySimulation::accelerations() const {
+  if (particles_.empty()) return {};
+  const Tree tree(particles_, config_.tree);
+  const EvalResult r = evaluate_potentials(tree, config_.eval, config_.method);
+  // a = +grad Phi for attractive gravity (see file comment).
+  return r.gradient;
+}
+
+void NBodySimulation::step(double dt) {
+  const std::size_t n = particles_.size();
+  if (n == 0) return;
+  // Kick-drift with accelerations cached at the current positions.
+  std::vector<Vec3> pos = particles_.positions();
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities_[i] += accel_[i] * (0.5 * dt);
+    pos[i] += velocities_[i] * dt;
+  }
+  particles_ = ParticleSystem(std::move(pos), std::vector<double>(particles_.charges()));
+  // Closing kick with accelerations at the new positions (cached for the
+  // next step's opening kick).
+  accel_ = accelerations();
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities_[i] += accel_[i] * (0.5 * dt);
+  }
+  ++steps_;
+  time_ += dt;
+}
+
+void NBodySimulation::run(int count, double dt) {
+  for (int s = 0; s < count; ++s) step(dt);
+}
+
+NBodyDiagnostics NBodySimulation::diagnostics() const {
+  NBodyDiagnostics d;
+  const std::size_t n = particles_.size();
+  if (n == 0) return d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m = particles_.charge(i);
+    d.kinetic += 0.5 * m * norm2(velocities_[i]);
+    d.momentum += m * velocities_[i];
+    d.angular_momentum += m * cross(particles_.position(i), velocities_[i]);
+  }
+  const Tree tree(particles_, config_.tree);
+  EvalConfig cfg = config_.eval;
+  cfg.compute_gradient = false;
+  const EvalResult r = evaluate_potentials(tree, cfg, config_.method);
+  // Gravitational PE = -(1/2) sum_i m_i Phi_i (Phi is the positive 1/r sum).
+  for (std::size_t i = 0; i < n; ++i) {
+    d.potential -= 0.5 * particles_.charge(i) * r.potential[i];
+  }
+  return d;
+}
+
+}  // namespace treecode

@@ -1,0 +1,41 @@
+#include "parallel/parallel_for.hpp"
+
+#include "util/timer.hpp"
+
+namespace treecode {
+
+WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t block_size,
+                               const BlockedBody& body) {
+  if (block_size == 0) block_size = 1;
+  const unsigned width = pool.width();
+  WorkStats stats;
+  stats.work.assign(width, 0);
+  stats.seconds.assign(width, 0.0);
+  if (n == 0) return stats;
+
+  std::atomic<std::size_t> next{0};
+  pool.run_on_all([&](unsigned t) {
+    Timer timer;
+    std::uint64_t my_work = 0;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(block_size, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = begin + block_size < n ? begin + block_size : n;
+      my_work += body(begin, end, t);
+    }
+    stats.work[t] = my_work;
+    stats.seconds[t] = timer.seconds();
+  });
+  return stats;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t block_size,
+                  const std::function<void(std::size_t, std::size_t, unsigned)>& body) {
+  parallel_for_blocked(pool, n, block_size,
+                       [&body](std::size_t b, std::size_t e, unsigned t) -> std::uint64_t {
+                         body(b, e, t);
+                         return e - b;
+                       });
+}
+
+}  // namespace treecode

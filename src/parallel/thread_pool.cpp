@@ -1,0 +1,66 @@
+#include "parallel/thread_pool.hpp"
+
+namespace treecode {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers_.emplace_back(
+        [this, t](const std::stop_token& stop) { worker_loop(t, stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& w : workers_) w.request_stop();
+  }
+  work_cv_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::run_on_all(const std::function<void(unsigned)>& task) {
+  if (workers_.empty()) {
+    task(0);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  current_task_ = &task;
+  remaining_ = workers_.size();
+  first_error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  current_task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned worker_index, const std::stop_token& stop) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop.stop_requested() || (current_task_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop.stop_requested()) return;
+      seen_generation = generation_;
+      task = current_task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(worker_index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace treecode

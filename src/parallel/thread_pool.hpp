@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool built on std::jthread.
+///
+/// The paper's parallel formulation "exploits the concurrency available in
+/// independent tree traversal of each particle": the only parallel construct
+/// the treecode needs is a barrier-style parallel-for over particle blocks.
+/// This pool provides exactly that (see parallel_for.hpp), plus a generic
+/// task submission primitive used by the tree builder's upward pass.
+///
+/// Design notes (C++ Core Guidelines CP.*):
+///  * Threads are owned RAII-style; the destructor requests stop and joins.
+///  * Work items are std::function<void()>; exceptions thrown by a task are
+///    captured and rethrown on the waiting thread so failures do not get
+///    swallowed inside a worker.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treecode {
+
+/// Fixed-size worker pool. Construct with the desired worker count (0 or 1
+/// means "run everything inline on the calling thread": the pool degrades to
+/// serial execution with zero thread overhead, which keeps single-thread
+/// baseline timings honest).
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (0 means inline execution).
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Effective parallel width: max(1, size()).
+  [[nodiscard]] unsigned width() const noexcept { return size() == 0 ? 1u : size(); }
+
+  /// Run `task(t)` on every worker t in [0, width()) and block until all
+  /// complete. With an inline pool this simply calls task(0).
+  /// The first exception thrown by any task is rethrown here.
+  void run_on_all(const std::function<void(unsigned)>& task);
+
+  /// Hardware concurrency, never zero.
+  static unsigned hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1u : n;
+  }
+
+ private:
+  struct Job {
+    const std::function<void(unsigned)>* task = nullptr;
+    unsigned index = 0;
+  };
+
+  void worker_loop(unsigned worker_index, const std::stop_token& stop);
+
+  std::vector<std::jthread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* current_task_ = nullptr;
+  std::size_t generation_ = 0;       // bumped per run_on_all call
+  std::size_t remaining_ = 0;        // workers yet to finish current task
+  std::exception_ptr first_error_;
+};
+
+}  // namespace treecode

@@ -1,0 +1,211 @@
+#include "tree/octree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "geom/hilbert.hpp"
+#include "geom/morton.hpp"
+
+namespace treecode {
+
+namespace {
+
+/// Total SFC key bits (3 per level).
+constexpr int kKeyBits = 3 * kSfcBitsPerAxis;
+
+}  // namespace
+
+Tree::Tree(const ParticleSystem& ps, const TreeConfig& config) : config_(config) {
+  if (config_.leaf_capacity == 0) config_.leaf_capacity = 1;
+  build(ps);
+}
+
+void Tree::build(const ParticleSystem& ps) {
+  const std::size_t n = ps.size();
+  positions_.resize(n);
+  charges_.resize(n);
+  keys_.resize(n);
+  original_index_.resize(n);
+  if (n == 0) {
+    nodes_.push_back(TreeNode{});
+    height_ = 1;
+    level_counts_ = {1};
+    return;
+  }
+
+  root_cube_ = ps.bounds().bounding_cube();
+  // Degenerate case: all particles coincident -> zero-size cube. Inflate a
+  // hair so quantization and child boxes stay well-defined.
+  if (root_cube_.max_extent() == 0.0) {
+    const Vec3 c = root_cube_.center();
+    const double h = 0.5;
+    root_cube_.lo = c - Vec3{h, h, h};
+    root_cube_.hi = c + Vec3{h, h, h};
+  }
+
+  // Key + sort (indirect, then gather).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> raw_keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw_keys[i] = config_.ordering == Ordering::kHilbert
+                      ? hilbert_key(ps.position(i), root_cube_)
+                      : morton_key(ps.position(i), root_cube_);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return raw_keys[a] < raw_keys[b]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = order[i];
+    positions_[i] = ps.position(src);
+    charges_[i] = ps.charge(src);
+    keys_[i] = raw_keys[src];
+    original_index_[i] = src;
+  }
+
+  // Root node covers everything.
+  TreeNode root;
+  root.box = root_cube_;
+  root.begin = 0;
+  root.end = n;
+  root.level = 0;
+  nodes_.push_back(root);
+  split(0, kKeyBits - 3);
+
+  // Finalize per-node cluster quantities and level stats.
+  height_ = 0;
+  for (auto& node : nodes_) {
+    finalize_node(node);
+    height_ = std::max(height_, node.level + 1);
+  }
+  level_counts_.assign(static_cast<std::size_t>(height_), 0);
+  double min_leaf = std::numeric_limits<double>::infinity();
+  double min_density = std::numeric_limits<double>::infinity();
+  double sum_leaf = 0.0;
+  double sum_density = 0.0;
+  std::size_t num_leaves = 0;
+  for (const auto& node : nodes_) {
+    ++level_counts_[static_cast<std::size_t>(node.level)];
+    if (node.is_leaf() && node.count() > 0) {
+      ++num_leaves;
+      sum_leaf += node.abs_charge;
+      const double density = node.size() > 0.0 ? node.abs_charge / node.size() : 0.0;
+      sum_density += density;
+      if (node.abs_charge > 0.0) {
+        min_leaf = std::min(min_leaf, node.abs_charge);
+        if (density > 0.0) min_density = std::min(min_density, density);
+      }
+    }
+  }
+  min_leaf_abs_charge_ = std::isfinite(min_leaf) ? min_leaf : 0.0;
+  mean_leaf_abs_charge_ = num_leaves == 0 ? 0.0 : sum_leaf / static_cast<double>(num_leaves);
+  min_leaf_charge_density_ = std::isfinite(min_density) ? min_density : 0.0;
+  mean_leaf_charge_density_ =
+      num_leaves == 0 ? 0.0 : sum_density / static_cast<double>(num_leaves);
+}
+
+void Tree::split(std::size_t node_index, int shift) {
+  // Copy out the range: nodes_ may reallocate during recursion.
+  const std::size_t begin = nodes_[node_index].begin;
+  const std::size_t end = nodes_[node_index].end;
+  if (end - begin <= config_.leaf_capacity || shift < 0) return;
+
+  // Children = maximal runs of equal 3-bit digits at the working shift.
+  struct ChildRange {
+    std::size_t begin, end;
+  };
+  ChildRange ranges[8];
+  int num_children = 0;
+  const auto find_runs = [&](int at_shift) {
+    const auto digit = [&](std::size_t i) -> std::uint64_t {
+      return (keys_[i] >> at_shift) & 0x7u;
+    };
+    num_children = 0;
+    std::size_t pos = begin;
+    while (pos < end) {
+      const std::uint64_t d = digit(pos);
+      std::size_t run_end = pos + 1;
+      while (run_end < end && digit(run_end) == d) ++run_end;
+      ranges[num_children++] = {pos, run_end};
+      pos = run_end;
+    }
+  };
+
+  int use_shift = shift;
+  find_runs(use_shift);
+  assert(num_children >= 1 && num_children <= 8);
+  if (config_.collapse_chains) {
+    // Skip non-separating levels: descend until the particles actually
+    // split into more than one cell (or the keys are exhausted, meaning
+    // all particles coincide on the grid -> leaf).
+    while (num_children == 1 && use_shift >= 3) {
+      use_shift -= 3;
+      find_runs(use_shift);
+    }
+    if (num_children == 1) return;  // identical keys: keep as a leaf
+  }
+  // Without collapsing, a single child covering the whole range still
+  // descends one level at a time (the cell shrinks); fully identical keys
+  // terminate via `shift < 0`.
+
+  // Grid level of the children: shift s holds the digit of level
+  // kSfcBitsPerAxis - s/3 (the first call uses s = 3*(kSfcBitsPerAxis-1),
+  // i.e. level 1).
+  const int child_level = kSfcBitsPerAxis - use_shift / 3;
+  const int first_child = static_cast<int>(nodes_.size());
+  nodes_[node_index].first_child = first_child;
+  nodes_[node_index].num_children = num_children;
+  for (int c = 0; c < num_children; ++c) {
+    TreeNode child;
+    child.begin = ranges[c].begin;
+    child.end = ranges[c].end;
+    child.level = child_level;
+    child.parent = static_cast<int>(node_index);
+    // Geometric cell: derived from the quantized grid cell of any member.
+    const GridCoord g = quantize(positions_[child.begin], root_cube_);
+    const std::uint32_t cell_shift = static_cast<std::uint32_t>(kSfcBitsPerAxis - child_level);
+    const double cell_size = root_cube_.extents().x / static_cast<double>(1u << child_level);
+    const Vec3 lo{
+        root_cube_.lo.x + cell_size * static_cast<double>(g.x >> cell_shift),
+        root_cube_.lo.y + cell_size * static_cast<double>(g.y >> cell_shift),
+        root_cube_.lo.z + cell_size * static_cast<double>(g.z >> cell_shift)};
+    child.box.lo = lo;
+    child.box.hi = lo + Vec3{cell_size, cell_size, cell_size};
+    nodes_.push_back(child);
+  }
+  for (int c = 0; c < num_children; ++c) {
+    split(static_cast<std::size_t>(first_child + c), use_shift - 3);
+  }
+}
+
+void Tree::finalize_node(TreeNode& node) {
+  double abs_q = 0.0;
+  double net_q = 0.0;
+  Vec3 weighted{};
+  for (std::size_t i = node.begin; i < node.end; ++i) {
+    const double w = std::abs(charges_[i]);
+    abs_q += w;
+    net_q += charges_[i];
+    weighted += positions_[i] * w;
+  }
+  node.abs_charge = abs_q;
+  node.net_charge = net_q;
+  if (abs_q > 0.0) {
+    node.center = weighted / abs_q;
+  } else if (node.count() > 0) {
+    // All-zero charges: fall back to the unweighted centroid.
+    Vec3 c{};
+    for (std::size_t i = node.begin; i < node.end; ++i) c += positions_[i];
+    node.center = c / static_cast<double>(node.count());
+  } else {
+    node.center = node.box.empty() ? Vec3{} : node.box.center();
+  }
+  double r2max = 0.0;
+  for (std::size_t i = node.begin; i < node.end; ++i) {
+    r2max = std::max(r2max, distance2(positions_[i], node.center));
+  }
+  node.radius = std::sqrt(r2max);
+}
+
+}  // namespace treecode

@@ -1,0 +1,87 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace treecode {
+
+namespace {
+
+double transform(double v, bool log_scale) { return log_scale ? std::log10(v) : v; }
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series, const PlotOptions& opts) {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (opts.log_x && s.x[i] <= 0.0) continue;
+      if (opts.log_y && s.y[i] <= 0.0) continue;
+      const double tx = transform(s.x[i], opts.log_x);
+      const double ty = transform(s.y[i], opts.log_y);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+      any = true;
+    }
+  }
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << '\n';
+  if (!any) {
+    os << "(no plottable data)\n";
+    return os.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const int w = std::max(opts.width, 10);
+  const int h = std::max(opts.height, 5);
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (opts.log_x && s.x[i] <= 0.0) continue;
+      if (opts.log_y && s.y[i] <= 0.0) continue;
+      const double tx = transform(s.x[i], opts.log_x);
+      const double ty = transform(s.y[i], opts.log_y);
+      int cx = static_cast<int>(std::lround((tx - xmin) / (xmax - xmin) * (w - 1)));
+      int cy = static_cast<int>(std::lround((ty - ymin) / (ymax - ymin) * (h - 1)));
+      cx = std::clamp(cx, 0, w - 1);
+      cy = std::clamp(cy, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] = s.marker;
+    }
+  }
+
+  auto axis_value = [&](double t, bool log_scale) { return log_scale ? std::pow(10.0, t) : t; };
+  if (!opts.y_label.empty()) os << opts.y_label << '\n';
+  for (int row = 0; row < h; ++row) {
+    std::string label;
+    if (row == 0) {
+      label = fmt_sci(axis_value(ymax, opts.log_y), 1);
+    } else if (row == h - 1) {
+      label = fmt_sci(axis_value(ymin, opts.log_y), 1);
+    }
+    os << (label.empty() ? std::string(9, ' ') : label);
+    os << " |" << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(9, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  os << std::string(11, ' ') << fmt_sci(axis_value(xmin, opts.log_x), 1)
+     << std::string(static_cast<std::size_t>(std::max(1, w - 18)), ' ')
+     << fmt_sci(axis_value(xmax, opts.log_x), 1) << '\n';
+  if (!opts.x_label.empty()) os << std::string(11, ' ') << opts.x_label << '\n';
+  os << "  legend:";
+  for (const auto& s : series) os << "  '" << s.marker << "' = " << s.name;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace treecode

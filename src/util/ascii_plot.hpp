@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ascii_plot.hpp
+/// Minimal ASCII line plots so bench binaries can render the paper's figures
+/// (Figure 2: error-vs-n and cost-vs-n curves) directly in the terminal.
+
+#include <string>
+#include <vector>
+
+namespace treecode {
+
+/// One named series of (x, y) samples.
+struct PlotSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options for render_plot.
+struct PlotOptions {
+  int width = 72;        ///< Plot area width in characters.
+  int height = 20;       ///< Plot area height in characters.
+  bool log_x = false;    ///< Logarithmic x axis (requires x > 0).
+  bool log_y = false;    ///< Logarithmic y axis (requires y > 0).
+  std::string title;     ///< Printed above the plot.
+  std::string x_label;   ///< Printed below the x axis.
+  std::string y_label;   ///< Printed beside the y axis.
+};
+
+/// Render series as a character-grid scatter/line plot with axis ranges and a
+/// legend. Series points are plotted with each series' marker; where series
+/// overlap, the later series wins.
+std::string render_plot(const std::vector<PlotSeries>& series, const PlotOptions& opts);
+
+}  // namespace treecode

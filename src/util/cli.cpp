@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace treecode {
+
+namespace {
+bool is_known(const std::vector<std::string>& known, const std::string& name) {
+  return known.empty() || std::find(known.begin(), known.end(), name) != known.end();
+}
+}  // namespace
+
+CliFlags::CliFlags(int argc, const char* const* argv, std::vector<std::string> known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // Look ahead: a following token that is not a flag is this flag's value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!is_known(known, name)) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+bool CliFlags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliFlags::get_string(const std::string& name, std::string def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : parse_count(it->second);
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("bad numeric value for --" + name + ": " + it->second);
+  }
+  return v;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::int64_t parse_count(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty count");
+  std::size_t pos = 0;
+  const double v = std::stod(text, &pos);
+  double mult = 1.0;
+  if (pos < text.size()) {
+    std::string suffix = text.substr(pos);
+    std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (suffix == "k") {
+      mult = 1e3;
+    } else if (suffix == "m") {
+      mult = 1e6;
+    } else if (suffix == "g" || suffix == "b") {
+      mult = 1e9;
+    } else {
+      throw std::invalid_argument("bad count: " + text);
+    }
+  }
+  return static_cast<std::int64_t>(v * mult);
+}
+
+}  // namespace treecode

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line flag parser shared by examples and bench binaries.
+///
+/// Supports `--name value`, `--name=value`, and boolean `--name` flags.
+/// Unknown flags are an error so typos in experiment scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace treecode {
+
+/// Parsed command-line flags with typed, defaulted accessors.
+class CliFlags {
+ public:
+  /// Parse argv. Throws std::invalid_argument on malformed input.
+  /// `known` lists accepted flag names (without the leading "--"); pass an
+  /// empty list to accept anything.
+  CliFlags(int argc, const char* const* argv, std::vector<std::string> known = {});
+
+  /// True if the flag was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value, or `def` if absent.
+  [[nodiscard]] std::string get_string(const std::string& name, std::string def) const;
+
+  /// Integer value, or `def` if absent. Accepts "40k"/"2m" suffixes.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// Double value, or `def` if absent.
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// Boolean: present with no value or with value "true"/"1" => true.
+  [[nodiscard]] bool get_bool(const std::string& name, bool def = false) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Parse a human-friendly count ("40k", "2.5m", "1000"). Throws on garbage.
+std::int64_t parse_count(const std::string& text);
+
+}  // namespace treecode

@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treecode {
+
+double norm_2(std::span<const double> a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return std::sqrt(s);
+}
+
+double relative_error_2norm(std::span<const double> a, std::span<const double> a_approx) {
+  assert(a.size() == a_approx.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - a_approx[i];
+    num += d * d;
+    den += a[i] * a[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::sqrt(num / den);
+}
+
+double relative_error_maxnorm(std::span<const double> a, std::span<const double> a_approx) {
+  assert(a.size() == a_approx.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num = std::max(num, std::abs(a[i] - a_approx[i]));
+    den = std::max(den, std::abs(a[i]));
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return num / den;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace treecode

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file stats.hpp
+/// Error norms and summary statistics used by experiments and tests.
+
+#include <cstddef>
+#include <span>
+
+namespace treecode {
+
+/// The paper's error measure: relative 2-norm between an accurate vector `a`
+/// and an approximation `a_approx`, i.e. ||a - a'||_2 / ||a||_2.
+double relative_error_2norm(std::span<const double> a, std::span<const double> a_approx);
+
+/// Relative max-norm: max_i |a_i - a'_i| / max_i |a_i|.
+double relative_error_maxnorm(std::span<const double> a, std::span<const double> a_approx);
+
+/// Max absolute componentwise difference.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// 2-norm of a vector.
+double norm_2(std::span<const double> a);
+
+/// Summary of a sample: min / max / mean / population stddev.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Compute a Summary over the sample (empty input gives a zero Summary).
+Summary summarize(std::span<const double> values);
+
+}  // namespace treecode

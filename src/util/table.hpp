@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table formatting for the benchmark harness.
+///
+/// Every bench binary reproduces one of the paper's tables/figures; this
+/// helper renders aligned columns so the output reads like the paper's
+/// tables and can also be dumped as CSV for postprocessing.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace treecode {
+
+/// Column-aligned text table. Cells are strings; use the `fmt_*` helpers to
+/// format numbers consistently.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns, a header underline, and 2-space gutters.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (no alignment, comma-separated, header first).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double in fixed notation with `digits` decimals.
+std::string fmt_fixed(double v, int digits);
+
+/// Format a double in scientific notation with `digits` significant decimals.
+std::string fmt_sci(double v, int digits);
+
+/// Format an integer with thousands separators ("12,345,678").
+std::string fmt_count(long long v);
+
+/// Format a large count in the paper's style ("254 million", "12.4 million"),
+/// falling back to fmt_count below one million.
+std::string fmt_millions(long long v);
+
+}  // namespace treecode

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers for benchmarks and the parallel speedup model.
+
+#include <chrono>
+
+namespace treecode {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Time a callable and return the elapsed seconds.
+template <typename F>
+double time_seconds(F&& f) {
+  Timer t;
+  f();
+  return t.seconds();
+}
+
+}  // namespace treecode

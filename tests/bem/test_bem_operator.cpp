@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bem/bem_operator.hpp"
+#include "bem/meshgen.hpp"
+#include "linalg/gmres.hpp"
+#include "util/stats.hpp"
+
+namespace treecode {
+namespace {
+
+SingleLayerOperator::Options accurate_options(int degree = 8, double alpha = 0.5) {
+  SingleLayerOperator::Options opt;
+  opt.eval.alpha = alpha;
+  opt.eval.degree = degree;
+  opt.gauss_points = 6;
+  return opt;
+}
+
+TEST(BemOperator, TreecodeMatvecMatchesDenseAssembly) {
+  const TriangleMesh mesh = make_sphere(10, 18);
+  const SingleLayerOperator A(mesh, accurate_options(10, 0.4));
+  const DenseMatrix dense = A.assemble_dense();
+  std::vector<double> x(A.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(0.37 * static_cast<double>(i));
+  std::vector<double> y_tree(A.rows()), y_dense(A.rows());
+  A.apply(x, y_tree);
+  dense.apply(x, y_dense);
+  EXPECT_LT(relative_error_2norm(y_dense, y_tree), 1e-4);
+}
+
+TEST(BemOperator, DirectApplyMatchesDenseExactly) {
+  const TriangleMesh mesh = make_sphere(8, 14);
+  const SingleLayerOperator A(mesh, accurate_options());
+  const DenseMatrix dense = A.assemble_dense();
+  std::vector<double> x(A.cols(), 1.0);
+  std::vector<double> y_direct(A.rows()), y_dense(A.rows());
+  A.apply_direct(x, y_direct);
+  dense.apply(x, y_dense);
+  EXPECT_LT(relative_error_2norm(y_dense, y_direct), 1e-12);
+}
+
+TEST(BemOperator, HigherDegreeReducesMatvecError) {
+  const TriangleMesh mesh = make_propeller(12, 24);
+  std::vector<double> x(0);
+  double prev = 1e9;
+  // Reference: direct product.
+  const SingleLayerOperator ref_op(mesh, accurate_options());
+  x.assign(ref_op.cols(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 + std::cos(0.21 * static_cast<double>(i));
+  std::vector<double> y_ref(ref_op.rows());
+  ref_op.apply_direct(x, y_ref);
+  for (int degree : {2, 4, 8}) {
+    const SingleLayerOperator A(mesh, accurate_options(degree, 0.6));
+    std::vector<double> y(A.rows());
+    A.apply(x, y);
+    const double err = relative_error_2norm(y_ref, y);
+    EXPECT_LT(err, prev * 1.5) << "degree " << degree;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-4);
+}
+
+TEST(BemOperator, AdaptiveBeatsFixedAtSameBaseDegree) {
+  const TriangleMesh mesh = make_gripper(14, 28);
+  SingleLayerOperator::Options fixed = accurate_options(3, 0.6);
+  SingleLayerOperator::Options adaptive = fixed;
+  adaptive.eval.mode = DegreeMode::kAdaptive;
+  const SingleLayerOperator a_fixed(mesh, fixed);
+  const SingleLayerOperator a_adapt(mesh, adaptive);
+  std::vector<double> x(a_fixed.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 + 0.3 * std::sin(static_cast<double>(i));
+  std::vector<double> y_ref(a_fixed.rows()), y_f(a_fixed.rows()), y_a(a_fixed.rows());
+  a_fixed.apply_direct(x, y_ref);
+  a_fixed.apply(x, y_f);
+  a_adapt.apply(x, y_a);
+  EXPECT_LT(relative_error_2norm(y_ref, y_a), relative_error_2norm(y_ref, y_f));
+}
+
+TEST(BemOperator, GmresSolveMatchesDenseSolve) {
+  // Solve the Dirichlet problem for an exterior point charge on a small
+  // sphere; compare the GMRES+treecode solution against the dense solve.
+  const TriangleMesh mesh = make_sphere(8, 14);
+  const SingleLayerOperator A(mesh, accurate_options(10, 0.4));
+  const std::vector<double> f = A.point_charge_rhs({3.0, 0.5, 0.2}, 1.0);
+  std::vector<double> sigma(A.cols(), 0.0);
+  GmresOptions opt;
+  opt.restart = 10;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 600;
+  const GmresResult r = gmres(A, f, sigma, opt);
+  EXPECT_TRUE(r.converged) << "residual " << r.relative_residual;
+
+  const DenseMatrix dense = A.assemble_dense();
+  const std::vector<double> sigma_dense = dense.solve(f);
+  EXPECT_LT(relative_error_2norm(sigma_dense, sigma), 1e-3);
+}
+
+TEST(BemOperator, SolvedDensityReproducesHarmonicField) {
+  // After solving A sigma = f for the potential of an exterior charge on
+  // the sphere boundary, the single-layer potential evaluated *inside*
+  // must match the charge's potential (uniqueness of the interior
+  // Dirichlet problem).
+  const TriangleMesh mesh = make_sphere(14, 26);
+  const SingleLayerOperator A(mesh, accurate_options(10, 0.4));
+  const Vec3 src{2.5, 0.0, 0.0};  // outside the unit sphere
+  const std::vector<double> f = A.point_charge_rhs(src, 1.0);
+  std::vector<double> sigma(A.cols(), 0.0);
+  GmresOptions opt;
+  opt.restart = 10;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 800;
+  ASSERT_TRUE(gmres(A, f, sigma, opt).converged);
+
+  // Evaluate the single-layer potential at interior probe points directly
+  // from the quadrature representation.
+  const auto pts = quadrature_points(mesh, triangle_rule(6));
+  for (const Vec3 probe : {Vec3{0.0, 0.0, 0.0}, Vec3{0.3, -0.2, 0.1}}) {
+    double phi = 0.0;
+    for (const auto& g : pts) {
+      const Triangle& tri = mesh.triangle(g.triangle);
+      double dens = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        dens += g.shape[static_cast<std::size_t>(k)] * sigma[tri.v[static_cast<std::size_t>(k)]];
+      }
+      phi += dens * g.weight / distance(probe, g.position);
+    }
+    const double expected = 1.0 / distance(probe, src);
+    EXPECT_NEAR(phi, expected, 0.02 * expected) << "probe " << probe.x;
+  }
+}
+
+TEST(BemOperator, NearDiagonalApproximatesTrueDiagonal) {
+  const TriangleMesh mesh = make_propeller(10, 20);
+  const SingleLayerOperator A(mesh, accurate_options());
+  const std::vector<double> near = A.near_diagonal();
+  const std::vector<double> full = A.assemble_dense().diagonal();
+  ASSERT_EQ(near.size(), full.size());
+  for (std::size_t i = 0; i < near.size(); ++i) {
+    EXPECT_GT(near[i], 0.0);
+    // The near part is a subset of the positive-sum diagonal...
+    EXPECT_LE(near[i], full[i] * (1 + 1e-12));
+    // ...and carries a nontrivial share of it (the near-singular part).
+    EXPECT_GT(near[i], 0.05 * full[i]) << i;
+  }
+}
+
+TEST(BemOperator, NearDiagonalJacobiPreconditionerConverges) {
+  const TriangleMesh mesh = make_gripper(12, 24);
+  const SingleLayerOperator A(mesh, accurate_options(4, 0.5));
+  const std::vector<double> f = A.point_charge_rhs({3.0, 1.0, 2.0}, 1.0);
+  GmresOptions opt;
+  opt.restart = 10;
+  opt.tolerance = 1e-8;
+  opt.max_iterations = 500;
+  std::vector<double> x_plain(A.cols(), 0.0);
+  std::vector<double> x_pre(A.cols(), 0.0);
+  const GmresResult plain = gmres(A, f, x_plain, opt);
+  const GmresResult pre = gmres(A, f, x_pre, opt, jacobi_preconditioner(A.near_diagonal()));
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  // Same solution either way.
+  EXPECT_LT(relative_error_2norm(x_plain, x_pre), 1e-5);
+  // And no pathological slowdown from preconditioning.
+  EXPECT_LE(pre.iterations, plain.iterations * 2);
+}
+
+TEST(BemOperator, StatsPopulatedAfterApply) {
+  const TriangleMesh mesh = make_sphere(8, 14);
+  const SingleLayerOperator A(mesh, accurate_options(4, 0.6));
+  std::vector<double> x(A.cols(), 1.0), y(A.rows());
+  A.apply(x, y);
+  EXPECT_GT(A.last_stats().multipole_terms + A.last_stats().p2p_pairs, 0u);
+  EXPECT_GT(A.last_stats().eval_seconds, 0.0);
+  EXPECT_EQ(A.num_sources(), 6 * mesh.num_triangles());
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bem/meshgen.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Mesh, TriangleGeometry) {
+  const TriangleMesh m({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {Triangle{{0, 1, 2}}});
+  EXPECT_DOUBLE_EQ(m.area(0), 0.5);
+  EXPECT_EQ(m.normal(0), (Vec3{0, 0, 1}));
+  const Vec3 c = m.centroid(0);
+  EXPECT_NEAR(c.x, 1.0 / 3, 1e-15);
+  EXPECT_NEAR(c.y, 1.0 / 3, 1e-15);
+}
+
+TEST(Mesh, ValidateCatchesBadIndex) {
+  const TriangleMesh m({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {Triangle{{0, 1, 7}}});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Mesh, ValidateCatchesDegenerate) {
+  const TriangleMesh m({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}, {Triangle{{0, 1, 2}}});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MeshGen, SphereAreaConvergesToAnalytic) {
+  // Surface of a unit sphere = 4 pi; refined lat-lon meshes approach it.
+  double prev_err = 1e9;
+  for (std::size_t n : {8u, 16u, 32u}) {
+    const TriangleMesh m = make_sphere(n, 2 * n, 1.0);
+    const double err = std::abs(m.total_area() - 4.0 * M_PI);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err / (4.0 * M_PI), 0.01);
+}
+
+TEST(MeshGen, SphereIsWatertight) {
+  EXPECT_TRUE(make_sphere(6, 10).is_watertight());
+  EXPECT_TRUE(make_sphere(2, 3).is_watertight());  // minimal
+}
+
+TEST(MeshGen, TorusAreaMatchesAnalytic) {
+  // Torus area = 4 pi^2 R r.
+  const double R = 1.0;
+  const double r = 0.35;
+  const TriangleMesh m = make_torus(64, 48, R, r);
+  EXPECT_NEAR(m.total_area(), 4.0 * M_PI * M_PI * R * r, 0.02 * 4.0 * M_PI * M_PI * R * r);
+}
+
+TEST(MeshGen, TorusIsWatertight) {
+  EXPECT_TRUE(make_torus(8, 6).is_watertight());
+}
+
+TEST(MeshGen, PropellerIsWatertightAndNonConvex) {
+  const TriangleMesh m = make_propeller(24, 48, 3);
+  EXPECT_TRUE(m.is_watertight());
+  EXPECT_NO_THROW(m.validate());
+  // Blades: vertex radii span a wide range (hub 0.25 to tip ~1).
+  double rmin = 1e9;
+  double rmax = 0.0;
+  for (const Vec3& v : m.vertices()) {
+    const double r = norm(v);
+    rmin = std::min(rmin, r);
+    rmax = std::max(rmax, r);
+  }
+  EXPECT_LT(rmin, 0.3);
+  EXPECT_GT(rmax, 0.8);
+}
+
+TEST(MeshGen, GripperIsWatertight) {
+  const TriangleMesh m = make_gripper(24, 48);
+  EXPECT_TRUE(m.is_watertight());
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(MeshGen, VertexAndTriangleCountsScale) {
+  const TriangleMesh m = make_sphere(10, 20);
+  // lat-lon: (n_lat - 1) * n_lon + 2 vertices; 2 * n_lon * (n_lat - 1) tris.
+  EXPECT_EQ(m.num_vertices(), 9u * 20u + 2u);
+  EXPECT_EQ(m.num_triangles(), 2u * 20u * 9u);
+}
+
+TEST(MeshGen, LatLonForTriangles) {
+  const LatLonSize s = latlon_for_triangles(40'000);
+  EXPECT_GE(s.n_lat, 2u);
+  EXPECT_EQ(s.n_lon, 2 * s.n_lat);
+  const TriangleMesh m = make_propeller(s.n_lat, s.n_lon);
+  const double got = static_cast<double>(m.num_triangles());
+  EXPECT_NEAR(got, 40'000.0, 0.15 * 40'000.0);
+}
+
+TEST(MeshGen, InvalidParamsThrow) {
+  EXPECT_THROW(make_sphere(1, 10), std::invalid_argument);
+  EXPECT_THROW(make_sphere(5, 2), std::invalid_argument);
+  EXPECT_THROW(make_torus(2, 8), std::invalid_argument);
+  EXPECT_THROW(make_propeller(10, 20, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treecode

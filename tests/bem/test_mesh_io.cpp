@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bem/mesh_io.hpp"
+#include "bem/meshgen.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(MeshIo, RoundTripPreservesGeometry) {
+  const TriangleMesh original = make_propeller(10, 20);
+  std::stringstream ss;
+  save_obj(original, ss);
+  const TriangleMesh loaded = load_obj(ss);
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_triangles(), original.num_triangles());
+  for (std::size_t i = 0; i < original.num_vertices(); ++i) {
+    EXPECT_EQ(loaded.vertex(i), original.vertex(i));
+  }
+  for (std::size_t t = 0; t < original.num_triangles(); ++t) {
+    EXPECT_EQ(loaded.triangle(t).v, original.triangle(t).v);
+  }
+  EXPECT_TRUE(loaded.is_watertight());
+}
+
+TEST(MeshIo, ParsesFaceIndexVariants) {
+  std::stringstream ss(
+      "v 0 0 0\nv 1 0 0\nv 0 1 0\nv 0 0 1\n"
+      "f 1/2/3 2//1 3/4\n"   // slash-forms
+      "f -4 -3 -2\n");       // negative (relative) indices
+  const TriangleMesh m = load_obj(ss);
+  EXPECT_EQ(m.num_vertices(), 4u);
+  EXPECT_EQ(m.num_triangles(), 2u);
+  EXPECT_EQ(m.triangle(0).v, (std::array<std::size_t, 3>{0, 1, 2}));
+  EXPECT_EQ(m.triangle(1).v, (std::array<std::size_t, 3>{0, 1, 2}));
+}
+
+TEST(MeshIo, FanTriangulatesPolygons) {
+  std::stringstream ss(
+      "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\n"
+      "f 1 2 3 4\n");
+  const TriangleMesh m = load_obj(ss);
+  EXPECT_EQ(m.num_triangles(), 2u);
+}
+
+TEST(MeshIo, IgnoresCommentsAndOtherTags) {
+  std::stringstream ss(
+      "# comment\no thing\ns off\nvn 0 0 1\nvt 0.5 0.5\n"
+      "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n");
+  const TriangleMesh m = load_obj(ss);
+  EXPECT_EQ(m.num_triangles(), 1u);
+}
+
+TEST(MeshIo, RejectsBadInput) {
+  {
+    std::stringstream ss("v 0 0\n");  // short vertex
+    EXPECT_THROW(load_obj(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("v 0 0 0\nf 1 2 3\n");  // index out of range
+    EXPECT_THROW(load_obj(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("v 0 0 0\nv 1 0 0\nf 1 2\n");  // degenerate face
+    EXPECT_THROW(load_obj(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 x 3\n");  // garbage index
+    EXPECT_THROW(load_obj(ss), std::runtime_error);
+  }
+}
+
+TEST(MeshIo, FileRoundTrip) {
+  const TriangleMesh original = make_sphere(4, 6);
+  const std::string path = ::testing::TempDir() + "/treecode_mesh_io_test.obj";
+  save_obj(original, path);
+  const TriangleMesh loaded = load_obj(path);
+  EXPECT_EQ(loaded.num_triangles(), original.num_triangles());
+}
+
+TEST(MeshIo, MissingFileThrows) {
+  EXPECT_THROW(load_obj(std::string("/nonexistent/dir/mesh.obj")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "bem/meshgen.hpp"
+#include "bem/quadrature.hpp"
+
+namespace treecode {
+namespace {
+
+/// Integrate f over the reference triangle (0,0)-(1,0)-(0,1) using `rule`.
+double integrate_reference(const TriQuadRule& rule,
+                           const std::function<double(double, double)>& f) {
+  // Barycentric (l0, l1, l2) on vertices (0,0), (1,0), (0,1):
+  // (x, y) = (l1, l2); reference area is 1/2.
+  double s = 0.0;
+  for (const TriQuadPoint& p : rule.points) {
+    s += p.weight * f(p.bary[1], p.bary[2]);
+  }
+  return s * 0.5;
+}
+
+/// Exact integral of x^a y^b over the reference triangle:
+/// a! b! / (a + b + 2)!.
+double monomial_exact(int a, int b) {
+  auto fact = [](int k) {
+    double r = 1.0;
+    for (int i = 2; i <= k; ++i) r *= i;
+    return r;
+  };
+  return fact(a) * fact(b) / fact(a + b + 2);
+}
+
+class QuadratureRule : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureRule, WeightsSumToOne) {
+  const TriQuadRule& rule = triangle_rule(GetParam());
+  double w = 0.0;
+  for (const auto& p : rule.points) w += p.weight;
+  EXPECT_NEAR(w, 1.0, 1e-12);
+}
+
+TEST_P(QuadratureRule, BarycentricsSumToOne) {
+  const TriQuadRule& rule = triangle_rule(GetParam());
+  for (const auto& p : rule.points) {
+    EXPECT_NEAR(p.bary[0] + p.bary[1] + p.bary[2], 1.0, 1e-12);
+    for (double l : p.bary) {
+      EXPECT_GE(l, 0.0);
+      EXPECT_LE(l, 1.0);
+    }
+  }
+}
+
+TEST_P(QuadratureRule, ExactForStatedDegree) {
+  const TriQuadRule& rule = triangle_rule(GetParam());
+  for (int a = 0; a <= rule.exact_degree; ++a) {
+    for (int b = 0; a + b <= rule.exact_degree; ++b) {
+      const double approx =
+          integrate_reference(rule, [a, b](double x, double y) {
+            return std::pow(x, a) * std::pow(y, b);
+          });
+      EXPECT_NEAR(approx, monomial_exact(a, b), 1e-12)
+          << "rule " << GetParam() << " monomial x^" << a << " y^" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, QuadratureRule, ::testing::Values(1, 3, 4, 6, 7));
+
+TEST(Quadrature, UnsupportedCountThrows) {
+  EXPECT_THROW(triangle_rule(2), std::invalid_argument);
+  EXPECT_THROW(triangle_rule(12), std::invalid_argument);
+}
+
+TEST(Quadrature, MeshPointsCountAndWeights) {
+  const TriangleMesh m = make_sphere(6, 10);
+  const auto pts = quadrature_points(m, triangle_rule(6));
+  EXPECT_EQ(pts.size(), 6 * m.num_triangles());
+  // Sum of weights = total surface area.
+  double w = 0.0;
+  for (const auto& p : pts) w += p.weight;
+  EXPECT_NEAR(w, m.total_area(), 1e-9 * m.total_area());
+}
+
+TEST(Quadrature, IntegrateConstantGivesArea) {
+  const TriangleMesh m = make_sphere(8, 14);
+  const auto pts = quadrature_points(m, triangle_rule(3));
+  const std::vector<double> ones(pts.size(), 1.0);
+  EXPECT_NEAR(integrate(pts, ones), m.total_area(), 1e-9 * m.total_area());
+}
+
+TEST(Quadrature, SphereSurfaceIntegralOfZSquared) {
+  // On the unit sphere, integral of z^2 dS = 4 pi / 3. Mesh + 6-pt rule
+  // should approach it as the mesh refines.
+  const TriangleMesh m = make_sphere(48, 96);
+  const auto pts = quadrature_points(m, triangle_rule(6));
+  std::vector<double> vals(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    vals[i] = pts[i].position.z * pts[i].position.z;
+  }
+  EXPECT_NEAR(integrate(pts, vals), 4.0 * M_PI / 3.0, 0.01 * 4.0 * M_PI / 3.0);
+}
+
+TEST(Quadrature, PointsLieInsideTriangles) {
+  const TriangleMesh m = make_propeller(10, 20);
+  const auto pts = quadrature_points(m, triangle_rule(4));
+  for (const auto& p : pts) {
+    // Reconstruct the point from shape functions and vertices; must match
+    // the stored position (interior combination).
+    const Triangle& tri = m.triangle(p.triangle);
+    const Vec3 rec = p.shape[0] * m.vertex(tri.v[0]) + p.shape[1] * m.vertex(tri.v[1]) +
+                     p.shape[2] * m.vertex(tri.v[2]);
+    EXPECT_LT(distance(rec, p.position), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace treecode

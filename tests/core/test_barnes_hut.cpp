@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct.hpp"
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace treecode {
+namespace {
+
+EvalConfig base_config() {
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 4;
+  return cfg;
+}
+
+TEST(BarnesHut, MatchesDirectOnTinySystem) {
+  // n <= leaf_capacity: the tree is a single leaf, the MAC never fires
+  // (a point inside its own leaf fails a/r <= alpha), so the treecode
+  // degenerates to exact direct summation.
+  const ParticleSystem ps = dist::uniform_cube(8, 1, dist::ChargeModel::kMixedSign);
+  const Tree tree(ps, {.leaf_capacity = 16});
+  const EvalResult bh = evaluate_barnes_hut(tree, base_config());
+  const EvalResult exact = evaluate_direct(ps);
+  EXPECT_LT(relative_error_2norm(exact.potential, bh.potential), 1e-12);
+}
+
+TEST(BarnesHut, AccurateOnUniformCube) {
+  const ParticleSystem ps = dist::uniform_cube(3000, 2);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.degree = 6;
+  const EvalResult bh = evaluate_barnes_hut(tree, cfg);
+  const EvalResult exact = evaluate_direct(ps);
+  EXPECT_LT(relative_error_2norm(exact.potential, bh.potential), 1e-4);
+  EXPECT_GT(bh.stats.m2p_count, 0u);
+  EXPECT_GT(bh.stats.multipole_terms, 0u);
+}
+
+TEST(BarnesHut, ErrorDecreasesWithDegree) {
+  const ParticleSystem ps = dist::uniform_cube(2000, 3);
+  const Tree tree(ps);
+  const EvalResult exact = evaluate_direct(ps);
+  double prev = 1e9;
+  for (int p : {1, 2, 4, 6, 8}) {
+    EvalConfig cfg = base_config();
+    cfg.degree = p;
+    const EvalResult bh = evaluate_barnes_hut(tree, cfg);
+    const double err = relative_error_2norm(exact.potential, bh.potential);
+    EXPECT_LT(err, prev * 1.2) << "p=" << p;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-5);
+}
+
+TEST(BarnesHut, ErrorDecreasesWithAlpha) {
+  const ParticleSystem ps = dist::uniform_cube(2000, 4);
+  const Tree tree(ps);
+  const EvalResult exact = evaluate_direct(ps);
+  double err_loose = 0.0;
+  double err_tight = 0.0;
+  {
+    EvalConfig cfg = base_config();
+    cfg.alpha = 0.8;
+    err_loose = relative_error_2norm(exact.potential,
+                                     evaluate_barnes_hut(tree, cfg).potential);
+  }
+  {
+    EvalConfig cfg = base_config();
+    cfg.alpha = 0.3;
+    err_tight = relative_error_2norm(exact.potential,
+                                     evaluate_barnes_hut(tree, cfg).potential);
+  }
+  EXPECT_LT(err_tight, err_loose);
+}
+
+TEST(BarnesHut, ThreadCountDoesNotChangeResults) {
+  const ParticleSystem ps = dist::gaussian_ball(4000, 5);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.threads = 0;
+  const EvalResult serial = evaluate_barnes_hut(tree, cfg);
+  for (unsigned t : {2u, 5u, 8u}) {
+    cfg.threads = t;
+    const EvalResult par = evaluate_barnes_hut(tree, cfg);
+    // Identical traversal per particle => bitwise-identical results.
+    EXPECT_EQ(par.potential, serial.potential) << "threads=" << t;
+    // Cost counters are scheduling-independent too.
+    EXPECT_EQ(par.stats.multipole_terms, serial.stats.multipole_terms);
+    EXPECT_EQ(par.stats.p2p_pairs, serial.stats.p2p_pairs);
+  }
+}
+
+TEST(BarnesHut, AdaptiveAtLeastAsAccurateAsFixedSameBaseDegree) {
+  // The new method can only raise degrees, so at the same base degree its
+  // error must not exceed the fixed method's (allowing rounding noise).
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const ParticleSystem ps = dist::uniform_cube(3000, seed);
+    const Tree tree(ps);
+    const EvalResult exact = evaluate_direct(ps);
+    EvalConfig cfg = base_config();
+    cfg.degree = 3;
+    const double err_fixed =
+        relative_error_2norm(exact.potential, evaluate_barnes_hut(tree, cfg).potential);
+    cfg.mode = DegreeMode::kAdaptive;
+    const double err_adaptive =
+        relative_error_2norm(exact.potential, evaluate_barnes_hut(tree, cfg).potential);
+    EXPECT_LE(err_adaptive, err_fixed * 1.01) << "seed=" << seed;
+    EXPECT_LT(err_adaptive, err_fixed * 0.5)
+        << "adaptive should be substantially better, seed=" << seed;
+  }
+}
+
+TEST(BarnesHut, AdaptiveDegreesGrowTowardRoot) {
+  const ParticleSystem ps = dist::uniform_cube(4000, 14);
+  const Tree tree(ps, {.leaf_capacity = 4});
+  EvalConfig cfg = base_config();
+  cfg.mode = DegreeMode::kAdaptive;
+  // The pure-charge law is monotone up the tree unconditionally (parent
+  // charge >= child charge); the density law is only monotone where the
+  // tree branches, so test the guaranteed property on the charge law.
+  cfg.law = DegreeLaw::kCharge;
+  cfg.reference = DegreeReference::kMinLeaf;
+  const BarnesHutEvaluator eval(tree, cfg);
+  const auto& deg = eval.degrees().degree;
+  // Parent degree >= child degree (charge is hierarchical).
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& node = tree.node(i);
+    if (node.parent >= 0) {
+      EXPECT_GE(deg[static_cast<std::size_t>(node.parent)], deg[i]);
+    }
+  }
+  EXPECT_GT(eval.degrees().max_degree, cfg.degree);
+}
+
+TEST(BarnesHut, MaxInteractionBoundRespectsTheorem2Cap) {
+  // With adaptive degrees, every accepted interaction's Theorem-2 bound
+  // should be within a hair of the reference bound A_ref alpha^(p+1)/(1-a)/r
+  // ... the equalized level; with fixed degrees large clusters blow past it.
+  const ParticleSystem ps = dist::uniform_cube(5000, 15);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.degree = 3;
+  const EvalResult fixed = evaluate_barnes_hut(tree, cfg);
+  cfg.mode = DegreeMode::kAdaptive;
+  const EvalResult adaptive = evaluate_barnes_hut(tree, cfg);
+  EXPECT_LT(adaptive.stats.max_interaction_bound, fixed.stats.max_interaction_bound);
+}
+
+TEST(BarnesHut, GradientMatchesDirect) {
+  const ParticleSystem ps = dist::uniform_cube(1500, 16, dist::ChargeModel::kMixedSign);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.degree = 8;
+  cfg.alpha = 0.4;
+  cfg.compute_gradient = true;
+  const EvalResult bh = evaluate_barnes_hut(tree, cfg);
+  const EvalResult exact = evaluate_direct(ps, 0, /*compute_gradient=*/true);
+  ASSERT_EQ(bh.gradient.size(), ps.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    num += norm2(bh.gradient[i] - exact.gradient[i]);
+    den += norm2(exact.gradient[i]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-3);
+}
+
+TEST(BarnesHut, EvaluateAtExternalPoints) {
+  const ParticleSystem ps = dist::uniform_cube(2000, 17);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.degree = 7;
+  ThreadPool pool(0);
+  const BarnesHutEvaluator eval(tree, cfg);
+  const std::vector<Vec3> points{{2.0, 2.0, 2.0}, {0.5, 0.5, 0.5}, {-1.0, 0.0, 0.0}};
+  const EvalResult at = eval.evaluate_at(pool, points);
+  const EvalResult exact = evaluate_direct_at(ps, points);
+  ASSERT_EQ(at.potential.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_NEAR(at.potential[i], exact.potential[i],
+                2e-4 * std::abs(exact.potential[i]));
+  }
+}
+
+TEST(BarnesHut, PerParticleErrorBoundIsRigorous) {
+  // With track_error_bounds, every particle's accumulated Theorem-1 bound
+  // must dominate its actual error against direct summation — across MAC
+  // settings, degree modes, and distributions.
+  for (double alpha : {0.4, 0.7}) {
+    for (const bool adaptive : {false, true}) {
+      const ParticleSystem ps = dist::overlapped_gaussians(2500, 3, 21, 0.08);
+      const Tree tree(ps);
+      EvalConfig cfg;
+      cfg.alpha = alpha;
+      cfg.degree = 3;
+      cfg.mode = adaptive ? DegreeMode::kAdaptive : DegreeMode::kFixed;
+      cfg.track_error_bounds = true;
+      const EvalResult r = evaluate_barnes_hut(tree, cfg);
+      const EvalResult exact = evaluate_direct(ps);
+      ASSERT_EQ(r.error_bound.size(), ps.size());
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double err = std::abs(r.potential[i] - exact.potential[i]);
+        EXPECT_LE(err, r.error_bound[i] * (1.0 + 1e-9) + 1e-12)
+            << "i=" << i << " alpha=" << alpha << " adaptive=" << adaptive;
+      }
+    }
+  }
+}
+
+TEST(BarnesHut, ErrorBoundVectorEmptyWhenNotRequested) {
+  const ParticleSystem ps = dist::uniform_cube(200, 22);
+  const Tree tree(ps);
+  const EvalResult r = evaluate_barnes_hut(tree, base_config());
+  EXPECT_TRUE(r.error_bound.empty());
+}
+
+TEST(BarnesHut, AdaptiveTightensPerParticleBounds) {
+  const ParticleSystem ps = dist::uniform_cube(4000, 23);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.degree = 3;
+  cfg.track_error_bounds = true;
+  const EvalResult fixed = evaluate_barnes_hut(tree, cfg);
+  cfg.mode = DegreeMode::kAdaptive;
+  const EvalResult adaptive = evaluate_barnes_hut(tree, cfg);
+  double sum_fixed = 0.0;
+  double sum_adaptive = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    sum_fixed += fixed.error_bound[i];
+    sum_adaptive += adaptive.error_bound[i];
+  }
+  EXPECT_LT(sum_adaptive, sum_fixed);
+}
+
+TEST(BarnesHut, EmptyTree) {
+  const Tree tree(ParticleSystem{});
+  const EvalResult r = evaluate_barnes_hut(tree, base_config());
+  EXPECT_TRUE(r.potential.empty());
+}
+
+TEST(BarnesHut, StoredCoefficientsLargerForAdaptive) {
+  const ParticleSystem ps = dist::uniform_cube(3000, 18);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  const BarnesHutEvaluator fixed(tree, cfg);
+  cfg.mode = DegreeMode::kAdaptive;
+  const BarnesHutEvaluator adaptive(tree, cfg);
+  EXPECT_GT(adaptive.stored_coefficients(), fixed.stored_coefficients());
+}
+
+TEST(DegreePolicy, InvalidConfigsThrow) {
+  const ParticleSystem ps = dist::uniform_cube(100, 19);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.alpha = 1.5;
+  EXPECT_THROW(assign_degrees(tree, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.alpha = 0.0;
+  EXPECT_THROW(assign_degrees(tree, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.max_degree = 2;
+  cfg.degree = 5;
+  EXPECT_THROW(assign_degrees(tree, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.max_degree = 1000;
+  EXPECT_THROW(assign_degrees(tree, cfg), std::invalid_argument);
+}
+
+TEST(DegreePolicy, ReferenceModes) {
+  const ParticleSystem ps = dist::uniform_cube(1000, 20);
+  const Tree tree(ps);
+  EvalConfig cfg = base_config();
+  cfg.mode = DegreeMode::kAdaptive;
+  cfg.law = DegreeLaw::kCharge;
+  cfg.reference = DegreeReference::kMinLeaf;
+  const DegreeAssignment d1 = assign_degrees(tree, cfg);
+  EXPECT_DOUBLE_EQ(d1.reference_charge, tree.min_leaf_abs_charge());
+  cfg.reference = DegreeReference::kMeanLeaf;
+  const DegreeAssignment d2 = assign_degrees(tree, cfg);
+  EXPECT_DOUBLE_EQ(d2.reference_charge, tree.mean_leaf_abs_charge());
+  // Mean >= min reference => degrees can only shrink.
+  EXPECT_LE(d2.max_degree, d1.max_degree);
+  cfg.reference = DegreeReference::kExplicit;
+  cfg.reference_charge = 123.0;
+  const DegreeAssignment d3 = assign_degrees(tree, cfg);
+  EXPECT_DOUBLE_EQ(d3.reference_charge, 123.0);
+}
+
+}  // namespace
+}  // namespace treecode

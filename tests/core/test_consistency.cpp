@@ -1,0 +1,171 @@
+// Cross-evaluator consistency sweeps: parameterized property tests pinning
+// the relationships between the four evaluation paths (direct, BH fixed,
+// BH adaptive, FMM) across distributions, MAC settings, and degrees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/direct.hpp"
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace treecode {
+namespace {
+
+enum class Dist { kUniform, kGaussian, kOverlapped, kShell, kGalaxy };
+
+ParticleSystem make_dist(Dist d, std::size_t n, std::uint64_t seed) {
+  switch (d) {
+    case Dist::kUniform:
+      return dist::uniform_cube(n, seed, dist::ChargeModel::kUniform);
+    case Dist::kGaussian:
+      return dist::gaussian_ball(n, seed);
+    case Dist::kOverlapped:
+      return dist::overlapped_gaussians(n, 3, seed, 0.07);
+    case Dist::kShell:
+      return dist::spherical_shell(n, seed);
+    case Dist::kGalaxy:
+      return dist::galaxy_disk(n, seed);
+  }
+  return {};
+}
+
+std::string dist_name(Dist d) {
+  switch (d) {
+    case Dist::kUniform:
+      return "uniform";
+    case Dist::kGaussian:
+      return "gaussian";
+    case Dist::kOverlapped:
+      return "overlapped";
+    case Dist::kShell:
+      return "shell";
+    case Dist::kGalaxy:
+      return "galaxy";
+  }
+  return "?";
+}
+
+class EvaluatorConsistency : public ::testing::TestWithParam<std::tuple<Dist, double>> {};
+
+TEST_P(EvaluatorConsistency, AllMethodsAgreeWithinBoundedError) {
+  const auto [d, alpha] = GetParam();
+  const ParticleSystem ps = make_dist(d, 2500, 71);
+  const Tree tree(ps);
+  const EvalResult exact = evaluate_direct(ps, 2);
+
+  EvalConfig cfg;
+  cfg.alpha = alpha;
+  cfg.degree = 6;
+  cfg.threads = 2;
+
+  const EvalResult bh = evaluate_potentials(tree, cfg, Method::kBarnesHut);
+  cfg.mode = DegreeMode::kAdaptive;
+  const EvalResult bh_a = evaluate_potentials(tree, cfg, Method::kBarnesHut);
+  const EvalResult fmm = evaluate_potentials(tree, cfg, Method::kFmm);
+
+  // Loose but universal accuracy expectations at degree 6.
+  const double tol = alpha <= 0.5 ? 1e-4 : 1e-3;
+  EXPECT_LT(relative_error_2norm(exact.potential, bh.potential), tol) << dist_name(d);
+  EXPECT_LT(relative_error_2norm(exact.potential, bh_a.potential), tol) << dist_name(d);
+  EXPECT_LT(relative_error_2norm(exact.potential, fmm.potential), tol) << dist_name(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EvaluatorConsistency,
+    ::testing::Combine(::testing::Values(Dist::kUniform, Dist::kGaussian, Dist::kOverlapped,
+                                         Dist::kShell, Dist::kGalaxy),
+                       ::testing::Values(0.4, 0.7)));
+
+TEST(EvaluatorConsistency, SelfEvaluationMatchesEvaluateAtSamePoints) {
+  // evaluate() at the particles differs from evaluate_at(particle
+  // positions) only by self-interaction handling: both skip r == 0
+  // sources, so they must agree exactly.
+  const ParticleSystem ps = dist::uniform_cube(800, 73);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 5;
+  ThreadPool pool(0);
+  const BarnesHutEvaluator eval(tree, cfg);
+  const EvalResult self = eval.evaluate(pool);
+  const EvalResult at = eval.evaluate_at(pool, ps.positions());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(self.potential[i], at.potential[i]) << i;
+  }
+}
+
+TEST(EvaluatorConsistency, GradientConsistencyAcrossMethods) {
+  const ParticleSystem ps = dist::gaussian_ball(1200, 77);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.45;
+  cfg.degree = 8;
+  cfg.compute_gradient = true;
+  cfg.mode = DegreeMode::kAdaptive;
+  const EvalResult bh = evaluate_potentials(tree, cfg, Method::kBarnesHut);
+  const EvalResult fmm = evaluate_potentials(tree, cfg, Method::kFmm);
+  const EvalResult exact = evaluate_direct(ps, 0, true);
+  double bh_err = 0.0;
+  double fmm_err = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    bh_err += norm2(bh.gradient[i] - exact.gradient[i]);
+    fmm_err += norm2(fmm.gradient[i] - exact.gradient[i]);
+    den += norm2(exact.gradient[i]);
+  }
+  EXPECT_LT(std::sqrt(bh_err / den), 1e-3);
+  EXPECT_LT(std::sqrt(fmm_err / den), 1e-3);
+}
+
+TEST(EvaluatorConsistency, CollapsedTreeGivesSameAccuracy) {
+  // Chain collapsing changes the tree's shape, not the physics: both
+  // evaluators stay within the usual accuracy on a clustered distribution.
+  const ParticleSystem ps = dist::overlapped_gaussians(3000, 3, 81, 0.015);
+  const Tree plain(ps, {.leaf_capacity = 8, .collapse_chains = false});
+  const Tree collapsed(ps, {.leaf_capacity = 8, .collapse_chains = true});
+  EXPECT_LE(collapsed.num_nodes(), plain.num_nodes());
+  const EvalResult exact = evaluate_direct(ps, 2);
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 6;
+  cfg.mode = DegreeMode::kAdaptive;
+  for (const Tree* tree : {&plain, &collapsed}) {
+    EXPECT_LT(relative_error_2norm(exact.potential,
+                                   evaluate_barnes_hut(*tree, cfg).potential),
+              1e-4);
+    EXPECT_LT(relative_error_2norm(exact.potential, evaluate_fmm(*tree, cfg).potential),
+              1e-4);
+  }
+}
+
+TEST(EvaluatorConsistency, TreeRebuildInvariance) {
+  // Building the tree from a permuted copy of the same particles must give
+  // the same potentials (to rounding): results are properties of the
+  // particle *set*, not its ordering.
+  ParticleSystem ps = dist::uniform_cube(1000, 79);
+  const Tree tree1(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 6;
+  const EvalResult r1 = evaluate_potentials(tree1, cfg);
+
+  // Reverse the particle order.
+  std::vector<std::size_t> perm(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) perm[i] = ps.size() - 1 - i;
+  ps.permute(perm);
+  const Tree tree2(ps);
+  const EvalResult r2 = evaluate_potentials(tree2, cfg);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    // r2 is in the permuted order; undo it for comparison.
+    EXPECT_NEAR(r2.potential[i], r1.potential[perm[i]],
+                1e-9 * std::abs(r1.potential[perm[i]]))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct.hpp"
+#include "dist/distributions.hpp"
+#include "multipole/operators.hpp"
+#include "util/stats.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Direct, TwoBodyClosedForm) {
+  ParticleSystem ps;
+  ps.add({0, 0, 0}, 2.0);
+  ps.add({2, 0, 0}, -3.0);
+  const EvalResult r = evaluate_direct(ps);
+  EXPECT_DOUBLE_EQ(r.potential[0], -1.5);  // -3/2
+  EXPECT_DOUBLE_EQ(r.potential[1], 1.0);   // 2/2
+}
+
+TEST(Direct, ThreadInvariance) {
+  const ParticleSystem ps = dist::uniform_cube(1500, 31, dist::ChargeModel::kMixedSign);
+  const EvalResult serial = evaluate_direct(ps, 0);
+  for (unsigned t : {2u, 7u}) {
+    const EvalResult par = evaluate_direct(ps, t);
+    EXPECT_EQ(par.potential, serial.potential) << "threads=" << t;
+  }
+}
+
+TEST(Direct, GradientNewtonsThirdLaw) {
+  // For equal charges, sum of forces (q * -grad phi) is zero.
+  const ParticleSystem ps = dist::uniform_cube(300, 33);
+  const EvalResult r = evaluate_direct(ps, 0, /*compute_gradient=*/true);
+  Vec3 total{};
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    total += r.gradient[i] * (-ps.charge(i));
+  }
+  EXPECT_NEAR(norm(total), 0.0, 1e-9);
+}
+
+TEST(Direct, EvaluateAtMatchesKernel) {
+  ParticleSystem ps;
+  ps.add({0, 0, 0}, 1.0);
+  ps.add({1, 1, 1}, 2.0);
+  const std::vector<Vec3> points{{3, 0, 0}, {0, 0, 0}};
+  const EvalResult r = evaluate_direct_at(ps, points);
+  EXPECT_DOUBLE_EQ(r.potential[0], p2p(points[0], ps.positions(), ps.charges()));
+  // Point coinciding with a source: that source is skipped.
+  EXPECT_DOUBLE_EQ(r.potential[1], 2.0 / std::sqrt(3.0));
+}
+
+TEST(Direct, EmptyInputs) {
+  const ParticleSystem empty;
+  EXPECT_TRUE(evaluate_direct(empty).potential.empty());
+  const ParticleSystem ps({{0, 0, 0}}, {1.0});
+  const EvalResult r = evaluate_direct_at(ps, std::vector<Vec3>{});
+  EXPECT_TRUE(r.potential.empty());
+}
+
+TEST(Direct, StatsCountPairs) {
+  const ParticleSystem ps = dist::uniform_cube(100, 35);
+  const EvalResult r = evaluate_direct(ps, 3);
+  EXPECT_EQ(r.stats.p2p_pairs, 100u * 100u);
+  EXPECT_EQ(r.stats.work.total_work(), 100u * 100u);
+}
+
+}  // namespace
+}  // namespace treecode

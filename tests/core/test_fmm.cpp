@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct.hpp"
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace treecode {
+namespace {
+
+EvalConfig fmm_config(int degree = 6, double alpha = 0.6) {
+  EvalConfig cfg;
+  cfg.alpha = alpha;
+  cfg.degree = degree;
+  return cfg;
+}
+
+TEST(Fmm, MatchesDirectOnSmallSystem) {
+  const ParticleSystem ps = dist::uniform_cube(300, 1, dist::ChargeModel::kMixedSign);
+  const Tree tree(ps, {.leaf_capacity = 8});
+  const EvalResult fmm = evaluate_fmm(tree, fmm_config(8, 0.5));
+  const EvalResult exact = evaluate_direct(ps);
+  EXPECT_LT(relative_error_2norm(exact.potential, fmm.potential), 1e-5);
+  EXPECT_GT(fmm.stats.m2l_count, 0u);
+}
+
+TEST(Fmm, ErrorDecreasesWithDegree) {
+  const ParticleSystem ps = dist::uniform_cube(2000, 2);
+  const Tree tree(ps);
+  const EvalResult exact = evaluate_direct(ps);
+  double prev = 1e9;
+  for (int p : {2, 4, 6, 8}) {
+    const EvalResult fmm = evaluate_fmm(tree, fmm_config(p, 0.5));
+    const double err = relative_error_2norm(exact.potential, fmm.potential);
+    EXPECT_LT(err, prev * 1.2) << "p=" << p;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-5);
+}
+
+TEST(Fmm, HandlesUnstructuredDistributions) {
+  const ParticleSystem ps = dist::overlapped_gaussians(3000, 4, 3, 0.05);
+  const Tree tree(ps);
+  const EvalResult fmm = evaluate_fmm(tree, fmm_config(8, 0.5));
+  const EvalResult exact = evaluate_direct(ps);
+  EXPECT_LT(relative_error_2norm(exact.potential, fmm.potential), 1e-4);
+}
+
+TEST(Fmm, AdaptiveModeWorks) {
+  const ParticleSystem ps = dist::uniform_cube(3000, 4);
+  const Tree tree(ps);
+  EvalConfig cfg = fmm_config(3, 0.5);
+  const EvalResult exact = evaluate_direct(ps);
+  const double err_fixed =
+      relative_error_2norm(exact.potential, evaluate_fmm(tree, cfg).potential);
+  cfg.mode = DegreeMode::kAdaptive;
+  const double err_adaptive =
+      relative_error_2norm(exact.potential, evaluate_fmm(tree, cfg).potential);
+  EXPECT_LT(err_adaptive, err_fixed);
+}
+
+TEST(Fmm, GradientMatchesDirect) {
+  const ParticleSystem ps = dist::uniform_cube(1000, 5, dist::ChargeModel::kMixedSign);
+  const Tree tree(ps);
+  EvalConfig cfg = fmm_config(8, 0.5);
+  cfg.compute_gradient = true;
+  const EvalResult fmm = evaluate_fmm(tree, cfg);
+  const EvalResult exact = evaluate_direct(ps, 0, true);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    num += norm2(fmm.gradient[i] - exact.gradient[i]);
+    den += norm2(exact.gradient[i]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-3);
+}
+
+TEST(Fmm, TermCostGrowsSlowerThanBarnesHut) {
+  // FMM's cluster-cluster interactions amortize: its term-operation count
+  // grows ~linearly in n while BH's grows ~n log n, so the growth factor
+  // over a 4x size increase must be smaller for FMM.
+  // Note the sizes: below ~16k particles the domain is only a few cells
+  // wide and the M2L interaction lists are still boundary-truncated, so the
+  // FMM's cost is in a superlinear warm-up regime; the asymptotic behavior
+  // appears once the tree is a few levels deep.
+  EvalConfig cfg = fmm_config(5, 0.5);
+  cfg.threads = 4;
+  auto run = [&](std::size_t n) {
+    const ParticleSystem ps = dist::uniform_cube(n, 6);
+    const Tree tree(ps, {.leaf_capacity = 16});
+    const EvalStats fs = evaluate_fmm(tree, cfg).stats;
+    const EvalStats bs = evaluate_barnes_hut(tree, cfg).stats;
+    return std::pair{fs.multipole_terms + fs.p2p_pairs,
+                     bs.multipole_terms + bs.p2p_pairs};
+  };
+  const auto [fmm_small, bh_small] = run(16000);
+  const auto [fmm_large, bh_large] = run(64000);
+  const double fmm_growth =
+      static_cast<double>(fmm_large) / static_cast<double>(fmm_small);
+  const double bh_growth = static_cast<double>(bh_large) / static_cast<double>(bh_small);
+  EXPECT_LT(fmm_growth, bh_growth);
+}
+
+TEST(Fmm, ThreadCountDoesNotChangeResults) {
+  // The two-phase formulation groups all writes by target, so results are
+  // bitwise identical regardless of worker count.
+  const ParticleSystem ps = dist::overlapped_gaussians(3000, 3, 9, 0.07);
+  const Tree tree(ps);
+  EvalConfig cfg = fmm_config(6, 0.5);
+  cfg.threads = 0;
+  const EvalResult serial = evaluate_fmm(tree, cfg);
+  for (unsigned t : {2u, 6u}) {
+    cfg.threads = t;
+    const EvalResult par = evaluate_fmm(tree, cfg);
+    EXPECT_EQ(par.potential, serial.potential) << "threads=" << t;
+    EXPECT_EQ(par.stats.m2l_count, serial.stats.m2l_count);
+    EXPECT_EQ(par.stats.p2p_pairs, serial.stats.p2p_pairs);
+  }
+}
+
+TEST(Fmm, RotationTranslationsMatchDense) {
+  // The O(p^3) rotation-accelerated M2L/L2L path must agree with the dense
+  // path to rounding on the final potentials.
+  const ParticleSystem ps = dist::overlapped_gaussians(2500, 3, 15, 0.08);
+  const Tree tree(ps);
+  EvalConfig cfg = fmm_config(8, 0.5);
+  cfg.mode = DegreeMode::kAdaptive;
+  const EvalResult dense = evaluate_fmm(tree, cfg);
+  cfg.use_rotation_translations = true;
+  const EvalResult rotated = evaluate_fmm(tree, cfg);
+  ASSERT_EQ(dense.potential.size(), rotated.potential.size());
+  for (std::size_t i = 0; i < dense.potential.size(); ++i) {
+    EXPECT_NEAR(rotated.potential[i], dense.potential[i],
+                1e-9 * (1.0 + std::abs(dense.potential[i])))
+        << i;
+  }
+}
+
+TEST(Fmm, EmptyTree) {
+  const Tree tree(ParticleSystem{});
+  const EvalResult r = evaluate_fmm(tree, fmm_config());
+  EXPECT_TRUE(r.potential.empty());
+}
+
+TEST(Facade, MethodDispatch) {
+  const ParticleSystem ps = dist::uniform_cube(500, 7);
+  const Tree tree(ps);
+  const EvalConfig cfg = fmm_config(8, 0.4);
+  const EvalResult direct = evaluate_potentials(tree, cfg, Method::kDirect);
+  const EvalResult bh = evaluate_potentials(tree, cfg, Method::kBarnesHut);
+  const EvalResult fmm = evaluate_potentials(tree, cfg, Method::kFmm);
+  const EvalResult reference = evaluate_direct(ps);
+  EXPECT_LT(relative_error_2norm(reference.potential, direct.potential), 1e-12);
+  EXPECT_LT(relative_error_2norm(reference.potential, bh.potential), 1e-4);
+  EXPECT_LT(relative_error_2norm(reference.potential, fmm.potential), 1e-4);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distributions.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Distributions, UniformCubeInBoundsAndDeterministic) {
+  const ParticleSystem a = dist::uniform_cube(500, 7);
+  const ParticleSystem b = dist::uniform_cube(500, 7);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+    const Vec3& p = a.position(i);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LE(p.z, 1.0);
+    EXPECT_DOUBLE_EQ(a.charge(i), 1.0);
+  }
+}
+
+TEST(Distributions, DifferentSeedsDiffer) {
+  const ParticleSystem a = dist::uniform_cube(100, 1);
+  const ParticleSystem b = dist::uniform_cube(100, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.position(i) == b.position(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Distributions, ChargeModels) {
+  const ParticleSystem u = dist::uniform_cube(200, 3, dist::ChargeModel::kUniform);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_GE(u.charge(i), 0.5);
+    EXPECT_LE(u.charge(i), 1.5);
+  }
+  const ParticleSystem m = dist::uniform_cube(200, 3, dist::ChargeModel::kMixedSign);
+  bool has_neg = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.charge(i)), 1.0);
+    if (m.charge(i) < 0) has_neg = true;
+  }
+  EXPECT_TRUE(has_neg);
+}
+
+TEST(Distributions, GaussianBallIsConcentrated) {
+  const ParticleSystem g = dist::gaussian_ball(2000, 11, 0.1);
+  // Most mass within 3 sigma of the center.
+  std::size_t near = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (distance(g.position(i), {0.5, 0.5, 0.5}) < 0.3 * std::sqrt(3.0)) ++near;
+  }
+  EXPECT_GT(near, g.size() * 9 / 10);
+}
+
+TEST(Distributions, OverlappedGaussiansClusterCount) {
+  const ParticleSystem g = dist::overlapped_gaussians(1000, 4, 13, 0.03);
+  ASSERT_EQ(g.size(), 1000u);
+  // All points clamped into the unit cube.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_TRUE((Aabb{{0, 0, 0}, {1, 1, 1}}).contains(g.position(i)));
+  }
+}
+
+TEST(Distributions, OverlappedGaussiansZeroClustersSafe) {
+  const ParticleSystem g = dist::overlapped_gaussians(50, 0, 13);
+  EXPECT_EQ(g.size(), 50u);
+}
+
+TEST(Distributions, SphericalShellRadius) {
+  const ParticleSystem s = dist::spherical_shell(300, 17);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(distance(s.position(i), {0.5, 0.5, 0.5}), 0.5, 1e-12);
+  }
+}
+
+TEST(Distributions, GalaxyDiskIsFlattened) {
+  const ParticleSystem g = dist::galaxy_disk(3000, 23);
+  ASSERT_EQ(g.size(), 3000u);
+  // Vertical spread much smaller than radial spread.
+  double var_r = 0.0;
+  double var_z = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Vec3 d = g.position(i) - Vec3{0.5, 0.5, 0.5};
+    var_r += d.x * d.x + d.y * d.y;
+    var_z += d.z * d.z;
+  }
+  EXPECT_LT(var_z * 20.0, var_r);
+  // Mass normalized.
+  double total = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) total += g.charge(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Stays in the unit cube.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_TRUE((Aabb{{0, 0, 0}, {1, 1, 1}}).contains(g.position(i)));
+  }
+}
+
+TEST(Distributions, PlummerMassNormalized) {
+  const ParticleSystem p = dist::plummer(400, 19, 0.05);
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += p.charge(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Truncated at 10 scale radii around the center.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LE(distance(p.position(i), {0.5, 0.5, 0.5}), 0.5 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace treecode

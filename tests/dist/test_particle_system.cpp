@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dist/particle_system.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(ParticleSystem, ConstructFromArrays) {
+  ParticleSystem ps({{0, 0, 0}, {1, 1, 1}}, {2.0, -3.0});
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.position(1), (Vec3{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(ps.charge(0), 2.0);
+  EXPECT_DOUBLE_EQ(ps.total_abs_charge(), 5.0);
+}
+
+TEST(ParticleSystem, SizeMismatchThrows) {
+  EXPECT_THROW(ParticleSystem({{0, 0, 0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ParticleSystem, AddAndBounds) {
+  ParticleSystem ps;
+  EXPECT_TRUE(ps.empty());
+  ps.add({0, 0, 0}, 1.0);
+  ps.add({2, -1, 3}, -1.0);
+  EXPECT_EQ(ps.size(), 2u);
+  const Aabb b = ps.bounds();
+  EXPECT_EQ(b.lo, (Vec3{0, -1, 0}));
+  EXPECT_EQ(b.hi, (Vec3{2, 0, 3}));
+}
+
+TEST(ParticleSystem, Permute) {
+  ParticleSystem ps({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}, {10, 20, 30});
+  ps.permute({2, 0, 1});
+  EXPECT_DOUBLE_EQ(ps.charge(0), 30);
+  EXPECT_DOUBLE_EQ(ps.charge(1), 10);
+  EXPECT_DOUBLE_EQ(ps.charge(2), 20);
+  EXPECT_EQ(ps.position(0), (Vec3{2, 0, 0}));
+}
+
+TEST(ParticleSystem, PermuteRejectsBadInput) {
+  ParticleSystem ps({{0, 0, 0}, {1, 0, 0}}, {1, 2});
+  EXPECT_THROW(ps.permute({0}), std::invalid_argument);
+  EXPECT_THROW(ps.permute({0, 0}), std::invalid_argument);
+  EXPECT_THROW(ps.permute({0, 5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/aabb.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Aabb, DefaultIsEmpty) {
+  const Aabb b;
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Aabb, ExpandPoints) {
+  Aabb b;
+  b.expand({1, 2, 3});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.lo, (Vec3{1, 2, 3}));
+  EXPECT_EQ(b.hi, (Vec3{1, 2, 3}));
+  b.expand({-1, 5, 0});
+  EXPECT_EQ(b.lo, (Vec3{-1, 2, 0}));
+  EXPECT_EQ(b.hi, (Vec3{1, 5, 3}));
+}
+
+TEST(Aabb, CenterExtents) {
+  Aabb b;
+  b.expand({0, 0, 0});
+  b.expand({2, 4, 6});
+  EXPECT_EQ(b.center(), (Vec3{1, 2, 3}));
+  EXPECT_EQ(b.extents(), (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(b.max_extent(), 6.0);
+  EXPECT_DOUBLE_EQ(b.bounding_radius(), 0.5 * std::sqrt(4.0 + 16.0 + 36.0));
+}
+
+TEST(Aabb, Contains) {
+  Aabb b;
+  b.expand({0, 0, 0});
+  b.expand({1, 1, 1});
+  EXPECT_TRUE(b.contains({0.5, 0.5, 0.5}));
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({1, 1, 1}));
+  EXPECT_FALSE(b.contains({1.001, 0.5, 0.5}));
+}
+
+TEST(Aabb, BoundingCubeIsCubicAndContains) {
+  Aabb b;
+  b.expand({0, 0, 0});
+  b.expand({2, 4, 1});
+  const Aabb cube = b.bounding_cube();
+  const Vec3 e = cube.extents();
+  EXPECT_DOUBLE_EQ(e.x, 4.0);
+  EXPECT_DOUBLE_EQ(e.y, 4.0);
+  EXPECT_DOUBLE_EQ(e.z, 4.0);
+  EXPECT_EQ(cube.center(), b.center());
+  EXPECT_TRUE(cube.contains(b.lo));
+  EXPECT_TRUE(cube.contains(b.hi));
+}
+
+TEST(Aabb, MergeBox) {
+  Aabb a;
+  a.expand({0, 0, 0});
+  Aabb b;
+  b.expand({5, -2, 3});
+  a.merge(b);
+  EXPECT_EQ(a.lo, (Vec3{0, -2, 0}));
+  EXPECT_EQ(a.hi, (Vec3{5, 0, 3}));
+}
+
+TEST(Aabb, BoundingBoxOfRange) {
+  const std::vector<Vec3> pts{{0, 1, 2}, {3, -1, 0}, {1, 1, 5}};
+  const Aabb b = bounding_box(pts.begin(), pts.end());
+  EXPECT_EQ(b.lo, (Vec3{0, -1, 0}));
+  EXPECT_EQ(b.hi, (Vec3{3, 1, 5}));
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/morton.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint32_t> u(0, (1u << kSfcBitsPerAxis) - 1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t x = u(rng);
+    const std::uint32_t y = u(rng);
+    const std::uint32_t z = u(rng);
+    const GridCoord g = morton_decode(morton_encode(x, y, z));
+    EXPECT_EQ(g, (GridCoord{x, y, z}));
+  }
+}
+
+TEST(Morton, KnownSmallValues) {
+  EXPECT_EQ(morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+  EXPECT_EQ(morton_encode(1, 1, 1), 7u);
+  EXPECT_EQ(morton_encode(2, 0, 0), 8u);
+}
+
+TEST(Morton, OrderRefinesOctants) {
+  // All keys in the low octant (coords < 2^20) are below all keys with any
+  // top bit set: Morton order respects octree hierarchy.
+  const std::uint32_t half = 1u << (kSfcBitsPerAxis - 1);
+  EXPECT_LT(morton_encode(half - 1, half - 1, half - 1), morton_encode(0, 0, half));
+}
+
+TEST(Quantize, MapsCornersAndCenter) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  const std::uint32_t last = (1u << kSfcBitsPerAxis) - 1;
+  EXPECT_EQ(quantize({0, 0, 0}, box), (GridCoord{0, 0, 0}));
+  EXPECT_EQ(quantize({1, 1, 1}, box), (GridCoord{last, last, last}));
+  const GridCoord mid = quantize({0.5, 0.5, 0.5}, box);
+  EXPECT_EQ(mid.x, 1u << (kSfcBitsPerAxis - 1));
+}
+
+TEST(Quantize, DegenerateBoxIsSafe) {
+  Aabb box;
+  box.expand({0.5, 0.5, 0.5});  // zero-extent box
+  EXPECT_EQ(quantize({0.5, 0.5, 0.5}, box), (GridCoord{0, 0, 0}));
+}
+
+TEST(MortonKey, MonotoneAlongDiagonal) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  std::uint64_t prev = 0;
+  for (int i = 1; i < 16; ++i) {
+    const double t = i / 16.0;
+    const std::uint64_t k = morton_key({t, t, t}, box);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "geom/vec3.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, -5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, -3, 9}));
+  EXPECT_EQ(a - b, (Vec3{-3, 7, -3}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3 a{1, 0, 0};
+  const Vec3 b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+  EXPECT_EQ(cross(a, b), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec3{3, 4, 0}), 25.0);
+  EXPECT_DOUBLE_EQ(distance(Vec3{1, 1, 1}, Vec3{1, 1, 4}), 3.0);
+}
+
+TEST(Vec3, Normalized) {
+  const Vec3 v = normalized({0, 0, 5});
+  EXPECT_DOUBLE_EQ(v.z, 1.0);
+  EXPECT_DOUBLE_EQ(norm(v), 1.0);
+}
+
+TEST(Vec3, MinMaxComponentwise) {
+  const Vec3 a{1, 5, -2};
+  const Vec3 b{3, 2, -7};
+  EXPECT_EQ(min(a, b), (Vec3{1, 2, -7}));
+  EXPECT_EQ(max(a, b), (Vec3{3, 5, -2}));
+}
+
+TEST(Vec3, IndexOperator) {
+  const Vec3 a{7, 8, 9};
+  EXPECT_DOUBLE_EQ(a[0], 7);
+  EXPECT_DOUBLE_EQ(a[1], 8);
+  EXPECT_DOUBLE_EQ(a[2], 9);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(Spherical, RoundTripAxes) {
+  // +z axis: theta = 0
+  Spherical s = to_spherical({0, 0, 2});
+  EXPECT_DOUBLE_EQ(s.r, 2.0);
+  EXPECT_DOUBLE_EQ(s.theta, 0.0);
+  // -z axis: theta = pi
+  s = to_spherical({0, 0, -2});
+  EXPECT_DOUBLE_EQ(s.theta, M_PI);
+  // +x axis: theta = pi/2, phi = 0
+  s = to_spherical({3, 0, 0});
+  EXPECT_DOUBLE_EQ(s.theta, M_PI / 2);
+  EXPECT_DOUBLE_EQ(s.phi, 0.0);
+  // +y axis: phi = pi/2
+  s = to_spherical({0, 3, 0});
+  EXPECT_DOUBLE_EQ(s.phi, M_PI / 2);
+}
+
+TEST(Spherical, OriginIsAllZero) {
+  const Spherical s = to_spherical({0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.r, 0.0);
+  EXPECT_DOUBLE_EQ(s.theta, 0.0);
+  EXPECT_DOUBLE_EQ(s.phi, 0.0);
+}
+
+TEST(Spherical, ReconstructsCartesian) {
+  const Vec3 v{0.3, -1.2, 0.7};
+  const Spherical s = to_spherical(v);
+  EXPECT_NEAR(s.r * std::sin(s.theta) * std::cos(s.phi), v.x, 1e-14);
+  EXPECT_NEAR(s.r * std::sin(s.theta) * std::sin(s.phi), v.y, 1e-14);
+  EXPECT_NEAR(s.r * std::cos(s.theta), v.z, 1e-14);
+}
+
+}  // namespace
+}  // namespace treecode

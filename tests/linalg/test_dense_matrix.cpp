@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(DenseMatrix, Apply) {
+  DenseMatrix A(2, 3);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(0, 2) = 3;
+  A.at(1, 0) = 4;
+  A.at(1, 1) = 5;
+  A.at(1, 2) = 6;
+  const std::vector<double> x{1, 1, 1};
+  std::vector<double> y(2);
+  A.apply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+}
+
+TEST(DenseMatrix, ApplySizeMismatchThrows) {
+  DenseMatrix A(2, 2);
+  std::vector<double> x(3), y(2);
+  EXPECT_THROW(A.apply(x, y), std::invalid_argument);
+}
+
+TEST(DenseMatrix, SolveIdentity) {
+  DenseMatrix A(3, 3);
+  for (int i = 0; i < 3; ++i) A.at(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = 1.0;
+  const std::vector<double> b{1, 2, 3};
+  const std::vector<double> x = A.solve(b);
+  EXPECT_EQ(x, b);
+}
+
+TEST(DenseMatrix, SolveRandomSystemRoundTrip) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const std::size_t n = 25;
+  DenseMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) A.at(i, j) = u(rng);
+    A.at(i, i) += 5.0;  // diagonally dominant, well-conditioned
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = u(rng);
+  std::vector<double> b(n);
+  A.apply(x_true, b);
+  const std::vector<double> x = A.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(DenseMatrix, SolveNeedsPivoting) {
+  // Zero top-left pivot: fails without partial pivoting.
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 0;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = 0;
+  const std::vector<double> b{3.0, 7.0};
+  const std::vector<double> x = A.solve(b);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(DenseMatrix, SolveSingularThrows) {
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 4;
+  const std::vector<double> b{1, 2};
+  EXPECT_THROW(A.solve(b), std::runtime_error);
+}
+
+TEST(DenseMatrix, SolveNonSquareThrows) {
+  DenseMatrix A(2, 3);
+  const std::vector<double> b{1, 2};
+  EXPECT_THROW(A.solve(b), std::runtime_error);
+}
+
+TEST(DenseMatrix, Diagonal) {
+  DenseMatrix A(3, 3);
+  A.at(0, 0) = 1;
+  A.at(1, 1) = 2;
+  A.at(2, 2) = 3;
+  EXPECT_EQ(A.diagonal(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(FunctionOperator, WrapsCallable) {
+  const FunctionOperator op(2, 2, [](std::span<const double> x, std::span<double> y) {
+    y[0] = 2 * x[0];
+    y[1] = 3 * x[1];
+  });
+  const std::vector<double> x{1, 1};
+  std::vector<double> y(2);
+  op.apply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2);
+  EXPECT_DOUBLE_EQ(y[1], 3);
+}
+
+}  // namespace
+}  // namespace treecode

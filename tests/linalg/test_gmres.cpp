@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/gmres.hpp"
+
+namespace treecode {
+namespace {
+
+DenseMatrix random_dd_matrix(std::size_t n, std::uint64_t seed, double dominance = 4.0) {
+  // Genuinely diagonally dominant: off-diagonal row sums stay below 1.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  DenseMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) A.at(i, j) = u(rng) / static_cast<double>(n);
+    A.at(i, i) += dominance;
+  }
+  return A;
+}
+
+TEST(Gmres, SolvesIdentityInOneIteration) {
+  DenseMatrix A(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) A.at(i, i) = 1.0;
+  const std::vector<double> b{1, 2, 3, 4};
+  std::vector<double> x(4, 0.0);
+  const GmresResult r = gmres(A, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 1);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], b[i], 1e-10);
+}
+
+TEST(Gmres, SolvesRandomSystemToTolerance) {
+  const std::size_t n = 60;
+  const DenseMatrix A = random_dd_matrix(n, 5);
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = u(rng);
+  std::vector<double> b(n);
+  A.apply(x_true, b);
+  std::vector<double> x(n, 0.0);
+  GmresOptions opt;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 500;
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.relative_residual, 1e-10);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Gmres, RestartTenMatchesPaperSetup) {
+  // Restarted GMRES(10) must still converge on a well-conditioned system,
+  // just with more total iterations than full GMRES.
+  const std::size_t n = 80;
+  const DenseMatrix A = random_dd_matrix(n, 7);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x_full(n, 0.0), x_restart(n, 0.0);
+  GmresOptions full;
+  full.restart = static_cast<int>(n);
+  full.tolerance = 1e-9;
+  GmresOptions rst;
+  rst.restart = 10;
+  rst.tolerance = 1e-9;
+  rst.max_iterations = 2000;
+  const GmresResult rf = gmres(A, b, x_full, full);
+  const GmresResult rr = gmres(A, b, x_restart, rst);
+  EXPECT_TRUE(rf.converged);
+  EXPECT_TRUE(rr.converged);
+  EXPECT_GE(rr.iterations, rf.iterations);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_restart[i], x_full[i], 1e-6);
+}
+
+TEST(Gmres, ZeroRhsGivesZeroSolution) {
+  const DenseMatrix A = random_dd_matrix(5, 8);
+  const std::vector<double> b(5, 0.0);
+  std::vector<double> x(5, 3.0);  // nonzero initial guess
+  const GmresResult r = gmres(A, b, x);
+  EXPECT_TRUE(r.converged);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Gmres, WarmStartReducesIterations) {
+  const std::size_t n = 50;
+  const DenseMatrix A = random_dd_matrix(n, 9);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x_cold(n, 0.0);
+  GmresOptions opt;
+  opt.tolerance = 1e-10;
+  const GmresResult cold = gmres(A, b, x_cold, opt);
+  std::vector<double> x_warm = x_cold;  // start at the solution
+  const GmresResult warm = gmres(A, b, x_warm, opt);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 1);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Gmres, JacobiPreconditionerHelpsScaledSystem) {
+  // Badly *column*-scaled system: right Jacobi preconditioning rescales the
+  // columns and restores fast convergence.
+  const std::size_t n = 40;
+  std::mt19937_64 rng(10);
+  std::uniform_real_distribution<double> u(-0.2, 0.2);
+  DenseMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double scale = std::pow(10.0, static_cast<double>(j % 6));
+      A.at(i, j) = u(rng) * scale / static_cast<double>(n);
+      if (i == j) A.at(i, j) = scale;
+    }
+  }
+  std::vector<double> b(n, 1.0);
+  GmresOptions opt;
+  opt.tolerance = 1e-8;
+  opt.max_iterations = 400;
+  std::vector<double> x_plain(n, 0.0);
+  const GmresResult plain = gmres(A, b, x_plain, opt);
+  std::vector<double> x_pre(n, 0.0);
+  const GmresResult pre = gmres(A, b, x_pre, opt, jacobi_preconditioner(A.diagonal()));
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LE(pre.iterations, plain.iterations);
+}
+
+TEST(Gmres, ReportsNonConvergence) {
+  const std::size_t n = 30;
+  const DenseMatrix A = random_dd_matrix(n, 11, 0.0);  // not dominant: harder
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  GmresOptions opt;
+  opt.tolerance = 1e-14;
+  opt.max_iterations = 2;  // starve it
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.relative_residual, 1e-14);
+}
+
+TEST(Gmres, ResidualHistoryIsMonotoneWithinCycle) {
+  const std::size_t n = 50;
+  const DenseMatrix A = random_dd_matrix(n, 12);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  GmresOptions opt;
+  opt.restart = 50;
+  opt.tolerance = 1e-12;
+  const GmresResult r = gmres(A, b, x, opt);
+  ASSERT_GE(r.residual_history.size(), 2u);
+  for (std::size_t i = 1; i < r.residual_history.size(); ++i) {
+    EXPECT_LE(r.residual_history[i], r.residual_history[i - 1] * (1 + 1e-12));
+  }
+}
+
+TEST(Gmres, NonSquareOperatorThrows) {
+  DenseMatrix A(3, 2);
+  std::vector<double> b(3), x(2);
+  EXPECT_THROW(gmres(A, b, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "multipole/error_bounds.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Theorem1, FormulaAndEdgeCases) {
+  // A/(r-a) * (a/r)^(p+1)
+  EXPECT_DOUBLE_EQ(multipole_error_bound(2.0, 1.0, 2.0, 1), 2.0 / 1.0 * 0.25);
+  EXPECT_DOUBLE_EQ(multipole_error_bound(1.0, 0.0, 3.0, 4), 0.0);
+  EXPECT_TRUE(std::isinf(multipole_error_bound(1.0, 2.0, 2.0, 3)));
+  EXPECT_TRUE(std::isinf(multipole_error_bound(1.0, 3.0, 2.0, 3)));
+}
+
+TEST(Theorem1, DecreasesWithDegreeAndDistance) {
+  double prev = multipole_error_bound(1.0, 0.5, 1.5, 0);
+  for (int p = 1; p < 20; ++p) {
+    const double b = multipole_error_bound(1.0, 0.5, 1.5, p);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+  prev = multipole_error_bound(1.0, 0.5, 1.0, 3);
+  for (double r = 1.5; r < 10.0; r += 0.5) {
+    const double b = multipole_error_bound(1.0, 0.5, r, 3);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Theorem2, DominatesTheorem1UnderMac) {
+  // When a/r <= alpha, the Theorem-2 bound is >= the Theorem-1 bound
+  // (it substitutes alpha for a/r and r for r-a generously).
+  for (double alpha : {0.3, 0.5, 0.7}) {
+    for (double r : {1.0, 2.0, 5.0}) {
+      const double a = alpha * r * 0.999;  // just passes the MAC
+      for (int p : {1, 3, 7}) {
+        EXPECT_GE(mac_error_bound(1.0, r, alpha, p) * (1 + 1e-12),
+                  multipole_error_bound(1.0, a, r, p));
+      }
+    }
+  }
+}
+
+TEST(Theorem3, ReferenceChargeGivesMinDegree) {
+  EXPECT_EQ(adaptive_degree(1.0, 1.0, 0.5, 4, 30), 4);
+  EXPECT_EQ(adaptive_degree(0.5, 1.0, 0.5, 4, 30), 4);
+  EXPECT_EQ(adaptive_degree(1.0, 0.0, 0.5, 4, 30), 4);
+}
+
+TEST(Theorem3, DegreeGrowsLogarithmically) {
+  // alpha = 0.5: each doubling of charge adds exactly one degree.
+  EXPECT_EQ(adaptive_degree(2.0, 1.0, 0.5, 4, 30), 5);
+  EXPECT_EQ(adaptive_degree(4.0, 1.0, 0.5, 4, 30), 6);
+  EXPECT_EQ(adaptive_degree(1024.0, 1.0, 0.5, 4, 30), 14);
+}
+
+TEST(Theorem3, EqualizesTheBound) {
+  // The selected degree must bring the Theorem-2 bound for charge A at
+  // least down to the reference bound (same r: the bound scale A alpha^p).
+  const double alpha = 0.6;
+  const int p_min = 3;
+  const double ref = 1.0 * std::pow(alpha, p_min + 1);
+  for (double A : {2.0, 10.0, 100.0, 1e6}) {
+    const int p = adaptive_degree(A, 1.0, alpha, p_min, 60);
+    EXPECT_LE(A * std::pow(alpha, p + 1), ref * (1 + 1e-9)) << "A=" << A;
+    // And p is minimal: one degree lower must violate the bound.
+    if (p > p_min) {
+      EXPECT_GT(A * std::pow(alpha, p), ref * (1 - 1e-9)) << "A=" << A;
+    }
+  }
+}
+
+TEST(Theorem3, ClampsToMaxDegree) {
+  EXPECT_EQ(adaptive_degree(1e300, 1.0, 0.5, 4, 20), 20);
+}
+
+TEST(Lemma1, BoundsOrderedAndFinite) {
+  for (double alpha : {0.2, 0.5, 0.8}) {
+    const InteractionDistanceBounds b = interaction_distance_bounds(alpha);
+    EXPECT_GT(b.lo, 0.0);
+    EXPECT_GT(b.hi, b.lo);
+    EXPECT_TRUE(std::isfinite(b.hi));
+  }
+}
+
+TEST(Lemma1, UpperBoundShrinksWithLargerAlpha) {
+  // Larger alpha accepts clusters closer by, so interactions with a given
+  // box size happen at smaller relative distance.
+  EXPECT_GT(interaction_distance_bounds(0.3).hi, interaction_distance_bounds(0.7).hi);
+}
+
+TEST(Lemma2, ConstantIsFiniteAndMonotone) {
+  double prev = max_interactions_per_level(0.9);
+  for (double alpha : {0.7, 0.5, 0.3, 0.2}) {
+    const double k = max_interactions_per_level(alpha);
+    EXPECT_TRUE(std::isfinite(k));
+    EXPECT_GT(k, 0.0);
+    // Smaller alpha pushes interactions farther out: more boxes fit.
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "multipole/harmonics.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Factorial, TableValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+  EXPECT_TRUE(std::isfinite(factorial(2 * kMaxDegree)));
+}
+
+TEST(ACoeff, ValuesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(a_coeff(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a_coeff(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a_coeff(1, 1), -1.0 / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(a_coeff(2, 1), 1.0 / std::sqrt(6.0));
+  EXPECT_DOUBLE_EQ(a_coeff(3, -2), a_coeff(3, 2));
+}
+
+TEST(Ipow, Cycle) {
+  EXPECT_EQ(ipow(0), (Complex{1, 0}));
+  EXPECT_EQ(ipow(1), (Complex{0, 1}));
+  EXPECT_EQ(ipow(2), (Complex{-1, 0}));
+  EXPECT_EQ(ipow(3), (Complex{0, -1}));
+  EXPECT_EQ(ipow(4), (Complex{1, 0}));
+  EXPECT_EQ(ipow(-1), (Complex{0, -1}));
+  EXPECT_EQ(ipow(-2), (Complex{-1, 0}));
+  EXPECT_EQ(ipow(-7), (Complex{0, 1}));
+}
+
+TEST(Harmonics, AdditionTheorem) {
+  // The addition theorem P_n(cos gamma) = sum_m Y_n^-m(a,b) Y_n^m(t,p)
+  // underpins the multipole expansion. Verify it for random direction
+  // pairs; gamma is the angle between them.
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const int p = 12;
+  std::vector<Complex> Y1(tri_size(p)), Y2(tri_size(p));
+  for (int trial = 0; trial < 25; ++trial) {
+    Vec3 v1{u(rng), u(rng), u(rng)};
+    Vec3 v2{u(rng), u(rng), u(rng)};
+    if (norm(v1) == 0.0 || norm(v2) == 0.0) continue;
+    v1 = normalized(v1);
+    v2 = normalized(v2);
+    const Spherical s1 = to_spherical(v1);
+    const Spherical s2 = to_spherical(v2);
+    eval_harmonics(p, s1.theta, s1.phi, Y1);
+    eval_harmonics(p, s2.theta, s2.phi, Y2);
+    const double cg = std::clamp(dot(v1, v2), -1.0, 1.0);
+    for (int n = 0; n <= p; ++n) {
+      // m = 0 term + 2 Re(sum_{m>=1} conj(Y1) Y2)
+      Complex sum = std::conj(Y1[tri_index(n, 0)]) * Y2[tri_index(n, 0)];
+      for (int m = 1; m <= n; ++m) {
+        sum += 2.0 * (std::conj(Y1[tri_index(n, m)]) * Y2[tri_index(n, m)]).real();
+      }
+      EXPECT_NEAR(sum.real(), std::legendre(n, cg), 1e-10) << "n=" << n;
+      EXPECT_NEAR(sum.imag(), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Harmonics, YZeroZeroIsOne) {
+  std::vector<Complex> Y(tri_size(0));
+  eval_harmonics(0, 1.1, 2.2, Y);
+  EXPECT_NEAR(std::abs(Y[0] - Complex{1.0, 0.0}), 0.0, 1e-15);
+}
+
+TEST(Harmonics, DerivativeMatchesFiniteDifference) {
+  const int p = 8;
+  const double h = 1e-6;
+  std::vector<Complex> Y(tri_size(p)), dY(tri_size(p)), Ys(tri_size(p));
+  std::vector<Complex> Yp(tri_size(p)), Ym(tri_size(p));
+  for (double theta : {0.4, 1.3, 2.6}) {
+    const double phi = 0.9;
+    eval_harmonics_derivs(p, theta, phi, Y, dY, Ys);
+    eval_harmonics(p, theta + h, phi, Yp);
+    eval_harmonics(p, theta - h, phi, Ym);
+    for (std::size_t i = 0; i < tri_size(p); ++i) {
+      const Complex fd = (Yp[i] - Ym[i]) / (2 * h);
+      EXPECT_NEAR(std::abs(dY[i] - fd), 0.0, 1e-5) << "i=" << i << " theta=" << theta;
+    }
+  }
+}
+
+TEST(Harmonics, YsinTimesSinEqualsY) {
+  const int p = 8;
+  std::vector<Complex> Y(tri_size(p)), dY(tri_size(p)), Ys(tri_size(p));
+  const double theta = 0.77;
+  eval_harmonics_derivs(p, theta, 1.3, Y, dY, Ys);
+  for (int n = 0; n <= p; ++n) {
+    EXPECT_EQ(Ys[tri_index(n, 0)], (Complex{0, 0}));
+    for (int m = 1; m <= n; ++m) {
+      EXPECT_NEAR(std::abs(Ys[tri_index(n, m)] * std::sin(theta) - Y[tri_index(n, m)]), 0.0,
+                  1e-11);
+    }
+  }
+}
+
+TEST(Harmonics, UnitPhiDependence) {
+  // Y_n^m(theta, phi) = Y_n^m(theta, 0) * e^{i m phi}
+  const int p = 6;
+  std::vector<Complex> Y0(tri_size(p)), Y1(tri_size(p));
+  const double theta = 1.1;
+  const double phi = 0.6;
+  eval_harmonics(p, theta, 0.0, Y0);
+  eval_harmonics(p, theta, phi, Y1);
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const Complex expected =
+          Y0[tri_index(n, m)] * Complex{std::cos(m * phi), std::sin(m * phi)};
+      EXPECT_NEAR(std::abs(Y1[tri_index(n, m)] - expected), 0.0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,368 @@
+// Numerical validation of the multipole operator set: every operator is
+// checked against direct summation, and the translations are checked for
+// consistency with one another. These tests gate the whole library: the
+// treecode's correctness reduces to these identities plus tree logic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "multipole/error_bounds.hpp"
+#include "multipole/operators.hpp"
+
+namespace treecode {
+namespace {
+
+struct Cloud {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 center;
+  double radius = 0.0;   // max distance of a source from center
+  double abs_charge = 0.0;
+};
+
+/// Random charges inside a sphere of radius `a` about `center`.
+Cloud make_cloud(std::uint64_t seed, const Vec3& center, double a, int n,
+                 bool mixed_sign = true) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Cloud c;
+  c.center = center;
+  for (int i = 0; i < n; ++i) {
+    Vec3 d;
+    do {
+      d = {u(rng), u(rng), u(rng)};
+    } while (norm2(d) > 1.0);
+    d *= a;
+    c.pos.push_back(center + d);
+    const double q = mixed_sign ? u(rng) : std::abs(u(rng)) + 0.1;
+    c.q.push_back(q);
+    c.radius = std::max(c.radius, norm(d));
+    c.abs_charge += std::abs(q);
+  }
+  return c;
+}
+
+double direct_potential(const Cloud& c, const Vec3& point) {
+  return p2p(point, c.pos, c.q);
+}
+
+TEST(P2M_M2P, ConvergesToDirectSumWithDegree) {
+  const Cloud c = make_cloud(42, {0.3, -0.2, 0.1}, 0.5, 60);
+  const Vec3 point{2.5, 1.0, -0.7};
+  const double exact = direct_potential(c, point);
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (int p : {2, 4, 8, 12, 16}) {
+    MultipoleExpansion m(p);
+    p2m(c.center, c.pos, c.q, m);
+    const double approx = m2p(m, c.center, point);
+    const double err = std::abs(approx - exact);
+    EXPECT_LT(err, prev_err * 1.05) << "error should not grow with degree, p=" << p;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-10);
+}
+
+TEST(P2M_M2P, RespectsTheorem1Bound) {
+  // Property sweep: the measured truncation error never exceeds the
+  // Theorem 1 bound, across random clouds, eval distances, and degrees.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double a = 0.2 + 0.6 * u(rng);
+    const Cloud c = make_cloud(100 + trial, {u(rng), u(rng), u(rng)}, a, 30);
+    const double r = c.radius * (1.5 + 3.0 * u(rng));
+    // random direction eval point at distance r from the center
+    Vec3 dir{u(rng) - 0.5, u(rng) - 0.5, u(rng) - 0.5};
+    if (norm(dir) == 0.0) dir = {1, 0, 0};
+    const Vec3 point = c.center + normalized(dir) * r;
+    const double exact = direct_potential(c, point);
+    for (int p : {1, 3, 6, 10}) {
+      MultipoleExpansion m(p);
+      p2m(c.center, c.pos, c.q, m);
+      const double err = std::abs(m2p(m, c.center, point) - exact);
+      const double bound = multipole_error_bound(c.abs_charge, c.radius, r, p);
+      EXPECT_LE(err, bound * (1.0 + 1e-9))
+          << "trial=" << trial << " p=" << p << " r/a=" << r / c.radius;
+    }
+  }
+}
+
+TEST(M2M, ExactForEqualDegrees) {
+  // Multipole-to-multipole is exact order by order: translating a degree-p
+  // expansion must match the degree-p expansion built directly about the
+  // new center.
+  const Cloud c = make_cloud(3, {0.1, 0.2, -0.1}, 0.4, 40);
+  const int p = 10;
+  MultipoleExpansion m_src(p);
+  p2m(c.center, c.pos, c.q, m_src);
+
+  const Vec3 new_center{-0.3, 0.6, 0.2};
+  MultipoleExpansion m_shifted(p);
+  m2m(m_src, c.center, m_shifted, new_center);
+
+  MultipoleExpansion m_direct(p);
+  p2m(new_center, c.pos, c.q, m_direct);
+
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      EXPECT_NEAR(std::abs(m_shifted.coeff(n, m) - m_direct.coeff(n, m)), 0.0, 1e-9)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(M2M, CoincidentCentersAddsCoefficients) {
+  const Cloud c = make_cloud(11, {0, 0, 0}, 0.3, 10);
+  MultipoleExpansion m(6);
+  p2m(c.center, c.pos, c.q, m);
+  MultipoleExpansion dst(6);
+  m2m(m, c.center, dst, c.center);
+  m2m(m, c.center, dst, c.center);
+  for (int n = 0; n <= 6; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(std::abs(dst.coeff(n, k) - 2.0 * m.coeff(n, k)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(M2L_L2P, MatchesDirectSum) {
+  const Cloud c = make_cloud(5, {0.0, 0.0, 0.0}, 0.5, 50);
+  const Vec3 local_center{3.0, 0.5, -0.4};
+  const int p = 14;
+  MultipoleExpansion m(p);
+  p2m(c.center, c.pos, c.q, m);
+  LocalExpansion l(p);
+  m2l(m, c.center, l, local_center);
+  // Evaluate at several points near the local center (within its sphere).
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(-0.3, 0.3);
+  for (int i = 0; i < 10; ++i) {
+    const Vec3 point = local_center + Vec3{u(rng), u(rng), u(rng)};
+    const double exact = direct_potential(c, point);
+    EXPECT_NEAR(l2p(l, local_center, point), exact, 1e-7 * std::abs(exact) + 1e-9);
+  }
+}
+
+TEST(L2L, ConsistentWithM2LToFinalCenter) {
+  // M2L to center A then L2L to center B must agree (up to truncation)
+  // with evaluating either local expansion at shared points near B.
+  const Cloud c = make_cloud(17, {0.0, 0.0, 0.0}, 0.5, 40);
+  const Vec3 a_center{4.0, 0.0, 0.0};
+  const Vec3 b_center{4.3, 0.2, -0.1};
+  const int p = 14;
+  MultipoleExpansion m(p);
+  p2m(c.center, c.pos, c.q, m);
+  LocalExpansion la(p);
+  m2l(m, c.center, la, a_center);
+  LocalExpansion lb(p);
+  l2l(la, a_center, lb, b_center);
+
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> u(-0.15, 0.15);
+  for (int i = 0; i < 10; ++i) {
+    const Vec3 point = b_center + Vec3{u(rng), u(rng), u(rng)};
+    const double via_a = l2p(la, a_center, point);
+    const double via_b = l2p(lb, b_center, point);
+    EXPECT_NEAR(via_b, via_a, 1e-9 * std::abs(via_a) + 1e-11);
+    const double exact = direct_potential(c, point);
+    EXPECT_NEAR(via_b, exact, 1e-6 * std::abs(exact) + 1e-9);
+  }
+}
+
+TEST(M2P_Grad, MatchesDirectForce) {
+  const Cloud c = make_cloud(23, {0.2, -0.1, 0.3}, 0.5, 50);
+  const int p = 16;
+  MultipoleExpansion m(p);
+  p2m(c.center, c.pos, c.q, m);
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int i = 0; i < 12; ++i) {
+    Vec3 dir{u(rng), u(rng), u(rng)};
+    if (norm(dir) == 0.0) dir = {1, 0, 0};
+    const Vec3 point = c.center + normalized(dir) * 2.5;
+    const PotentialGrad approx = m2p_grad(m, c.center, point);
+    const PotentialGrad exact = p2p_grad(point, c.pos, c.q);
+    EXPECT_NEAR(approx.potential, exact.potential, 1e-9);
+    EXPECT_NEAR(approx.gradient.x, exact.gradient.x, 1e-8);
+    EXPECT_NEAR(approx.gradient.y, exact.gradient.y, 1e-8);
+    EXPECT_NEAR(approx.gradient.z, exact.gradient.z, 1e-8);
+  }
+}
+
+TEST(M2P_Grad, PoleSafeOnZAxis) {
+  // Evaluation points exactly on the +z/-z axis hit sin(theta) = 0; the
+  // pole-safe derivative arrays must still produce the right gradient.
+  const Cloud c = make_cloud(29, {0.0, 0.0, 0.0}, 0.4, 30);
+  const int p = 14;
+  MultipoleExpansion m(p);
+  p2m(c.center, c.pos, c.q, m);
+  for (const Vec3 point : {Vec3{0, 0, 3.0}, Vec3{0, 0, -3.0}}) {
+    const PotentialGrad approx = m2p_grad(m, c.center, point);
+    const PotentialGrad exact = p2p_grad(point, c.pos, c.q);
+    EXPECT_NEAR(approx.potential, exact.potential, 1e-9);
+    EXPECT_NEAR(approx.gradient.x, exact.gradient.x, 1e-8);
+    EXPECT_NEAR(approx.gradient.y, exact.gradient.y, 1e-8);
+    EXPECT_NEAR(approx.gradient.z, exact.gradient.z, 1e-8);
+  }
+}
+
+TEST(L2P_Grad, MatchesDirectForce) {
+  const Cloud c = make_cloud(37, {0.0, 0.0, 0.0}, 0.5, 40);
+  const Vec3 local_center{0.0, 3.5, 0.0};
+  const int p = 16;
+  MultipoleExpansion m(p);
+  p2m(c.center, c.pos, c.q, m);
+  LocalExpansion l(p);
+  m2l(m, c.center, l, local_center);
+  std::mt19937_64 rng(41);
+  std::uniform_real_distribution<double> u(-0.25, 0.25);
+  for (int i = 0; i < 10; ++i) {
+    const Vec3 point = local_center + Vec3{u(rng), u(rng), u(rng)};
+    const PotentialGrad approx = l2p_grad(l, local_center, point);
+    const PotentialGrad exact = p2p_grad(point, c.pos, c.q);
+    EXPECT_NEAR(approx.potential, exact.potential, 1e-7);
+    EXPECT_NEAR(approx.gradient.x, exact.gradient.x, 1e-6);
+    EXPECT_NEAR(approx.gradient.y, exact.gradient.y, 1e-6);
+    EXPECT_NEAR(approx.gradient.z, exact.gradient.z, 1e-6);
+  }
+}
+
+TEST(L2P_Grad, WellDefinedAtExpansionCenter) {
+  const Cloud c = make_cloud(43, {0.0, 0.0, 0.0}, 0.5, 30);
+  const Vec3 local_center{3.0, -1.0, 2.0};
+  MultipoleExpansion m(12);
+  p2m(c.center, c.pos, c.q, m);
+  LocalExpansion l(12);
+  m2l(m, c.center, l, local_center);
+  const PotentialGrad approx = l2p_grad(l, local_center, local_center);
+  const PotentialGrad exact = p2p_grad(local_center, c.pos, c.q);
+  EXPECT_NEAR(approx.potential, exact.potential, 1e-8);
+  EXPECT_NEAR(approx.gradient.x, exact.gradient.x, 1e-7);
+  EXPECT_NEAR(approx.gradient.y, exact.gradient.y, 1e-7);
+  EXPECT_NEAR(approx.gradient.z, exact.gradient.z, 1e-7);
+}
+
+TEST(LowerDegreeSource, TranslationsTruncateGracefully) {
+  // The adaptive method stores different degrees per node; translating a
+  // low-degree source into a higher-degree target must reproduce the
+  // low-degree information exactly and leave higher orders at zero
+  // contribution from the missing source orders (not garbage).
+  const Cloud c = make_cloud(47, {0.1, 0.1, 0.1}, 0.3, 20);
+  MultipoleExpansion m_lo(4);
+  p2m(c.center, c.pos, c.q, m_lo);
+  MultipoleExpansion dst(9);
+  const Vec3 new_center{0.5, -0.2, 0.0};
+  m2m(m_lo, c.center, dst, new_center);
+  for (int n = 0; n <= 9; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_TRUE(std::isfinite(dst.coeff(n, k).real()));
+      EXPECT_TRUE(std::isfinite(dst.coeff(n, k).imag()));
+    }
+  }
+  // Far-field evaluation should match the degree-4 direct expansion about
+  // the new center to within the degree-4 truncation error of the shift.
+  MultipoleExpansion m_direct4(4);
+  p2m(new_center, c.pos, c.q, m_direct4);
+  const Vec3 point{5.0, 5.0, 5.0};
+  const double via_shift = m2p(dst, new_center, point);
+  const double via_direct = m2p(m_direct4, new_center, point);
+  EXPECT_NEAR(via_shift, via_direct, 5e-3 * std::abs(via_direct) + 1e-9);
+}
+
+TEST(P2M_Dipole, ConvergesToDirectDipoleSum) {
+  std::mt19937_64 rng(53);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<Vec3> pos;
+  std::vector<Vec3> mom;
+  const Vec3 center{0.1, 0.2, -0.1};
+  for (int i = 0; i < 30; ++i) {
+    pos.push_back(center + 0.4 * Vec3{u(rng), u(rng), u(rng)});
+    mom.push_back({u(rng), u(rng), u(rng)});
+  }
+  const Vec3 point{2.5, 1.0, -0.7};
+  const double exact = p2p_dipole(point, pos, mom);
+  double prev = 1e9;
+  for (int p : {2, 4, 8, 12, 16}) {
+    MultipoleExpansion m(p);
+    p2m_dipole(center, pos, mom, m);
+    const double err = std::abs(m2p(m, center, point) - exact);
+    EXPECT_LT(err, prev * 1.05) << "p=" << p;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-9);
+}
+
+TEST(P2M_Dipole, MatchesFiniteDifferenceOfMonopoles) {
+  // A dipole is the limit of two opposite charges: +q at y + h/2, -q at
+  // y - h/2 with moment q h. Compare expansions.
+  const Vec3 center{0, 0, 0};
+  const Vec3 y{0.2, -0.1, 0.3};
+  const Vec3 dir = normalized({1.0, 2.0, -0.5});
+  const double h = 1e-6;
+  const double q = 1.0 / h;  // moment = q * h * dir = dir
+  const int p = 8;
+  MultipoleExpansion dip(p);
+  const std::vector<Vec3> dpos{y};
+  const std::vector<Vec3> dmom{dir};
+  p2m_dipole(center, dpos, dmom, dip);
+  MultipoleExpansion fd(p);
+  const std::vector<Vec3> mpos{y + dir * (0.5 * h), y - dir * (0.5 * h)};
+  const std::vector<double> mq{q, -q};
+  p2m(center, mpos, mq, fd);
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      EXPECT_NEAR(std::abs(dip.coeff(n, m) - fd.coeff(n, m)), 0.0,
+                  1e-5 * (1.0 + std::abs(fd.coeff(n, m))))
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(P2M_Dipole, PoleSafeForSourcesOnZAxis) {
+  const Vec3 center{0, 0, 0};
+  const std::vector<Vec3> pos{{0, 0, 0.3}, {0, 0, -0.2}};
+  const std::vector<Vec3> mom{{1.0, -0.5, 0.7}, {0.2, 0.9, -1.0}};
+  const int p = 10;
+  MultipoleExpansion m(p);
+  p2m_dipole(center, pos, mom, m);
+  const Vec3 point{1.5, 1.0, 2.0};
+  EXPECT_NEAR(m2p(m, center, point), p2p_dipole(point, pos, mom), 1e-8);
+}
+
+TEST(P2P_Dipole, PointDipoleClosedForm) {
+  // Dipole (0,0,1) at origin: phi(x) = z/|x|^3.
+  const std::vector<Vec3> pos{{0, 0, 0}};
+  const std::vector<Vec3> mom{{0, 0, 1}};
+  EXPECT_NEAR(p2p_dipole({0, 0, 2}, pos, mom), 2.0 / 8.0, 1e-15);
+  EXPECT_NEAR(p2p_dipole({2, 0, 0}, pos, mom), 0.0, 1e-15);
+  EXPECT_NEAR(p2p_dipole({0, 0, -2}, pos, mom), -0.25, 1e-15);
+  // Coincident evaluation point is skipped.
+  EXPECT_DOUBLE_EQ(p2p_dipole({0, 0, 0}, pos, mom), 0.0);
+}
+
+TEST(P2P, SkipsSelfInteraction) {
+  std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}};
+  std::vector<double> q{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(p2p({0, 0, 0}, pos, q), 3.0);
+  const PotentialGrad g = p2p_grad({0, 0, 0}, pos, q);
+  EXPECT_DOUBLE_EQ(g.potential, 3.0);
+  EXPECT_DOUBLE_EQ(g.gradient.x, 3.0);  // grad(3/|x-e1|) at 0 is +3 e1... sign check below
+}
+
+TEST(P2P_Grad, PointChargeGradientSign) {
+  // Phi(x) = q/|x - s|; at x on the +x side of s the potential decreases
+  // with x, so dPhi/dx < 0 for positive q.
+  std::vector<Vec3> pos{{0, 0, 0}};
+  std::vector<double> q{1.0};
+  const PotentialGrad g = p2p_grad({2, 0, 0}, pos, q);
+  EXPECT_NEAR(g.potential, 0.5, 1e-15);
+  EXPECT_NEAR(g.gradient.x, -0.25, 1e-15);
+  EXPECT_NEAR(g.gradient.y, 0.0, 1e-15);
+  EXPECT_NEAR(g.gradient.z, 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace treecode

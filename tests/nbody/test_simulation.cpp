@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/distributions.hpp"
+#include "nbody/simulation.hpp"
+
+namespace treecode {
+namespace {
+
+NBodyConfig direct_config() {
+  NBodyConfig cfg;
+  cfg.method = Method::kDirect;
+  return cfg;
+}
+
+TEST(NBody, TwoBodyCircularOrbit) {
+  // Equal masses m = 0.5 at distance 1: circular orbital speed about the
+  // barycenter is v = sqrt(G m_other / d * ...); for the two-body problem
+  // each mass orbits the center at radius 0.5 with
+  //   v^2 / 0.5 = G m / d^2  =>  v = sqrt(0.5 * 0.5 / 1) = 0.5.
+  ParticleSystem ps;
+  ps.add({-0.5, 0, 0}, 0.5);
+  ps.add({0.5, 0, 0}, 0.5);
+  const double v = 0.5;
+  NBodySimulation sim(ps, direct_config(), {{0, -v, 0}, {0, v, 0}});
+
+  const double period = 2.0 * M_PI * 0.5 / v;  // circumference / speed
+  const int steps = 2000;
+  sim.run(steps, period / steps);
+  // After one period both bodies return to their starting points.
+  EXPECT_NEAR(distance(sim.particles().position(0), {-0.5, 0, 0}), 0.0, 2e-3);
+  EXPECT_NEAR(distance(sim.particles().position(1), {0.5, 0, 0}), 0.0, 2e-3);
+  // Separation stayed ~1 throughout (circularity), final check:
+  EXPECT_NEAR(distance(sim.particles().position(0), sim.particles().position(1)), 1.0,
+              1e-3);
+}
+
+TEST(NBody, LeapfrogConservesEnergyDirect) {
+  NBodyConfig cfg = direct_config();
+  cfg.eval.softening = 0.01;  // bound close encounters
+  const ParticleSystem ps = dist::plummer(300, 3, 0.1);
+  NBodySimulation sim(ps, cfg);
+  const double e0 = sim.diagnostics().total_energy();
+  sim.run(20, 5e-4);
+  const double e1 = sim.diagnostics().total_energy();
+  EXPECT_NEAR(e1, e0, 5e-3 * std::abs(e0));
+}
+
+TEST(NBody, TreecodeEnergyDriftSmall) {
+  NBodyConfig cfg;
+  cfg.method = Method::kBarnesHut;
+  cfg.eval.alpha = 0.4;
+  cfg.eval.degree = 6;
+  cfg.eval.mode = DegreeMode::kAdaptive;
+  cfg.eval.softening = 0.01;
+  cfg.eval.threads = 2;
+  const ParticleSystem ps = dist::plummer(1000, 5, 0.1);
+  NBodySimulation sim(ps, cfg);
+  const double e0 = sim.diagnostics().total_energy();
+  sim.run(10, 5e-4);
+  const double e1 = sim.diagnostics().total_energy();
+  EXPECT_NEAR(e1, e0, 1e-2 * std::abs(e0));
+}
+
+TEST(NBody, MomentumConservedByDirectForces) {
+  // Direct pairwise forces are antisymmetric, so total momentum stays at
+  // its initial value up to rounding.
+  NBodyConfig cfg = direct_config();
+  cfg.eval.softening = 0.02;
+  const ParticleSystem ps = dist::plummer(200, 7, 0.1);
+  NBodySimulation sim(ps, cfg);
+  sim.run(15, 1e-3);
+  const NBodyDiagnostics d = sim.diagnostics();
+  EXPECT_NEAR(norm(d.momentum), 0.0, 1e-10);
+}
+
+TEST(NBody, BoundSystemHasNegativeEnergy) {
+  NBodyConfig cfg = direct_config();
+  const ParticleSystem ps = dist::plummer(200, 9, 0.1);
+  NBodySimulation sim(ps, cfg);  // cold start: KE = 0
+  const NBodyDiagnostics d = sim.diagnostics();
+  EXPECT_DOUBLE_EQ(d.kinetic, 0.0);
+  EXPECT_LT(d.potential, 0.0);
+  EXPECT_LT(d.total_energy(), 0.0);
+}
+
+TEST(NBody, RejectsBadInputs) {
+  ParticleSystem ps;
+  ps.add({0, 0, 0}, 1.0);
+  EXPECT_THROW(NBodySimulation(ps, {}, {{0, 0, 0}, {1, 1, 1}}), std::invalid_argument);
+  ParticleSystem negative;
+  negative.add({0, 0, 0}, -1.0);
+  EXPECT_THROW(NBodySimulation(negative, {}), std::invalid_argument);
+}
+
+TEST(NBody, EmptySystemIsInert) {
+  NBodySimulation sim(ParticleSystem{}, direct_config());
+  EXPECT_NO_THROW(sim.run(3, 0.1));
+  EXPECT_DOUBLE_EQ(sim.diagnostics().total_energy(), 0.0);
+}
+
+TEST(NBody, StepCountAndTimeAdvance) {
+  const ParticleSystem ps = dist::plummer(50, 11, 0.1);
+  NBodySimulation sim(ps, direct_config());
+  sim.run(4, 0.25);
+  EXPECT_EQ(sim.steps_taken(), 4);
+  EXPECT_DOUBLE_EQ(sim.time(), 1.0);
+}
+
+TEST(NBody, SofteningBoundsAccelerations) {
+  // Two nearly-coincident particles: unsoftened forces explode, softened
+  // ones stay below m / eps^2.
+  ParticleSystem ps;
+  ps.add({0, 0, 0}, 1.0);
+  ps.add({1e-6, 0, 0}, 1.0);
+  NBodyConfig cfg = direct_config();
+  cfg.eval.softening = 0.05;
+  NBodySimulation sim(ps, cfg);
+  sim.step(1e-6);
+  const double v = norm(sim.velocities()[0]);
+  // |a| <= m * r / (r^2+eps^2)^{3/2} <= m / eps^2; with dt = 1e-6:
+  EXPECT_LT(v, 1e-6 * 1.0 / (0.05 * 0.05));
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.width(), 1u);
+  int calls = 0;
+  pool.run_on_all([&](unsigned t) {
+    EXPECT_EQ(t, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleThreadIsAlsoInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.width(), 1u);
+}
+
+TEST(ThreadPool, AllWorkersParticipate) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.width(), 4u);
+  std::mutex m;
+  std::set<unsigned> seen;
+  pool.run_on_all([&](unsigned t) {
+    std::lock_guard lock(m);
+    seen.insert(t);
+  });
+  EXPECT_EQ(seen, (std::set<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.run_on_all([&](unsigned) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_on_all([](unsigned t) {
+        if (t == 0) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> counter{0};
+  pool.run_on_all([&](unsigned) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, HardwareThreadsNonZero) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace treecode

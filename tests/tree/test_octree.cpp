@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "dist/distributions.hpp"
+#include "tree/octree.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Octree, EmptySystem) {
+  const Tree tree(ParticleSystem{});
+  EXPECT_EQ(tree.num_particles(), 0u);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_DOUBLE_EQ(tree.min_leaf_abs_charge(), 0.0);
+}
+
+TEST(Octree, SingleParticle) {
+  ParticleSystem ps;
+  ps.add({0.5, 0.5, 0.5}, 2.0);
+  const Tree tree(ps);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.root().is_leaf());
+  EXPECT_DOUBLE_EQ(tree.root().abs_charge, 2.0);
+  EXPECT_DOUBLE_EQ(tree.root().radius, 0.0);
+  EXPECT_EQ(tree.root().center, (Vec3{0.5, 0.5, 0.5}));
+}
+
+class OctreeInvariants : public ::testing::TestWithParam<std::tuple<int, Ordering, int>> {};
+
+TEST_P(OctreeInvariants, StructureIsConsistent) {
+  const auto [n, ordering, leaf_cap] = GetParam();
+  const ParticleSystem ps =
+      dist::overlapped_gaussians(static_cast<std::size_t>(n), 3, 77, 0.08,
+                                 dist::ChargeModel::kMixedSign);
+  TreeConfig cfg;
+  cfg.ordering = ordering;
+  cfg.leaf_capacity = static_cast<std::size_t>(leaf_cap);
+  const Tree tree(ps, cfg);
+
+  EXPECT_EQ(tree.num_particles(), ps.size());
+  // Every particle appears exactly once across the leaves; internal nodes'
+  // ranges are the union of their children's.
+  std::size_t leaf_total = 0;
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      leaf_total += node.count();
+      EXPECT_LE(node.count(), cfg.leaf_capacity);
+    } else {
+      std::size_t child_total = 0;
+      std::size_t expect_begin = node.begin;
+      for (int c = 0; c < node.num_children; ++c) {
+        const TreeNode& ch = tree.node(static_cast<std::size_t>(node.first_child + c));
+        EXPECT_EQ(ch.parent, static_cast<int>(&node - tree.nodes().data()));
+        EXPECT_EQ(ch.begin, expect_begin) << "children must tile the parent range";
+        EXPECT_EQ(ch.level, node.level + 1);
+        expect_begin = ch.end;
+        child_total += ch.count();
+      }
+      EXPECT_EQ(expect_begin, node.end);
+      EXPECT_EQ(child_total, node.count());
+    }
+    // Geometry: every member particle lies inside the node's (slightly
+    // inflated for boundary rounding) box, and within `radius` of center.
+    Aabb inflated = node.box;
+    const double eps = 1e-9 * (1.0 + node.box.max_extent());
+    inflated.lo -= Vec3{eps, eps, eps};
+    inflated.hi += Vec3{eps, eps, eps};
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      EXPECT_TRUE(inflated.contains(tree.positions()[i]));
+      EXPECT_LE(distance(tree.positions()[i], node.center), node.radius * (1 + 1e-12));
+    }
+  }
+  EXPECT_EQ(leaf_total, ps.size());
+
+  // original_index is a permutation.
+  std::set<std::size_t> seen(tree.original_index().begin(), tree.original_index().end());
+  EXPECT_EQ(seen.size(), ps.size());
+
+  // Sorted charges match the original through the permutation.
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree.charges()[i], ps.charge(tree.original_index()[i]));
+    EXPECT_EQ(tree.positions()[i], ps.position(tree.original_index()[i]));
+  }
+
+  // Level counts sum to node count; height matches deepest level.
+  std::size_t total = 0;
+  for (std::size_t c : tree.level_counts()) total += c;
+  EXPECT_EQ(total, tree.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OctreeInvariants,
+    ::testing::Combine(::testing::Values(50, 500, 3000),
+                       ::testing::Values(Ordering::kHilbert, Ordering::kMorton),
+                       ::testing::Values(1, 8, 32)));
+
+TEST(Octree, ChargeAggregatesAreHierarchical) {
+  const ParticleSystem ps = dist::uniform_cube(2000, 5);
+  const Tree tree(ps, {.leaf_capacity = 4});
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) continue;
+    double child_abs = 0.0;
+    double child_net = 0.0;
+    for (int c = 0; c < node.num_children; ++c) {
+      const TreeNode& ch = tree.node(static_cast<std::size_t>(node.first_child + c));
+      child_abs += ch.abs_charge;
+      child_net += ch.net_charge;
+    }
+    EXPECT_NEAR(node.abs_charge, child_abs, 1e-9);
+    EXPECT_NEAR(node.net_charge, child_net, 1e-9);
+  }
+  EXPECT_NEAR(tree.root().abs_charge, ps.total_abs_charge(), 1e-9);
+}
+
+TEST(Octree, CellSizeHalvesPerLevel) {
+  const ParticleSystem ps = dist::uniform_cube(4000, 9);
+  const Tree tree(ps, {.leaf_capacity = 8});
+  const double root_size = tree.root().size();
+  for (const auto& node : tree.nodes()) {
+    EXPECT_NEAR(node.size(), root_size / std::pow(2.0, node.level),
+                1e-12 * root_size);
+  }
+}
+
+TEST(Octree, HeightGrowsLogarithmically) {
+  const Tree small(dist::uniform_cube(512, 3), {.leaf_capacity = 1});
+  const Tree large(dist::uniform_cube(32768, 3), {.leaf_capacity = 1});
+  EXPECT_GT(large.height(), small.height());
+  // Uniform: height ~ log8(n) + O(1).
+  EXPECT_LE(large.height(), 12);
+}
+
+TEST(Octree, LeafChargeStatsForUnitCharges) {
+  const ParticleSystem ps = dist::uniform_cube(1000, 21);  // all charges +1
+  const Tree tree(ps, {.leaf_capacity = 8});
+  EXPECT_GE(tree.min_leaf_abs_charge(), 1.0);
+  EXPECT_LE(tree.min_leaf_abs_charge(), 8.0);
+  EXPECT_GE(tree.mean_leaf_abs_charge(), tree.min_leaf_abs_charge());
+}
+
+TEST(Octree, CoincidentParticlesTerminate) {
+  // All particles at the same point: splitting cannot separate them; the
+  // builder must terminate with a leaf of size n.
+  ParticleSystem ps;
+  for (int i = 0; i < 100; ++i) ps.add({0.25, 0.25, 0.25}, 1.0);
+  const Tree tree(ps, {.leaf_capacity = 4});
+  EXPECT_EQ(tree.num_particles(), 100u);
+  std::size_t leaf_total = 0;
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) leaf_total += node.count();
+  }
+  EXPECT_EQ(leaf_total, 100u);
+}
+
+TEST(Octree, ChainCollapsingShrinksClusteredTrees) {
+  // A tiny tight cluster in a huge domain: the plain builder materializes a
+  // long chain of single-child cells, the collapsing builder jumps straight
+  // to the separating level.
+  ParticleSystem ps;
+  std::mt19937_64 rng(55);
+  std::uniform_real_distribution<double> u(0.0, 1e-5);
+  for (int i = 0; i < 64; ++i) ps.add({u(rng), u(rng), u(rng)}, 1.0);
+  ps.add({1.0, 1.0, 1.0}, 1.0);  // far particle fixes the domain scale
+
+  const Tree plain(ps, {.leaf_capacity = 4, .collapse_chains = false});
+  const Tree collapsed(ps, {.leaf_capacity = 4, .collapse_chains = true});
+  EXPECT_LT(collapsed.num_nodes(), plain.num_nodes());
+  // Both cover all particles exactly once.
+  for (const Tree* tree : {&plain, &collapsed}) {
+    std::size_t total = 0;
+    for (const auto& node : tree->nodes()) {
+      if (node.is_leaf()) total += node.count();
+    }
+    EXPECT_EQ(total, ps.size());
+  }
+}
+
+TEST(Octree, CollapsedTreeKeepsStructuralInvariants) {
+  const ParticleSystem ps = dist::overlapped_gaussians(3000, 3, 57, 0.01);
+  const Tree tree(ps, {.leaf_capacity = 8, .collapse_chains = true});
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) continue;
+    std::size_t expect_begin = node.begin;
+    for (int c = 0; c < node.num_children; ++c) {
+      const TreeNode& ch = tree.node(static_cast<std::size_t>(node.first_child + c));
+      EXPECT_EQ(ch.begin, expect_begin);
+      EXPECT_GT(ch.level, node.level);  // may jump more than one level
+      expect_begin = ch.end;
+      // Geometry: members inside the (inflated) cell box.
+      Aabb inflated = ch.box;
+      const double eps = 1e-9 * (1.0 + ch.box.max_extent());
+      inflated.lo -= Vec3{eps, eps, eps};
+      inflated.hi += Vec3{eps, eps, eps};
+      for (std::size_t i = ch.begin; i < ch.end; ++i) {
+        EXPECT_TRUE(inflated.contains(tree.positions()[i]));
+      }
+    }
+    EXPECT_EQ(expect_begin, node.end);
+  }
+  // Collapsed internal nodes always separate: >= 2 children.
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) {
+      EXPECT_GE(node.num_children, 2);
+    }
+  }
+}
+
+TEST(Octree, CoincidentParticlesBecomeLeafWhenCollapsing) {
+  ParticleSystem ps;
+  for (int i = 0; i < 50; ++i) ps.add({0.25, 0.25, 0.25}, 1.0);
+  const Tree tree(ps, {.leaf_capacity = 4, .collapse_chains = true});
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.root().is_leaf());
+}
+
+TEST(Octree, ZeroChargeFallsBackToCentroid) {
+  ParticleSystem ps;
+  ps.add({0.0, 0.0, 0.0}, 0.0);
+  ps.add({1.0, 0.0, 0.0}, 0.0);
+  const Tree tree(ps, {.leaf_capacity = 8});
+  EXPECT_EQ(tree.root().center, (Vec3{0.5, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(tree.root().abs_charge, 0.0);
+}
+
+TEST(Octree, HilbertOrderingImprovesRangeCompactness) {
+  // For equal-size blocks of consecutive sorted particles, Hilbert order
+  // should produce geometrically tighter blocks than Morton on average.
+  const ParticleSystem ps = dist::uniform_cube(8192, 33);
+  auto mean_block_diag = [&](Ordering ord) {
+    const Tree tree(ps, {.leaf_capacity = 8, .ordering = ord});
+    const std::size_t block = 64;
+    double total = 0.0;
+    std::size_t blocks = 0;
+    for (std::size_t b = 0; b + block <= tree.num_particles(); b += block) {
+      Aabb box;
+      for (std::size_t i = b; i < b + block; ++i) box.expand(tree.positions()[i]);
+      total += norm(box.extents());
+      ++blocks;
+    }
+    return total / static_cast<double>(blocks);
+  };
+  EXPECT_LT(mean_block_diag(Ordering::kHilbert), mean_block_diag(Ordering::kMorton) * 1.05);
+}
+
+}  // namespace
+}  // namespace treecode

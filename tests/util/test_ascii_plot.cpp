@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  PlotSeries s{"series-a", '*', {1, 2, 3}, {1, 4, 9}};
+  PlotOptions opt;
+  opt.title = "test plot";
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("series-a"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyDataIsSafe) {
+  const std::string out = render_plot({}, {});
+  EXPECT_NE(out.find("no plottable data"), std::string::npos);
+  PlotSeries empty{"e", 'x', {}, {}};
+  EXPECT_NE(render_plot({empty}, {}).find("no plottable data"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleSkipsNonPositive) {
+  PlotSeries s{"s", 'o', {-1, 0, 10, 100}, {5, 5, 5, 50}};
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  const std::string out = render_plot({s}, opt);  // must not crash / NaN
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesHandled) {
+  PlotSeries s{"flat", '=', {1, 2, 3}, {7, 7, 7}};
+  EXPECT_NO_THROW(render_plot({s}, {}));
+}
+
+TEST(AsciiPlot, MultipleSeriesBothInLegend) {
+  PlotSeries a{"alpha", 'a', {0, 1}, {0, 1}};
+  PlotSeries b{"beta", 'b', {0, 1}, {1, 0}};
+  const std::string out = render_plot({a, b}, {});
+  EXPECT_NE(out.find("'a' = alpha"), std::string::npos);
+  EXPECT_NE(out.find("'b' = beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, AxisLabelsAppear)
+{
+  PlotSeries s{"s", '*', {1, 10}, {2, 20}};
+  PlotOptions opt;
+  opt.x_label = "the-x-axis";
+  opt.y_label = "the-y-axis";
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find("the-x-axis"), std::string::npos);
+  EXPECT_NE(out.find("the-y-axis"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/cli.hpp"
+
+namespace treecode {
+namespace {
+
+CliFlags parse(std::vector<const char*> args, std::vector<std::string> known = {}) {
+  args.insert(args.begin(), "prog");
+  return CliFlags(static_cast<int>(args.size()), args.data(), std::move(known));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const CliFlags f = parse({"--n", "1000"});
+  EXPECT_EQ(f.get_int("n", 0), 1000);
+}
+
+TEST(Cli, EqualsValue) {
+  const CliFlags f = parse({"--alpha=0.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.0), 0.5);
+}
+
+TEST(Cli, BooleanFlag) {
+  const CliFlags f = parse({"--full"});
+  EXPECT_TRUE(f.get_bool("full"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_TRUE(f.has("full"));
+  EXPECT_FALSE(f.has("absent"));
+}
+
+TEST(Cli, Defaults) {
+  const CliFlags f = parse({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("s", "hi"), "hi");
+}
+
+TEST(Cli, CountSuffixes) {
+  EXPECT_EQ(parse_count("40k"), 40'000);
+  EXPECT_EQ(parse_count("2.5m"), 2'500'000);
+  EXPECT_EQ(parse_count("7"), 7);
+  EXPECT_EQ(parse_count("1g"), 1'000'000'000);
+  EXPECT_THROW(parse_count("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_count(""), std::invalid_argument);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  EXPECT_THROW(parse({"--typo", "1"}, {"n", "alpha"}), std::invalid_argument);
+  EXPECT_NO_THROW(parse({"--n", "1"}, {"n", "alpha"}));
+}
+
+TEST(Cli, NonFlagTokenRejected) {
+  EXPECT_THROW(parse({"loose"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Stats, RelativeError2Norm) {
+  const std::vector<double> a{3.0, 4.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(relative_error_2norm(a, b), 0.0);
+  const std::vector<double> c{3.0, 4.5};
+  EXPECT_DOUBLE_EQ(relative_error_2norm(a, c), 0.5 / 5.0);
+}
+
+TEST(Stats, RelativeErrorMaxNorm) {
+  const std::vector<double> a{1.0, -2.0};
+  const std::vector<double> b{1.5, -2.0};
+  EXPECT_DOUBLE_EQ(relative_error_maxnorm(a, b), 0.25);
+}
+
+TEST(Stats, ZeroReferenceVector) {
+  const std::vector<double> z{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(relative_error_2norm(z, z), 0.0);
+  const std::vector<double> nz{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(relative_error_2norm(z, nz)));
+}
+
+TEST(Stats, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(max_abs_diff(std::vector<double>{1, 2, 3}, std::vector<double>{1, 5, 2}),
+                   3.0);
+}
+
+TEST(Stats, Norm2) {
+  EXPECT_DOUBLE_EQ(norm_2(std::vector<double>{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_2(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Summary) {
+  const std::vector<double> v{1, 2, 3, 4};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-15);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace treecode

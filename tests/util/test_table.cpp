@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"n", "error"});
+  t.add_row({"1000", "0.5"});
+  t.add_row({"2", "0.0025"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("n     error"), std::string::npos);
+  EXPECT_NE(s.find("1000  0.5"), std::string::npos);
+  EXPECT_NE(s.find("2     0.0025"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+  EXPECT_NO_THROW(t.to_csv());
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(fmt_sci(0.000123, 1), "1.2e-04");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(12345678), "12,345,678");
+  EXPECT_EQ(fmt_count(-54321), "-54,321");
+}
+
+TEST(Format, Millions) {
+  EXPECT_EQ(fmt_millions(999999), "999,999");
+  EXPECT_EQ(fmt_millions(12'400'000), "12.4 million");
+  EXPECT_EQ(fmt_millions(254'000'000), "254 million");
+}
+
+}  // namespace
+}  // namespace treecode
