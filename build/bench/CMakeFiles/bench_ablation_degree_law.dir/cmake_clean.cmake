@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_degree_law.dir/bench_ablation_degree_law.cpp.o"
+  "CMakeFiles/bench_ablation_degree_law.dir/bench_ablation_degree_law.cpp.o.d"
+  "bench_ablation_degree_law"
+  "bench_ablation_degree_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_degree_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

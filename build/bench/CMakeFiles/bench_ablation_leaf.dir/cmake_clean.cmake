@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_leaf.dir/bench_ablation_leaf.cpp.o"
+  "CMakeFiles/bench_ablation_leaf.dir/bench_ablation_leaf.cpp.o.d"
+  "bench_ablation_leaf"
+  "bench_ablation_leaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fmm_comparison.dir/bench_fmm_comparison.cpp.o"
+  "CMakeFiles/bench_fmm_comparison.dir/bench_fmm_comparison.cpp.o.d"
+  "bench_fmm_comparison"
+  "bench_fmm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_structured.dir/bench_table1_structured.cpp.o"
+  "CMakeFiles/bench_table1_structured.dir/bench_table1_structured.cpp.o.d"
+  "bench_table1_structured"
+  "bench_table1_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_unstructured.dir/bench_table1_unstructured.cpp.o"
+  "CMakeFiles/bench_table1_unstructured.dir/bench_table1_unstructured.cpp.o.d"
+  "bench_table1_unstructured"
+  "bench_table1_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

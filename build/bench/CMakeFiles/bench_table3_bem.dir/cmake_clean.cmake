@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bem.dir/bench_table3_bem.cpp.o"
+  "CMakeFiles/bench_table3_bem.dir/bench_table3_bem.cpp.o.d"
+  "bench_table3_bem"
+  "bench_table3_bem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

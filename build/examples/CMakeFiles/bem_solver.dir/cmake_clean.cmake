@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bem_solver.dir/bem_solver.cpp.o"
+  "CMakeFiles/bem_solver.dir/bem_solver.cpp.o.d"
+  "bem_solver"
+  "bem_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bem_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

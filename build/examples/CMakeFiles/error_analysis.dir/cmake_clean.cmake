@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_analysis.dir/error_analysis.cpp.o"
+  "CMakeFiles/error_analysis.dir/error_analysis.cpp.o.d"
+  "error_analysis"
+  "error_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_gravity.dir/nbody_gravity.cpp.o"
+  "CMakeFiles/nbody_gravity.dir/nbody_gravity.cpp.o.d"
+  "nbody_gravity"
+  "nbody_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bem/bem_operator.cpp" "src/bem/CMakeFiles/treecode_bem.dir/bem_operator.cpp.o" "gcc" "src/bem/CMakeFiles/treecode_bem.dir/bem_operator.cpp.o.d"
+  "/root/repo/src/bem/double_layer.cpp" "src/bem/CMakeFiles/treecode_bem.dir/double_layer.cpp.o" "gcc" "src/bem/CMakeFiles/treecode_bem.dir/double_layer.cpp.o.d"
+  "/root/repo/src/bem/mesh.cpp" "src/bem/CMakeFiles/treecode_bem.dir/mesh.cpp.o" "gcc" "src/bem/CMakeFiles/treecode_bem.dir/mesh.cpp.o.d"
+  "/root/repo/src/bem/mesh_io.cpp" "src/bem/CMakeFiles/treecode_bem.dir/mesh_io.cpp.o" "gcc" "src/bem/CMakeFiles/treecode_bem.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/bem/meshgen.cpp" "src/bem/CMakeFiles/treecode_bem.dir/meshgen.cpp.o" "gcc" "src/bem/CMakeFiles/treecode_bem.dir/meshgen.cpp.o.d"
+  "/root/repo/src/bem/quadrature.cpp" "src/bem/CMakeFiles/treecode_bem.dir/quadrature.cpp.o" "gcc" "src/bem/CMakeFiles/treecode_bem.dir/quadrature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/treecode_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treecode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/treecode_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treecode_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/treecode_multipole.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treecode_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/treecode_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treecode_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_bem.dir/bem_operator.cpp.o"
+  "CMakeFiles/treecode_bem.dir/bem_operator.cpp.o.d"
+  "CMakeFiles/treecode_bem.dir/double_layer.cpp.o"
+  "CMakeFiles/treecode_bem.dir/double_layer.cpp.o.d"
+  "CMakeFiles/treecode_bem.dir/mesh.cpp.o"
+  "CMakeFiles/treecode_bem.dir/mesh.cpp.o.d"
+  "CMakeFiles/treecode_bem.dir/mesh_io.cpp.o"
+  "CMakeFiles/treecode_bem.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/treecode_bem.dir/meshgen.cpp.o"
+  "CMakeFiles/treecode_bem.dir/meshgen.cpp.o.d"
+  "CMakeFiles/treecode_bem.dir/quadrature.cpp.o"
+  "CMakeFiles/treecode_bem.dir/quadrature.cpp.o.d"
+  "libtreecode_bem.a"
+  "libtreecode_bem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_bem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

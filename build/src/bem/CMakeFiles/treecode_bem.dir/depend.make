@@ -1,0 +1,2 @@
+# Empty dependencies file for treecode_bem.
+# This may be replaced when dependencies are built.

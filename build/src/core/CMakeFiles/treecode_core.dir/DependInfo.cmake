@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barnes_hut.cpp" "src/core/CMakeFiles/treecode_core.dir/barnes_hut.cpp.o" "gcc" "src/core/CMakeFiles/treecode_core.dir/barnes_hut.cpp.o.d"
+  "/root/repo/src/core/degree_policy.cpp" "src/core/CMakeFiles/treecode_core.dir/degree_policy.cpp.o" "gcc" "src/core/CMakeFiles/treecode_core.dir/degree_policy.cpp.o.d"
+  "/root/repo/src/core/dipole_barnes_hut.cpp" "src/core/CMakeFiles/treecode_core.dir/dipole_barnes_hut.cpp.o" "gcc" "src/core/CMakeFiles/treecode_core.dir/dipole_barnes_hut.cpp.o.d"
+  "/root/repo/src/core/direct.cpp" "src/core/CMakeFiles/treecode_core.dir/direct.cpp.o" "gcc" "src/core/CMakeFiles/treecode_core.dir/direct.cpp.o.d"
+  "/root/repo/src/core/fmm.cpp" "src/core/CMakeFiles/treecode_core.dir/fmm.cpp.o" "gcc" "src/core/CMakeFiles/treecode_core.dir/fmm.cpp.o.d"
+  "/root/repo/src/core/treecode.cpp" "src/core/CMakeFiles/treecode_core.dir/treecode.cpp.o" "gcc" "src/core/CMakeFiles/treecode_core.dir/treecode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/treecode_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treecode_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/treecode_multipole.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treecode_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/treecode_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treecode_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_core.dir/barnes_hut.cpp.o"
+  "CMakeFiles/treecode_core.dir/barnes_hut.cpp.o.d"
+  "CMakeFiles/treecode_core.dir/degree_policy.cpp.o"
+  "CMakeFiles/treecode_core.dir/degree_policy.cpp.o.d"
+  "CMakeFiles/treecode_core.dir/dipole_barnes_hut.cpp.o"
+  "CMakeFiles/treecode_core.dir/dipole_barnes_hut.cpp.o.d"
+  "CMakeFiles/treecode_core.dir/direct.cpp.o"
+  "CMakeFiles/treecode_core.dir/direct.cpp.o.d"
+  "CMakeFiles/treecode_core.dir/fmm.cpp.o"
+  "CMakeFiles/treecode_core.dir/fmm.cpp.o.d"
+  "CMakeFiles/treecode_core.dir/treecode.cpp.o"
+  "CMakeFiles/treecode_core.dir/treecode.cpp.o.d"
+  "libtreecode_core.a"
+  "libtreecode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_dist.dir/distributions.cpp.o"
+  "CMakeFiles/treecode_dist.dir/distributions.cpp.o.d"
+  "CMakeFiles/treecode_dist.dir/particle_system.cpp.o"
+  "CMakeFiles/treecode_dist.dir/particle_system.cpp.o.d"
+  "libtreecode_dist.a"
+  "libtreecode_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreecode_dist.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/hilbert.cpp" "src/geom/CMakeFiles/treecode_geom.dir/hilbert.cpp.o" "gcc" "src/geom/CMakeFiles/treecode_geom.dir/hilbert.cpp.o.d"
+  "/root/repo/src/geom/morton.cpp" "src/geom/CMakeFiles/treecode_geom.dir/morton.cpp.o" "gcc" "src/geom/CMakeFiles/treecode_geom.dir/morton.cpp.o.d"
+  "/root/repo/src/geom/vec3.cpp" "src/geom/CMakeFiles/treecode_geom.dir/vec3.cpp.o" "gcc" "src/geom/CMakeFiles/treecode_geom.dir/vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_geom.dir/hilbert.cpp.o"
+  "CMakeFiles/treecode_geom.dir/hilbert.cpp.o.d"
+  "CMakeFiles/treecode_geom.dir/morton.cpp.o"
+  "CMakeFiles/treecode_geom.dir/morton.cpp.o.d"
+  "CMakeFiles/treecode_geom.dir/vec3.cpp.o"
+  "CMakeFiles/treecode_geom.dir/vec3.cpp.o.d"
+  "libtreecode_geom.a"
+  "libtreecode_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

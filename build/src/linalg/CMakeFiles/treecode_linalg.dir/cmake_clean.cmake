@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/treecode_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/treecode_linalg.dir/gmres.cpp.o"
+  "CMakeFiles/treecode_linalg.dir/gmres.cpp.o.d"
+  "libtreecode_linalg.a"
+  "libtreecode_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

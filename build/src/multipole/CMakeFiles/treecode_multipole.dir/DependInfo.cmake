@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multipole/error_bounds.cpp" "src/multipole/CMakeFiles/treecode_multipole.dir/error_bounds.cpp.o" "gcc" "src/multipole/CMakeFiles/treecode_multipole.dir/error_bounds.cpp.o.d"
+  "/root/repo/src/multipole/harmonics.cpp" "src/multipole/CMakeFiles/treecode_multipole.dir/harmonics.cpp.o" "gcc" "src/multipole/CMakeFiles/treecode_multipole.dir/harmonics.cpp.o.d"
+  "/root/repo/src/multipole/legendre.cpp" "src/multipole/CMakeFiles/treecode_multipole.dir/legendre.cpp.o" "gcc" "src/multipole/CMakeFiles/treecode_multipole.dir/legendre.cpp.o.d"
+  "/root/repo/src/multipole/operators.cpp" "src/multipole/CMakeFiles/treecode_multipole.dir/operators.cpp.o" "gcc" "src/multipole/CMakeFiles/treecode_multipole.dir/operators.cpp.o.d"
+  "/root/repo/src/multipole/rotation.cpp" "src/multipole/CMakeFiles/treecode_multipole.dir/rotation.cpp.o" "gcc" "src/multipole/CMakeFiles/treecode_multipole.dir/rotation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/treecode_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

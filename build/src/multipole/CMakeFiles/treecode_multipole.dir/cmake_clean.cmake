@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_multipole.dir/error_bounds.cpp.o"
+  "CMakeFiles/treecode_multipole.dir/error_bounds.cpp.o.d"
+  "CMakeFiles/treecode_multipole.dir/harmonics.cpp.o"
+  "CMakeFiles/treecode_multipole.dir/harmonics.cpp.o.d"
+  "CMakeFiles/treecode_multipole.dir/legendre.cpp.o"
+  "CMakeFiles/treecode_multipole.dir/legendre.cpp.o.d"
+  "CMakeFiles/treecode_multipole.dir/operators.cpp.o"
+  "CMakeFiles/treecode_multipole.dir/operators.cpp.o.d"
+  "CMakeFiles/treecode_multipole.dir/rotation.cpp.o"
+  "CMakeFiles/treecode_multipole.dir/rotation.cpp.o.d"
+  "libtreecode_multipole.a"
+  "libtreecode_multipole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_multipole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

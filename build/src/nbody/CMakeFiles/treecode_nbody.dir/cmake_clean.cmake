@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_nbody.dir/simulation.cpp.o"
+  "CMakeFiles/treecode_nbody.dir/simulation.cpp.o.d"
+  "libtreecode_nbody.a"
+  "libtreecode_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

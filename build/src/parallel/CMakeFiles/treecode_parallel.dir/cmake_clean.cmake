@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/treecode_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/treecode_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/treecode_parallel.dir/thread_pool.cpp.o.d"
+  "libtreecode_parallel.a"
+  "libtreecode_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_tree.dir/octree.cpp.o"
+  "CMakeFiles/treecode_tree.dir/octree.cpp.o.d"
+  "libtreecode_tree.a"
+  "libtreecode_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecode_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/treecode_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/treecode_util.dir/cli.cpp.o"
+  "CMakeFiles/treecode_util.dir/cli.cpp.o.d"
+  "CMakeFiles/treecode_util.dir/stats.cpp.o"
+  "CMakeFiles/treecode_util.dir/stats.cpp.o.d"
+  "CMakeFiles/treecode_util.dir/table.cpp.o"
+  "CMakeFiles/treecode_util.dir/table.cpp.o.d"
+  "libtreecode_util.a"
+  "libtreecode_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecode_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

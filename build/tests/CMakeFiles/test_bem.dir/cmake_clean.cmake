@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bem.dir/bem/test_bem_operator.cpp.o"
+  "CMakeFiles/test_bem.dir/bem/test_bem_operator.cpp.o.d"
+  "CMakeFiles/test_bem.dir/bem/test_double_layer.cpp.o"
+  "CMakeFiles/test_bem.dir/bem/test_double_layer.cpp.o.d"
+  "CMakeFiles/test_bem.dir/bem/test_mesh.cpp.o"
+  "CMakeFiles/test_bem.dir/bem/test_mesh.cpp.o.d"
+  "CMakeFiles/test_bem.dir/bem/test_mesh_io.cpp.o"
+  "CMakeFiles/test_bem.dir/bem/test_mesh_io.cpp.o.d"
+  "CMakeFiles/test_bem.dir/bem/test_quadrature.cpp.o"
+  "CMakeFiles/test_bem.dir/bem/test_quadrature.cpp.o.d"
+  "test_bem"
+  "test_bem.pdb"
+  "test_bem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

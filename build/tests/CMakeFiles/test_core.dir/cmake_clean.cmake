@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_barnes_hut.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_barnes_hut.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_consistency.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_consistency.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_direct.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_direct.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_error_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_error_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fmm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fmm.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

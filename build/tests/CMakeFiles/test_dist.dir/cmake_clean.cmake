@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/test_distributions.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_distributions.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_particle_system.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_particle_system.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom/test_aabb.cpp" "tests/CMakeFiles/test_geom.dir/geom/test_aabb.cpp.o" "gcc" "tests/CMakeFiles/test_geom.dir/geom/test_aabb.cpp.o.d"
+  "/root/repo/tests/geom/test_hilbert.cpp" "tests/CMakeFiles/test_geom.dir/geom/test_hilbert.cpp.o" "gcc" "tests/CMakeFiles/test_geom.dir/geom/test_hilbert.cpp.o.d"
+  "/root/repo/tests/geom/test_morton.cpp" "tests/CMakeFiles/test_geom.dir/geom/test_morton.cpp.o" "gcc" "tests/CMakeFiles/test_geom.dir/geom/test_morton.cpp.o.d"
+  "/root/repo/tests/geom/test_vec3.cpp" "tests/CMakeFiles/test_geom.dir/geom/test_vec3.cpp.o" "gcc" "tests/CMakeFiles/test_geom.dir/geom/test_vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/treecode_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treecode_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treecode_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/treecode_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/treecode_multipole.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treecode_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treecode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/treecode_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/treecode_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/treecode_nbody.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipole.dir/multipole/test_error_bounds.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_error_bounds.cpp.o.d"
+  "CMakeFiles/test_multipole.dir/multipole/test_harmonics.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_harmonics.cpp.o.d"
+  "CMakeFiles/test_multipole.dir/multipole/test_legendre.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_legendre.cpp.o.d"
+  "CMakeFiles/test_multipole.dir/multipole/test_operators.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_operators.cpp.o.d"
+  "CMakeFiles/test_multipole.dir/multipole/test_rotation.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_rotation.cpp.o.d"
+  "test_multipole"
+  "test_multipole.pdb"
+  "test_multipole[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
