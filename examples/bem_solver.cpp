@@ -93,6 +93,9 @@ int main(int argc, char** argv) {
                 second_kind ? " [second-kind]" : "",
                 r.converged ? "converged" : "NOT converged", r.iterations, solve.seconds(),
                 r.relative_residual);
+    if (!r.converged) {
+      std::fprintf(stderr, "solver failure: %s\n", to_string(r.failure_reason));
+    }
 
     // Verify: the layer potential with the solved density reproduces the
     // source's field inside the surface.

@@ -48,8 +48,9 @@ double extract_capacitance(const char* name, const TriangleMesh& mesh,
     charge += dens * g.weight;
   }
   std::printf("%-10s %7zu elements  C = %.5f  (GMRES %s, %d its, %.2f s)\n", name,
-              mesh.num_triangles(), charge, r.converged ? "converged" : "STALLED",
-              r.iterations, timer.seconds());
+              mesh.num_triangles(), charge,
+              r.converged ? "converged" : to_string(r.failure_reason), r.iterations,
+              timer.seconds());
   return charge;
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build and run the test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/sanitize.sh [extra ctest args...]
+# Keeps its own build tree (build-sanitize/) so it never pollutes the
+# regular Release build.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTREECODE_SANITIZE=address,undefined
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace treecode {
 
@@ -28,6 +30,7 @@ struct BarnesHutEvaluator::ThreadAccumulator {
   std::uint64_t terms = 0;
   std::uint64_t m2p = 0;
   std::uint64_t p2p = 0;
+  std::uint64_t budget_refine = 0;
   double max_bound = 0.0;
 };
 
@@ -36,6 +39,12 @@ BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& confi
     : tree_(tree), config_(config), degrees_(assign_degrees(tree, config)) {
   if (!sorted_charges.empty() && sorted_charges.size() != tree.num_particles()) {
     throw std::invalid_argument("BarnesHutEvaluator: charge override size mismatch");
+  }
+  // Override charges bypass the tree's input validation (the BEM operator
+  // swaps densities every GMRES iteration); re-check them here so one NaN
+  // density fails loudly instead of poisoning every multipole.
+  if (!all_finite(sorted_charges)) {
+    throw std::invalid_argument("BarnesHutEvaluator: charge override has non-finite values");
   }
   charges_ = sorted_charges.empty() ? std::span<const double>(tree_.charges())
                                     : sorted_charges;
@@ -82,9 +91,17 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
                                    bool self) const {
   EvalResult result;
   const std::size_t n = points.size();
-  result.potential.assign(n, 0.0);
-  if (config_.compute_gradient) result.gradient.assign(n, Vec3{});
-  if (config_.track_error_bounds) result.error_bound.assign(n, 0.0);
+  // In self mode results are scattered into the caller's particle order,
+  // which is indexed by the *source* system (validation may have dropped
+  // particles, leaving zero-filled slots).
+  const std::size_t out_n = self ? tree_.source_size() : n;
+  const bool enforce = config_.enforce_budget;
+  const double budget = config_.error_budget;
+  const bool want_grad = config_.compute_gradient;
+  const bool want_bounds = config_.track_error_bounds || enforce;
+  result.potential.assign(out_n, 0.0);
+  if (want_grad) result.gradient.assign(out_n, Vec3{});
+  if (want_bounds) result.error_bound.assign(out_n, 0.0);
   result.stats.min_degree_used = degrees_.min_degree;
   result.stats.max_degree_used = degrees_.max_degree;
   result.stats.reference_charge = degrees_.reference_charge;
@@ -95,8 +112,6 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
   const auto& pos = tree_.positions();
   const auto& q = charges_;
   const double alpha = config_.alpha;
-  const bool want_grad = config_.compute_gradient;
-  const bool want_bounds = config_.track_error_bounds;
   const double softening2 = config_.softening * config_.softening;
 
   // Results are computed into sorted-order slots, then scattered to the
@@ -128,7 +143,23 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
             const TreeNode& node = nodes[static_cast<std::size_t>(ni)];
             if (node.count() == 0) continue;
             double r = 0.0;
-            if (mac_accepts(node, x, alpha, r)) {
+            bool approximate = mac_accepts(node, x, alpha, r);
+            // Theorem 1 with the actual cluster radius and distance —
+            // rigorous and tighter than the alpha-form of Theorem 2.
+            double thm1 = 0.0;
+            if (approximate && want_bounds) {
+              thm1 = multipole_error_bound(node.abs_charge, node.radius, r,
+                                           degrees_.degree[static_cast<std::size_t>(ni)]);
+              // Budget enforcement: if approximating this cluster would
+              // blow the target's budget, degrade gracefully — recurse
+              // into the children (tighter bounds) or, at a leaf, fall
+              // back to exact P2P (zero error contribution).
+              if (enforce && my_bound + thm1 > budget) {
+                approximate = false;
+                ++a.budget_refine;
+              }
+            }
+            if (approximate) {
               const MultipoleExpansion& m = multipoles_[static_cast<std::size_t>(ni)];
               if (want_grad) {
                 const PotentialGrad pg = m2p_grad(m, node.center, x);
@@ -141,12 +172,7 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
               ++a.m2p;
               const double thm2 = mac_error_bound(node.abs_charge, r, alpha, m.degree());
               a.max_bound = std::max(a.max_bound, thm2);
-              if (want_bounds) {
-                // Theorem 1 with the actual cluster radius and distance —
-                // rigorous and tighter than the alpha-form of Theorem 2.
-                my_bound +=
-                    multipole_error_bound(node.abs_charge, node.radius, r, m.degree());
-              }
+              my_bound += thm1;
             } else if (node.is_leaf()) {
               const std::span<const Vec3> ppos(pos.data() + node.begin, node.count());
               const std::span<const double> pq(q.data() + node.begin, node.count());
@@ -164,6 +190,16 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
               }
             }
           }
+          // Inputs are validated at tree build, but override charges,
+          // softening underflow, or an evaluation point sitting exactly on
+          // an expansion center can still poison a potential; fail loudly
+          // (parallel_for cancels the remaining blocks) instead of
+          // returning garbage.
+          if (!std::isfinite(my_phi)) {
+            throw std::runtime_error(
+                "BarnesHutEvaluator: non-finite potential at evaluation point " +
+                std::to_string(i));
+          }
           phi[i] = my_phi;
           if (want_grad) grad[i] = my_grad;
           if (want_bounds) bound[i] = my_bound;
@@ -176,6 +212,7 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
     result.stats.multipole_terms += a.terms;
     result.stats.m2p_count += a.m2p;
     result.stats.p2p_pairs += a.p2p;
+    result.stats.budget_refinements += a.budget_refine;
     result.stats.max_interaction_bound =
         std::max(result.stats.max_interaction_bound, a.max_bound);
   }

@@ -46,8 +46,14 @@ class BarnesHutEvaluator {
                      std::span<const double> sorted_charges = {});
 
   /// Evaluate potentials (and gradients if configured) at every particle,
-  /// writing results in the original particle order. The traversal runs on
-  /// `pool`; per-thread work statistics land in the result's stats.
+  /// writing results in the original particle order (vectors sized
+  /// tree.source_size(); slots of validation-dropped particles stay zero).
+  /// The traversal runs on `pool`; per-thread work statistics land in the
+  /// result's stats. With EvalConfig::enforce_budget the traversal demotes
+  /// any MAC-accepted interaction that would push a target's accumulated
+  /// Theorem-1 bound past error_budget, recursing deeper (or using exact
+  /// P2P at leaves) so that on return
+  ///   |Phi_exact(i) - Phi(i)| <= error_bound[i] <= error_budget.
   [[nodiscard]] EvalResult evaluate(ThreadPool& pool) const;
 
   /// Evaluate at arbitrary points instead of the source particles

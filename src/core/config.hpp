@@ -5,7 +5,9 @@
 /// evaluation methods (Barnes-Hut fixed degree, Barnes-Hut adaptive degree,
 /// FMM, direct summation).
 
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "geom/vec3.hpp"
@@ -94,6 +96,45 @@ struct EvalConfig {
   /// on |Phi_exact - Phi_treecode| at that point (direct interactions
   /// contribute no error). Fills EvalResult::error_bound.
   bool track_error_bounds = false;
+
+  /// Per-target absolute error budget for Barnes-Hut traversal, in the
+  /// units of the potential. Only meaningful with enforce_budget.
+  double error_budget = 0.0;
+
+  /// Runtime error-budget enforcement: during traversal, a MAC-accepted
+  /// interaction whose Theorem-1 bound would push the target's accumulated
+  /// a-posteriori bound past `error_budget` is *not* approximated —
+  /// the traversal recurses into the cluster's children instead, falling
+  /// back to exact P2P at leaves. On exit every target i then satisfies
+  ///   |Phi_exact(i) - Phi_treecode(i)| <= error_bound[i] <= error_budget.
+  /// Implies error-bound tracking; EvalResult::error_bound is filled.
+  bool enforce_budget = false;
+
+  /// Sanity-check the configuration; throws std::invalid_argument on the
+  /// first violated invariant. Called by the evaluators on entry so a bad
+  /// alpha or budget fails loudly instead of producing silent garbage.
+  void validate() const {
+    if (!(alpha > 0.0) || !(alpha < 1.0)) {
+      throw std::invalid_argument("EvalConfig: alpha must be in (0, 1)");
+    }
+    if (degree < 0) throw std::invalid_argument("EvalConfig: degree must be >= 0");
+    if (max_degree < degree) {
+      throw std::invalid_argument("EvalConfig: max_degree must be >= degree");
+    }
+    if (!std::isfinite(softening) || softening < 0.0) {
+      throw std::invalid_argument("EvalConfig: softening must be finite and >= 0");
+    }
+    if (!std::isfinite(error_budget) || error_budget < 0.0) {
+      throw std::invalid_argument("EvalConfig: error_budget must be finite and >= 0");
+    }
+    if (enforce_budget && error_budget <= 0.0) {
+      throw std::invalid_argument(
+          "EvalConfig: enforce_budget requires a positive error_budget");
+    }
+    if (reference == DegreeReference::kExplicit && !std::isfinite(reference_charge)) {
+      throw std::invalid_argument("EvalConfig: explicit reference_charge must be finite");
+    }
+  }
 };
 
 /// Instrumentation of one evaluation. `multipole_terms` is the paper's
@@ -104,6 +145,9 @@ struct EvalStats {
   std::uint64_t m2p_count = 0;        ///< accepted particle-cluster interactions
   std::uint64_t p2p_pairs = 0;        ///< direct particle-particle interactions
   std::uint64_t m2l_count = 0;        ///< FMM cluster-cluster conversions
+  /// MAC-accepted interactions the error budget demoted to refinement or
+  /// P2P (0 unless EvalConfig::enforce_budget).
+  std::uint64_t budget_refinements = 0;
   double max_interaction_bound = 0.0; ///< max Theorem-2 bound among accepted
   double build_seconds = 0.0;         ///< upward pass (P2M) time
   double eval_seconds = 0.0;          ///< traversal + evaluation time

@@ -22,12 +22,10 @@ double resolve_reference_charge(const Tree& tree, const EvalConfig& config) {
 }
 
 DegreeAssignment assign_degrees(const Tree& tree, const EvalConfig& config) {
-  if (config.alpha <= 0.0 || config.alpha >= 1.0) {
-    throw std::invalid_argument("EvalConfig.alpha must be in (0, 1)");
-  }
-  if (config.degree < 0 || config.max_degree < config.degree) {
-    throw std::invalid_argument("EvalConfig degree range invalid");
-  }
+  // Full config sanity check: assign_degrees is the common entry point of
+  // every expansion-based evaluator, so a bad alpha/budget/softening fails
+  // here once instead of in each caller.
+  config.validate();
   if (config.max_degree > kMaxDegree) {
     throw std::invalid_argument("EvalConfig.max_degree exceeds library limit");
   }

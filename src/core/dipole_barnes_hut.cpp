@@ -6,6 +6,7 @@
 #include "multipole/operators.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace treecode {
 
@@ -18,6 +19,11 @@ DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalC
       moments_(sorted_moments) {
   if (moments_.size() != tree.num_particles()) {
     throw std::invalid_argument("DipoleBarnesHutEvaluator: moment count mismatch");
+  }
+  // Moments bypass the tree's input validation; one NaN moment would
+  // poison every expansion, so re-check the span here.
+  if (!all_finite(moments_)) {
+    throw std::invalid_argument("DipoleBarnesHutEvaluator: non-finite dipole moment");
   }
   const auto& nodes = tree_.nodes();
   multipoles_.resize(nodes.size());

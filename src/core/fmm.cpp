@@ -81,8 +81,10 @@ struct ThreadStats {
 EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   EvalResult result;
   const std::size_t n = tree.num_particles();
-  result.potential.assign(n, 0.0);
-  if (config.compute_gradient) result.gradient.assign(n, Vec3{});
+  // Caller-order results are indexed by the source system (validation may
+  // have dropped particles; their slots stay zero).
+  result.potential.assign(tree.source_size(), 0.0);
+  if (config.compute_gradient) result.gradient.assign(tree.source_size(), Vec3{});
   if (n == 0) return result;
 
   const DegreeAssignment degrees = assign_degrees(tree, config);

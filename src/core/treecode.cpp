@@ -3,6 +3,9 @@
 namespace treecode {
 
 EvalResult evaluate_potentials(const Tree& tree, const EvalConfig& config, Method method) {
+  // Fail fast on a bad configuration for every method, including kDirect
+  // (which otherwise ignores MAC/degree settings).
+  config.validate();
   switch (method) {
     case Method::kBarnesHut:
       return evaluate_barnes_hut(tree, config);
@@ -10,15 +13,24 @@ EvalResult evaluate_potentials(const Tree& tree, const EvalConfig& config, Metho
       return evaluate_fmm(tree, config);
     case Method::kDirect: {
       // Reconstruct a ParticleSystem view in the tree's original order.
+      // Slots of validation-dropped particles become zero charges at the
+      // origin: they contribute nothing to other particles, and their own
+      // (meaningless) results are zeroed after the evaluation.
       const auto& orig = tree.original_index();
-      std::vector<Vec3> pos(tree.num_particles());
-      std::vector<double> q(tree.num_particles());
+      std::vector<Vec3> pos(tree.source_size());
+      std::vector<double> q(tree.source_size(), 0.0);
       for (std::size_t i = 0; i < tree.num_particles(); ++i) {
         pos[orig[i]] = tree.positions()[i];
         q[orig[i]] = tree.charges()[i];
       }
       ParticleSystem ps(std::move(pos), std::move(q));
-      return evaluate_direct(ps, config.threads, config.compute_gradient, config.softening);
+      EvalResult result =
+          evaluate_direct(ps, config.threads, config.compute_gradient, config.softening);
+      for (std::size_t i : tree.dropped()) {
+        result.potential[i] = 0.0;
+        if (config.compute_gradient) result.gradient[i] = Vec3{};
+      }
+      return result;
     }
   }
   return {};

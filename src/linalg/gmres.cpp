@@ -1,6 +1,7 @@
 #include "linalg/gmres.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace treecode {
@@ -19,7 +20,36 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
+bool finite_vector(std::span<const double> a) {
+  for (double v : a) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// Relative threshold under which the Arnoldi residual norm counts as a
+/// happy breakdown: w is numerically inside the current Krylov space.
+constexpr double kBreakdownRel = 1e-14;
+
 }  // namespace
+
+const char* to_string(GmresFailure f) noexcept {
+  switch (f) {
+    case GmresFailure::kNone:
+      return "none";
+    case GmresFailure::kNonFiniteInput:
+      return "non-finite input";
+    case GmresFailure::kNonFiniteOperator:
+      return "non-finite operator output";
+    case GmresFailure::kStagnation:
+      return "stagnation";
+    case GmresFailure::kBreakdown:
+      return "breakdown on singular system";
+    case GmresFailure::kMaxIterations:
+      return "max iterations";
+  }
+  return "?";
+}
 
 Preconditioner jacobi_preconditioner(std::vector<double> diagonal) {
   for (double& d : diagonal) {
@@ -38,6 +68,11 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
   const int m = options.restart > 0 ? options.restart : 10;
 
   GmresResult result;
+  if (!finite_vector(b) || !finite_vector(x)) {
+    result.failure_reason = GmresFailure::kNonFiniteInput;
+    result.relative_residual = std::numeric_limits<double>::infinity();
+    return result;
+  }
   const double bnorm = nrm2(b);
   if (bnorm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
@@ -61,14 +96,27 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
     }
   };
 
-  while (result.iterations < options.max_iterations) {
+  bool stagnated = false;
+  // A happy breakdown is terminal for the outer loop as well: the Krylov
+  // space is invariant under A, so a restart would regenerate the same
+  // subspace and make no further progress.
+  while (result.iterations < options.max_iterations && !stagnated &&
+         !result.happy_breakdown) {
     // r = b - A x
     A.apply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     double beta = nrm2(r);
+    if (!std::isfinite(beta)) {
+      // The operator emitted NaN/Inf: x is poisoned beyond repair; report
+      // instead of iterating on garbage.
+      result.failure_reason = GmresFailure::kNonFiniteOperator;
+      result.relative_residual = std::numeric_limits<double>::infinity();
+      return result;
+    }
     result.relative_residual = beta / bnorm;
     if (result.relative_residual <= options.tolerance) {
       result.converged = true;
+      result.failure_reason = GmresFailure::kNone;
       return result;
     }
     for (std::size_t i = 0; i < n; ++i) V[0][i] = r[i] / beta;
@@ -81,6 +129,12 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
       // w = A M^{-1} v_j
       apply_precond(V[static_cast<std::size_t>(j)], tmp);
       A.apply(tmp, w);
+      const double wnorm = nrm2(w);
+      if (!std::isfinite(wnorm)) {
+        // Abandon the cycle: x still holds the last completed update.
+        result.failure_reason = GmresFailure::kNonFiniteOperator;
+        return result;
+      }
       // Arnoldi, modified Gram-Schmidt.
       auto& h = H[static_cast<std::size_t>(j)];
       h.assign(static_cast<std::size_t>(j) + 2, 0.0);
@@ -90,8 +144,14 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
         axpy(-hij, V[static_cast<std::size_t>(i)], w);
       }
       const double hj1 = nrm2(w);
-      h[static_cast<std::size_t>(j) + 1] = hj1;
-      if (hj1 > 0.0) {
+      // Happy breakdown: w lies (numerically) in the span of the current
+      // basis, so the Krylov space is invariant and the least-squares
+      // solution in it is exact. Record h[j+1] = 0 — dividing w by a tiny
+      // hj1 would inject an amplified-noise basis vector — and stop
+      // extending the space after this column's rotation.
+      const bool breakdown = hj1 <= kBreakdownRel * wnorm;
+      h[static_cast<std::size_t>(j) + 1] = breakdown ? 0.0 : hj1;
+      if (!breakdown) {
         for (std::size_t i = 0; i < n; ++i) V[static_cast<std::size_t>(j) + 1][i] = w[i] / hj1;
       }
       // Apply existing Givens rotations to the new column.
@@ -104,7 +164,8 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
         h[static_cast<std::size_t>(i)] = t;
       }
       // New rotation to zero h[j+1].
-      const double denom = std::hypot(h[static_cast<std::size_t>(j)], hj1);
+      const double denom =
+          std::hypot(h[static_cast<std::size_t>(j)], h[static_cast<std::size_t>(j) + 1]);
       if (denom == 0.0) {
         cs[static_cast<std::size_t>(j)] = 1.0;
         sn[static_cast<std::size_t>(j)] = 0.0;
@@ -121,25 +182,54 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
 
       const double rel = std::abs(g[static_cast<std::size_t>(j) + 1]) / bnorm;
       result.residual_history.push_back(rel);
+      // Breakdown must be checked before the tolerance: on a singular
+      // system the breakdown column rotates to a zero diagonal and
+      // g[j+1] spuriously reads 0 even though the true residual is not.
+      // The outer residual check below decides convergence either way.
+      if (breakdown) {
+        result.happy_breakdown = true;
+        ++j;
+        break;
+      }
       if (rel <= options.tolerance) {
         ++j;
         break;
       }
-      if (hj1 == 0.0) {  // lucky breakdown: exact solution in this space
-        ++j;
-        break;
+      // Stagnation guard: negligible progress over the sliding window.
+      const std::size_t window = static_cast<std::size_t>(
+          options.stagnation_window > 0 ? options.stagnation_window : 0);
+      if (window > 0 && result.residual_history.size() >= window) {
+        const double then =
+            result.residual_history[result.residual_history.size() - window];
+        if (rel > (1.0 - options.stagnation_improvement) * then) {
+          stagnated = true;
+          ++j;
+          break;
+        }
       }
     }
 
     // Solve the triangular system H y = g (size j).
     std::vector<double> y(static_cast<std::size_t>(j));
+    // A singular operator leaves a (numerically) zero diagonal in R: the
+    // corresponding basis direction carries no information and must be
+    // dropped, or roundoff noise on the diagonal amplifies into a huge y.
+    // Exact zero is not enough — after Givens rotations the dead diagonal
+    // is O(eps) garbage — so the guard is relative to the largest pivot.
+    double max_diag = 0.0;
+    for (int i = 0; i < j; ++i) {
+      max_diag = std::max(
+          max_diag, std::abs(H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)]));
+    }
+    const double diag_floor = 1e-14 * max_diag;
     for (int i = j - 1; i >= 0; --i) {
       double acc = g[static_cast<std::size_t>(i)];
       for (int k = i + 1; k < j; ++k) {
         acc -= H[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
                y[static_cast<std::size_t>(k)];
       }
-      y[static_cast<std::size_t>(i)] = acc / H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      const double diag = H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = std::abs(diag) <= diag_floor ? 0.0 : acc / diag;
     }
     // x += M^{-1} (V y)
     std::fill(tmp.begin(), tmp.end(), 0.0);
@@ -154,7 +244,18 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
   A.apply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   result.relative_residual = nrm2(r) / bnorm;
-  result.converged = result.relative_residual <= options.tolerance;
+  result.converged =
+      std::isfinite(result.relative_residual) && result.relative_residual <= options.tolerance;
+  if (result.converged) {
+    result.failure_reason = GmresFailure::kNone;
+  } else if (!std::isfinite(result.relative_residual)) {
+    result.failure_reason = GmresFailure::kNonFiniteOperator;
+  } else if (result.happy_breakdown) {
+    result.failure_reason = GmresFailure::kBreakdown;
+  } else {
+    result.failure_reason =
+        stagnated ? GmresFailure::kStagnation : GmresFailure::kMaxIterations;
+  }
   return result;
 }
 

@@ -21,11 +21,34 @@ struct GmresOptions {
   int restart = 10;            ///< Krylov dimension m per cycle
   int max_iterations = 1000;   ///< total inner iterations across cycles
   double tolerance = 1e-8;     ///< relative residual ||r||/||b|| target
+  /// Stagnation guard: if the relative residual has improved by less than
+  /// a factor of (1 - stagnation_improvement) over the last
+  /// `stagnation_window` inner iterations, stop with kStagnation instead
+  /// of burning the remaining iteration budget. 0 disables the guard.
+  int stagnation_window = 50;
+  double stagnation_improvement = 1e-3;
 };
+
+/// Structured account of why a solve stopped without converging.
+enum class GmresFailure {
+  kNone,               ///< converged (or never ran: zero RHS)
+  kNonFiniteInput,     ///< b or the initial guess contains NaN/Inf
+  kNonFiniteOperator,  ///< A or M^{-1} produced NaN/Inf mid-iteration
+  kStagnation,         ///< residual plateaued (see GmresOptions guard)
+  kBreakdown,          ///< Krylov space exhausted with residual above tol
+                       ///< (singular or inconsistent system); x holds the
+                       ///< least-squares solution over the invariant subspace
+  kMaxIterations,      ///< iteration budget exhausted
+};
+
+/// Human-readable failure reason for logs and error messages.
+const char* to_string(GmresFailure f) noexcept;
 
 /// Solve outcome.
 struct GmresResult {
   bool converged = false;
+  GmresFailure failure_reason = GmresFailure::kNone;  ///< kNone iff converged
+  bool happy_breakdown = false;          ///< Arnoldi found an invariant subspace
   int iterations = 0;                    ///< total inner iterations performed
   double relative_residual = 0.0;        ///< final ||b - A x|| / ||b||
   std::vector<double> residual_history;  ///< relative residual per iteration

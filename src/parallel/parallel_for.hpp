@@ -63,16 +63,44 @@ struct WorkStats {
   }
 };
 
+/// Cooperative cancellation flag shared between the caller and the workers
+/// of a parallel region. Workers check it before claiming each block, so a
+/// cancel (from outside, from a body, or automatically when a body throws)
+/// stops the remaining sweep early instead of completing every block.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arm a token for reuse across successive parallel regions.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
 /// Body signature: body(begin, end, thread_index) -> cost of the block.
 using BlockedBody = std::function<std::uint64_t(std::size_t, std::size_t, unsigned)>;
 
 /// Run `body` over [0, n) in blocks of `block_size`, dynamically scheduled
 /// over the pool's workers. Returns per-thread WorkStats sized pool.width().
+///
+/// Failure semantics: if a body throws, the sweep is cancelled — no worker
+/// claims another block — and the first exception is rethrown on the
+/// calling thread once every worker has drained. An optional external
+/// `cancel` token lets the caller (or the body itself) stop the sweep
+/// early without an exception; blocks already running complete normally.
 WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t block_size,
-                               const BlockedBody& body);
+                               const BlockedBody& body, CancellationToken* cancel = nullptr);
 
 /// Convenience: parallel loop whose body has no interesting cost to report.
 void parallel_for(ThreadPool& pool, std::size_t n, std::size_t block_size,
-                  const std::function<void(std::size_t, std::size_t, unsigned)>& body);
+                  const std::function<void(std::size_t, std::size_t, unsigned)>& body,
+                  CancellationToken* cancel = nullptr);
 
 }  // namespace treecode

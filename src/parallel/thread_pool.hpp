@@ -14,6 +14,10 @@
 ///  * Work items are std::function<void()>; exceptions thrown by a task are
 ///    captured and rethrown on the waiting thread so failures do not get
 ///    swallowed inside a worker.
+///  * Early termination of a sweep is cooperative and lives one layer up:
+///    parallel_for(_blocked) pairs this pool with a CancellationToken so a
+///    body exception (or an explicit cancel) stops the remaining blocks
+///    instead of completing the full range (see parallel_for.hpp).
 
 #include <condition_variable>
 #include <cstddef>

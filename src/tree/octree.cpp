@@ -23,7 +23,31 @@ Tree::Tree(const ParticleSystem& ps, const TreeConfig& config) : config_(config)
 }
 
 void Tree::build(const ParticleSystem& ps) {
-  const std::size_t n = ps.size();
+  source_size_ = ps.size();
+  validation_ = validate_particles(ps.positions(), ps.charges());
+  enforce_validation(validation_, config_.validation, "Tree");
+
+  // Under kSanitize/kWarn (kThrow would have thrown above), drop the
+  // invalid particles: positions/charges that are not finite cannot enter
+  // the SFC sort (NaN breaks the comparator) or the quantizer.
+  std::vector<std::size_t> kept;
+  if (validation_.has_errors()) {
+    dropped_ = validation_.invalid_particles();
+    kept.reserve(source_size_ - dropped_.size());
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < source_size_; ++i) {
+      if (d < dropped_.size() && dropped_[d] == i) {
+        ++d;
+      } else {
+        kept.push_back(i);
+      }
+    }
+  } else {
+    kept.resize(source_size_);
+    std::iota(kept.begin(), kept.end(), std::size_t{0});
+  }
+
+  const std::size_t n = kept.size();
   positions_.resize(n);
   charges_.resize(n);
   keys_.resize(n);
@@ -35,7 +59,11 @@ void Tree::build(const ParticleSystem& ps) {
     return;
   }
 
-  root_cube_ = ps.bounds().bounding_cube();
+  // Bounds over the kept particles only (ps.bounds() would be poisoned by
+  // any dropped non-finite position).
+  Aabb bounds;
+  for (std::size_t i : kept) bounds.expand(ps.position(i));
+  root_cube_ = bounds.bounding_cube();
   // Degenerate case: all particles coincident -> zero-size cube. Inflate a
   // hair so quantization and child boxes stay well-defined.
   if (root_cube_.max_extent() == 0.0) {
@@ -51,17 +79,17 @@ void Tree::build(const ParticleSystem& ps) {
   std::vector<std::uint64_t> raw_keys(n);
   for (std::size_t i = 0; i < n; ++i) {
     raw_keys[i] = config_.ordering == Ordering::kHilbert
-                      ? hilbert_key(ps.position(i), root_cube_)
-                      : morton_key(ps.position(i), root_cube_);
+                      ? hilbert_key(ps.position(kept[i]), root_cube_)
+                      : morton_key(ps.position(kept[i]), root_cube_);
   }
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return raw_keys[a] < raw_keys[b]; });
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t src = order[i];
-    positions_[i] = ps.position(src);
-    charges_[i] = ps.charge(src);
+    positions_[i] = ps.position(kept[src]);
+    charges_[i] = ps.charge(kept[src]);
     keys_[i] = raw_keys[src];
-    original_index_[i] = src;
+    original_index_[i] = kept[src];
   }
 
   // Root node covers everything.

@@ -22,6 +22,7 @@
 
 #include "dist/particle_system.hpp"
 #include "geom/aabb.hpp"
+#include "util/validate.hpp"
 
 namespace treecode {
 
@@ -46,6 +47,13 @@ struct TreeConfig {
   /// for the large-degree problem on clustered distributions: tree height
   /// tracks the *separating* levels only.
   bool collapse_chains = false;
+  /// What to do with invalid input particles (NaN/Inf positions or
+  /// charges): fail fast (default), silently drop them, or drop them with
+  /// a stderr warning. Dropped particles keep their slot in caller-order
+  /// results (potential 0); see Tree::dropped(). Warning-severity findings
+  /// (coincident particles, zero net charge, empty system) never throw —
+  /// they are recorded in Tree::validation_report().
+  ValidationPolicy validation = ValidationPolicy::kThrow;
 };
 
 /// One octree node. Children are stored contiguously; `first_child < 0`
@@ -97,6 +105,22 @@ class Tree {
     return original_index_;
   }
 
+  /// Size of the ParticleSystem the tree was built from. Equals
+  /// num_particles() unless validation dropped particles; caller-order
+  /// result vectors are sized to this.
+  [[nodiscard]] std::size_t source_size() const noexcept { return source_size_; }
+
+  /// Caller indices of particles dropped by a sanitizing build (sorted;
+  /// empty under kThrow or for clean input). Their caller-order result
+  /// slots are left at zero by the evaluators.
+  [[nodiscard]] const std::vector<std::size_t>& dropped() const noexcept { return dropped_; }
+
+  /// What validation found about the input (including warning-severity
+  /// issues that never throw: coincident particles, zero total charge).
+  [[nodiscard]] const ValidationReport& validation_report() const noexcept {
+    return validation_;
+  }
+
   /// Tree height: number of levels (root-only tree has height 1). Matches
   /// the paper's "number of distinct sizes of clusters".
   [[nodiscard]] int height() const noexcept { return height_; }
@@ -141,6 +165,9 @@ class Tree {
   std::vector<double> charges_;
   std::vector<std::uint64_t> keys_;
   std::vector<std::size_t> original_index_;
+  std::size_t source_size_ = 0;
+  std::vector<std::size_t> dropped_;
+  ValidationReport validation_;
   Aabb root_cube_;
   int height_ = 0;
   std::vector<std::size_t> level_counts_;

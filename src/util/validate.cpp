@@ -1,0 +1,136 @@
+#include "util/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace treecode {
+
+namespace {
+
+bool finite(const Vec3& v) noexcept {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+}  // namespace
+
+std::vector<std::size_t> ValidationReport::invalid_particles() const {
+  std::vector<std::size_t> out;
+  out.reserve(non_finite_positions.size() + non_finite_charges.size());
+  out.insert(out.end(), non_finite_positions.begin(), non_finite_positions.end());
+  out.insert(out.end(), non_finite_charges.begin(), non_finite_charges.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string ValidationReport::summary() const {
+  if (clean()) return "ok";
+  std::ostringstream os;
+  const char* sep = "";
+  if (!non_finite_positions.empty()) {
+    os << non_finite_positions.size() << " non-finite position(s) (first at index "
+       << non_finite_positions.front() << ")";
+    sep = "; ";
+  }
+  if (!non_finite_charges.empty()) {
+    os << sep << non_finite_charges.size() << " non-finite charge(s) (first at index "
+       << non_finite_charges.front() << ")";
+    sep = "; ";
+  }
+  if (empty_system) {
+    os << sep << "empty particle system";
+    sep = "; ";
+  }
+  if (coincident_particles > 0) {
+    os << sep << coincident_particles
+       << " particle(s) coincident with an earlier particle (mutual interactions are "
+          "skipped)";
+    sep = "; ";
+  }
+  if (zero_total_charge) {
+    os << sep << "zero total absolute charge (all potentials will be zero)";
+  }
+  return os.str();
+}
+
+ValidationError::ValidationError(ValidationReport report)
+    : std::invalid_argument("particle validation failed: " + report.summary()),
+      report_(std::move(report)) {}
+
+ValidationReport validate_particles(std::span<const Vec3> positions,
+                                    std::span<const double> charges) {
+  ValidationReport report;
+  const std::size_t n = std::min(positions.size(), charges.size());
+  report.particles_checked = n;
+  report.empty_system = n == 0;
+  if (n == 0) return report;
+
+  double total_abs = 0.0;
+  std::vector<std::size_t> finite_idx;
+  finite_idx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!finite(positions[i])) {
+      report.non_finite_positions.push_back(i);
+    } else {
+      finite_idx.push_back(i);
+    }
+    if (!std::isfinite(charges[i])) {
+      report.non_finite_charges.push_back(i);
+    } else {
+      total_abs += std::abs(charges[i]);
+    }
+  }
+  report.zero_total_charge = total_abs == 0.0;
+
+  // Coincidence scan over the finite positions only (NaN would break the
+  // comparator's strict weak ordering). Lexicographic sort, then count
+  // particles equal to their predecessor.
+  std::sort(finite_idx.begin(), finite_idx.end(), [&](std::size_t a, std::size_t b) {
+    const Vec3& pa = positions[a];
+    const Vec3& pb = positions[b];
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return pa.z < pb.z;
+  });
+  for (std::size_t k = 1; k < finite_idx.size(); ++k) {
+    const Vec3& a = positions[finite_idx[k - 1]];
+    const Vec3& b = positions[finite_idx[k]];
+    if (a.x == b.x && a.y == b.y && a.z == b.z) ++report.coincident_particles;
+  }
+  return report;
+}
+
+void enforce_validation(const ValidationReport& report, ValidationPolicy policy,
+                        const char* context) {
+  switch (policy) {
+    case ValidationPolicy::kThrow:
+      if (report.has_errors()) throw ValidationError(report);
+      break;
+    case ValidationPolicy::kSanitize:
+      break;
+    case ValidationPolicy::kWarn:
+      if (report.has_errors() || report.has_warnings()) {
+        std::fprintf(stderr, "%s: %s\n", context, report.summary().c_str());
+      }
+      break;
+  }
+}
+
+bool all_finite(std::span<const double> values) noexcept {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool all_finite(std::span<const Vec3> values) noexcept {
+  for (const Vec3& v : values) {
+    if (!finite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace treecode

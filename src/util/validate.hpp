@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file validate.hpp
+/// Input validation for particle data: the defensive layer in front of
+/// every evaluator.
+///
+/// The paper's error analysis (Theorems 1-3) presumes finite charges and
+/// positions; a single NaN position poisons the SFC sort (NaN breaks the
+/// comparator's strict weak ordering), the quantizer (float->int cast of
+/// NaN is UB), and every potential downstream. Rather than trusting
+/// callers, `validate_particles` produces a ValidationReport and a
+/// ValidationPolicy decides what happens to it:
+///
+///  * kThrow    — error-severity issues raise ValidationError (default);
+///  * kSanitize — invalid particles are dropped silently, the report is
+///                kept for inspection;
+///  * kWarn     — like kSanitize, but the report summary is printed to
+///                stderr.
+///
+/// Warning-severity issues (empty system, coincident particles, zero
+/// total charge) never throw: the evaluators handle them defensively, but
+/// the report flags them so callers can tell a degenerate answer from a
+/// meaningful one.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace treecode {
+
+/// What to do when validation finds error-severity issues.
+enum class ValidationPolicy {
+  kThrow,     ///< raise ValidationError (fail fast; the default)
+  kSanitize,  ///< drop invalid particles, keep the report
+  kWarn,      ///< drop invalid particles and print the summary to stderr
+};
+
+/// Everything validation found about one particle set.
+///
+/// Error severity (can trigger the policy): non-finite positions or
+/// charges. Warning severity (always tolerated, only recorded): empty
+/// system, coincident particles, zero total absolute charge.
+struct ValidationReport {
+  std::size_t particles_checked = 0;
+  std::vector<std::size_t> non_finite_positions;  ///< caller indices
+  std::vector<std::size_t> non_finite_charges;    ///< caller indices
+  /// Particles sharing an exact position with an earlier particle. The
+  /// P2P kernels skip r == 0 source-target pairs, so coincident particles
+  /// silently *lose* their mutual interaction — worth knowing about.
+  std::size_t coincident_particles = 0;
+  bool empty_system = false;
+  bool zero_total_charge = false;
+
+  /// Any error-severity issue present?
+  [[nodiscard]] bool has_errors() const noexcept {
+    return !non_finite_positions.empty() || !non_finite_charges.empty();
+  }
+
+  /// Any warning-severity issue present?
+  [[nodiscard]] bool has_warnings() const noexcept {
+    return empty_system || coincident_particles > 0 || zero_total_charge;
+  }
+
+  [[nodiscard]] bool clean() const noexcept { return !has_errors() && !has_warnings(); }
+
+  /// Sorted, de-duplicated union of the error-severity particle indices —
+  /// exactly the set a sanitizing tree build drops.
+  [[nodiscard]] std::vector<std::size_t> invalid_particles() const;
+
+  /// One-line human-readable account of every issue found.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Thrown by ValidationPolicy::kThrow; carries the full report.
+class ValidationError : public std::invalid_argument {
+ public:
+  explicit ValidationError(ValidationReport report);
+  [[nodiscard]] const ValidationReport& report() const noexcept { return report_; }
+
+ private:
+  ValidationReport report_;
+};
+
+/// Inspect one particle set (parallel position/charge arrays; sizes must
+/// match). Pure check — never throws, never modifies.
+ValidationReport validate_particles(std::span<const Vec3> positions,
+                                    std::span<const double> charges);
+
+/// Apply `policy` to `report`: throws ValidationError on errors under
+/// kThrow, prints the summary to stderr under kWarn when anything was
+/// found, does nothing under kSanitize. `context` prefixes the message.
+void enforce_validation(const ValidationReport& report, ValidationPolicy policy,
+                        const char* context);
+
+/// True iff every component of every span element is finite. Used for the
+/// cheap O(n) re-checks on charge/moment override spans that bypass tree
+/// construction (the BEM operators swap charges every GMRES iteration).
+[[nodiscard]] bool all_finite(std::span<const double> values) noexcept;
+[[nodiscard]] bool all_finite(std::span<const Vec3> values) noexcept;
+
+}  // namespace treecode

@@ -1,0 +1,129 @@
+// Runtime error-budget enforcement (EvalConfig::enforce_budget): on exit,
+// every target's rigorous a-posteriori bound must sit under the budget,
+// and the measured error against direct summation must sit under the
+// bound — on both uniform and clustered distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/direct.hpp"
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+
+namespace treecode {
+namespace {
+
+/// Budget-enforcement contract on one distribution: for every target i,
+///   |Phi_direct(i) - Phi_tree(i)| <= error_bound[i] <= budget.
+void check_budget_contract(const ParticleSystem& ps, double budget) {
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.6;
+  cfg.degree = 3;
+  cfg.threads = 4;
+  cfg.enforce_budget = true;
+  cfg.error_budget = budget;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  const EvalResult exact = evaluate_direct(ps, 4);
+
+  ASSERT_EQ(r.error_bound.size(), ps.size());
+  double max_phi = 0.0;
+  for (double v : exact.potential) max_phi = std::max(max_phi, std::abs(v));
+  const double roundoff = 1e-11 * max_phi;  // direct-sum floating-point noise
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ASSERT_LE(r.error_bound[i], budget) << i;
+    ASSERT_LE(std::abs(r.potential[i] - exact.potential[i]), r.error_bound[i] + roundoff)
+        << i;
+  }
+}
+
+TEST(ErrorBudget, ContractHoldsOnUniform10k) {
+  const ParticleSystem ps = dist::uniform_cube(10'000, 51);
+  // Tight enough that plain alpha=0.6/degree-3 traversal would exceed it
+  // on many targets (see EnforcementActuallyRefines below).
+  check_budget_contract(ps, 2.0);
+}
+
+TEST(ErrorBudget, ContractHoldsOnClustered10k) {
+  const ParticleSystem ps = dist::overlapped_gaussians(10'000, 4, 53, 0.05);
+  check_budget_contract(ps, 2.0);
+}
+
+TEST(ErrorBudget, EnforcementActuallyRefines) {
+  const ParticleSystem ps = dist::uniform_cube(4'000, 57);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.6;
+  cfg.degree = 3;
+  cfg.track_error_bounds = true;
+  const EvalResult loose = evaluate_potentials(tree, cfg);
+  const double worst =
+      *std::max_element(loose.error_bound.begin(), loose.error_bound.end());
+  ASSERT_GT(worst, 0.0);
+  EXPECT_EQ(loose.stats.budget_refinements, 0u);  // tracking alone never demotes
+
+  // Budget at a quarter of the unenforced worst bound: enforcement must
+  // demote interactions and land every target under it.
+  cfg.enforce_budget = true;
+  cfg.error_budget = 0.25 * worst;
+  const EvalResult tight = evaluate_potentials(tree, cfg);
+  EXPECT_GT(tight.stats.budget_refinements, 0u);
+  EXPECT_GT(tight.stats.p2p_pairs, loose.stats.p2p_pairs);
+  for (double b : tight.error_bound) EXPECT_LE(b, cfg.error_budget);
+}
+
+TEST(ErrorBudget, TinyBudgetDegradesToDirectSummation) {
+  const ParticleSystem ps = dist::gaussian_ball(1'500, 59);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.enforce_budget = true;
+  cfg.error_budget = 1e-300;  // only zero-error interactions fit
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  const EvalResult exact = evaluate_direct(ps);
+  // Every cluster with a nonzero Theorem-1 bound must have been demoted;
+  // what survives as M2P is exact (single-particle leaves expanded about
+  // their own position have radius 0 and hence zero bound).
+  EXPECT_GT(r.stats.budget_refinements, 0u);
+  double max_phi = 0.0;
+  for (double v : exact.potential) max_phi = std::max(max_phi, std::abs(v));
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_LE(r.error_bound[i], cfg.error_budget);
+    // All-P2P traversal is exact up to summation-order roundoff.
+    EXPECT_NEAR(r.potential[i], exact.potential[i], 1e-10 * max_phi) << i;
+  }
+}
+
+TEST(ErrorBudget, EnforcementImpliesBoundTracking) {
+  const ParticleSystem ps = dist::uniform_cube(500, 61);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.enforce_budget = true;
+  cfg.error_budget = 0.5;
+  cfg.track_error_bounds = false;  // enforcement fills error_bound anyway
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  EXPECT_EQ(r.error_bound.size(), ps.size());
+}
+
+TEST(ErrorBudget, BudgetPreservesGradientPath) {
+  const ParticleSystem ps = dist::uniform_cube(2'000, 63);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.enforce_budget = true;
+  cfg.error_budget = 1.0;
+  cfg.compute_gradient = true;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  const EvalResult exact = evaluate_direct(ps, 0, true);
+  double err = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    err += norm2(r.gradient[i] - exact.gradient[i]);
+    den += norm2(exact.gradient[i]);
+  }
+  EXPECT_LT(std::sqrt(err / den), 1e-1);  // budget tightens potentials, sanity on grads
+  for (double b : r.error_bound) EXPECT_LE(b, cfg.error_budget);
+}
+
+}  // namespace
+}  // namespace treecode

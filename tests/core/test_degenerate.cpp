@@ -1,0 +1,195 @@
+// Degenerate and adversarial inputs through the full Tree +
+// evaluate_potentials pipeline: the evaluators must reject, repair, or
+// tolerate them per the configured ValidationPolicy — never emit NaN.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/direct.hpp"
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+
+namespace treecode {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool all_results_finite(const EvalResult& r) {
+  for (double v : r.potential) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+TEST(Degenerate, EmptySystemEvaluatesToEmptyResults) {
+  const ParticleSystem ps;
+  const Tree tree(ps);
+  EXPECT_EQ(tree.num_particles(), 0u);
+  EXPECT_TRUE(tree.validation_report().empty_system);
+  EvalConfig cfg;
+  for (Method m : {Method::kBarnesHut, Method::kFmm, Method::kDirect}) {
+    const EvalResult r = evaluate_potentials(tree, cfg, m);
+    EXPECT_TRUE(r.potential.empty());
+  }
+}
+
+TEST(Degenerate, SingleParticleHasZeroPotential) {
+  ParticleSystem ps;
+  ps.add({0.3, 0.4, 0.5}, 2.0);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  for (Method m : {Method::kBarnesHut, Method::kFmm, Method::kDirect}) {
+    const EvalResult r = evaluate_potentials(tree, cfg, m);
+    ASSERT_EQ(r.potential.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.potential[0], 0.0);
+  }
+}
+
+TEST(Degenerate, AllCoincidentParticlesStayFinite) {
+  // The P2P kernels skip r == 0 pairs, so a fully degenerate cloud must
+  // produce zeros, not infinities — and validation must flag it.
+  ParticleSystem ps;
+  for (int i = 0; i < 32; ++i) ps.add({1.0, 1.0, 1.0}, 1.0);
+  const Tree tree(ps);
+  EXPECT_EQ(tree.validation_report().coincident_particles, 31u);
+  EvalConfig cfg;
+  for (Method m : {Method::kBarnesHut, Method::kFmm, Method::kDirect}) {
+    const EvalResult r = evaluate_potentials(tree, cfg, m);
+    ASSERT_EQ(r.potential.size(), ps.size());
+    EXPECT_TRUE(all_results_finite(r)) << static_cast<int>(m);
+  }
+}
+
+TEST(Degenerate, AllZeroChargesGiveZeroPotentials) {
+  ParticleSystem ps = dist::uniform_cube(200, 17);
+  for (double& q : ps.charges()) q = 0.0;
+  const Tree tree(ps);
+  EXPECT_TRUE(tree.validation_report().zero_total_charge);
+  EvalConfig cfg;
+  for (Method m : {Method::kBarnesHut, Method::kFmm, Method::kDirect}) {
+    const EvalResult r = evaluate_potentials(tree, cfg, m);
+    for (double v : r.potential) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Degenerate, NanPositionRejectedUnderThrowPolicy) {
+  ParticleSystem ps = dist::uniform_cube(100, 19);
+  ps.add({kNan, 0.0, 0.0}, 1.0);
+  EXPECT_THROW(Tree(ps, {.validation = ValidationPolicy::kThrow}), ValidationError);
+  // kThrow is the default.
+  EXPECT_THROW(Tree tree(ps), ValidationError);
+}
+
+TEST(Degenerate, InfiniteChargeRejectedUnderThrowPolicy) {
+  ParticleSystem ps = dist::uniform_cube(100, 23);
+  ps.add({0.5, 0.5, 0.5}, kInf);
+  EXPECT_THROW(Tree tree(ps), ValidationError);
+}
+
+TEST(Degenerate, SanitizePolicyDropsInvalidAndMatchesCleanRun) {
+  // A NaN-poisoned copy, sanitized, must reproduce the clean system's
+  // potentials in the surviving slots and zero the dropped slots.
+  const ParticleSystem clean = dist::uniform_cube(500, 29);
+  ParticleSystem dirty = clean;
+  dirty.add({kNan, 0.2, 0.3}, 1.0);   // index 500: bad position
+  dirty.add({0.1, 0.2, 0.3}, kNan);   // index 501: bad charge
+  const Tree tree(dirty, {.validation = ValidationPolicy::kSanitize});
+  EXPECT_EQ(tree.source_size(), clean.size() + 2);
+  EXPECT_EQ(tree.num_particles(), clean.size());
+  EXPECT_EQ(tree.dropped(), (std::vector<std::size_t>{500, 501}));
+
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 6;
+  const Tree clean_tree(clean);
+  for (Method m : {Method::kBarnesHut, Method::kFmm, Method::kDirect}) {
+    const EvalResult dirty_r = evaluate_potentials(tree, cfg, m);
+    const EvalResult clean_r = evaluate_potentials(clean_tree, cfg, m);
+    ASSERT_EQ(dirty_r.potential.size(), clean.size() + 2);
+    EXPECT_TRUE(all_results_finite(dirty_r)) << static_cast<int>(m);
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      EXPECT_DOUBLE_EQ(dirty_r.potential[i], clean_r.potential[i]) << i;
+    }
+    EXPECT_DOUBLE_EQ(dirty_r.potential[500], 0.0);
+    EXPECT_DOUBLE_EQ(dirty_r.potential[501], 0.0);
+  }
+}
+
+TEST(Degenerate, WarnPolicyAlsoRepairs) {
+  ParticleSystem ps = dist::uniform_cube(50, 31);
+  ps.add({kInf, 0.0, 0.0}, 1.0);
+  const Tree tree(ps, {.validation = ValidationPolicy::kWarn});
+  EXPECT_EQ(tree.num_particles(), 50u);
+  EvalConfig cfg;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  EXPECT_TRUE(all_results_finite(r));
+}
+
+TEST(Degenerate, AllParticlesInvalidYieldsEmptyTree) {
+  ParticleSystem ps;
+  ps.add({kNan, kNan, kNan}, 1.0);
+  ps.add({0.0, 0.0, 0.0}, kInf);
+  const Tree tree(ps, {.validation = ValidationPolicy::kSanitize});
+  EXPECT_EQ(tree.num_particles(), 0u);
+  EXPECT_EQ(tree.source_size(), 2u);
+  EvalConfig cfg;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  ASSERT_EQ(r.potential.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.potential[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.potential[1], 0.0);
+}
+
+TEST(Degenerate, GradientsAndBoundsFollowSanitizedSizing) {
+  ParticleSystem ps = dist::gaussian_ball(300, 37);
+  ps.add({kNan, 0.0, 0.0}, 1.0);
+  const Tree tree(ps, {.validation = ValidationPolicy::kSanitize});
+  EvalConfig cfg;
+  cfg.compute_gradient = true;
+  cfg.track_error_bounds = true;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  EXPECT_EQ(r.potential.size(), 301u);
+  EXPECT_EQ(r.gradient.size(), 301u);
+  EXPECT_EQ(r.error_bound.size(), 301u);
+  EXPECT_TRUE(all_results_finite(r));
+}
+
+TEST(Degenerate, BadEvalConfigRejected) {
+  const ParticleSystem ps = dist::uniform_cube(50, 41);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+  cfg.alpha = 1.0;
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.degree = -1;
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.max_degree = cfg.degree - 1;
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.softening = -1.0;
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.enforce_budget = true;  // without a positive budget
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.error_budget = kNan;
+  EXPECT_THROW(evaluate_potentials(tree, cfg), std::invalid_argument);
+}
+
+TEST(Degenerate, ChargeOverrideWithNanRejected) {
+  const ParticleSystem ps = dist::uniform_cube(64, 43);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  std::vector<double> charges(tree.num_particles(), 1.0);
+  charges[10] = kNan;
+  EXPECT_THROW(BarnesHutEvaluator(tree, cfg, nullptr, charges), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "linalg/dense_matrix.hpp"
@@ -134,6 +135,154 @@ TEST(Gmres, ReportsNonConvergence) {
   const GmresResult r = gmres(A, b, x, opt);
   EXPECT_FALSE(r.converged);
   EXPECT_GT(r.relative_residual, 1e-14);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kMaxIterations);
+}
+
+TEST(Gmres, RejectsNonFiniteRightHandSide) {
+  const DenseMatrix A = random_dd_matrix(6, 13);
+  std::vector<double> b(6, 1.0);
+  b[3] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x(6, 0.0);
+  const GmresResult r = gmres(A, b, x);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kNonFiniteInput);
+  EXPECT_EQ(r.iterations, 0);
+  // The initial guess must not be clobbered by a poisoned solve.
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Gmres, RejectsNonFiniteInitialGuess) {
+  const DenseMatrix A = random_dd_matrix(6, 14);
+  const std::vector<double> b(6, 1.0);
+  std::vector<double> x(6, 0.0);
+  x[0] = std::numeric_limits<double>::infinity();
+  const GmresResult r = gmres(A, b, x);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kNonFiniteInput);
+}
+
+namespace {
+/// Well-behaved operator that starts emitting NaN after a set number of
+/// applications — models a treecode matvec hitting a degenerate panel.
+class PoisonedOperator final : public LinearOperator {
+ public:
+  PoisonedOperator(const DenseMatrix& inner, int poison_after)
+      : inner_(inner), poison_after_(poison_after) {}
+  [[nodiscard]] std::size_t rows() const override { return inner_.rows(); }
+  [[nodiscard]] std::size_t cols() const override { return inner_.cols(); }
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    inner_.apply(x, y);
+    if (++applications_ > poison_after_) y[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  const DenseMatrix& inner_;
+  int poison_after_;
+  mutable int applications_ = 0;
+};
+}  // namespace
+
+TEST(Gmres, DetectsNonFiniteOperator) {
+  const std::size_t n = 20;
+  const DenseMatrix inner = random_dd_matrix(n, 15);
+  const PoisonedOperator A(inner, 3);
+  const std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  GmresOptions opt;
+  opt.tolerance = 1e-12;
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kNonFiniteOperator);
+  // The reported solution is the last completed update: still finite.
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Gmres, DetectsStagnation) {
+  // GMRES(1) on a plane rotation makes zero progress per cycle: the
+  // one-dimensional Krylov subspace is orthogonal to the residual update.
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 0.0;
+  A.at(0, 1) = -1.0;
+  A.at(1, 0) = 1.0;
+  A.at(1, 1) = 0.0;
+  const std::vector<double> b{1.0, 0.0};
+  std::vector<double> x(2, 0.0);
+  GmresOptions opt;
+  opt.restart = 1;
+  opt.max_iterations = 500;
+  opt.stagnation_window = 10;
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kStagnation);
+  EXPECT_LT(r.iterations, opt.max_iterations);  // bailed out early
+}
+
+TEST(Gmres, StagnationGuardCanBeDisabled) {
+  DenseMatrix A(2, 2);
+  A.at(0, 1) = -1.0;
+  A.at(1, 0) = 1.0;
+  const std::vector<double> b{1.0, 0.0};
+  std::vector<double> x(2, 0.0);
+  GmresOptions opt;
+  opt.restart = 1;
+  opt.max_iterations = 200;
+  opt.stagnation_window = 0;  // run to the iteration cap instead
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kMaxIterations);
+  EXPECT_EQ(r.iterations, opt.max_iterations);
+}
+
+TEST(Gmres, HappyBreakdownOnSingularSystemSolvesLeastSquares) {
+  // A = diag(1, 0) with b outside range(A): the Krylov space is exhausted
+  // after two steps (exact breakdown) while the residual floor stays at
+  // ||(0,1)||. The solver must flag the breakdown, keep the subspace
+  // least-squares solution, and not divide by the stale basis vector.
+  DenseMatrix A(2, 2);
+  A.at(0, 0) = 1.0;
+  const std::vector<double> b{1.0, 1.0};
+  std::vector<double> x(2, 0.0);
+  GmresOptions opt;
+  opt.tolerance = 1e-12;
+  opt.max_iterations = 50;
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_TRUE(r.happy_breakdown);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kBreakdown);
+  EXPECT_LE(r.iterations, 2);  // no futile restarts on the invariant subspace
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(x[0], 1.0, 1e-10);  // the consistent component is solved exactly
+  EXPECT_NEAR(r.relative_residual, 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(Gmres, HappyBreakdownBeforeRestartStillConverges) {
+  // Minimal polynomial of degree 2 and a huge restart: the Arnoldi process
+  // breaks down long before the cycle ends, and the solve must finish with
+  // the exact answer rather than stale basis vectors.
+  const std::size_t n = 16;
+  DenseMatrix A(n, n);
+  for (std::size_t i = 0; i < n; ++i) A.at(i, i) = (i < n / 2) ? 2.0 : 5.0;
+  std::vector<double> x_true(n, 1.0);
+  std::vector<double> b(n);
+  A.apply(x_true, b);
+  std::vector<double> x(n, 0.0);
+  GmresOptions opt;
+  opt.restart = static_cast<int>(n);
+  opt.tolerance = 1e-12;
+  const GmresResult r = gmres(A, b, x, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.failure_reason, GmresFailure::kNone);
+  EXPECT_LE(r.iterations, 3);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0, 1e-9);
+}
+
+TEST(Gmres, FailureReasonToStringIsStable) {
+  EXPECT_STREQ(to_string(GmresFailure::kNone), "none");
+  EXPECT_STREQ(to_string(GmresFailure::kNonFiniteInput), "non-finite input");
+  EXPECT_STREQ(to_string(GmresFailure::kNonFiniteOperator), "non-finite operator output");
+  EXPECT_STREQ(to_string(GmresFailure::kStagnation), "stagnation");
+  EXPECT_STREQ(to_string(GmresFailure::kBreakdown), "breakdown on singular system");
+  EXPECT_STREQ(to_string(GmresFailure::kMaxIterations), "max iterations");
 }
 
 TEST(Gmres, ResidualHistoryIsMonotoneWithinCycle) {

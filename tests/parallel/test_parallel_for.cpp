@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -62,6 +65,87 @@ TEST(WorkStats, LoadBalanceAndSpeedup) {
   s.work = {};
   EXPECT_DOUBLE_EQ(s.load_balance(), 1.0);
   EXPECT_DOUBLE_EQ(s.modeled_speedup(), 1.0);
+}
+
+TEST(Cancellation, PreCancelledTokenRunsNothing) {
+  for (unsigned threads : {0u, 4u}) {
+    ThreadPool pool(threads);
+    CancellationToken token;
+    token.cancel();
+    std::atomic<int> blocks{0};
+    parallel_for(
+        pool, 1000, 10,
+        [&](std::size_t, std::size_t, unsigned) { blocks.fetch_add(1); }, &token);
+    EXPECT_EQ(blocks.load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(Cancellation, BodyExceptionPropagatesAndStopsEarly) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  const std::size_t block = 10;  // 1000 blocks total
+  std::atomic<int> blocks{0};
+  auto body = [&](std::size_t b, std::size_t, unsigned) {
+    if (b == 0) throw std::runtime_error("boom at block zero");
+    blocks.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  try {
+    parallel_for(pool, n, block, body);
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at block zero");
+  }
+  // Cancellation is cooperative, so a handful of in-flight blocks may
+  // finish — but nowhere near the full sweep.
+  EXPECT_LT(blocks.load(), static_cast<int>(n / block) / 2);
+}
+
+TEST(Cancellation, SerialPoolStopsAtThrowingBlock) {
+  ThreadPool pool(0);  // inline execution: deterministic block order
+  std::atomic<int> blocks{0};
+  auto body = [&](std::size_t b, std::size_t, unsigned) {
+    if (b >= 50) throw std::logic_error("halt");
+    blocks.fetch_add(1);
+  };
+  EXPECT_THROW(parallel_for(pool, 1000, 10, body), std::logic_error);
+  EXPECT_EQ(blocks.load(), 5);  // blocks 0..40 ran, block 50 threw
+}
+
+TEST(Cancellation, BodyCanCancelWithoutThrowing) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<int> blocks{0};
+  const WorkStats stats = parallel_for_blocked(
+      pool, 10'000, 10,
+      [&](std::size_t b, std::size_t e, unsigned) -> std::uint64_t {
+        blocks.fetch_add(1);
+        if (b >= 100) token.cancel();  // stop the sweep partway through
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return e - b;
+      },
+      &token);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GT(blocks.load(), 0);
+  EXPECT_LT(blocks.load(), 500);
+  EXPECT_LT(stats.total_work(), 10'000u);  // partial sweep reflected in stats
+}
+
+TEST(Cancellation, TokenResetAllowsReuse) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.cancel();
+  ASSERT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  std::atomic<int> total{0};
+  parallel_for(
+      pool, 100, 10,
+      [&](std::size_t b, std::size_t e, unsigned) {
+        total.fetch_add(static_cast<int>(e - b));
+      },
+      &token);
+  EXPECT_EQ(total.load(), 100);
 }
 
 TEST(ParallelFor, DeterministicResultRegardlessOfThreads) {

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/validate.hpp"
+
+namespace treecode {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Validate, CleanInputReportsClean) {
+  const std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  const std::vector<double> q{1.0, -1.0, 0.5};
+  const ValidationReport r = validate_particles(pos, q);
+  EXPECT_TRUE(r.clean());
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_FALSE(r.has_warnings());
+  EXPECT_EQ(r.particles_checked, 3u);
+  EXPECT_EQ(r.summary(), "ok");
+}
+
+TEST(Validate, FlagsNonFinitePositionsAndCharges) {
+  const std::vector<Vec3> pos{{0, 0, 0}, {kNan, 0, 0}, {0, kInf, 0}, {1, 1, 1}};
+  const std::vector<double> q{1.0, 1.0, 1.0, kNan};
+  const ValidationReport r = validate_particles(pos, q);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.non_finite_positions, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(r.non_finite_charges, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(r.invalid_particles(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_NE(r.summary().find("non-finite position"), std::string::npos);
+  EXPECT_NE(r.summary().find("non-finite charge"), std::string::npos);
+}
+
+TEST(Validate, InvalidParticlesDeDuplicatesOverlap) {
+  // A particle bad in both position and charge counts once.
+  const std::vector<Vec3> pos{{kNan, 0, 0}, {1, 0, 0}};
+  const std::vector<double> q{kInf, 1.0};
+  const ValidationReport r = validate_particles(pos, q);
+  EXPECT_EQ(r.invalid_particles(), (std::vector<std::size_t>{0}));
+}
+
+TEST(Validate, CountsCoincidentParticles) {
+  const std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}, {0, 0, 0}, {0, 0, 0}, {2, 0, 0}};
+  const std::vector<double> q(5, 1.0);
+  const ValidationReport r = validate_particles(pos, q);
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(r.has_warnings());
+  EXPECT_EQ(r.coincident_particles, 2u);  // two extra copies of the origin
+}
+
+TEST(Validate, CoincidenceScanIgnoresNonFinitePositions) {
+  // Two NaN positions must not be compared (or counted as coincident).
+  const std::vector<Vec3> pos{{kNan, 0, 0}, {kNan, 0, 0}, {1, 0, 0}};
+  const std::vector<double> q(3, 1.0);
+  const ValidationReport r = validate_particles(pos, q);
+  EXPECT_EQ(r.coincident_particles, 0u);
+  EXPECT_EQ(r.non_finite_positions.size(), 2u);
+}
+
+TEST(Validate, FlagsEmptySystemAndZeroCharge) {
+  const ValidationReport empty = validate_particles({}, {});
+  EXPECT_TRUE(empty.empty_system);
+  EXPECT_TRUE(empty.has_warnings());
+  EXPECT_FALSE(empty.has_errors());
+
+  const std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}};
+  const std::vector<double> q{0.0, 0.0};
+  const ValidationReport zeroq = validate_particles(pos, q);
+  EXPECT_TRUE(zeroq.zero_total_charge);
+  EXPECT_TRUE(zeroq.has_warnings());
+}
+
+TEST(Validate, EnforceThrowPolicyThrowsOnlyOnErrors) {
+  ValidationReport errors;
+  errors.non_finite_charges.push_back(0);
+  EXPECT_THROW(enforce_validation(errors, ValidationPolicy::kThrow, "test"),
+               ValidationError);
+
+  ValidationReport warnings;
+  warnings.coincident_particles = 3;
+  EXPECT_NO_THROW(enforce_validation(warnings, ValidationPolicy::kThrow, "test"));
+}
+
+TEST(Validate, EnforceSanitizeAndWarnNeverThrow) {
+  ValidationReport errors;
+  errors.non_finite_positions.push_back(2);
+  EXPECT_NO_THROW(enforce_validation(errors, ValidationPolicy::kSanitize, "test"));
+  EXPECT_NO_THROW(enforce_validation(errors, ValidationPolicy::kWarn, "test"));
+}
+
+TEST(Validate, ValidationErrorCarriesReport) {
+  ValidationReport r;
+  r.non_finite_positions = {4, 7};
+  try {
+    throw ValidationError(r);
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.report().non_finite_positions, (std::vector<std::size_t>{4, 7}));
+    EXPECT_NE(std::string(e.what()).find("non-finite position"), std::string::npos);
+  }
+}
+
+TEST(Validate, AllFiniteHelpers) {
+  EXPECT_TRUE(all_finite(std::span<const double>{}));
+  const std::vector<double> good{1.0, -2.0, 0.0};
+  const std::vector<double> bad{1.0, kNan};
+  EXPECT_TRUE(all_finite(std::span<const double>(good)));
+  EXPECT_FALSE(all_finite(std::span<const double>(bad)));
+  const std::vector<Vec3> vgood{{0, 0, 0}};
+  const std::vector<Vec3> vbad{{0, kInf, 0}};
+  EXPECT_TRUE(all_finite(std::span<const Vec3>(vgood)));
+  EXPECT_FALSE(all_finite(std::span<const Vec3>(vbad)));
+}
+
+}  // namespace
+}  // namespace treecode
