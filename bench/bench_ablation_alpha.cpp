@@ -7,6 +7,7 @@
 // cost rises, and the per-level interaction count never exceeds K(alpha).
 //
 //   ./bench_ablation_alpha [--n 16k] [--degree 4] [--threads 4]
+//                          [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -18,7 +19,8 @@
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"n", "degree", "threads"});
+    const CliFlags flags(argc, argv, bench::with_obs_flags({"n", "degree", "threads"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 16'000));
     const int degree = static_cast<int>(flags.get_int("degree", 4));
     const unsigned threads = static_cast<unsigned>(flags.get_int("threads", 4));
@@ -54,6 +56,13 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t.to_string().c_str());
     std::printf("expected: errors fall and terms rise as alpha shrinks;\n"
                 "interactions/particle always below the Lemma-2 ceiling.\n");
+
+    obs::RunReport run_report("bench_ablation_alpha");
+    run_report.config()["n"] = n;
+    run_report.config()["degree"] = degree;
+    run_report.config()["threads"] = static_cast<std::uint64_t>(threads);
+    run_report.results()["table"] = bench::table_json(t);
+    bench::emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -13,6 +13,7 @@
 //
 //   ./bench_ablation_degree_law [--n 16k] [--alpha 0.5] [--degree 3]
 //                               [--threads 4]
+//                               [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 #include <string>
@@ -25,7 +26,7 @@ namespace {
 
 using namespace treecode;
 
-void law_table(const ParticleSystem& ps, double alpha, int degree, unsigned threads) {
+Table law_table(const ParticleSystem& ps, double alpha, int degree, unsigned threads) {
   const Tree tree(ps);
   const EvalResult exact = evaluate_direct(ps, threads ? threads : 4);
   Table t({"law", "reference", "error", "terms", "p_max", "stored coeffs"});
@@ -66,6 +67,7 @@ void law_table(const ParticleSystem& ps, double alpha, int degree, unsigned thre
                fmt_millions(static_cast<long long>(eval.stored_coefficients()))});
   }
   std::printf("%s\n", t.to_string().c_str());
+  return t;
 }
 
 }  // namespace
@@ -74,7 +76,8 @@ int main(int argc, char** argv) {
   using namespace treecode;
   using namespace treecode::bench;
   try {
-    const CliFlags flags(argc, argv, {"n", "alpha", "degree", "threads"});
+    const CliFlags flags(argc, argv, with_obs_flags({"n", "alpha", "degree", "threads"}));
+    const ObsOptions obs_opts = obs_options_from(flags);
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 16'000));
     const double alpha = flags.get_double("alpha", 0.5);
     const int degree = static_cast<int>(flags.get_int("degree", 3));
@@ -83,7 +86,7 @@ int main(int argc, char** argv) {
     std::printf("== Ablation: degree-selection law (n=%zu, alpha=%.2f, base degree=%d)"
                 " ==\n\n",
                 n, alpha, degree);
-    law_table(dist::uniform_cube(n, 13), alpha, degree, threads);
+    const Table laws = law_table(dist::uniform_cube(n, 13), alpha, degree, threads);
 
     std::printf("-- aggregate error growth: fixed vs adaptive (uniform ladder) --\n");
     PairConfig pc;
@@ -105,6 +108,15 @@ int main(int argc, char** argv) {
                 "adaptive one ~log n; in the aggregate 2-norm (a sqrt(n) factor on\n"
                 "both) 'fixed growth' therefore tracks ~n while 'adaptive growth'\n"
                 "tracks ~sqrt(n) log n — the gap between the columns widens with n.\n");
+
+    obs::RunReport run_report("bench_ablation_degree_law");
+    run_report.config()["n"] = n;
+    run_report.config()["alpha"] = alpha;
+    run_report.config()["degree"] = degree;
+    run_report.config()["threads"] = static_cast<std::uint64_t>(threads);
+    run_report.results()["laws"] = table_json(laws);
+    run_report.results()["ladder"] = pair_rows_json(rows);
+    emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

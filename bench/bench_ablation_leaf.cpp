@@ -7,6 +7,7 @@
 // time; error stays controlled throughout.
 //
 //   ./bench_ablation_leaf [--n 16k] [--alpha 0.5] [--degree 4] [--threads 4]
+//                         [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -18,7 +19,9 @@
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"n", "alpha", "degree", "threads"});
+    const CliFlags flags(argc, argv,
+                         bench::with_obs_flags({"n", "alpha", "degree", "threads"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 16'000));
     const unsigned threads = static_cast<unsigned>(flags.get_int("threads", 4));
     EvalConfig cfg;
@@ -49,6 +52,14 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t.to_string().c_str());
     std::printf("expected: terms fall / p2p rises with leaf size; a sweet spot in\n"
                 "wall time appears around 8-64 particles per leaf.\n");
+
+    obs::RunReport run_report("bench_ablation_leaf");
+    run_report.config()["n"] = n;
+    run_report.config()["alpha"] = cfg.alpha;
+    run_report.config()["degree"] = cfg.degree;
+    run_report.config()["threads"] = static_cast<std::uint64_t>(threads);
+    run_report.results()["table"] = bench::table_json(t);
+    bench::emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,6 +9,7 @@
 //
 //   ./bench_ablation_ordering [--n 32k] [--alpha 0.5] [--degree 4]
 //                             [--block 64]
+//                             [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -37,7 +38,9 @@ double mean_block_diameter(const Tree& tree, std::size_t block) {
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"n", "alpha", "degree", "block"});
+    const CliFlags flags(argc, argv,
+                         bench::with_obs_flags({"n", "alpha", "degree", "block"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 32'000));
     const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 64));
     EvalConfig cfg;
@@ -65,6 +68,14 @@ int main(int argc, char** argv) {
     std::printf("expected: Hilbert blocks are spatially tighter (smaller diameter),\n"
                 "which is what gives the paper's threaded formulation its cache\n"
                 "behavior; load balance is high for both (dynamic scheduling).\n");
+
+    obs::RunReport run_report("bench_ablation_ordering");
+    run_report.config()["n"] = n;
+    run_report.config()["alpha"] = cfg.alpha;
+    run_report.config()["degree"] = cfg.degree;
+    run_report.config()["block"] = block;
+    run_report.results()["table"] = bench::table_json(t);
+    bench::emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

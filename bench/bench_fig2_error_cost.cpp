@@ -7,6 +7,7 @@
 //   right — multipole terms vs n (log-log): the two curves nearly coincide.
 //
 //   ./bench_fig2_error_cost [--full] [--alpha 0.5] [--degree 4] [--threads 4]
+//                           [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   using namespace treecode;
   using namespace treecode::bench;
   try {
-    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads"});
+    const CliFlags flags(argc, argv,
+                         with_obs_flags({"full", "alpha", "degree", "threads"}));
+    const ObsOptions obs_opts = obs_options_from(flags);
     PairConfig cfg;
     cfg.alpha = flags.get_double("alpha", 0.4);
     cfg.degree = static_cast<int>(flags.get_int("degree", 4));
@@ -59,6 +62,14 @@ int main(int argc, char** argv) {
 
     const Table t = table1_format(rows);
     std::printf("underlying data:\n%s\n", t.to_string().c_str());
+
+    obs::RunReport report("bench_fig2_error_cost");
+    report.config()["alpha"] = cfg.alpha;
+    report.config()["degree"] = cfg.degree;
+    report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
+    report.config()["full"] = flags.get_bool("full");
+    report.results()["rows"] = pair_rows_json(rows);
+    emit_reports(obs_opts, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

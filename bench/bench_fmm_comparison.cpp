@@ -7,6 +7,7 @@
 // the BH-vs-FMM cost crossover.
 //
 //   ./bench_fmm_comparison [--full] [--alpha 0.5] [--degree 4] [--threads 4]
+//                          [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   using namespace treecode;
   using namespace treecode::bench;
   try {
-    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads"});
+    const CliFlags flags(argc, argv,
+                         with_obs_flags({"full", "alpha", "degree", "threads"}));
+    const ObsOptions obs_opts = obs_options_from(flags);
     EvalConfig cfg;
     cfg.alpha = flags.get_double("alpha", 0.5);
     cfg.degree = static_cast<int>(flags.get_int("degree", 4));
@@ -60,6 +63,14 @@ int main(int argc, char** argv) {
                 "grows. (With these O(p^4) dense M2L translations the absolute\n"
                 "crossover sits beyond laptop-scale n; the *trend* is the paper's\n"
                 "'extends to FMM' claim made measurable.)\n");
+
+    obs::RunReport run_report("bench_fmm_comparison");
+    run_report.config()["alpha"] = cfg.alpha;
+    run_report.config()["degree"] = cfg.degree;
+    run_report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
+    run_report.config()["full"] = flags.get_bool("full");
+    run_report.results()["table"] = table_json(t);
+    emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

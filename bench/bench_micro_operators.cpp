@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <random>
 
 #include "dist/distributions.hpp"
 #include "geom/hilbert.hpp"
 #include "multipole/operators.hpp"
 #include "multipole/rotation.hpp"
+#include "obs/instrument.hpp"
+#include "obs/trace.hpp"
 #include "tree/octree.hpp"
 
 namespace {
@@ -159,6 +162,47 @@ void BM_HilbertKey(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HilbertKey);
+
+// Observability overhead check: the same M2P hot-loop body with and without
+// the per-event instrumentation the evaluators use (a TraceSpan plus
+// count_slot into thread-private arrays, flushed once per batch). With
+// -DTREECODE_TRACING=OFF the two must agree to <2% (ISSUE 2 acceptance);
+// with tracing compiled in but not started the span costs one relaxed load.
+void BM_ObsOverhead_Baseline(benchmark::State& state) {
+  const Fixture f;
+  MultipoleExpansion m(4);
+  p2m(f.center, f.pos, f.q, m);
+  const Vec3 point{3.0, 2.0, 1.0};
+  std::uint64_t terms = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m2p(m, f.center, point));
+    terms += 25;
+  }
+  benchmark::DoNotOptimize(terms);
+}
+BENCHMARK(BM_ObsOverhead_Baseline);
+
+void BM_ObsOverhead_Instrumented(benchmark::State& state) {
+  const Fixture f;
+  MultipoleExpansion m(4);
+  p2m(f.center, f.pos, f.q, m);
+  const Vec3 point{3.0, 2.0, 1.0};
+  std::uint64_t terms = 0;
+  obs::DegreeCounts degree_used{};
+  obs::LevelCounts m2p_by_level{};
+  for (auto _ : state) {
+    const obs::TraceSpan span("micro.m2p");
+    benchmark::DoNotOptimize(m2p(m, f.center, point));
+    terms += 25;
+    obs::count_slot(degree_used, 4);
+    obs::count_slot(m2p_by_level, 3);
+  }
+  obs::flush_counts("micro.degree_used", degree_used);
+  obs::flush_counts("micro.m2p_per_level", m2p_by_level);
+  obs::registry().counter("micro.multipole_terms").add(terms);
+  benchmark::DoNotOptimize(terms);
+}
+BENCHMARK(BM_ObsOverhead_Instrumented);
 
 void BM_TreeBuild(benchmark::State& state) {
   const ParticleSystem ps =

@@ -8,6 +8,7 @@
 //
 //   ./bench_table1_structured [--full] [--alpha 0.5] [--degree 4]
 //                             [--threads 4] [--csv]
+//                             [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   using namespace treecode;
   using namespace treecode::bench;
   try {
-    const CliFlags flags(argc, argv, {"full", "alpha", "degree", "threads", "csv"});
+    const CliFlags flags(argc, argv,
+                         with_obs_flags({"full", "alpha", "degree", "threads", "csv"}));
+    const ObsOptions obs_opts = obs_options_from(flags);
     PairConfig cfg;
     cfg.alpha = flags.get_double("alpha", 0.4);
     cfg.degree = static_cast<int>(flags.get_int("degree", 4));
@@ -36,6 +39,15 @@ int main(int argc, char** argv) {
     std::printf("expected shape: err(orig) grows near-linearly with n; err(new) grows\n"
                 "much slower (the O(log n) per-particle bound), so the orig/new error\n"
                 "gap widens with n while the terms ratio stays a small constant.\n");
+
+    obs::RunReport report("bench_table1_structured");
+    report.config()["alpha"] = cfg.alpha;
+    report.config()["degree"] = cfg.degree;
+    report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
+    report.config()["full"] = flags.get_bool("full");
+    report.results()["rows"] = pair_rows_json(rows);
+    report.results()["table"] = table_json(t);
+    emit_reports(obs_opts, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

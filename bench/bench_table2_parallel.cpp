@@ -17,9 +17,11 @@
 //
 //   ./bench_table2_parallel [--threads 32] [--alpha 0.5] [--degree 4]
 //                           [--block 64] [--n-uniform 40k] [--n-gauss 46k]
+//                           [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "common.hpp"
 #include "util/cli.hpp"
@@ -68,8 +70,9 @@ MethodTimes measure(const Tree& tree, EvalConfig cfg, unsigned model_threads) {
 }
 
 void report(const char* problem, const Tree& tree, const EvalConfig& base,
-            std::size_t block, unsigned model_threads) {
+            std::size_t block, unsigned model_threads, obs::Json& results) {
   std::printf("-- %s --\n", problem);
+  obs::Json methods = obs::Json::array();
   Table t({"method", "serial(s)", std::string("P=") + std::to_string(
                                       ThreadPool::hardware_threads()) + "(s)",
            "modeled speedup@32", "modeled time@32(s)", "efficiency@32"});
@@ -81,6 +84,15 @@ void report(const char* problem, const Tree& tree, const EvalConfig& base,
     cfg.mode = adaptive ? DegreeMode::kAdaptive : DegreeMode::kFixed;
     const MethodTimes m = measure(tree, cfg, model_threads);
     (adaptive ? volume_new : volume_orig) = m.coeff_volume;
+    obs::Json mj = obs::Json::object();
+    mj["method"] = adaptive ? "new" : "original";
+    mj["serial_seconds"] = m.serial_seconds;
+    mj["parallel_seconds"] = m.parallel_seconds;
+    mj["hw_threads"] = static_cast<std::uint64_t>(m.hw_threads);
+    mj["modeled_speedup"] = m.modeled_speedup32;
+    mj["load_balance"] = m.load_balance32;
+    mj["coeff_volume"] = m.coeff_volume;
+    methods.push_back(std::move(mj));
     t.add_row({adaptive ? "New (adaptive)" : "Original (fixed)",
                fmt_fixed(m.serial_seconds, 3), fmt_fixed(m.parallel_seconds, 3),
                fmt_fixed(m.modeled_speedup32, 2),
@@ -99,6 +111,7 @@ void report(const char* problem, const Tree& tree, const EvalConfig& base,
               fmt_millions(static_cast<long long>(volume_new)).c_str(),
               volume_orig ? static_cast<double>(volume_new) / static_cast<double>(volume_orig)
                           : 0.0);
+  results[problem] = std::move(methods);
 }
 
 }  // namespace
@@ -107,7 +120,10 @@ int main(int argc, char** argv) {
   using namespace treecode;
   try {
     const CliFlags flags(argc, argv,
-                         {"threads", "alpha", "degree", "block", "n-uniform", "n-gauss"});
+                         bench::with_obs_flags(
+                             {"threads", "alpha", "degree", "block", "n-uniform", "n-gauss"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
+    obs::RunReport run_report("bench_table2_parallel");
     const unsigned model_threads = static_cast<unsigned>(flags.get_int("threads", 32));
     const std::size_t block = static_cast<std::size_t>(flags.get_int("block", 64));
     EvalConfig base;
@@ -124,16 +140,22 @@ int main(int argc, char** argv) {
     const ParticleSystem uniform =
         dist::uniform_cube(static_cast<std::size_t>(flags.get_int("n-uniform", 40'000)), 2);
     const Tree t_uniform(uniform);
-    report("uniform40k", t_uniform, base, block, model_threads);
+    report("uniform40k", t_uniform, base, block, model_threads, run_report.results());
 
     const ParticleSystem gauss =
         dist::gaussian_ball(static_cast<std::size_t>(flags.get_int("n-gauss", 46'000)), 3);
     const Tree t_gauss(gauss);
-    report("non-uniform46k", t_gauss, base, block, model_threads);
+    report("non-uniform46k", t_gauss, base, block, model_threads, run_report.results());
 
     std::printf("expected shape (paper): parallel efficiencies 80-90%%; the new\n"
                 "method slightly below the original (it moves longer multipole\n"
                 "series per interaction).\n");
+
+    run_report.config()["model_threads"] = static_cast<std::uint64_t>(model_threads);
+    run_report.config()["block"] = static_cast<std::uint64_t>(block);
+    run_report.config()["alpha"] = base.alpha;
+    run_report.config()["degree"] = base.degree;
+    bench::emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

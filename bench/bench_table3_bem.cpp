@@ -13,12 +13,15 @@
 //
 //   ./bench_table3_bem [--full] [--elements 12k] [--alpha 0.5] [--threads 4]
 //                      [--skip-gmres]
+//                      [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bem/bem_operator.hpp"
+#include "common.hpp"
 #include "bem/double_layer.hpp"
 #include "bem/meshgen.hpp"
 #include "linalg/gmres.hpp"
@@ -40,9 +43,12 @@ std::vector<double> test_density(std::size_t n) {
 }
 
 void run_instance(const char* name, const TriangleMesh& mesh, double alpha,
-                  unsigned threads, bool skip_gmres) {
+                  unsigned threads, bool skip_gmres, obs::Json& results) {
   std::printf("-- %s: %zu elements, %zu nodes, 6 Gauss points per element --\n", name,
               mesh.num_triangles(), mesh.num_vertices());
+  obs::Json inst = obs::Json::object();
+  inst["elements"] = mesh.num_triangles();
+  inst["nodes"] = mesh.num_vertices();
 
   SingleLayerOperator::Options base;
   base.eval.alpha = alpha;
@@ -83,6 +89,7 @@ void run_instance(const char* name, const TriangleMesh& mesh, double alpha,
   }
   t.add_row({"Reference", "9", "0", fmt_fixed(ref_seconds, 3)});
   std::printf("%s\n", t.to_string().c_str());
+  inst["table"] = bench::table_json(t);
 
   if (!skip_gmres) {
     // GMRES(10) solve with the improved operator, as in the paper's solver
@@ -103,6 +110,12 @@ void run_instance(const char* name, const TriangleMesh& mesh, double alpha,
                 " %.2e\n",
                 r.converged ? "converged" : "NOT converged", r.iterations, timer.seconds(),
                 r.relative_residual);
+    obs::Json gj = obs::Json::object();
+    gj["converged"] = r.converged;
+    gj["iterations"] = r.iterations;
+    gj["relative_residual"] = r.relative_residual;
+    gj["seconds"] = timer.seconds();
+    inst["gmres"] = std::move(gj);
     std::vector<double> sigma_pre(op.cols(), 0.0);
     Timer pre_timer;
     const GmresResult rp =
@@ -126,6 +139,7 @@ void run_instance(const char* name, const TriangleMesh& mesh, double alpha,
   } else {
     std::printf("\n");
   }
+  results[name] = std::move(inst);
 }
 
 }  // namespace
@@ -133,7 +147,11 @@ void run_instance(const char* name, const TriangleMesh& mesh, double alpha,
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"full", "elements", "alpha", "threads", "skip-gmres"});
+    const CliFlags flags(argc, argv,
+                         bench::with_obs_flags(
+                             {"full", "elements", "alpha", "threads", "skip-gmres"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
+    obs::RunReport run_report("bench_table3_bem");
     const bool full = flags.get_bool("full");
     const double alpha = flags.get_double("alpha", 0.5);
     const unsigned threads = static_cast<unsigned>(flags.get_int("threads", 4));
@@ -152,13 +170,20 @@ int main(int argc, char** argv) {
                                               "elements", 6'000));
     const LatLonSize ps = latlon_for_triangles(prop_elems);
     run_instance("propeller", make_propeller(ps.n_lat, ps.n_lon), alpha, threads,
-                 skip_gmres);
+                 skip_gmres, run_report.results());
     const LatLonSize gs = latlon_for_triangles(grip_elems);
-    run_instance("gripper", make_gripper(gs.n_lat, gs.n_lon), alpha, threads, skip_gmres);
+    run_instance("gripper", make_gripper(gs.n_lat, gs.n_lon), alpha, threads, skip_gmres,
+                 run_report.results());
 
     std::printf("expected shape: the improved method reaches (near-)reference error at\n"
                 "cost comparable to the low fixed degrees; fixed low degrees are fast\n"
                 "but inaccurate.\n");
+
+    run_report.config()["full"] = full;
+    run_report.config()["alpha"] = alpha;
+    run_report.config()["threads"] = static_cast<std::uint64_t>(threads);
+    run_report.config()["skip_gmres"] = skip_gmres;
+    bench::emit_reports(obs_opts, run_report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

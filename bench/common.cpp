@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <span>
+#include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -77,6 +79,67 @@ Table table1_format(const std::vector<PairRow>& rows) {
 std::vector<std::size_t> default_ladder(bool full) {
   if (full) return {4'000, 8'000, 16'000, 32'000, 64'000, 128'000};
   return {4'000, 8'000, 16'000, 32'000};
+}
+
+std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
+  known.emplace_back("json-out");
+  known.emplace_back("trace-out");
+  return known;
+}
+
+ObsOptions obs_options_from(const CliFlags& flags) {
+  ObsOptions opts;
+  opts.json_out = flags.get_string("json-out", "");
+  opts.trace_out = flags.get_string("trace-out", "");
+  if (opts.active()) {
+    // The registry is process-global: zero whatever earlier warm-up recorded
+    // so the emitted report describes this run alone.
+    obs::registry().reset_values();
+    obs::drain_warnings();
+    obs::trace::start();
+  }
+  return opts;
+}
+
+void emit_reports(const ObsOptions& opts, const obs::RunReport& report) {
+  if (!opts.active()) return;
+  obs::trace::stop();
+  if (!opts.json_out.empty()) report.write(opts.json_out);
+  if (!opts.trace_out.empty()) obs::trace::write_chrome_json(opts.trace_out);
+}
+
+obs::Json table_json(const Table& t) {
+  obs::Json j = obs::Json::object();
+  obs::Json headers = obs::Json::array();
+  for (const std::string& h : t.headers()) headers.push_back(h);
+  j["headers"] = std::move(headers);
+  obs::Json rows = obs::Json::array();
+  for (const auto& row : t.data()) {
+    obs::Json cells = obs::Json::array();
+    for (const std::string& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  j["rows"] = std::move(rows);
+  return j;
+}
+
+obs::Json pair_rows_json(const std::vector<PairRow>& rows) {
+  obs::Json arr = obs::Json::array();
+  for (const PairRow& r : rows) {
+    obs::Json j = obs::Json::object();
+    j["n"] = r.n;
+    j["err_orig"] = r.err_orig;
+    j["err_new"] = r.err_new;
+    j["rel_orig"] = r.rel_orig;
+    j["rel_new"] = r.rel_new;
+    j["terms_orig"] = static_cast<std::int64_t>(r.terms_orig);
+    j["terms_new"] = static_cast<std::int64_t>(r.terms_new);
+    j["seconds_orig"] = r.seconds_orig;
+    j["seconds_new"] = r.seconds_new;
+    j["max_degree_new"] = r.max_degree_new;
+    arr.push_back(std::move(j));
+  }
+  return arr;
 }
 
 }  // namespace treecode::bench

@@ -15,6 +15,8 @@
 
 #include "core/treecode.hpp"
 #include "dist/distributions.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace treecode::bench {
@@ -65,5 +67,45 @@ Table table1_format(const std::vector<PairRow>& rows);
 
 /// Standard size ladders (the `--full` flag of each binary switches).
 std::vector<std::size_t> default_ladder(bool full);
+
+// ---------------------------------------------------------------------------
+// Machine-readable output (--json-out / --trace-out), shared by every bench
+// binary. Typical wiring:
+//
+//   CliFlags flags(argc, argv, bench::with_obs_flags({"n", "full", ...}));
+//   const bench::ObsOptions obs = bench::obs_options_from(flags);
+//   ... run the experiment ...
+//   obs::RunReport report("bench_table1_structured");
+//   report.config()["n"] = n;
+//   report.results()["table"] = bench::table_json(table);
+//   bench::emit_reports(obs, report);
+
+/// Parsed observability flags for one run.
+struct ObsOptions {
+  std::string json_out;   ///< structured report path ("" = off)
+  std::string trace_out;  ///< Chrome trace-event path ("" = off)
+
+  [[nodiscard]] bool active() const { return !json_out.empty() || !trace_out.empty(); }
+};
+
+/// Append the shared observability flag names ("json-out", "trace-out") to a
+/// binary's known-flags list.
+std::vector<std::string> with_obs_flags(std::vector<std::string> known);
+
+/// Read --json-out/--trace-out. Resets registry values (so the report covers
+/// this run only) and starts trace collection when either output is active.
+ObsOptions obs_options_from(const CliFlags& flags);
+
+/// Write the requested outputs: the report to json_out, the Chrome
+/// trace-event file to trace_out. Stops trace collection. No-op when neither
+/// flag was given.
+void emit_reports(const ObsOptions& opts, const obs::RunReport& report);
+
+/// Serialize a Table as {"headers": [...], "rows": [[...], ...]}. Cells stay
+/// the formatted strings the console shows.
+obs::Json table_json(const Table& t);
+
+/// Serialize PairRows with full numeric precision (the console table rounds).
+obs::Json pair_rows_json(const std::vector<PairRow>& rows);
 
 }  // namespace treecode::bench

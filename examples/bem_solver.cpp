@@ -15,16 +15,20 @@
 //                         [--elements 8k] [--degree 4] [--alpha 0.5]
 //                         [--adaptive] [--threads 4] [--tol 1e-8]
 //                         [--second-kind]   (well-conditioned double-layer form)
+//                         [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "bem/bem_operator.hpp"
 #include "bem/double_layer.hpp"
 #include "bem/meshgen.hpp"
 #include "linalg/gmres.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -32,7 +36,11 @@ int main(int argc, char** argv) {
   using namespace treecode;
   try {
     const CliFlags flags(argc, argv, {"mesh", "elements", "degree", "alpha", "adaptive",
-                                      "threads", "tol", "second-kind"});
+                                      "threads", "tol", "second-kind", "json-out",
+                                      "trace-out"});
+    const std::string json_out = flags.get_string("json-out", "");
+    const std::string trace_out = flags.get_string("trace-out", "");
+    if (!json_out.empty() || !trace_out.empty()) obs::trace::start();
     const std::string mesh_name = flags.get_string("mesh", "propeller");
     const std::size_t elements = static_cast<std::size_t>(flags.get_int("elements", 8'000));
     const LatLonSize size = latlon_for_triangles(elements);
@@ -123,6 +131,28 @@ int main(int argc, char** argv) {
       std::printf("probe (%.2f, %.2f, %.2f): potential %.6f, expected %.6f (%.2f%% off)\n",
                   probe.x, probe.y, probe.z, phis[pi], expected,
                   100.0 * std::abs(phis[pi] - expected) / expected);
+    }
+
+    if (!json_out.empty() || !trace_out.empty()) {
+      obs::trace::stop();
+      if (!json_out.empty()) {
+        obs::RunReport report("bem_solver");
+        report.config()["mesh"] = mesh_name;
+        report.config()["elements"] = mesh.num_triangles();
+        report.config()["unknowns"] = mesh.num_vertices();
+        report.config()["degree"] = opt.eval.degree;
+        report.config()["alpha"] = opt.eval.alpha;
+        report.config()["adaptive"] = opt.eval.mode == DegreeMode::kAdaptive;
+        report.config()["second_kind"] = second_kind;
+        report.results()["converged"] = r.converged;
+        report.results()["iterations"] = r.iterations;
+        report.results()["relative_residual"] = r.relative_residual;
+        obs::Json hist = obs::Json::array();
+        for (double res : r.residual_history) hist.push_back(res);
+        report.results()["residual_history"] = std::move(hist);
+        report.write(json_out);
+      }
+      if (!trace_out.empty()) obs::trace::write_chrome_json(trace_out);
     }
     return r.converged ? 0 : 2;
   } catch (const std::exception& e) {

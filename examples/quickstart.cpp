@@ -2,12 +2,15 @@
 // adaptive-degree treecode and check the result against direct summation.
 //
 //   ./examples/quickstart [--n 20k] [--alpha 0.5] [--degree 4] [--threads 4]
+//                         [--json-out report.json] [--trace-out trace.json]
 
 #include <cstdio>
 #include <exception>
 
 #include "core/treecode.hpp"
 #include "dist/distributions.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -15,7 +18,11 @@
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"n", "alpha", "degree", "threads"});
+    const CliFlags flags(argc, argv,
+                         {"n", "alpha", "degree", "threads", "json-out", "trace-out"});
+    const std::string json_out = flags.get_string("json-out", "");
+    const std::string trace_out = flags.get_string("trace-out", "");
+    if (!json_out.empty() || !trace_out.empty()) obs::trace::start();
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 20'000));
 
     // 1. Make (or load) particles: positions + charges.
@@ -53,6 +60,25 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < 3 && i < n; ++i) {
       std::printf("  particle %zu: %.8f vs %.8f\n", i, result.potential[i],
                   exact.potential[i]);
+    }
+
+    if (!json_out.empty() || !trace_out.empty()) {
+      obs::trace::stop();
+      if (!json_out.empty()) {
+        obs::RunReport report("quickstart");
+        report.config()["n"] = n;
+        report.config()["alpha"] = cfg.alpha;
+        report.config()["degree"] = cfg.degree;
+        report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
+        report.results()["multipole_terms"] = result.stats.multipole_terms;
+        report.results()["p2p_pairs"] = result.stats.p2p_pairs;
+        report.results()["min_degree_used"] = result.stats.min_degree_used;
+        report.results()["max_degree_used"] = result.stats.max_degree_used;
+        report.results()["relative_error_2norm"] =
+            relative_error_2norm(exact.potential, result.potential);
+        report.write(json_out);
+      }
+      if (!trace_out.empty()) obs::trace::write_chrome_json(trace_out);
     }
     return 0;
   } catch (const std::exception& e) {

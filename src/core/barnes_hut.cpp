@@ -1,12 +1,17 @@
 #include "core/barnes_hut.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
+#include "obs/instrument.hpp"
+#include "obs/report.hpp"
 #include "util/timer.hpp"
 #include "util/validate.hpp"
 
@@ -31,7 +36,15 @@ struct BarnesHutEvaluator::ThreadAccumulator {
   std::uint64_t m2p = 0;
   std::uint64_t p2p = 0;
   std::uint64_t budget_refine = 0;
+  std::uint64_t budget_refine_leaf = 0;
   double max_bound = 0.0;
+  /// Expansion degrees actually evaluated (M2P) — not the degree table's
+  /// range, which over-reports when budget enforcement demotes clusters.
+  int min_deg = std::numeric_limits<int>::max();
+  int max_deg = -1;
+  obs::LevelCounts m2p_by_level{};
+  obs::LevelCounts p2p_by_level{};
+  obs::DegreeCounts degree_used{};
 };
 
 BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& config,
@@ -48,7 +61,7 @@ BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& confi
   }
   charges_ = sorted_charges.empty() ? std::span<const double>(tree_.charges())
                                     : sorted_charges;
-  Timer timer;
+  const ScopedTimer phase_timer("time.bh_p2m", &build_seconds_);
   const auto& nodes = tree_.nodes();
   multipoles_.resize(nodes.size());
   const auto& pos = tree_.positions();
@@ -65,11 +78,11 @@ BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& confi
     parallel_for(*pool, nodes.size(), 8,
                  [&](std::size_t b, std::size_t e, unsigned) {
                    for (std::size_t i = b; i < e; ++i) build_node(i);
-                 });
+                 },
+                 nullptr, "bh.p2m.worker");
   } else {
     for (std::size_t i = 0; i < nodes.size(); ++i) build_node(i);
   }
-  build_seconds_ = timer.seconds();
 }
 
 std::uint64_t BarnesHutEvaluator::stored_coefficients() const noexcept {
@@ -102,8 +115,6 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
   result.potential.assign(out_n, 0.0);
   if (want_grad) result.gradient.assign(out_n, Vec3{});
   if (want_bounds) result.error_bound.assign(out_n, 0.0);
-  result.stats.min_degree_used = degrees_.min_degree;
-  result.stats.max_degree_used = degrees_.max_degree;
   result.stats.reference_charge = degrees_.reference_charge;
   result.stats.build_seconds = build_seconds_;
   if (n == 0 || tree_.num_particles() == 0) return result;
@@ -122,8 +133,9 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
   std::vector<double> bound(want_bounds ? n : 0, 0.0);
   std::vector<ThreadAccumulator> acc(pool.width());
 
-  Timer timer;
-  result.stats.work = parallel_for_blocked(
+  {
+    const ScopedTimer phase_timer("time.bh_traverse", &result.stats.eval_seconds);
+    result.stats.work = parallel_for_blocked(
       pool, n, config_.block_size,
       [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
         ThreadAccumulator& a = acc[t];
@@ -157,6 +169,7 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
               if (enforce && my_bound + thm1 > budget) {
                 approximate = false;
                 ++a.budget_refine;
+                if (node.is_leaf()) ++a.budget_refine_leaf;
               }
             }
             if (approximate) {
@@ -170,6 +183,11 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
               }
               a.terms += static_cast<std::uint64_t>(m.term_count());
               ++a.m2p;
+              const int deg = m.degree();
+              a.min_deg = std::min(a.min_deg, deg);
+              a.max_deg = std::max(a.max_deg, deg);
+              obs::count_slot(a.degree_used, deg);
+              obs::count_slot(a.m2p_by_level, node.level);
               const double thm2 = mac_error_bound(node.abs_charge, r, alpha, m.degree());
               a.max_bound = std::max(a.max_bound, thm2);
               my_bound += thm1;
@@ -184,6 +202,7 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
                 my_phi += p2p(x, ppos, pq, softening2);
               }
               a.p2p += node.count();
+              obs::count_slot(a.p2p_by_level, node.level, node.count());
             } else {
               for (int c = 0; c < node.num_children; ++c) {
                 stack.push_back(node.first_child + c);
@@ -205,16 +224,68 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
           if (want_bounds) bound[i] = my_bound;
         }
         return (a.terms + a.p2p) - terms_before;  // cost of this block
-      });
-  result.stats.eval_seconds = timer.seconds();
+      },
+      nullptr, "bh.traverse.worker");
+  }
 
+  // Merge per-thread accumulators into the result stats and flush the
+  // batched tallies into the metrics registry.
+  int min_deg = std::numeric_limits<int>::max();
+  int max_deg = -1;
+  obs::LevelCounts m2p_by_level{};
+  obs::LevelCounts p2p_by_level{};
+  obs::DegreeCounts degree_used{};
   for (const auto& a : acc) {
     result.stats.multipole_terms += a.terms;
     result.stats.m2p_count += a.m2p;
     result.stats.p2p_pairs += a.p2p;
     result.stats.budget_refinements += a.budget_refine;
+    result.stats.budget_refinements_leaf += a.budget_refine_leaf;
     result.stats.max_interaction_bound =
         std::max(result.stats.max_interaction_bound, a.max_bound);
+    min_deg = std::min(min_deg, a.min_deg);
+    max_deg = std::max(max_deg, a.max_deg);
+    for (std::size_t i = 0; i < m2p_by_level.size(); ++i) {
+      m2p_by_level[i] += a.m2p_by_level[i];
+      p2p_by_level[i] += a.p2p_by_level[i];
+    }
+    for (std::size_t i = 0; i < degree_used.size(); ++i) degree_used[i] += a.degree_used[i];
+  }
+  if (max_deg >= 0) {
+    result.stats.min_degree_used = min_deg;
+    result.stats.max_degree_used = max_deg;
+  } else {
+    // No multipole interaction was actually evaluated (tiny system, or the
+    // budget demoted everything to P2P): no degree was used.
+    result.stats.min_degree_used = 0;
+    result.stats.max_degree_used = 0;
+  }
+
+  obs::Registry& reg = obs::registry();
+  reg.counter("bh.multipole_terms").add(result.stats.multipole_terms);
+  reg.counter("bh.m2p_count").add(result.stats.m2p_count);
+  reg.counter("bh.p2p_pairs").add(result.stats.p2p_pairs);
+  reg.counter("bh.budget_refinements").add(result.stats.budget_refinements);
+  reg.counter("bh.budget_refinements_leaf").add(result.stats.budget_refinements_leaf);
+  reg.gauge("bh.max_interaction_bound").record_max(result.stats.max_interaction_bound);
+  obs::flush_counts("bh.m2p_per_level", m2p_by_level);
+  obs::flush_counts("bh.p2p_per_level", p2p_by_level);
+  obs::flush_counts("bh.degree_used", degree_used);
+
+  // A budget that demotes most MAC-accepted interactions is unachievably
+  // tight: the traversal is quietly degenerating toward direct summation.
+  const std::uint64_t mac_accepted =
+      result.stats.m2p_count + result.stats.budget_refinements;
+  if (enforce && mac_accepted > 0 &&
+      result.stats.budget_refinements * 2 > mac_accepted) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "bh: error budget %.3g demoted %.0f%% of MAC-accepted interactions; "
+                  "the budget is likely unachievably tight",
+                  budget,
+                  100.0 * static_cast<double>(result.stats.budget_refinements) /
+                      static_cast<double>(mac_accepted));
+    obs::warn(msg);
   }
 
   if (self) {

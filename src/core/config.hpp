@@ -148,9 +148,19 @@ struct EvalStats {
   /// MAC-accepted interactions the error budget demoted to refinement or
   /// P2P (0 unless EvalConfig::enforce_budget).
   std::uint64_t budget_refinements = 0;
+  /// Subset of budget_refinements that hit a *leaf* and fell back to exact
+  /// P2P (the remainder recursed into children for tighter bounds). A high
+  /// leaf share means the budget is forcing the traversal all the way to
+  /// direct summation.
+  std::uint64_t budget_refinements_leaf = 0;
   double max_interaction_bound = 0.0; ///< max Theorem-2 bound among accepted
   double build_seconds = 0.0;         ///< upward pass (P2M) time
   double eval_seconds = 0.0;          ///< traversal + evaluation time
+  /// Smallest/largest expansion degree *actually evaluated* (M2P for
+  /// Barnes-Hut; M2L/L2P for the FMM) during this run — not the degree
+  /// table's range, which over-reports when budget enforcement demotes
+  /// interactions or a degree is assigned but never interacted with.
+  /// Both 0 when no multipole interaction happened (e.g. everything P2P).
   int min_degree_used = 0;
   int max_degree_used = 0;
   double reference_charge = 0.0;      ///< the A_ref actually used

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <limits>
+
 #include "multipole/operators.hpp"
+#include "obs/instrument.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
 #include "util/validate.hpp"
@@ -25,6 +28,7 @@ DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalC
   if (!all_finite(moments_)) {
     throw std::invalid_argument("DipoleBarnesHutEvaluator: non-finite dipole moment");
   }
+  const ScopedTimer build_phase("time.dipole_bh_p2m");
   const auto& nodes = tree_.nodes();
   multipoles_.resize(nodes.size());
   const auto& pos = tree_.positions();
@@ -37,9 +41,11 @@ DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalC
                moments_.subspan(node.begin, node.count()), multipoles_[i]);
   };
   if (pool != nullptr && pool->width() > 1) {
-    parallel_for(*pool, nodes.size(), 8, [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t i = b; i < e; ++i) build_node(i);
-    });
+    parallel_for(*pool, nodes.size(), 8,
+                 [&](std::size_t b, std::size_t e, unsigned) {
+                   for (std::size_t i = b; i < e; ++i) build_node(i);
+                 },
+                 nullptr, "dipole_bh.p2m.worker");
   } else {
     for (std::size_t i = 0; i < nodes.size(); ++i) build_node(i);
   }
@@ -50,8 +56,6 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
   EvalResult result;
   const std::size_t n = points.size();
   result.potential.assign(n, 0.0);
-  result.stats.min_degree_used = degrees_.min_degree;
-  result.stats.max_degree_used = degrees_.max_degree;
   if (n == 0 || tree_.num_particles() == 0) return result;
 
   const auto& nodes = tree_.nodes();
@@ -59,8 +63,11 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
   const double alpha = config_.alpha;
   std::vector<std::uint64_t> terms(pool.width(), 0);
   std::vector<std::uint64_t> p2p_count(pool.width(), 0);
+  std::vector<int> min_deg(pool.width(), std::numeric_limits<int>::max());
+  std::vector<int> max_deg(pool.width(), -1);
 
-  Timer timer;
+  {
+  const ScopedTimer eval_phase("time.dipole_bh_traverse", &result.stats.eval_seconds);
   result.stats.work = parallel_for_blocked(
       pool, n, config_.block_size,
       [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
@@ -83,6 +90,8 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
               my_phi += m2p(m, node.center, x);
               terms[t] += static_cast<std::uint64_t>(m.term_count());
               cost += static_cast<std::uint64_t>(m.term_count());
+              min_deg[t] = std::min(min_deg[t], m.degree());
+              max_deg[t] = std::max(max_deg[t], m.degree());
             } else if (node.is_leaf()) {
               my_phi += p2p_dipole(x,
                                    std::span<const Vec3>(pos.data() + node.begin, node.count()),
@@ -96,12 +105,23 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
           result.potential[i] = my_phi;
         }
         return cost;
-      });
-  result.stats.eval_seconds = timer.seconds();
+      },
+      nullptr, "dipole_bh.traverse.worker");
+  }
+  int used_min = std::numeric_limits<int>::max();
+  int used_max = -1;
   for (unsigned t = 0; t < pool.width(); ++t) {
     result.stats.multipole_terms += terms[t];
     result.stats.p2p_pairs += p2p_count[t];
+    used_min = std::min(used_min, min_deg[t]);
+    used_max = std::max(used_max, max_deg[t]);
   }
+  // Degrees actually evaluated, mirroring BarnesHutEvaluator::run.
+  result.stats.min_degree_used = used_max >= 0 ? used_min : 0;
+  result.stats.max_degree_used = used_max >= 0 ? used_max : 0;
+  obs::Registry& reg = obs::registry();
+  reg.counter("dipole_bh.multipole_terms").add(result.stats.multipole_terms);
+  reg.counter("dipole_bh.p2p_pairs").add(result.stats.p2p_pairs);
   return result;
 }
 

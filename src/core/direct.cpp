@@ -1,6 +1,7 @@
 #include "core/direct.hpp"
 
 #include "multipole/operators.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
 
@@ -17,25 +18,29 @@ EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
   if (n == 0 || ps.empty()) return result;
 
   ThreadPool pool(threads);
-  Timer timer;
   const std::span<const Vec3> src_pos(ps.positions());
   const std::span<const double> src_q(ps.charges());
-  result.stats.work = parallel_for_blocked(
-      pool, n, 128, [&](std::size_t b, std::size_t e, unsigned) -> std::uint64_t {
-        const double softening2 = softening * softening;
-        for (std::size_t i = b; i < e; ++i) {
-          if (compute_gradient) {
-            const PotentialGrad pg = p2p_grad(points[i], src_pos, src_q, softening2);
-            result.potential[i] = pg.potential;
-            result.gradient[i] = pg.gradient;
-          } else {
-            result.potential[i] = p2p(points[i], src_pos, src_q, softening2);
+  {
+    const ScopedTimer eval_phase("time.direct_eval", &result.stats.eval_seconds);
+    result.stats.work = parallel_for_blocked(
+        pool, n, 128,
+        [&](std::size_t b, std::size_t e, unsigned) -> std::uint64_t {
+          const double softening2 = softening * softening;
+          for (std::size_t i = b; i < e; ++i) {
+            if (compute_gradient) {
+              const PotentialGrad pg = p2p_grad(points[i], src_pos, src_q, softening2);
+              result.potential[i] = pg.potential;
+              result.gradient[i] = pg.gradient;
+            } else {
+              result.potential[i] = p2p(points[i], src_pos, src_q, softening2);
+            }
           }
-        }
-        return (e - b) * ps.size();
-      });
-  result.stats.eval_seconds = timer.seconds();
+          return (e - b) * ps.size();
+        },
+        nullptr, "direct.eval.worker");
+  }
   result.stats.p2p_pairs = static_cast<std::uint64_t>(n) * ps.size();
+  obs::registry().counter("direct.p2p_pairs").add(result.stats.p2p_pairs);
   return result;
 }
 

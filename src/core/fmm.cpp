@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
 #include "multipole/rotation.hpp"
+#include "obs/instrument.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
 
@@ -74,6 +76,13 @@ struct ThreadStats {
   std::uint64_t m2l = 0;
   std::uint64_t p2p = 0;
   double max_bound = 0.0;
+  /// Expansion degrees actually evaluated (M2L sources/targets and L2P),
+  /// mirroring the Barnes-Hut "degree actually used" bookkeeping.
+  int min_deg = std::numeric_limits<int>::max();
+  int max_deg = -1;
+  obs::LevelCounts m2l_by_level{};
+  obs::LevelCounts p2p_by_level{};
+  obs::DegreeCounts degree_used{};
 };
 
 }  // namespace
@@ -94,18 +103,23 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   const bool want_grad = config.compute_gradient;
 
   // ---- Upward pass: per-node P2M (see barnes_hut.hpp for why not M2M).
-  Timer build_timer;
   std::vector<MultipoleExpansion> multipole(tree.num_nodes());
-  parallel_for(pool, tree.num_nodes(), 8, [&](std::size_t b, std::size_t e, unsigned) {
-    for (std::size_t i = b; i < e; ++i) {
-      const TreeNode& node = tree.node(i);
-      if (node.count() == 0) continue;
-      multipole[i].reset(degrees.degree[i]);
-      p2m(node.center, std::span<const Vec3>(pos.data() + node.begin, node.count()),
-          std::span<const double>(q.data() + node.begin, node.count()), multipole[i]);
-    }
-  });
-  result.stats.build_seconds = build_timer.seconds();
+  {
+    const ScopedTimer phase("time.fmm_p2m", &result.stats.build_seconds);
+    parallel_for(pool, tree.num_nodes(), 8,
+                 [&](std::size_t b, std::size_t e, unsigned) {
+                   for (std::size_t i = b; i < e; ++i) {
+                     const TreeNode& node = tree.node(i);
+                     if (node.count() == 0) continue;
+                     multipole[i].reset(degrees.degree[i]);
+                     p2m(node.center,
+                         std::span<const Vec3>(pos.data() + node.begin, node.count()),
+                         std::span<const double>(q.data() + node.begin, node.count()),
+                         multipole[i]);
+                   }
+                 },
+                 nullptr, "fmm.p2m.worker");
+  }
 
   Timer eval_timer;
   // ---- Dual-tree traversal (serial; cheap relative to the math phases).
@@ -114,42 +128,55 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   trav.alpha = config.alpha;
   trav.lists.m2l_sources.resize(tree.num_nodes());
   trav.lists.p2p_sources.resize(tree.num_nodes());
-  trav.traverse(0, 0);
+  {
+    const ScopedTimer phase("time.fmm_traverse");
+    trav.traverse(0, 0);
+  }
 
   // ---- M2L phase: parallel over target nodes.
   std::vector<LocalExpansion> local(tree.num_nodes());
   std::vector<char> has_local(tree.num_nodes(), 0);
   std::vector<ThreadStats> tstats(pool.width());
   const auto& m2l_targets = trav.lists.m2l_targets;
-  parallel_for(pool, m2l_targets.size(), 1, [&](std::size_t b, std::size_t e, unsigned t) {
-    for (std::size_t k = b; k < e; ++k) {
-      const int a = m2l_targets[k];
-      const TreeNode& ta = tree.node(static_cast<std::size_t>(a));
-      LocalExpansion& l = local[static_cast<std::size_t>(a)];
-      l.reset(degrees.degree[static_cast<std::size_t>(a)]);
-      has_local[static_cast<std::size_t>(a)] = 1;
-      for (int src : trav.lists.m2l_sources[static_cast<std::size_t>(a)]) {
-        const TreeNode& tb = tree.node(static_cast<std::size_t>(src));
-        if (config.use_rotation_translations) {
-          m2l_rotated(multipole[static_cast<std::size_t>(src)], tb.center, l, ta.center);
-        } else {
-          m2l(multipole[static_cast<std::size_t>(src)], tb.center, l, ta.center);
+  {
+    const ScopedTimer phase("time.fmm_m2l");
+    parallel_for(pool, m2l_targets.size(), 1,
+                 [&](std::size_t b, std::size_t e, unsigned t) {
+      for (std::size_t k = b; k < e; ++k) {
+        const int a = m2l_targets[k];
+        const TreeNode& ta = tree.node(static_cast<std::size_t>(a));
+        LocalExpansion& l = local[static_cast<std::size_t>(a)];
+        l.reset(degrees.degree[static_cast<std::size_t>(a)]);
+        has_local[static_cast<std::size_t>(a)] = 1;
+        for (int src : trav.lists.m2l_sources[static_cast<std::size_t>(a)]) {
+          const TreeNode& tb = tree.node(static_cast<std::size_t>(src));
+          if (config.use_rotation_translations) {
+            m2l_rotated(multipole[static_cast<std::size_t>(src)], tb.center, l, ta.center);
+          } else {
+            m2l(multipole[static_cast<std::size_t>(src)], tb.center, l, ta.center);
+          }
+          const int pb = multipole[static_cast<std::size_t>(src)].degree();
+          const int pl = l.degree();
+          ThreadStats& s = tstats[t];
+          ++s.m2l;
+          // M2L is an O(p^4) dense translation: count
+          // (p_src+1)^2 (p_dst+1)^2 term-operations so costs are comparable
+          // with Barnes-Hut's M2P count.
+          s.terms += static_cast<std::uint64_t>(pb + 1) * (pb + 1) *
+                     static_cast<std::uint64_t>(pl + 1) * (pl + 1);
+          s.min_deg = std::min(s.min_deg, std::min(pb, pl));
+          s.max_deg = std::max(s.max_deg, std::max(pb, pl));
+          obs::count_slot(s.degree_used, pb);
+          obs::count_slot(s.degree_used, pl);
+          obs::count_slot(s.m2l_by_level, ta.level);
+          const double d = distance(ta.center, tb.center);
+          s.max_bound =
+              std::max(s.max_bound, mac_error_bound(tb.abs_charge, d, config.alpha, pb));
         }
-        const int pb = multipole[static_cast<std::size_t>(src)].degree();
-        const int pl = l.degree();
-        ThreadStats& s = tstats[t];
-        ++s.m2l;
-        // M2L is an O(p^4) dense translation: count
-        // (p_src+1)^2 (p_dst+1)^2 term-operations so costs are comparable
-        // with Barnes-Hut's M2P count.
-        s.terms += static_cast<std::uint64_t>(pb + 1) * (pb + 1) *
-                   static_cast<std::uint64_t>(pl + 1) * (pl + 1);
-        const double d = distance(ta.center, tb.center);
-        s.max_bound =
-            std::max(s.max_bound, mac_error_bound(tb.abs_charge, d, config.alpha, pb));
       }
-    }
-  });
+    },
+                 nullptr, "fmm.m2l.worker");
+  }
 
   // ---- Downward pass: L2L level by level (parents of level L-1 are final
   // before level L starts), leaves evaluated with L2P. Parallel within a
@@ -160,6 +187,8 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
     by_level[static_cast<std::size_t>(tree.node(i).level)].push_back(static_cast<int>(i));
   }
+  {
+  const ScopedTimer downward_phase("time.fmm_downward");
   for (const auto& level_nodes : by_level) {
     parallel_for(pool, level_nodes.size(), 4, [&](std::size_t b, std::size_t e, unsigned t) {
       for (std::size_t k = b; k < e; ++k) {
@@ -193,15 +222,22 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
             } else {
               phi[pi] += l2p(l, node.center, pos[pi]);
             }
-            s.terms += static_cast<std::uint64_t>(l.degree() + 1) * (l.degree() + 1);
+            const int ld = l.degree();
+            s.terms += static_cast<std::uint64_t>(ld + 1) * (ld + 1);
+            s.min_deg = std::min(s.min_deg, ld);
+            s.max_deg = std::max(s.max_deg, ld);
+            obs::count_slot(s.degree_used, ld);
           }
         }
       }
-    });
+    }, nullptr, "fmm.downward.worker");
+  }
   }
 
   // ---- P2P phase: parallel over target leaves.
   const auto& p2p_targets = trav.lists.p2p_targets;
+  {
+  const ScopedTimer p2p_phase("time.fmm_p2p");
   parallel_for(pool, p2p_targets.size(), 1, [&](std::size_t b, std::size_t e, unsigned t) {
     for (std::size_t k = b; k < e; ++k) {
       const int a = p2p_targets[k];
@@ -220,22 +256,48 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
             phi[pi] += p2p(pos[pi], bpos, bq);
           }
         }
-        s.p2p += static_cast<std::uint64_t>(ta.count()) * tb.count();
+        const std::uint64_t pairs = static_cast<std::uint64_t>(ta.count()) * tb.count();
+        s.p2p += pairs;
+        obs::count_slot(s.p2p_by_level, ta.level, pairs);
       }
     }
-  });
+  }, nullptr, "fmm.p2p.worker");
+  }
   result.stats.eval_seconds = eval_timer.seconds();
 
+  int min_deg = std::numeric_limits<int>::max();
+  int max_deg = -1;
+  obs::LevelCounts m2l_by_level{};
+  obs::LevelCounts p2p_by_level{};
+  obs::DegreeCounts degree_used{};
   for (const ThreadStats& s : tstats) {
     result.stats.multipole_terms += s.terms;
     result.stats.m2l_count += s.m2l;
     result.stats.p2p_pairs += s.p2p;
     result.stats.max_interaction_bound =
         std::max(result.stats.max_interaction_bound, s.max_bound);
+    min_deg = std::min(min_deg, s.min_deg);
+    max_deg = std::max(max_deg, s.max_deg);
+    for (std::size_t i = 0; i < m2l_by_level.size(); ++i) {
+      m2l_by_level[i] += s.m2l_by_level[i];
+      p2p_by_level[i] += s.p2p_by_level[i];
+    }
+    for (std::size_t i = 0; i < degree_used.size(); ++i) degree_used[i] += s.degree_used[i];
   }
-  result.stats.min_degree_used = degrees.min_degree;
-  result.stats.max_degree_used = degrees.max_degree;
+  // Degrees *actually used* in M2L/L2P (0/0 when everything went P2P),
+  // mirroring the Barnes-Hut reduction.
+  result.stats.min_degree_used = max_deg >= 0 ? min_deg : 0;
+  result.stats.max_degree_used = max_deg >= 0 ? max_deg : 0;
   result.stats.reference_charge = degrees.reference_charge;
+
+  obs::Registry& reg = obs::registry();
+  reg.counter("fmm.multipole_terms").add(result.stats.multipole_terms);
+  reg.counter("fmm.m2l_count").add(result.stats.m2l_count);
+  reg.counter("fmm.p2p_pairs").add(result.stats.p2p_pairs);
+  reg.gauge("fmm.max_interaction_bound").record_max(result.stats.max_interaction_bound);
+  obs::flush_counts("fmm.m2l_per_level", m2l_by_level);
+  obs::flush_counts("fmm.p2p_per_level", p2p_by_level);
+  obs::flush_counts("fmm.degree_used", degree_used);
 
   // Scatter to the caller's particle order.
   const auto& orig = tree.original_index();

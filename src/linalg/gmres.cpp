@@ -4,6 +4,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
 namespace treecode {
 
 namespace {
@@ -67,6 +71,11 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
   if (b.size() != n || x.size() != n) throw std::invalid_argument("gmres: size mismatch");
   const int m = options.restart > 0 ? options.restart : 10;
 
+  const ScopedTimer solve_phase("time.gmres_solve");
+  // Resolved once: append/increment below happen at iteration granularity.
+  obs::Series& residual_series = obs::registry().series("gmres.residual");
+  obs::Counter& iteration_counter = obs::registry().counter("gmres.iterations");
+
   GmresResult result;
   if (!finite_vector(b) || !finite_vector(x)) {
     result.failure_reason = GmresFailure::kNonFiniteInput;
@@ -102,6 +111,7 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
   // subspace and make no further progress.
   while (result.iterations < options.max_iterations && !stagnated &&
          !result.happy_breakdown) {
+    const obs::TraceSpan cycle_span("gmres.cycle");
     // r = b - A x
     A.apply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
@@ -126,6 +136,7 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
     int j = 0;
     for (; j < m && result.iterations < options.max_iterations; ++j) {
       ++result.iterations;
+      iteration_counter.increment();
       // w = A M^{-1} v_j
       apply_precond(V[static_cast<std::size_t>(j)], tmp);
       A.apply(tmp, w);
@@ -182,6 +193,7 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
 
       const double rel = std::abs(g[static_cast<std::size_t>(j) + 1]) / bnorm;
       result.residual_history.push_back(rel);
+      residual_series.append(rel);
       // Breakdown must be checked before the tolerance: on a singular
       // system the breakdown column rotates to a zero diagonal and
       // g[j+1] spuriously reads 0 even though the true residual is not.

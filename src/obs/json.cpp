@@ -1,0 +1,381 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace treecode::obs {
+
+// ---- accessors -------------------------------------------------------------
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw std::runtime_error("Json: operator[] on non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(std::string(key), Json());
+  return object_.back().second;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (type_ == Type::kObject) {
+    for (const auto& [k, v] : object_) {
+      if (k == key) return v;
+    }
+  }
+  throw std::out_of_range("Json: missing key '" + std::string(key) + "'");
+}
+
+bool Json::contains(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) throw std::runtime_error("Json: push_back on non-array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const noexcept {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray || index >= array_.size()) {
+    throw std::out_of_range("Json: array index out of range");
+  }
+  return array_[index];
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("Json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("Json: not a number");
+  return num_;
+}
+
+std::int64_t Json::as_int() const { return static_cast<std::int64_t>(as_double()); }
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("Json: not a string");
+  return str_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) throw std::runtime_error("Json: not an object");
+  return object_;
+}
+
+// ---- writer ----------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers up to 2^53 print exactly and without an exponent.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, num_); break;
+    case Type::kString: append_escaped(out, str_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent > 0) append_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent > 0) append_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent > 0) append_indent(out, indent, depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent > 0) append_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // Minimal UTF-8 encoding (no surrogate-pair handling; the
+          // reports only ever emit ASCII escapes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t begin = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == begin) fail("expected value");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number '" + token + "'");
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+void write_json_file(const std::string& path, const Json& value) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("json: cannot open " + path + " for writing");
+  }
+  std::string text = value.dump(2);
+  text += '\n';
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("json: short write to " + path);
+}
+
+}  // namespace treecode::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON document model for the structured report emitter.
+///
+/// Dependency-free by design (the container bakes in no JSON library):
+/// an insertion-ordered value tree with a writer (`dump`) and a strict
+/// parser (`parse`) used by the tests and the report round-trip. Not a
+/// general-purpose library — no comments, no trailing commas, UTF-8 passed
+/// through verbatim. Non-finite doubles serialize as `null` so emitted
+/// reports are always standard JSON.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace treecode::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::string v) : type_(Type::kString), str_(std::move(v)) {}
+  Json(std::string_view v) : Json(std::string(v)) {}
+  Json(const char* v) : Json(std::string(v)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+
+  /// Object access; inserts a null member on first use (a null object or
+  /// null value silently becomes an object, so `j["a"]["b"] = 1` works).
+  Json& operator[](std::string_view key);
+  /// Const lookup; throws std::out_of_range if missing or not an object.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+
+  /// Array append (a null value silently becomes an array).
+  void push_back(Json v);
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Array element access; throws std::out_of_range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document; throws std::runtime_error
+  /// with a byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Write `value.dump(2)` to `path`; throws std::runtime_error on I/O error.
+void write_json_file(const std::string& path, const Json& value);
+
+}  // namespace treecode::obs

@@ -1,0 +1,98 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/trace.hpp"
+
+namespace treecode::obs {
+
+// ---- warning channel -------------------------------------------------------
+
+namespace {
+std::mutex g_warnings_mutex;
+std::vector<std::string>& warning_list() {
+  static std::vector<std::string> list;
+  return list;
+}
+}  // namespace
+
+void warn(std::string message) {
+  std::lock_guard lock(g_warnings_mutex);
+  auto& list = warning_list();
+  if (std::find(list.begin(), list.end(), message) == list.end()) {
+    list.push_back(std::move(message));
+  }
+}
+
+std::vector<std::string> warnings() {
+  std::lock_guard lock(g_warnings_mutex);
+  return warning_list();
+}
+
+std::vector<std::string> drain_warnings() {
+  std::lock_guard lock(g_warnings_mutex);
+  return std::exchange(warning_list(), {});
+}
+
+// ---- serializers -----------------------------------------------------------
+
+Json metrics_json(const MetricsSnapshot& snapshot) {
+  Json m = Json::object();
+  Json& counters = m["counters"] = Json::object();
+  for (const auto& [name, v] : snapshot.counters) counters[name] = v;
+  Json& gauges = m["gauges"] = Json::object();
+  for (const auto& [name, v] : snapshot.gauges) gauges[name] = v;
+  Json& maxima = m["gauge_maxima"] = Json::object();
+  for (const auto& [name, v] : snapshot.gauge_maxima) maxima[name] = v;
+  Json& hists = m["histograms"] = Json::object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    Json& hj = hists[name] = Json::object();
+    Json& bounds = hj["bounds"] = Json::array();
+    for (const double b : h.bounds) bounds.push_back(b);
+    Json& counts = hj["counts"] = Json::array();
+    for (const std::uint64_t c : h.counts) counts.push_back(c);
+    hj["total"] = h.total;
+    hj["sum"] = h.sum;
+  }
+  Json& series = m["series"] = Json::object();
+  for (const auto& [name, values] : snapshot.series) {
+    Json& sj = series[name] = Json::array();
+    for (const double v : values) sj.push_back(v);
+  }
+  return m;
+}
+
+Json spans_json() {
+  Json arr = Json::array();
+  for (const TraceEvent& e : trace::events()) {
+    Json span = Json::object();
+    span["name"] = e.name;
+    span["tid"] = static_cast<std::uint64_t>(e.tid);
+    span["ts_us"] = e.ts_us;
+    span["dur_us"] = e.dur_us;
+    arr.push_back(std::move(span));
+  }
+  return arr;
+}
+
+// ---- RunReport -------------------------------------------------------------
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+Json RunReport::build() const {
+  Json doc = Json::object();
+  doc["schema"] = kReportSchema;
+  doc["tool"] = tool_;
+  doc["config"] = config_;
+  doc["results"] = results_;
+  doc["metrics"] = metrics_json(registry().snapshot());
+  doc["spans"] = spans_json();
+  Json& warn_arr = doc["warnings"] = Json::array();
+  for (const std::string& w : warnings()) warn_arr.push_back(w);
+  return doc;
+}
+
+void RunReport::write(const std::string& path) const { write_json_file(path, build()); }
+
+}  // namespace treecode::obs

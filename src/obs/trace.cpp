@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#if defined(TREECODE_TRACING_ENABLED)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace treecode::obs::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+/// Epoch of the current trace session; guarded by g_buffers_mutex for
+/// writes, read via relaxed atomic duplicate below.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+/// Per-thread event buffer. Owned jointly by the global list and the
+/// thread_local handle so events survive thread exit (thread pools die
+/// before the report is written).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+std::mutex g_buffers_mutex;
+std::vector<std::shared_ptr<ThreadBuffer>>& buffers() {
+  static std::vector<std::shared_ptr<ThreadBuffer>> list;
+  return list;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = thread_index();
+    std::lock_guard lock(g_buffers_mutex);
+    buffers().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void start() {
+  std::lock_guard lock(g_buffers_mutex);
+  for (auto& b : buffers()) {
+    std::lock_guard blk(b->mutex);
+    b->events.clear();
+  }
+  g_epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+double now_us() noexcept {
+  return static_cast<double>(steady_ns() - g_epoch_ns.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+void record(const char* name, double ts_us, double dur_us) noexcept {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  buf.events.push_back(TraceEvent{name, buf.tid, ts_us, dur_us});
+}
+
+std::vector<TraceEvent> events() {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard lock(g_buffers_mutex);
+    for (auto& b : buffers()) {
+      std::lock_guard blk(b->mutex);
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return all;
+}
+
+namespace {
+
+/// JSON string escaping for span names. Names are string literals, but a
+/// stray quote/backslash/control char must not corrupt the whole trace.
+std::string escape_name(const char* name) {
+  std::string out;
+  for (const char* p = name; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+      out += esc;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_json() {
+  // Emitted by hand rather than through obs::Json: the event list can be
+  // large and its shape is fixed by the Chrome trace-event spec.
+  std::string out = "[";
+  char line[256];
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    std::snprintf(line, sizeof(line),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"treecode\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  first ? "" : ",", escape_name(e.name).c_str(), e.ts_us, e.dur_us, e.tid);
+    out += line;
+    first = false;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("trace: cannot open " + path + " for writing");
+  }
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("trace: short write to " + path);
+}
+
+}  // namespace treecode::obs::trace
+
+#endif  // TREECODE_TRACING_ENABLED

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file trace.hpp
+/// Hierarchical phase tracing: RAII spans exported as Chrome trace-event
+/// JSON, loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+///
+/// Usage:
+///
+///   obs::trace::start();
+///   { obs::TraceSpan span("bh.traverse"); ... }   // one complete event
+///   obs::trace::write_chrome_json("trace.json");
+///
+/// Spans record into per-thread buffers (one uncontended mutex per thread,
+/// taken only when a span *ends*), so phase-level tracing costs nothing
+/// measurable. Nested spans nest naturally in the Perfetto timeline because
+/// events carry begin timestamps and durations per thread.
+///
+/// Two off switches:
+///  * Runtime: spans are recorded only between trace::start() and
+///    trace::stop(); a disabled span is one relaxed atomic load.
+///  * Compile time: configure with -DTREECODE_TRACING=OFF and every
+///    TraceSpan and trace:: call compiles to nothing at all — the
+///    instrumented evaluators produce the same hot-loop code as
+///    uninstrumented ones (bench_micro_operators BM_ObsOverhead_* measures
+///    the residual, which must stay under 2%).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treecode::obs {
+
+/// One completed span, Chrome trace-event "X" (complete) phase.
+struct TraceEvent {
+  const char* name = "";  ///< static string; spans take string literals
+  std::uint32_t tid = 0;  ///< obs::thread_index() of the recording thread
+  double ts_us = 0.0;     ///< begin, microseconds since trace::start()
+  double dur_us = 0.0;
+};
+
+namespace trace {
+
+#if defined(TREECODE_TRACING_ENABLED)
+
+/// True between start() and stop().
+[[nodiscard]] bool enabled() noexcept;
+
+/// Clear all buffers and begin recording; timestamps are relative to this
+/// call.
+void start();
+
+/// Stop recording (already-recorded events are kept for drain()).
+void stop();
+
+/// Snapshot every thread's events, merged and time-ordered.
+[[nodiscard]] std::vector<TraceEvent> events();
+
+/// Record a completed span directly (used by ScopedTimer and the span
+/// RAII type; begin/duration in microseconds relative to start()).
+void record(const char* name, double ts_us, double dur_us) noexcept;
+
+/// Microseconds since start() (0 when tracing has never started).
+[[nodiscard]] double now_us() noexcept;
+
+/// Render events() as a Chrome trace-event JSON array.
+[[nodiscard]] std::string chrome_json();
+
+/// Write chrome_json() to `path`; throws std::runtime_error on I/O failure.
+void write_chrome_json(const std::string& path);
+
+#else  // tracing compiled out: every call is a no-op the optimizer deletes.
+
+[[nodiscard]] inline bool enabled() noexcept { return false; }
+inline void start() {}
+inline void stop() {}
+[[nodiscard]] inline std::vector<TraceEvent> events() { return {}; }
+inline void record(const char*, double, double) noexcept {}
+[[nodiscard]] inline double now_us() noexcept { return 0.0; }
+[[nodiscard]] inline std::string chrome_json() { return "[]"; }
+inline void write_chrome_json(const std::string&) {}
+
+#endif
+
+}  // namespace trace
+
+/// RAII span: records one complete trace event for its lifetime. Pass a
+/// string literal (the name is stored by pointer, not copied).
+#if defined(TREECODE_TRACING_ENABLED)
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept : name_(name) {
+    if (trace::enabled()) begin_us_ = trace::now_us();
+  }
+  ~TraceSpan() {
+    if (begin_us_ >= 0.0 && trace::enabled()) {
+      trace::record(name_, begin_us_, trace::now_us() - begin_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  double begin_us_ = -1.0;  ///< < 0 means "tracing was off at construction"
+};
+#else
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) noexcept {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+#endif
+
+}  // namespace treecode::obs

@@ -3,12 +3,14 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace treecode {
 
 WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t block_size,
-                               const BlockedBody& body, CancellationToken* cancel) {
+                               const BlockedBody& body, CancellationToken* cancel,
+                               const char* trace_name) {
   if (block_size == 0) block_size = 1;
   const unsigned width = pool.width();
   WorkStats stats;
@@ -27,6 +29,7 @@ WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t bloc
 
   std::atomic<std::size_t> next{0};
   pool.run_on_all([&](unsigned t) {
+    const obs::TraceSpan span(trace_name != nullptr ? trace_name : "parallel_for");
     Timer timer;
     std::uint64_t my_work = 0;
     while (!token->cancelled()) {
@@ -53,14 +56,14 @@ WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t bloc
 
 void parallel_for(ThreadPool& pool, std::size_t n, std::size_t block_size,
                   const std::function<void(std::size_t, std::size_t, unsigned)>& body,
-                  CancellationToken* cancel) {
+                  CancellationToken* cancel, const char* trace_name) {
   parallel_for_blocked(
       pool, n, block_size,
       [&body](std::size_t b, std::size_t e, unsigned t) -> std::uint64_t {
         body(b, e, t);
         return e - b;
       },
-      cancel);
+      cancel, trace_name);
 }
 
 }  // namespace treecode

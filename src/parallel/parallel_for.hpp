@@ -95,12 +95,18 @@ using BlockedBody = std::function<std::uint64_t(std::size_t, std::size_t, unsign
 /// calling thread once every worker has drained. An optional external
 /// `cancel` token lets the caller (or the body itself) stop the sweep
 /// early without an exception; blocks already running complete normally.
+///
+/// When phase tracing is active each worker's participation in the region
+/// is recorded as one trace span named `trace_name` (string literal;
+/// defaults to "parallel_for"), so Perfetto shows per-thread occupancy of
+/// every parallel region.
 WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t block_size,
-                               const BlockedBody& body, CancellationToken* cancel = nullptr);
+                               const BlockedBody& body, CancellationToken* cancel = nullptr,
+                               const char* trace_name = nullptr);
 
 /// Convenience: parallel loop whose body has no interesting cost to report.
 void parallel_for(ThreadPool& pool, std::size_t n, std::size_t block_size,
                   const std::function<void(std::size_t, std::size_t, unsigned)>& body,
-                  CancellationToken* cancel = nullptr);
+                  CancellationToken* cancel = nullptr, const char* trace_name = nullptr);
 
 }  // namespace treecode

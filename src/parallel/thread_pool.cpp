@@ -1,14 +1,18 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace treecode {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
-  if (num_threads <= 1) return;  // inline mode
-  workers_.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    workers_.emplace_back(
-        [this, t](const std::stop_token& stop) { worker_loop(t, stop); });
+  if (num_threads > 1) {
+    workers_.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      workers_.emplace_back(
+          [this, t](const std::stop_token& stop) { worker_loop(t, stop); });
+    }
   }
+  obs::registry().gauge("pool.threads").set(static_cast<double>(width()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,6 +25,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_on_all(const std::function<void(unsigned)>& task) {
+  obs::registry().counter("pool.dispatches").increment();
   if (workers_.empty()) {
     task(0);
     return;

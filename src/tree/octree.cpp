@@ -7,6 +7,8 @@
 
 #include "geom/hilbert.hpp"
 #include "geom/morton.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace treecode {
 
@@ -23,6 +25,7 @@ Tree::Tree(const ParticleSystem& ps, const TreeConfig& config) : config_(config)
 }
 
 void Tree::build(const ParticleSystem& ps) {
+  const ScopedTimer build_phase("time.tree_build");
   source_size_ = ps.size();
   validation_ = validate_particles(ps.positions(), ps.charges());
   enforce_validation(validation_, config_.validation, "Tree");
@@ -131,6 +134,12 @@ void Tree::build(const ParticleSystem& ps) {
   min_leaf_charge_density_ = std::isfinite(min_density) ? min_density : 0.0;
   mean_leaf_charge_density_ =
       num_leaves == 0 ? 0.0 : sum_density / static_cast<double>(num_leaves);
+
+  obs::Registry& reg = obs::registry();
+  reg.gauge("tree.height").set(static_cast<double>(height_));
+  reg.gauge("tree.num_nodes").set(static_cast<double>(nodes_.size()));
+  reg.gauge("tree.num_leaves").set(static_cast<double>(num_leaves));
+  reg.gauge("tree.num_particles").set(static_cast<double>(positions_.size()));
 }
 
 void Tree::split(std::size_t node_index, int shift) {

@@ -31,6 +31,12 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Column headers, as given to the constructor.
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+
+  /// All rows (each padded to the header width by add_row).
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

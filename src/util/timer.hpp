@@ -4,6 +4,11 @@
 /// Wall-clock timing helpers for benchmarks and the parallel speedup model.
 
 #include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treecode {
 
@@ -35,5 +40,37 @@ double time_seconds(F&& f) {
   f();
   return t.seconds();
 }
+
+/// RAII phase timer wired into the observability layer: on destruction it
+/// accumulates the elapsed nanoseconds into the obs counter
+/// `<metric>_ns`, records a trace span named `metric` (when tracing is
+/// active), and optionally stores the elapsed seconds for callers that keep
+/// their own bookkeeping (the evaluators' build/eval seconds). `metric`
+/// must be a string literal or otherwise outlive the timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* metric, double* out_seconds = nullptr) noexcept
+      : metric_(metric), out_(out_seconds), span_(metric) {}
+
+  ~ScopedTimer() {
+    const double s = timer_.seconds();
+    if (out_ != nullptr) *out_ = s;
+    obs::registry()
+        .counter(std::string(metric_) + "_ns")
+        .add(static_cast<std::uint64_t>(s * 1e9));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (the phase is still running).
+  [[nodiscard]] double seconds() const { return timer_.seconds(); }
+
+ private:
+  Timer timer_;
+  const char* metric_;
+  double* out_;
+  obs::TraceSpan span_;
+};
 
 }  // namespace treecode

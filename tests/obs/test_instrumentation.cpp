@@ -1,0 +1,98 @@
+// Evaluator instrumentation: registry counters mirror EvalStats exactly,
+// min/max_degree_used reflect degrees *actually evaluated* (not the degree
+// table's range), and the unachievable-budget condition raises an obs
+// warning while a sane budget stays silent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace treecode {
+namespace {
+
+bool any_contains(const std::vector<std::string>& warnings, const std::string& needle) {
+  for (const std::string& w : warnings) {
+    if (w.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Instrumentation, RegistryCountersMirrorEvalStats) {
+  const ParticleSystem ps = dist::uniform_cube(2'000, 71);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.6;
+  cfg.degree = 3;
+  obs::registry().reset_values();
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  obs::Registry& reg = obs::registry();
+  EXPECT_EQ(reg.counter("bh.m2p_count").value(), r.stats.m2p_count);
+  EXPECT_EQ(reg.counter("bh.p2p_pairs").value(), r.stats.p2p_pairs);
+  EXPECT_EQ(reg.counter("bh.multipole_terms").value(), r.stats.multipole_terms);
+  EXPECT_GT(r.stats.m2p_count, 0u);  // the run actually exercised M2P
+}
+
+TEST(Instrumentation, FixedDegreeRunUsesExactlyThatDegree) {
+  const ParticleSystem ps = dist::uniform_cube(2'000, 73);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.6;
+  cfg.degree = 3;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  ASSERT_GT(r.stats.m2p_count, 0u);
+  EXPECT_EQ(r.stats.min_degree_used, 3);
+  EXPECT_EQ(r.stats.max_degree_used, 3);
+}
+
+TEST(Instrumentation, AllP2PTraversalReportsZeroDegreeUsed) {
+  // A system that fits in a single leaf has no cluster to expand: every
+  // interaction is P2P, so no expansion degree was actually used — the
+  // stats must say 0, not echo the degree table's range. (A strict alpha
+  // is not enough: radius-0 single-particle leaves pass any MAC.)
+  const ParticleSystem ps = dist::uniform_cube(8, 75);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 5;
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  ASSERT_EQ(r.stats.m2p_count, 0u);
+  EXPECT_EQ(r.stats.min_degree_used, 0);
+  EXPECT_EQ(r.stats.max_degree_used, 0);
+}
+
+TEST(Instrumentation, UnachievableBudgetRaisesWarning) {
+  const ParticleSystem ps = dist::gaussian_ball(1'500, 59);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.enforce_budget = true;
+  cfg.error_budget = 1e-300;  // demotes every nonzero-bound interaction
+  obs::drain_warnings();
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  ASSERT_GT(r.stats.budget_refinements, 0u);
+  const std::vector<std::string> w = obs::drain_warnings();
+  EXPECT_TRUE(any_contains(w, "error budget"))
+      << "expected an unachievable-budget warning, got " << w.size() << " warnings";
+}
+
+TEST(Instrumentation, AchievableBudgetStaysSilent) {
+  const ParticleSystem ps = dist::uniform_cube(1'000, 77);
+  const Tree tree(ps);
+  EvalConfig cfg;
+  cfg.alpha = 0.6;
+  cfg.degree = 4;
+  cfg.enforce_budget = true;
+  cfg.error_budget = 1e6;  // loose enough that nothing is demoted
+  obs::drain_warnings();
+  const EvalResult r = evaluate_potentials(tree, cfg);
+  EXPECT_EQ(r.stats.budget_refinements, 0u);
+  EXPECT_FALSE(any_contains(obs::drain_warnings(), "error budget"));
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,178 @@
+// Metrics registry: sharded counters/histograms must aggregate *exactly*
+// under concurrent recording from the thread pool (run under
+// scripts/sanitize.sh as well), histogram bucket boundaries must be
+// inclusive upper bounds, and reset_values must zero values while keeping
+// registrations alive.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(MetricsCounter, ConcurrentIncrementsAggregateExactly) {
+  obs::Counter& c = obs::registry().counter("test.counter.concurrent");
+  c.reset();
+  constexpr std::size_t kItems = 200'000;
+  ThreadPool pool(8);
+  parallel_for(pool, kItems, 64, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) c.add(1 + i % 3);
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected += 1 + i % 3;
+  EXPECT_EQ(c.value(), expected);
+}
+
+TEST(MetricsCounter, SameNameReturnsSameCounter) {
+  obs::Counter& a = obs::registry().counter("test.counter.identity");
+  obs::Counter& b = obs::registry().counter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsGauge, SetAndRecordMax) {
+  obs::Gauge& g = obs::registry().gauge("test.gauge.basic");
+  g.reset();
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.record_max(1.0);
+  g.record_max(7.0);
+  g.record_max(3.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);  // set() does not touch max
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+}
+
+TEST(MetricsGauge, ConcurrentRecordMaxKeepsMaximum) {
+  obs::Gauge& g = obs::registry().gauge("test.gauge.concurrent");
+  g.reset();
+  constexpr std::size_t kItems = 100'000;
+  ThreadPool pool(8);
+  parallel_for(pool, kItems, 128, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) g.record_max(static_cast<double>(i));
+  });
+  EXPECT_DOUBLE_EQ(g.max(), static_cast<double>(kItems - 1));
+}
+
+TEST(MetricsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  // Buckets: (-inf, 1], (1, 2], (2, 4], (4, +inf).
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist.bounds", std::vector<double>{1.0, 2.0, 4.0});
+  h.reset();
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(4.01);  // overflow
+  h.observe(99.0);  // overflow
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 2u);
+  EXPECT_EQ(s.total, 7u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.01 + 99.0);
+}
+
+TEST(MetricsHistogram, IntegerBucketsCountEachValueExactly) {
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist.integer", obs::integer_buckets(5));
+  h.reset();
+  h.observe_n(0.0, 3);
+  h.observe_n(2.0, 5);
+  h.observe_n(5.0, 7);
+  h.observe_n(11.0, 2);  // beyond the last bound -> overflow
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 6u);  // 0..5
+  ASSERT_EQ(s.counts.size(), 7u);
+  EXPECT_EQ(s.counts[0], 3u);
+  EXPECT_EQ(s.counts[1], 0u);
+  EXPECT_EQ(s.counts[2], 5u);
+  EXPECT_EQ(s.counts[5], 7u);
+  EXPECT_EQ(s.counts[6], 2u);
+  EXPECT_EQ(s.total, 17u);
+}
+
+TEST(MetricsHistogram, ConcurrentObservationsAggregateExactly) {
+  obs::Histogram& h =
+      obs::registry().histogram("test.hist.concurrent", obs::integer_buckets(7));
+  h.reset();
+  constexpr std::size_t kItems = 160'000;
+  ThreadPool pool(8);
+  parallel_for(pool, kItems, 64, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) h.observe(static_cast<double>(i % 8));
+  });
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.total, kItems);
+  ASSERT_EQ(s.counts.size(), 9u);
+  for (std::size_t bucket = 0; bucket < 8; ++bucket) {
+    EXPECT_EQ(s.counts[bucket], kItems / 8) << bucket;
+  }
+  EXPECT_EQ(s.counts[8], 0u);
+}
+
+TEST(MetricsSeries, AppendsInOrder) {
+  obs::Series& s = obs::registry().series("test.series.order");
+  s.reset();
+  s.append(3.0);
+  s.append(1.0);
+  s.append(2.0);
+  const std::vector<double> v = s.values();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+}
+
+TEST(MetricsRegistry, SnapshotContainsAllKinds) {
+  obs::Registry& reg = obs::registry();
+  reg.counter("test.snap.counter").add(4);
+  reg.gauge("test.snap.gauge").set(1.5);
+  reg.histogram("test.snap.hist", obs::integer_buckets(3)).observe(2.0);
+  reg.series("test.snap.series").append(0.25);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.counters.at("test.snap.counter"), 4u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap.gauge"), 1.5);
+  EXPECT_GE(snap.histograms.at("test.snap.hist").total, 1u);
+  EXPECT_FALSE(snap.series.at("test.snap.series").empty());
+}
+
+TEST(MetricsRegistry, ResetValuesZeroesButKeepsRegistrations) {
+  obs::Registry& reg = obs::registry();
+  obs::Counter& c = reg.counter("test.reset.counter");
+  obs::Histogram& h = reg.histogram("test.reset.hist", obs::integer_buckets(2));
+  c.add(10);
+  h.observe(1.0);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().total, 0u);
+  // Same references still valid and usable; boundaries survive the reset.
+  c.increment();
+  EXPECT_EQ(reg.counter("test.reset.counter").value(), 1u);
+  EXPECT_EQ(reg.histogram("test.reset.hist", {}).bounds().size(), 3u);
+}
+
+TEST(MetricsBuckets, ExponentialBuckets) {
+  const std::vector<double> b = obs::exponential_buckets(1.0, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 10.0);
+  EXPECT_DOUBLE_EQ(b[2], 100.0);
+  EXPECT_DOUBLE_EQ(b[3], 1000.0);
+}
+
+}  // namespace
+}  // namespace treecode

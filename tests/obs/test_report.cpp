@@ -1,0 +1,109 @@
+// Report emitter: the warning channel (dedup + drain), the RunReport schema,
+// the metrics snapshot serialization, and ScopedTimer's metric accumulation.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/timer.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Warnings, RecordDedupAndDrain) {
+  obs::drain_warnings();
+  obs::warn("test: condition A");
+  obs::warn("test: condition B");
+  obs::warn("test: condition A");  // exact duplicate collapses
+  const std::vector<std::string> w = obs::warnings();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], "test: condition A");
+  EXPECT_EQ(w[1], "test: condition B");
+  const std::vector<std::string> drained = obs::drain_warnings();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(obs::warnings().empty());
+}
+
+TEST(RunReport, BuildContainsSchemaAndSections) {
+  obs::drain_warnings();
+  obs::warn("test: report warning");
+  obs::registry().counter("test.report.counter").add(3);
+  obs::RunReport report("test_tool");
+  report.config()["n"] = 128;
+  report.results()["value"] = 1.5;
+  const obs::Json doc = report.build();
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kReportSchema);
+  EXPECT_EQ(doc.at("tool").as_string(), "test_tool");
+  EXPECT_EQ(doc.at("config").at("n").as_int(), 128);
+  EXPECT_DOUBLE_EQ(doc.at("results").at("value").as_double(), 1.5);
+  // Metrics section reflects the live registry.
+  EXPECT_GE(doc.at("metrics").at("counters").at("test.report.counter").as_int(), 3);
+  EXPECT_TRUE(doc.at("spans").is_array());
+  bool found = false;
+  const obs::Json& warnings = doc.at("warnings");
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    if (warnings.at(i).as_string() == "test: report warning") found = true;
+  }
+  EXPECT_TRUE(found);
+  obs::drain_warnings();
+}
+
+TEST(RunReport, WriteProducesParseableFile) {
+  obs::RunReport report("test_tool_file");
+  report.config()["seed"] = 7;
+  const std::string path = testing::TempDir() + "/treecode_test_report.json";
+  report.write(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  const obs::Json doc = obs::Json::parse(text);
+  EXPECT_EQ(doc.at("tool").as_string(), "test_tool_file");
+  EXPECT_EQ(doc.at("config").at("seed").as_int(), 7);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsJson, SerializesHistogramShape) {
+  obs::Registry& reg = obs::registry();
+  obs::Histogram& h = reg.histogram("test.report.hist", obs::integer_buckets(2));
+  h.reset();
+  h.observe(1.0);
+  h.observe(9.0);  // overflow bucket
+  const obs::Json m = obs::metrics_json(reg.snapshot());
+  const obs::Json& hist = m.at("histograms").at("test.report.hist");
+  EXPECT_EQ(hist.at("bounds").size(), 3u);  // 0,1,2
+  EXPECT_EQ(hist.at("counts").size(), 4u);  // + overflow
+  EXPECT_EQ(hist.at("counts").at(1).as_int(), 1);
+  EXPECT_EQ(hist.at("counts").at(3).as_int(), 1);
+  EXPECT_EQ(hist.at("total").as_int(), 2);
+}
+
+TEST(ScopedTimer, AccumulatesIntoNamedMetricAndOutParam) {
+  obs::Counter& ns = obs::registry().counter("test.scoped_timer_ns");
+  ns.reset();
+  double seconds = 0.0;
+  {
+    const ScopedTimer t("test.scoped_timer", &seconds);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_GT(seconds, 0.002);
+  EXPECT_GE(ns.value(), 2'000'000u);  // >= 2 ms in nanoseconds
+  {
+    const ScopedTimer t("test.scoped_timer");  // out param optional
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(ns.value(), 3'000'000u);  // second timer adds to the same counter
+}
+
+}  // namespace
+}  // namespace treecode

@@ -1,0 +1,141 @@
+// Phase tracing: spans recorded between start()/stop() must surface in
+// events() with sane timestamps, render as well-formed Chrome trace-event
+// JSON (parsed back with obs::Json), and record nothing while disabled.
+// With -DTREECODE_TRACING=OFF every check degrades to the no-op contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace treecode {
+namespace {
+
+bool tracing_compiled_in() {
+#if defined(TREECODE_TRACING_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  obs::trace::stop();
+  {
+    const obs::TraceSpan span("test.disabled");
+  }
+  // Spans constructed while disabled must not appear even if tracing starts
+  // later (start() clears the buffers anyway).
+  obs::trace::start();
+  const std::vector<obs::TraceEvent> events = obs::trace::events();
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_STRNE(e.name, "test.disabled");
+  }
+  obs::trace::stop();
+}
+
+TEST(Trace, SpanRecordsNameAndDuration) {
+  obs::trace::start();
+  if (!obs::trace::enabled()) {
+    ASSERT_FALSE(tracing_compiled_in());
+    GTEST_SKIP() << "tracing compiled out (TREECODE_TRACING=OFF)";
+  }
+  {
+    const obs::TraceSpan span("test.span.outer");
+    const obs::TraceSpan inner("test.span.inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  obs::trace::stop();
+  const std::vector<obs::TraceEvent> events = obs::trace::events();
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string(e.name) == "test.span.outer") {
+      saw_outer = true;
+      EXPECT_GE(e.ts_us, 0.0);
+      EXPECT_GE(e.dur_us, 1000.0);  // slept >= 2 ms
+    }
+    if (std::string(e.name) == "test.span.inner") saw_inner = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(Trace, StartClearsPreviousEvents) {
+  obs::trace::start();
+  if (!obs::trace::enabled()) GTEST_SKIP() << "tracing compiled out";
+  {
+    const obs::TraceSpan span("test.span.stale");
+  }
+  obs::trace::start();  // restart: stale events must be gone
+  {
+    const obs::TraceSpan span("test.span.fresh");
+  }
+  obs::trace::stop();
+  bool saw_stale = false;
+  bool saw_fresh = false;
+  for (const obs::TraceEvent& e : obs::trace::events()) {
+    if (std::string(e.name) == "test.span.stale") saw_stale = true;
+    if (std::string(e.name) == "test.span.fresh") saw_fresh = true;
+  }
+  EXPECT_FALSE(saw_stale);
+  EXPECT_TRUE(saw_fresh);
+}
+
+TEST(Trace, WorkerSpansSurviveThreadPoolDestruction) {
+  obs::trace::start();
+  if (!obs::trace::enabled()) GTEST_SKIP() << "tracing compiled out";
+  {
+    ThreadPool pool(4);
+    parallel_for(
+        pool, 1'000, 64, [](std::size_t, std::size_t, unsigned) {}, nullptr,
+        "test.worker.span");
+  }  // pool threads join here; their buffers must outlive them
+  obs::trace::stop();
+  int worker_spans = 0;
+  for (const obs::TraceEvent& e : obs::trace::events()) {
+    if (std::string(e.name) == "test.worker.span") ++worker_spans;
+  }
+  EXPECT_GE(worker_spans, 1);
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  obs::trace::start();
+  if (!obs::trace::enabled()) {
+    // Compiled out: the stub must still emit a valid (empty) JSON array.
+    const obs::Json doc = obs::Json::parse(obs::trace::chrome_json());
+    EXPECT_TRUE(doc.is_array());
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  {
+    const obs::TraceSpan span("test.chrome \"quoted\\name");
+  }
+  obs::trace::stop();
+  const std::string json = obs::trace::chrome_json();
+  const obs::Json doc = obs::Json::parse(json);  // throws on malformed output
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_GE(doc.size(), 1u);
+  bool found = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const obs::Json& e = doc.at(i);
+    ASSERT_TRUE(e.is_object());
+    // Chrome trace-event required keys for complete ("X") events.
+    EXPECT_TRUE(e.contains("name"));
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_TRUE(e.contains("ts"));
+    EXPECT_TRUE(e.contains("dur"));
+    EXPECT_TRUE(e.contains("pid"));
+    EXPECT_TRUE(e.contains("tid"));
+    if (e.at("name").as_string() == "test.chrome \"quoted\\name") found = true;
+  }
+  EXPECT_TRUE(found);  // escaping must round-trip through the writer
+}
+
+}  // namespace
+}  // namespace treecode
