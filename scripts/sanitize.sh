@@ -1,19 +1,51 @@
 #!/usr/bin/env bash
-# Build and run the test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Build and run the test suite under sanitizers — the one entry point for
+# ASan, UBSan, and TSan.
 #
-# Usage: scripts/sanitize.sh [extra ctest args...]
-# Keeps its own build tree (build-sanitize/) so it never pollutes the
-# regular Release build.
+# Usage: scripts/sanitize.sh [MODE] [extra ctest args...]
+#
+#   MODE is one of:
+#     asan-ubsan  Address + UndefinedBehavior sanitizers (default)
+#     asan        AddressSanitizer only
+#     ubsan       UndefinedBehaviorSanitizer only
+#     tsan        ThreadSanitizer (suppressions: scripts/tsan.supp)
+#     all         asan-ubsan followed by tsan
+#
+# Each mode keeps its own build tree (build-<mode>/) so it never pollutes
+# the regular Release build and incremental re-runs stay warm. Extra
+# arguments are forwarded to ctest (e.g. `-R Stress`).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-sanitize"
 
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DTREECODE_SANITIZE=address,undefined
-cmake --build "${build_dir}" -j "$(nproc)"
+mode="asan-ubsan"
+case "${1:-}" in
+  asan|ubsan|tsan|asan-ubsan|all) mode="$1"; shift ;;
+esac
 
-export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+run_mode() {
+  local name="$1"; shift
+  local sanitizers="$1"; shift
+  local build_dir="${repo_root}/build-${name}"
+
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTREECODE_SANITIZE="${sanitizers}"
+  cmake --build "${build_dir}" -j "$(nproc)"
+
+  export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export TSAN_OPTIONS="suppressions=${repo_root}/scripts/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+}
+
+case "${mode}" in
+  asan)       run_mode asan address "$@" ;;
+  ubsan)      run_mode ubsan undefined "$@" ;;
+  tsan)       run_mode tsan thread "$@" ;;
+  asan-ubsan) run_mode sanitize address,undefined "$@" ;;
+  all)
+    run_mode sanitize address,undefined "$@"
+    run_mode tsan thread "$@"
+    ;;
+esac

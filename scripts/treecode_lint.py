@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the treecode source tree (stdlib only).
+
+Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
+
+  naked-new              No naked ``new`` / ``malloc`` family calls anywhere in
+                         src/ — ownership lives in containers and RAII types.
+  pow-integer-exponent   No ``std::pow`` whose exponent is an integer
+                         expression in the hot numeric kernels (src/core/,
+                         src/multipole/). Use ipow() (multipole/ipow.hpp):
+                         std::pow with an integer exponent routes through the
+                         general exp/log machinery per accepted interaction.
+  trace-span-literal     Every obs::TraceSpan / ScopedTimer name argument is a
+                         string literal, so trace/metric cardinality is bounded
+                         at compile time.
+  non-relaxed-atomic     Atomic operations in designated hot-path files carry
+                         an explicit std::memory_order_relaxed. Sharded
+                         metrics and block claiming need atomicity, never
+                         ordering; a silent seq_cst default costs a fence per
+                         recorded sample.
+  evaluator-validates    Every translation unit defining a public evaluator
+                         entry point (``EvalResult evaluate_*`` or an
+                         ``*Evaluator`` constructor) validates its inputs:
+                         EvalConfig::validate() (directly or via
+                         assign_degrees) or enforce_validation().
+
+Usage: scripts/treecode_lint.py [--root DIR]
+Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(r"//\s*lint-allow:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+
+# Files whose atomics must all be explicitly relaxed (the contended paths).
+HOT_ATOMIC_FILES = ("src/obs/metrics.hpp", "src/parallel/")
+
+# Directories whose std::pow calls sit inside per-interaction loops.
+POW_HOT_DIRS = ("src/core/", "src/multipole/")
+
+# Headers that *define* TraceSpan / ScopedTimer; their constructor
+# declarations are not call sites.
+SPAN_DEFINING_FILES = ("src/obs/trace.hpp", "src/util/timer.hpp")
+
+ATOMIC_OP_RE = re.compile(
+    r"\.(?:fetch_add|fetch_sub|fetch_or|fetch_and|load|store|exchange|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+
+NAKED_NEW_RE = re.compile(r"(?<![:\w])new\b(?!\s*\()")  # excludes placement new
+ALLOC_CALL_RE = re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\(")
+
+POW_RE = re.compile(r"\bstd::pow\s*\(")
+SPAN_RE = re.compile(r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s+\w+\s*(\()|"
+                     r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s*(\()")
+
+EVAL_ENTRY_RE = re.compile(r"\bEvalResult\s+evaluate_\w+\s*\(|\b(\w+Evaluator)::\1\s*\(")
+VALIDATES_RE = re.compile(r"\.validate\s*\(\s*\)|\benforce_validation\s*\(|\bassign_degrees\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving newlines and
+    column positions so finding offsets still map to the original file."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out[i] = "\x01" if quote == '"' else " "  # mark string starts
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = "\x01" if quote == '"' else " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def extract_first_arg(code: str, open_paren: int) -> str:
+    """Return the text of the first argument of the call whose '(' is at
+    open_paren, up to the matching top-level ',' or ')'."""
+    depth = 0
+    i = open_paren
+    start = open_paren + 1
+    while i < len(code):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return code[start:i]
+        elif c == "," and depth == 1:
+            return code[start:i]
+        i += 1
+    return code[start:]
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str,
+               raw_lines: list[str]) -> None:
+        # A suppression may sit on the finding's line or, for statements the
+        # formatter wraps, on the line right after it.
+        for candidate in raw_lines[lineno - 1:lineno + 1]:
+            m = SUPPRESS_RE.search(candidate)
+            if m and rule in re.split(r"\s*,\s*", m.group(1)):
+                return
+        self.findings.append((path, lineno, rule, message))
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+
+        def line_of(offset: int) -> int:
+            return code.count("\n", 0, offset) + 1
+
+        for m in NAKED_NEW_RE.finditer(code):
+            self.report(path, line_of(m.start()), "naked-new",
+                        "naked `new`; use std::vector / std::make_unique", raw_lines)
+        for m in ALLOC_CALL_RE.finditer(code):
+            self.report(path, line_of(m.start()), "naked-new",
+                        "manual C allocation; use RAII containers", raw_lines)
+
+        if rel.startswith(POW_HOT_DIRS):
+            for m in POW_RE.finditer(code):
+                call = code[m.end() - 1:]
+                depth, j = 0, 0
+                args_end = len(call)
+                for j, c in enumerate(call):
+                    if c == "(":
+                        depth += 1
+                    elif c == ")":
+                        depth -= 1
+                        if depth == 0:
+                            args_end = j
+                            break
+                args = call[1:args_end]
+                comma = -1
+                depth = 0
+                for j, c in enumerate(args):
+                    if c == "(":
+                        depth += 1
+                    elif c == ")":
+                        depth -= 1
+                    elif c == "," and depth == 0:
+                        comma = j
+                if comma < 0:
+                    continue
+                exponent = args[comma + 1:].strip()
+                # Integer-looking exponent: no decimal point, no float
+                # suffix/exponent marker, not a named double.
+                if "." not in exponent and not re.search(r"\d[eE][-+]?\d", exponent):
+                    self.report(path, line_of(m.start()), "pow-integer-exponent",
+                                f"std::pow with integer exponent `{exponent}` in a hot "
+                                "kernel; use ipow() from multipole/ipow.hpp", raw_lines)
+
+        for m in SPAN_RE.finditer(code) if rel not in SPAN_DEFINING_FILES else ():
+            paren = m.start(1) if m.group(1) else m.start(2)
+            first = extract_first_arg(code, paren).strip()
+            # Strings were blanked to \x01...\x01 markers; a literal first
+            # argument is exactly one marker pair.
+            if not re.fullmatch(r"\x01[^\x01]*\x01", first):
+                self.report(path, line_of(m.start()), "trace-span-literal",
+                            "TraceSpan/ScopedTimer name must be a string literal",
+                            raw_lines)
+
+        if rel == HOT_ATOMIC_FILES[0] or rel.startswith(HOT_ATOMIC_FILES[1]):
+            for m in ATOMIC_OP_RE.finditer(code):
+                stmt_end = code.find(";", m.end())
+                stmt = code[m.start():stmt_end if stmt_end >= 0 else len(code)]
+                if "memory_order_relaxed" not in stmt:
+                    self.report(path, line_of(m.start()), "non-relaxed-atomic",
+                                "atomic op on a hot path without explicit "
+                                "std::memory_order_relaxed", raw_lines)
+
+        if rel.startswith("src/core/") and rel.endswith(".cpp"):
+            if EVAL_ENTRY_RE.search(code) and not VALIDATES_RE.search(code):
+                self.report(path, 1, "evaluator-validates",
+                            "evaluator entry point without a validate()/"
+                            "enforce_validation()/assign_degrees() call", raw_lines)
+
+    def run(self) -> int:
+        files = sorted((self.root / "src").rglob("*.hpp")) + \
+                sorted((self.root / "src").rglob("*.cpp"))
+        for path in files:
+            self.lint_file(path)
+        for path, lineno, rule, message in self.findings:
+            rel = path.relative_to(self.root).as_posix()
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+        count = len(self.findings)
+        print(f"treecode_lint: {len(files)} files, {count} finding(s)")
+        return 1 if count else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the checkout containing this script)")
+    opts = parser.parse_args()
+    if not (opts.root / "src").is_dir():
+        print(f"error: {opts.root} has no src/ directory", file=sys.stderr)
+        return 2
+    return Linter(opts.root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

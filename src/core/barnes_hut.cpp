@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/invariants.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
 #include "obs/instrument.hpp"
@@ -301,6 +302,8 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
     if (want_grad) result.gradient = std::move(grad);
     if (want_bounds) result.error_bound = std::move(bound);
   }
+  TREECODE_ASSERT_EVAL_INVARIANTS(tree_, degrees_, config_, result, out_n,
+                                  "BarnesHutEvaluator::run");
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include <limits>
 
+#include "analysis/invariants.hpp"
 #include "multipole/operators.hpp"
 #include "obs/instrument.hpp"
 #include "parallel/parallel_for.hpp"
@@ -122,6 +123,16 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
   obs::Registry& reg = obs::registry();
   reg.counter("dipole_bh.multipole_terms").add(result.stats.multipole_terms);
   reg.counter("dipole_bh.p2p_pairs").add(result.stats.p2p_pairs);
+#if defined(TREECODE_CHECK_INVARIANTS)
+  // The dipole evaluator produces potentials only; check against a config
+  // copy with the unproduced outputs switched off.
+  EvalConfig checked = config_;
+  checked.compute_gradient = false;
+  checked.track_error_bounds = false;
+  checked.enforce_budget = false;
+  TREECODE_ASSERT_EVAL_INVARIANTS(tree_, degrees_, checked, result, n,
+                                  "DipoleBarnesHutEvaluator::evaluate_at");
+#endif
   return result;
 }
 

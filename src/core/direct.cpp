@@ -1,9 +1,11 @@
 #include "core/direct.hpp"
 
+#include "analysis/invariants.hpp"
 #include "multipole/operators.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace treecode {
 
@@ -11,6 +13,11 @@ namespace {
 
 EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
                        unsigned threads, bool compute_gradient, double softening = 0.0) {
+  // Direct summation has no Tree in front of it to validate the input, so
+  // one NaN charge would silently poison every potential; fail fast like
+  // the tree-based evaluators do.
+  enforce_validation(validate_particles(ps.positions(), ps.charges()),
+                     ValidationPolicy::kThrow, "evaluate_direct");
   EvalResult result;
   const std::size_t n = points.size();
   result.potential.assign(n, 0.0);
@@ -41,6 +48,11 @@ EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
   }
   result.stats.p2p_pairs = static_cast<std::uint64_t>(n) * ps.size();
   obs::registry().counter("direct.p2p_pairs").add(result.stats.p2p_pairs);
+#if defined(TREECODE_CHECK_INVARIANTS)
+  EvalConfig checked;
+  checked.compute_gradient = compute_gradient;
+  analysis::require(analysis::check_eval_result(result, checked, n), "evaluate_direct");
+#endif
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "analysis/invariants.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
 #include "multipole/rotation.hpp"
@@ -305,6 +306,8 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
     result.potential[orig[i]] = phi[i];
     if (want_grad) result.gradient[orig[i]] = grad[i];
   }
+  TREECODE_ASSERT_EVAL_INVARIANTS(tree, degrees, config, result, tree.source_size(),
+                                  "evaluate_fmm");
   return result;
 }
 

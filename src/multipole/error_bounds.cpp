@@ -5,17 +5,19 @@
 #include <cmath>
 #include <limits>
 
+#include "multipole/ipow.hpp"
+
 namespace treecode {
 
 double multipole_error_bound(double A, double a, double r, int p) {
   assert(A >= 0.0 && a >= 0.0 && p >= 0);
   if (r <= a) return std::numeric_limits<double>::infinity();
-  return A / (r - a) * std::pow(a / r, p + 1);
+  return A / (r - a) * ipow(a / r, p + 1);
 }
 
 double mac_error_bound(double A, double r, double alpha, int p) {
   assert(A >= 0.0 && r > 0.0 && alpha > 0.0 && alpha < 1.0 && p >= 0);
-  return A / r * std::pow(alpha, p + 1) / (1.0 - alpha);
+  return A / r * ipow(alpha, p + 1) / (1.0 - alpha);
 }
 
 int adaptive_degree(double A, double A_ref, double alpha, int p_min, int p_max) {

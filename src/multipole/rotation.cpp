@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "multipole/ipow.hpp"
+
 namespace treecode {
 
 double wigner_d_entry(int j, int mp, int m, double theta) {
@@ -20,8 +22,7 @@ double wigner_d_entry(int j, int mp, int m, double theta) {
     const double sign = ((mp - m + k) % 2 == 0) ? 1.0 : -1.0;
     const double denom = factorial(j + m - k) * factorial(k) * factorial(mp - m + k) *
                          factorial(j - mp - k);
-    sum += sign / denom * std::pow(c, 2 * j + m - mp - 2 * k) *
-           std::pow(s, mp - m + 2 * k);
+    sum += sign / denom * ipow(c, 2 * j + m - mp - 2 * k) * ipow(s, mp - m + 2 * k);
   }
   return pref * sum;
 }

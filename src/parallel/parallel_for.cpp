@@ -29,7 +29,10 @@ WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t bloc
 
   std::atomic<std::size_t> next{0};
   pool.run_on_all([&](unsigned t) {
-    const obs::TraceSpan span(trace_name != nullptr ? trace_name : "parallel_for");
+    // Callers forward string literals per the parallel_for contract; the
+    // fallback makes this the one non-literal span site.
+    const obs::TraceSpan span(trace_name != nullptr ? trace_name
+                                                    : "parallel_for");  // lint-allow: trace-span-literal
     Timer timer;
     std::uint64_t my_work = 0;
     while (!token->cancelled()) {

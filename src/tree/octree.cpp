@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "analysis/invariants.hpp"
 #include "geom/hilbert.hpp"
 #include "geom/morton.hpp"
 #include "obs/metrics.hpp"
@@ -140,6 +141,8 @@ void Tree::build(const ParticleSystem& ps) {
   reg.gauge("tree.num_nodes").set(static_cast<double>(nodes_.size()));
   reg.gauge("tree.num_leaves").set(static_cast<double>(num_leaves));
   reg.gauge("tree.num_particles").set(static_cast<double>(positions_.size()));
+
+  TREECODE_ASSERT_TREE_INVARIANTS(*this, "Tree::build");
 }
 
 void Tree::split(std::size_t node_index, int shift) {

@@ -3,9 +3,23 @@
 #include <cmath>
 
 #include "multipole/error_bounds.hpp"
+#include "multipole/ipow.hpp"
 
 namespace treecode {
 namespace {
+
+TEST(Ipow, MatchesStdPowForIntegerExponents) {
+  for (const double base : {0.0, 0.25, 0.5, 0.97, 1.0, 2.0, -1.5}) {
+    for (int n = 0; n <= 64; ++n) {
+      const double expected = std::pow(base, n);
+      EXPECT_NEAR(ipow(base, n), expected, 1e-12 * std::abs(expected))
+          << "base=" << base << " n=" << n;
+    }
+  }
+  EXPECT_DOUBLE_EQ(ipow(2.0, -3), 0.125);
+  EXPECT_DOUBLE_EQ(ipow(0.5, 1), 0.5);
+  static_assert(ipow(2.0, 10) == 1024.0);
+}
 
 TEST(Theorem1, FormulaAndEdgeCases) {
   // A/(r-a) * (a/r)^(p+1)

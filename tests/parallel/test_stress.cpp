@@ -1,0 +1,243 @@
+// Deterministic concurrency stress tests. These are the workload the TSan
+// build (scripts/sanitize.sh tsan) runs to certify the thread pool, the
+// cancellation protocol, the sharded metrics registry, and the parallel
+// evaluators race-free; every assertion here is schedule-independent, so
+// the suite also passes in plain builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(ThreadPoolStress, RepeatedStartStopWithWork) {
+  // Construct, use, and destroy pools back to back: the destructor must
+  // join cleanly with a task having just drained (shutdown ordering).
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 40; ++round) {
+    ThreadPool pool(4);
+    pool.run_on_all([&](unsigned) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 40u * 4u);
+}
+
+TEST(ThreadPoolStress, ImmediateDestructionWithoutWork) {
+  // Workers may still be parking in their wait loop when stop is requested.
+  for (int round = 0; round < 40; ++round) {
+    ThreadPool pool(4);
+  }
+}
+
+TEST(ThreadPoolStress, ManyGenerationsOnOnePool) {
+  // The generation counter must keep workers and the waiter in lockstep
+  // across many consecutive run_on_all calls.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int gen = 0; gen < 300; ++gen) {
+    pool.run_on_all([&](unsigned) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 300u * 4u);
+}
+
+TEST(ThreadPoolStress, WorkerExceptionRethrownAndPoolReusable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_on_all([](unsigned t) {
+                 if (t == 0) throw std::runtime_error("worker failure");
+               }),
+               std::runtime_error);
+  // A failed generation must not wedge the pool.
+  std::atomic<std::uint64_t> total{0};
+  pool.run_on_all([&](unsigned) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), 4u);
+}
+
+TEST(ParallelForStress, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(pool, n, 7, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForStress, PreCancelledTokenProcessesNothing) {
+  // Workers check the token before claiming each block, so a token that is
+  // already cancelled on entry deterministically claims zero blocks.
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.cancel();
+  std::atomic<std::uint64_t> blocks{0};
+  const WorkStats stats = parallel_for_blocked(
+      pool, 5000, 1,
+      [&](std::size_t, std::size_t, unsigned) -> std::uint64_t {
+        blocks.fetch_add(1, std::memory_order_relaxed);
+        return 1;
+      },
+      &token);
+  EXPECT_EQ(blocks.load(), 0u);
+  EXPECT_EQ(stats.total_work(), 0u);
+}
+
+TEST(ParallelForStress, MidSweepCancellationStopsEarlyAndTokenIsReusable) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  const std::size_t n = 20000;
+  std::atomic<std::uint64_t> blocks{0};
+  parallel_for_blocked(
+      pool, n, 1,
+      [&](std::size_t, std::size_t, unsigned) -> std::uint64_t {
+        token.cancel();  // first executed block stops the sweep
+        blocks.fetch_add(1, std::memory_order_relaxed);
+        return 1;
+      },
+      &token);
+  EXPECT_GE(blocks.load(), 1u);
+  EXPECT_LT(blocks.load(), n);
+
+  // reset() re-arms the token; the next sweep must run to completion.
+  token.reset();
+  std::atomic<std::uint64_t> full{0};
+  parallel_for_blocked(
+      pool, n, 64,
+      [&](std::size_t b, std::size_t e, unsigned) -> std::uint64_t {
+        full.fetch_add(e - b, std::memory_order_relaxed);
+        return e - b;
+      },
+      &token);
+  EXPECT_EQ(full.load(), n);
+}
+
+TEST(ParallelForStress, BodyExceptionCancelsSweepAndRethrows) {
+  ThreadPool pool(4);
+  const std::size_t n = 20000;
+  std::atomic<std::uint64_t> blocks{0};
+  EXPECT_THROW(
+      parallel_for_blocked(pool, n, 1,
+                           [&](std::size_t, std::size_t, unsigned) -> std::uint64_t {
+                             blocks.fetch_add(1, std::memory_order_relaxed);
+                             throw std::runtime_error("body failure");
+                           }),
+      std::runtime_error);
+  EXPECT_LT(blocks.load(), n);
+}
+
+TEST(MetricsStress, ShardedCounterExactUnderContention) {
+  obs::Counter& c = obs::registry().counter("stress.counter_exactness");
+  c.reset();
+  ThreadPool pool(8);
+  constexpr std::uint64_t kPerThread = 20000;
+  pool.run_on_all([&](unsigned) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) c.increment();
+  });
+  EXPECT_EQ(c.value(), 8u * kPerThread);
+}
+
+TEST(MetricsStress, HistogramExactUnderContention) {
+  const std::vector<double> bounds = obs::integer_buckets(8);
+  obs::Histogram& h = obs::registry().histogram("stress.histogram_exactness", bounds);
+  h.reset();
+  ThreadPool pool(8);
+  constexpr std::uint64_t kPerThread = 5000;
+  pool.run_on_all([&](unsigned t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(static_cast<double>(t % 9));
+  });
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total, 8u * kPerThread);
+  std::uint64_t sum = 0;
+  for (std::uint64_t count : snap.counts) sum += count;
+  EXPECT_EQ(sum, snap.total);
+}
+
+TEST(MetricsStress, GaugeRecordMaxUnderContention) {
+  obs::Gauge& g = obs::registry().gauge("stress.gauge_max");
+  g.reset();
+  ThreadPool pool(8);
+  pool.run_on_all([&](unsigned t) {
+    for (int i = 0; i < 2000; ++i) g.record_max(static_cast<double>(t * 1000 + i));
+  });
+  EXPECT_EQ(g.max(), 7 * 1000 + 1999);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel evaluators. Each target's accumulation is thread-private and
+// blocks partition the target range, so results must be *bitwise* identical
+// across thread counts and block sizes — any divergence (or TSan report)
+// means a worker touched state it does not own.
+
+class EvaluatorStress : public ::testing::Test {
+ protected:
+  EvaluatorStress()
+      : tree_(dist::overlapped_gaussians(2000, 3, 99, 0.08,
+                                         dist::ChargeModel::kMixedSign)) {}
+
+  EvalConfig config(unsigned threads, std::size_t block_size = 64) const {
+    EvalConfig cfg;
+    cfg.mode = DegreeMode::kAdaptive;
+    cfg.degree = 2;
+    cfg.threads = threads;
+    cfg.block_size = block_size;
+    return cfg;
+  }
+
+  Tree tree_;
+};
+
+TEST_F(EvaluatorStress, BarnesHutBitwiseDeterministicAcrossSchedules) {
+  EvalConfig serial = config(1);
+  serial.track_error_bounds = true;
+  const EvalResult reference = evaluate_potentials(tree_, serial, Method::kBarnesHut);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const std::size_t block : {std::size_t{16}, std::size_t{64}}) {
+      EvalConfig cfg = config(threads, block);
+      cfg.track_error_bounds = true;
+      const EvalResult r = evaluate_potentials(tree_, cfg, Method::kBarnesHut);
+      EXPECT_EQ(r.potential, reference.potential)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(r.error_bound, reference.error_bound);
+    }
+  }
+}
+
+TEST_F(EvaluatorStress, FmmBitwiseDeterministicAcrossSchedules) {
+  const EvalResult reference = evaluate_potentials(tree_, config(1), Method::kFmm);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const EvalResult r = evaluate_potentials(tree_, config(threads), Method::kFmm);
+    EXPECT_EQ(r.potential, reference.potential) << "threads=" << threads;
+  }
+}
+
+TEST_F(EvaluatorStress, ConcurrentEvaluationsOnSharedTree) {
+  // The Tree is immutable after build; two parallel evaluations reading it
+  // concurrently (each with its own pool) must not interfere.
+  const EvalResult reference = evaluate_potentials(tree_, config(1), Method::kBarnesHut);
+  std::vector<EvalResult> results(4);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      threads.emplace_back([&, i] {
+        results[i] = evaluate_potentials(tree_, config(2), Method::kBarnesHut);
+      });
+    }
+  }
+  for (const EvalResult& r : results) {
+    EXPECT_EQ(r.potential, reference.potential);
+  }
+}
+
+}  // namespace
+}  // namespace treecode
