@@ -1,0 +1,172 @@
+// Evaluation-engine amortization on the Table-3 BEM problem: cold plan
+// compile vs warm replay vs the legacy per-apply traversal.
+//
+// The paper's GMRES solve applies the same single-layer operator dozens of
+// times over fixed geometry. The engine compiles the vertex interaction
+// plan once (one alpha-MAC traversal) and serves every later matvec as
+// update_charges + list replay. This bench measures, on the procedural
+// propeller instance with the improved (adaptive-degree) operator:
+//
+//   * cold apply           — plan compile + first replay (paid once);
+//   * uncompiled apply     — the pre-engine path: per-apply degree
+//                            assignment, full multipole rebuild, full
+//                            traversal (the ">= 2x" baseline);
+//   * warm replay apply    — cached plan, lazy refresh of plan-referenced
+//                            nodes only, no tree walk;
+//
+// verifies the two paths produce bitwise-identical potentials, and closes
+// with a GMRES(10) solve on the engine-backed operator.
+//
+//   ./bench_engine_replay [--elements 6k] [--alpha 0.5] [--threads 4]
+//                         [--repeat 5] [--skip-gmres]
+//                         [--json-out report.json] [--trace-out trace.json]
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bem/bem_operator.hpp"
+#include "bem/meshgen.hpp"
+#include "common.hpp"
+#include "linalg/gmres.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace treecode;
+
+std::vector<double> test_density(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 0.5 * std::sin(0.37 * static_cast<double>(i));
+  }
+  return x;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv,
+                         bench::with_obs_flags(
+                             {"elements", "alpha", "threads", "skip-gmres"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
+    obs::RunReport run_report("bench_engine_replay");
+    const auto elements = static_cast<std::size_t>(flags.get_int("elements", 6'000));
+    const double alpha = flags.get_double("alpha", 0.5);
+    const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    const int repeats = bench::repeat_from(flags, 5);
+    const bool skip_gmres = flags.get_bool("skip-gmres");
+
+    std::printf("== Evaluation engine: compile-once / replay-many on the Table-3 BEM"
+                " problem ==\n\n");
+    const LatLonSize ls = latlon_for_triangles(elements);
+    const TriangleMesh mesh = make_propeller(ls.n_lat, ls.n_lon);
+    std::printf("propeller stand-in: %zu elements, %zu vertices, 6 Gauss points/element\n",
+                mesh.num_triangles(), mesh.num_vertices());
+
+    SingleLayerOperator::Options opt;
+    opt.eval.alpha = alpha;
+    opt.eval.threads = threads;
+    opt.eval.degree = 4;
+    opt.eval.mode = DegreeMode::kAdaptive;
+    opt.gauss_points = 6;
+    const SingleLayerOperator op(mesh, opt);
+    std::printf("sources (Gauss points): %zu, threads: %u, repeat: %d\n\n",
+                op.num_sources(), threads, repeats);
+
+    const std::vector<double> x = test_density(mesh.num_vertices());
+    std::vector<double> y_replay(mesh.num_vertices());
+    std::vector<double> y_legacy(mesh.num_vertices());
+
+    // Cold apply: compiles the vertex plan, builds the referenced
+    // multipoles, then replays once.
+    Timer cold_timer;
+    op.apply(x, y_replay);
+    const double cold_seconds = cold_timer.seconds();
+
+    // Legacy baseline: per-apply degree assignment + full multipole
+    // rebuild + full alpha-MAC traversal, every time.
+    const bench::RepeatStats legacy = bench::time_repeated(
+        repeats, [&] { op.apply_uncompiled(x, y_legacy); });
+
+    // Warm replay: the plan is cached; each apply is charge refresh +
+    // list replay.
+    const bench::RepeatStats replay = bench::time_repeated(
+        repeats, [&] { op.apply(x, y_replay); });
+
+    const bool bitwise_equal =
+        std::memcmp(y_replay.data(), y_legacy.data(),
+                    y_replay.size() * sizeof(double)) == 0;
+    const double speedup_median = legacy.median_seconds / replay.median_seconds;
+    const double speedup_min = legacy.min_seconds / replay.min_seconds;
+
+    Table t({"Path", "min(s)", "median(s)", "speedup(median)"});
+    t.add_row({"cold compile+replay", fmt_fixed(cold_seconds, 4),
+               fmt_fixed(cold_seconds, 4), "-"});
+    t.add_row({"uncompiled traversal", fmt_fixed(legacy.min_seconds, 4),
+               fmt_fixed(legacy.median_seconds, 4), "1.00"});
+    t.add_row({"warm plan replay", fmt_fixed(replay.min_seconds, 4),
+               fmt_fixed(replay.median_seconds, 4), fmt_fixed(speedup_median, 2)});
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf("replay == uncompiled potentials (bitwise): %s\n",
+                bitwise_equal ? "yes" : "NO — BUG");
+    const auto& cache = op.session().cache();
+    std::printf("plan cache: %zu plan(s), %llu hit(s), %llu miss(es)\n\n", cache.size(),
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.misses()));
+
+    obs::Json results = obs::Json::object();
+    results["elements"] = mesh.num_triangles();
+    results["vertices"] = mesh.num_vertices();
+    results["sources"] = op.num_sources();
+    results["cold_seconds"] = cold_seconds;
+    results["uncompiled"] = bench::repeat_stats_json(legacy);
+    results["replay"] = bench::repeat_stats_json(replay);
+    results["speedup_median"] = speedup_median;
+    results["speedup_min"] = speedup_min;
+    results["bitwise_equal"] = bitwise_equal;
+    results["cache_hits"] = cache.hits();
+    results["cache_misses"] = cache.misses();
+
+    if (!skip_gmres) {
+      // The headline application: a full GMRES(10) solve where every matvec
+      // after the first is a warm replay.
+      const std::vector<double> f = op.point_charge_rhs({3.0, 1.0, 2.0}, 1.0);
+      std::vector<double> sigma(op.cols(), 0.0);
+      GmresOptions gopt;
+      gopt.restart = 10;
+      gopt.tolerance = 1e-6;
+      gopt.max_iterations = 500;
+      Timer timer;
+      const GmresResult r = gmres(op, f, sigma, gopt);
+      std::printf("GMRES(10) with engine replay matvec: %s, %d iterations, %.2f s,"
+                  " residual %.2e\n",
+                  r.converged ? "converged" : "NOT converged", r.iterations,
+                  timer.seconds(), r.relative_residual);
+      obs::Json gj = obs::Json::object();
+      gj["converged"] = r.converged;
+      gj["iterations"] = r.iterations;
+      gj["relative_residual"] = r.relative_residual;
+      gj["seconds"] = timer.seconds();
+      results["gmres"] = std::move(gj);
+    }
+
+    run_report.results()["engine_replay"] = std::move(results);
+    run_report.config()["elements"] = elements;
+    run_report.config()["alpha"] = alpha;
+    run_report.config()["threads"] = static_cast<std::uint64_t>(threads);
+    run_report.config()["repeat"] = repeats;
+    bench::emit_reports(obs_opts, run_report);
+    return bitwise_equal ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <utility>
@@ -81,9 +82,43 @@ std::vector<std::size_t> default_ladder(bool full) {
   return {4'000, 8'000, 16'000, 32'000};
 }
 
+int repeat_from(const CliFlags& flags, int def) {
+  const auto n = static_cast<int>(flags.get_int("repeat", def));
+  return n < 1 ? 1 : n;
+}
+
+RepeatStats time_repeated(int repeats, const std::function<void()>& fn) {
+  RepeatStats stats;
+  stats.repeats = repeats < 1 ? 1 : repeats;
+  std::vector<double> seconds(static_cast<std::size_t>(stats.repeats), 0.0);
+  for (double& s : seconds) {
+    Timer t;
+    fn();
+    s = t.seconds();
+    stats.total_seconds += s;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  stats.min_seconds = seconds.front();
+  const std::size_t mid = seconds.size() / 2;
+  stats.median_seconds = seconds.size() % 2 == 1
+                             ? seconds[mid]
+                             : 0.5 * (seconds[mid - 1] + seconds[mid]);
+  return stats;
+}
+
+obs::Json repeat_stats_json(const RepeatStats& stats) {
+  obs::Json j = obs::Json::object();
+  j["repeats"] = stats.repeats;
+  j["min_seconds"] = stats.min_seconds;
+  j["median_seconds"] = stats.median_seconds;
+  j["total_seconds"] = stats.total_seconds;
+  return j;
+}
+
 std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
   known.emplace_back("json-out");
   known.emplace_back("trace-out");
+  known.emplace_back("repeat");
   return known;
 }
 

@@ -80,6 +80,26 @@ std::vector<std::size_t> default_ladder(bool full);
 //   report.results()["table"] = bench::table_json(table);
 //   bench::emit_reports(obs, report);
 
+/// Per-iteration statistics of a repeated timing measurement. Single-shot
+/// timings on the 1-core CI runner are noise; EXPERIMENTS.md's timing-hygiene
+/// note asks for per-iteration min (least-perturbed run) and median (typical
+/// run) over N repeats.
+struct RepeatStats {
+  int repeats = 0;
+  double min_seconds = 0.0;
+  double median_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Read `--repeat N` (shared flag, see with_obs_flags), clamped to >= 1.
+int repeat_from(const CliFlags& flags, int def = 1);
+
+/// Time `fn` `repeats` times and summarize per-iteration min/median.
+RepeatStats time_repeated(int repeats, const std::function<void()>& fn);
+
+/// Serialize RepeatStats for a structured report.
+obs::Json repeat_stats_json(const RepeatStats& stats);
+
 /// Parsed observability flags for one run.
 struct ObsOptions {
   std::string json_out;   ///< structured report path ("" = off)
@@ -88,7 +108,7 @@ struct ObsOptions {
   [[nodiscard]] bool active() const { return !json_out.empty() || !trace_out.empty(); }
 };
 
-/// Append the shared observability flag names ("json-out", "trace-out") to a
+/// Append the shared flag names ("json-out", "trace-out", "repeat") to a
 /// binary's known-flags list.
 std::vector<std::string> with_obs_flags(std::vector<std::string> known);
 

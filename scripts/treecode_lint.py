@@ -19,8 +19,10 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          ordering; a silent seq_cst default costs a fence per
                          recorded sample.
   evaluator-validates    Every translation unit defining a public evaluator
-                         entry point (``EvalResult evaluate_*`` or an
-                         ``*Evaluator`` constructor) validates its inputs:
+                         entry point (``EvalResult evaluate_*``, an
+                         ``*Evaluator`` constructor, or the engine's
+                         EvalSession constructor/evaluate methods, in
+                         src/core/ or src/engine/) validates its inputs:
                          EvalConfig::validate() (directly or via
                          assign_degrees) or enforce_validation().
 
@@ -59,7 +61,9 @@ POW_RE = re.compile(r"\bstd::pow\s*\(")
 SPAN_RE = re.compile(r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s+\w+\s*(\()|"
                      r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s*(\()")
 
-EVAL_ENTRY_RE = re.compile(r"\bEvalResult\s+evaluate_\w+\s*\(|\b(\w+Evaluator)::\1\s*\(")
+EVAL_ENTRY_RE = re.compile(
+    r"\bEvalResult\s+(?:\w+::)?evaluate\w*\s*\(|\b(\w+Evaluator)::\1\s*\(|"
+    r"\bEvalSession::EvalSession\s*\(")
 VALIDATES_RE = re.compile(r"\.validate\s*\(\s*\)|\benforce_validation\s*\(|\bassign_degrees\s*\(")
 
 
@@ -211,7 +215,8 @@ class Linter:
                                 "atomic op on a hot path without explicit "
                                 "std::memory_order_relaxed", raw_lines)
 
-        if rel.startswith("src/core/") and rel.endswith(".cpp"):
+        if (rel.startswith("src/core/") or rel.startswith("src/engine/")) \
+                and rel.endswith(".cpp"):
             if EVAL_ENTRY_RE.search(code) and not VALIDATES_RE.search(code):
                 self.report(path, 1, "evaluator-validates",
                             "evaluator entry point without a validate()/"

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
+#include <utility>
 
+#include "engine/eval_plan.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/harmonics.hpp"
+#include "multipole/operators.hpp"
 
 namespace treecode::analysis {
 
@@ -406,6 +410,215 @@ InvariantReport check_eval_result(const EvalResult& result, const EvalConfig& co
   return report;
 }
 
+InvariantReport check_plan(const engine::EvalPlan& plan, const Tree& tree,
+                           const DegreeAssignment& degrees, const EvalConfig& config) {
+  using engine::EvalPlan;
+  InvariantReport report = check_degrees(tree, degrees, config);
+  const std::size_t n = plan.num_targets();
+  const std::size_t num_nodes = tree.num_nodes();
+  const std::size_t num_particles = tree.num_particles();
+  report.particles_checked = n;
+
+  // ---- Schedule layout.
+  if (plan.offsets.size() != n + 1) {
+    fail(report, "offsets has %zu entries for %zu targets", plan.offsets.size(), n);
+    return report;
+  }
+  if (n > 0 && plan.offsets.front() != 0) {
+    fail(report, "offsets[0] = %llu, want 0",
+         static_cast<unsigned long long>(plan.offsets.front()));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan.offsets[i] > plan.offsets[i + 1]) {
+      fail(report, "offsets not monotone at target %zu", i);
+      return report;
+    }
+  }
+  if (!plan.offsets.empty() && plan.offsets.back() != plan.entries.size()) {
+    fail(report, "offsets end at %llu but there are %zu entries",
+         static_cast<unsigned long long>(plan.offsets.back()), plan.entries.size());
+    return report;
+  }
+  const bool want_bounds = config.track_error_bounds || config.enforce_budget;
+  if (want_bounds && plan.entry_bounds.size() != plan.entries.size()) {
+    fail(report, "entry_bounds has %zu entries, want %zu", plan.entry_bounds.size(),
+         plan.entries.size());
+    return report;
+  }
+  if (plan.target_cost.size() != n) {
+    fail(report, "target_cost has %zu entries for %zu targets", plan.target_cost.size(), n);
+    return report;
+  }
+  if (!std::is_sorted(plan.m2p_nodes.begin(), plan.m2p_nodes.end()) ||
+      std::adjacent_find(plan.m2p_nodes.begin(), plan.m2p_nodes.end()) !=
+          plan.m2p_nodes.end()) {
+    fail(report, "m2p_nodes is not sorted-unique");
+  }
+  std::vector<char> skipped(n, 0);
+  for (const std::uint32_t s : plan.skipped_targets) {
+    if (s >= n) {
+      fail(report, "skipped target %u out of range (targets=%zu)", s, n);
+      return report;
+    }
+    skipped[s] = 1;
+  }
+  const bool have_basis = !plan.basis_offset.empty();
+  if (have_basis && plan.basis_offset.size() != plan.entries.size()) {
+    fail(report, "basis_offset has %zu entries, want %zu", plan.basis_offset.size(),
+         plan.entries.size());
+    return report;
+  }
+
+  // ---- Per-entry and per-target checks.
+  std::uint64_t m2p_count = 0;
+  std::uint64_t p2p_pairs = 0;
+  std::uint64_t terms = 0;
+  std::vector<char> referenced(num_nodes, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> intervals;
+  // Full basis recompute on every entry would triple the check's cost; the
+  // layout and inv_r are verified everywhere, the harmonics on this stride.
+  constexpr std::uint64_t kBasisSampleStride = 997;
+  std::vector<double> basis_scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t begin = plan.offsets[i];
+    const std::uint64_t end = plan.offsets[i + 1];
+    if (skipped[i] != 0 && begin != end) {
+      fail(report, "skipped target %zu owns %llu entries, want 0", i,
+           static_cast<unsigned long long>(end - begin));
+      continue;
+    }
+    if (skipped[i] != 0) continue;
+    const Vec3 x = plan.targets[i];
+    double my_bound = 0.0;
+    std::uint64_t cost = 0;
+    intervals.clear();
+    bool structural_failure = false;
+    for (std::uint64_t idx = begin; idx < end && !structural_failure; ++idx) {
+      const std::int32_t e = plan.entries[idx];
+      const std::int32_t ni = EvalPlan::node_of(e);
+      if (ni < 0 || static_cast<std::size_t>(ni) >= num_nodes) {
+        fail(report, "target %zu: entry node %d out of range (nodes=%zu)", i, ni, num_nodes);
+        structural_failure = true;
+        break;
+      }
+      const TreeNode& node = tree.node(static_cast<std::size_t>(ni));
+      if (node.count() == 0) {
+        fail(report, "target %zu: entry references empty node %d", i, ni);
+      }
+      intervals.emplace_back(node.begin, node.end);
+      if (EvalPlan::is_p2p(e)) {
+        if (!node.is_leaf()) {
+          fail(report, "target %zu: P2P entry on non-leaf node %d", i, ni);
+        }
+        if (have_basis && plan.basis_offset[idx] != EvalPlan::kNoBasis) {
+          fail(report, "target %zu: P2P entry %llu carries a basis offset", i,
+               static_cast<unsigned long long>(idx));
+        }
+        p2p_pairs += node.count();
+        cost += node.count();
+      } else {
+        // Every accepted cluster must satisfy the alpha-MAC at this target.
+        const double r = distance(x, node.center);
+        if (!(r > 0.0) || node.radius > config.alpha * r * (1.0 + kRelTol)) {
+          fail(report, "target %zu: M2P node %d violates the MAC (a=%.17g, r=%.17g)", i,
+               ni, node.radius, r);
+        }
+        referenced[static_cast<std::size_t>(ni)] = 1;
+        const auto p = static_cast<std::uint64_t>(degrees.degree[static_cast<std::size_t>(ni)]);
+        terms += (p + 1) * (p + 1);
+        cost += (p + 1) * (p + 1);
+        ++m2p_count;
+        if (want_bounds) my_bound += plan.entry_bounds[idx];
+        if (have_basis && plan.basis_offset[idx] != EvalPlan::kNoBasis) {
+          // The precomputed basis must be exactly what m2p would recompute:
+          // right-sized, with 1/r stored bitwise (r is the same norm the MAC
+          // check just evaluated). Full harmonics are recomputed on a sample.
+          const std::uint64_t off = plan.basis_offset[idx];
+          const std::size_t need = m2p_basis_size(static_cast<int>(p));
+          if (off + need > plan.basis.size()) {
+            fail(report, "target %zu: basis offset %llu overruns pool (%zu doubles)", i,
+                 static_cast<unsigned long long>(off), plan.basis.size());
+          } else {
+            if (plan.basis[off] != 1.0 / r) {
+              fail(report, "target %zu: basis inv_r %.17g != 1/r %.17g for node %d", i,
+                   plan.basis[off], 1.0 / r, ni);
+            }
+            if (idx % kBasisSampleStride == 0) {
+              basis_scratch.resize(need);
+              m2p_basis(static_cast<int>(p), node.center, x, basis_scratch);
+              if (std::memcmp(basis_scratch.data(), plan.basis.data() + off,
+                              need * sizeof(double)) != 0) {
+                fail(report, "target %zu: basis for node %d differs from recompute", i, ni);
+              }
+            }
+          }
+        }
+      }
+    }
+    if (structural_failure) continue;
+    if (config.enforce_budget && my_bound > config.error_budget * (1.0 + kRelTol)) {
+      fail(report, "target %zu: accumulated bound %.17g exceeds budget %.17g", i, my_bound,
+           config.error_budget);
+    }
+    if (cost != plan.target_cost[i]) {
+      fail(report, "target %zu: cost %llu != recorded %llu", i,
+           static_cast<unsigned long long>(cost),
+           static_cast<unsigned long long>(plan.target_cost[i]));
+    }
+    // P2P union M2P must cover every source particle exactly once: the
+    // entry intervals, sorted, form an exact partition of [0, n_src).
+    std::sort(intervals.begin(), intervals.end());
+    std::size_t cursor = 0;
+    bool partition_ok = true;
+    for (const auto& [b, e2] : intervals) {
+      if (b != cursor) {
+        partition_ok = false;
+        break;
+      }
+      cursor = e2;
+    }
+    if (!partition_ok || cursor != num_particles) {
+      fail(report,
+           "target %zu: entries do not partition the %zu sources exactly once", i,
+           num_particles);
+    }
+  }
+
+  // ---- Refresh set: exactly the nodes M2P entries reference.
+  for (const std::int32_t ni : plan.m2p_nodes) {
+    if (ni < 0 || static_cast<std::size_t>(ni) >= num_nodes) {
+      fail(report, "m2p_nodes entry %d out of range (nodes=%zu)", ni, num_nodes);
+    } else if (referenced[static_cast<std::size_t>(ni)] == 0) {
+      fail(report, "m2p_nodes lists node %d but no M2P entry references it", ni);
+    } else {
+      referenced[static_cast<std::size_t>(ni)] = 2;
+    }
+  }
+  for (std::size_t ni = 0; ni < num_nodes; ++ni) {
+    if (referenced[ni] == 1) {
+      fail(report, "M2P entries reference node %zu but m2p_nodes omits it", ni);
+    }
+  }
+
+  // ---- Cached statistics agree with the recount.
+  if (plan.stats.m2p_count != m2p_count) {
+    fail(report, "stats.m2p_count %llu != recount %llu",
+         static_cast<unsigned long long>(plan.stats.m2p_count),
+         static_cast<unsigned long long>(m2p_count));
+  }
+  if (plan.stats.p2p_pairs != p2p_pairs) {
+    fail(report, "stats.p2p_pairs %llu != recount %llu",
+         static_cast<unsigned long long>(plan.stats.p2p_pairs),
+         static_cast<unsigned long long>(p2p_pairs));
+  }
+  if (plan.stats.multipole_terms != terms) {
+    fail(report, "stats.multipole_terms %llu != recount %llu",
+         static_cast<unsigned long long>(plan.stats.multipole_terms),
+         static_cast<unsigned long long>(terms));
+  }
+  return report;
+}
+
 void assert_tree_invariants(const Tree& tree, const char* context) {
   require(check_tree(tree), context);
 }
@@ -415,6 +628,12 @@ void assert_eval_invariants(const Tree& tree, const DegreeAssignment& degrees,
                             std::size_t expected_size, const char* context) {
   require(check_degrees(tree, degrees, config), context);
   require(check_eval_result(result, config, expected_size, &degrees), context);
+}
+
+void assert_plan_invariants(const engine::EvalPlan& plan, const Tree& tree,
+                            const DegreeAssignment& degrees, const EvalConfig& config,
+                            const char* context) {
+  require(check_plan(plan, tree, degrees, config), context);
 }
 
 }  // namespace treecode::analysis

@@ -27,7 +27,14 @@
 ///    >= child degree;
 ///  * check_eval_result — an evaluation's output: result vector sizes,
 ///    finiteness, error bounds within the enforced budget, degree-used
-///    stats within the assignment's range.
+///    stats within the assignment's range;
+///  * check_plan      — a compiled engine::EvalPlan: every M2P entry
+///    satisfies the alpha-MAC at its target, every P2P entry is a leaf,
+///    the per-target entry lists cover every source particle exactly once
+///    (P2P union M2P is an exact partition), budget-bound accumulation
+///    stays within the enforced budget, the M2P refresh set matches the
+///    entries, and the plan's cached statistics agree with a recount. The
+///    degree table itself is delegated to check_degrees.
 ///
 /// Configure with -DTREECODE_CHECK_INVARIANTS=ON and the tree builder plus
 /// all four evaluators (Barnes-Hut, dipole Barnes-Hut, FMM, direct) call
@@ -44,6 +51,10 @@
 #include "core/config.hpp"
 #include "core/degree_policy.hpp"
 #include "tree/octree.hpp"
+
+namespace treecode::engine {
+struct EvalPlan;  // engine/eval_plan.hpp; forward-declared to avoid a cycle
+}
 
 namespace treecode::analysis {
 
@@ -97,6 +108,17 @@ InvariantReport check_eval_result(const EvalResult& result, const EvalConfig& co
                                   std::size_t expected_size,
                                   const DegreeAssignment* degrees = nullptr);
 
+/// Compiled-plan soundness against the tree, degree table, and config the
+/// plan was compiled under. Checks MAC acceptance of every M2P entry,
+/// leaf-ness of every P2P entry, exact once-per-target source coverage
+/// (skipped targets excepted — they must own zero entries), budget
+/// feasibility of the recorded bound accumulation, refresh-set and
+/// statistics consistency, precomputed-basis layout and values (1/r
+/// everywhere, full harmonics on a sample), and delegates the degree law
+/// to check_degrees.
+InvariantReport check_plan(const engine::EvalPlan& plan, const Tree& tree,
+                           const DegreeAssignment& degrees, const EvalConfig& config);
+
 /// Throw InvariantError unless `report.ok()`. `context` prefixes the
 /// message (e.g. "Tree::build", "BarnesHutEvaluator::evaluate").
 void require(const InvariantReport& report, const char* context);
@@ -107,6 +129,9 @@ void assert_tree_invariants(const Tree& tree, const char* context);
 void assert_eval_invariants(const Tree& tree, const DegreeAssignment& degrees,
                             const EvalConfig& config, const EvalResult& result,
                             std::size_t expected_size, const char* context);
+void assert_plan_invariants(const engine::EvalPlan& plan, const Tree& tree,
+                            const DegreeAssignment& degrees, const EvalConfig& config,
+                            const char* context);
 
 }  // namespace treecode::analysis
 
@@ -119,8 +144,11 @@ void assert_eval_invariants(const Tree& tree, const DegreeAssignment& degrees,
 #define TREECODE_ASSERT_EVAL_INVARIANTS(tree, degrees, config, result, expected, context) \
   ::treecode::analysis::assert_eval_invariants((tree), (degrees), (config), (result),     \
                                                (expected), (context))
+#define TREECODE_ASSERT_PLAN_INVARIANTS(plan, tree, degrees, config, context) \
+  ::treecode::analysis::assert_plan_invariants((plan), (tree), (degrees), (config), (context))
 #else
 #define TREECODE_ASSERT_TREE_INVARIANTS(tree, context) ((void)0)
 #define TREECODE_ASSERT_EVAL_INVARIANTS(tree, degrees, config, result, expected, context) \
   ((void)0)
+#define TREECODE_ASSERT_PLAN_INVARIANTS(plan, tree, degrees, config, context) ((void)0)
 #endif

@@ -31,15 +31,12 @@ SingleLayerOperator::SingleLayerOperator(const TriangleMesh& mesh, const Options
     : mesh_(mesh),
       options_(options),
       quad_points_(quadrature_points(mesh, triangle_rule(options.gauss_points))),
-      tree_(std::make_unique<Tree>(gauss_particles(quad_points_), options.tree)),
-      pool_(options.eval.threads),
+      session_(Tree(gauss_particles(quad_points_), options.tree), options.eval),
       sorted_charges_(quad_points_.size(), 0.0) {}
 
-void SingleLayerOperator::apply(std::span<const double> x, std::span<double> y) const {
-  check_sizes(x, y);
-  Timer timer;
+void SingleLayerOperator::gather_sorted_charges(std::span<const double> x) const {
   // Charge at each Gauss point, scattered into the tree's sorted order.
-  const auto& orig = tree_->original_index();
+  const auto& orig = session_.tree().original_index();
   for (std::size_t si = 0; si < sorted_charges_.size(); ++si) {
     const MeshQuadPoint& g = quad_points_[orig[si]];
     const Triangle& tri = mesh_.triangle(g.triangle);
@@ -49,8 +46,29 @@ void SingleLayerOperator::apply(std::span<const double> x, std::span<double> y) 
     }
     sorted_charges_[si] = q * g.weight;
   }
-  const BarnesHutEvaluator eval(*tree_, options_.eval, &pool_, sorted_charges_);
-  EvalResult r = eval.evaluate_at(pool_, mesh_.vertices());
+}
+
+void SingleLayerOperator::apply(std::span<const double> x, std::span<double> y) const {
+  check_sizes(x, y);
+  Timer timer;
+  gather_sorted_charges(x);
+  session_.update_charges_sorted(sorted_charges_);
+  // First apply compiles the vertex plan; later applies hit the LRU cache
+  // and replay the frozen lists against the refreshed multipoles.
+  EvalResult r = session_.evaluate_at(mesh_.vertices());
+  std::copy(r.potential.begin(), r.potential.end(), y.begin());
+  last_stats_ = r.stats;
+  last_stats_.eval_seconds = timer.seconds();
+}
+
+void SingleLayerOperator::apply_uncompiled(std::span<const double> x,
+                                           std::span<double> y) const {
+  check_sizes(x, y);
+  Timer timer;
+  gather_sorted_charges(x);
+  ThreadPool& pool = session_.pool();
+  const BarnesHutEvaluator eval(session_.tree(), options_.eval, &pool, sorted_charges_);
+  EvalResult r = eval.evaluate_at(pool, mesh_.vertices());
   std::copy(r.potential.begin(), r.potential.end(), y.begin());
   last_stats_ = r.stats;
   last_stats_.eval_seconds = timer.seconds();

@@ -22,6 +22,7 @@
 #include "bem/mesh.hpp"
 #include "bem/quadrature.hpp"
 #include "core/barnes_hut.hpp"
+#include "engine/eval_session.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/operator.hpp"
 
@@ -41,9 +42,19 @@ class SingleLayerOperator final : public LinearOperator {
   [[nodiscard]] std::size_t rows() const override { return mesh_.num_vertices(); }
   [[nodiscard]] std::size_t cols() const override { return mesh_.num_vertices(); }
 
-  /// y = A x via the treecode. Thread-safe with respect to distinct
-  /// operator instances; a single instance serializes its own applies.
+  /// y = A x via the evaluation engine: the first apply compiles the
+  /// interaction plan for the mesh vertices (one alpha-MAC traversal);
+  /// every later apply is update_charges + plan replay with no tree walk
+  /// and no per-apply multipole rebuild beyond the plan-referenced nodes.
+  /// Thread-safe with respect to distinct operator instances; a single
+  /// instance serializes its own applies.
   void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// The pre-engine matvec path, kept as the comparison baseline: every
+  /// call re-assigns degrees, rebuilds *all* node multipoles, and re-runs
+  /// the full alpha-MAC traversal. Bitwise-identical results to apply();
+  /// bench_engine_replay measures the gap.
+  void apply_uncompiled(std::span<const double> x, std::span<double> y) const;
 
   /// Same product by O(nodes * gauss_points) direct summation — the exact
   /// reference ("the exact computation takes over 900 seconds" in the
@@ -57,7 +68,10 @@ class SingleLayerOperator final : public LinearOperator {
   [[nodiscard]] std::size_t num_sources() const noexcept { return quad_points_.size(); }
 
   [[nodiscard]] const TriangleMesh& mesh() const noexcept { return mesh_; }
-  [[nodiscard]] const Tree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] const Tree& tree() const noexcept { return session_.tree(); }
+
+  /// The evaluation session backing apply() (plan cache stats, degrees).
+  [[nodiscard]] const engine::EvalSession& session() const noexcept { return session_; }
 
   /// Assemble the dense collocation matrix explicitly (test-scale only:
   /// O(vertices * gauss points) memory/time).
@@ -77,11 +91,16 @@ class SingleLayerOperator final : public LinearOperator {
   [[nodiscard]] std::vector<double> near_diagonal() const;
 
  private:
+  /// Gather nodal densities into Gauss-point charges, in tree-sorted order.
+  void gather_sorted_charges(std::span<const double> x) const;
+
   const TriangleMesh& mesh_;
   Options options_;
   std::vector<MeshQuadPoint> quad_points_;
-  std::unique_ptr<Tree> tree_;
-  mutable ThreadPool pool_;
+  /// Owns the Gauss-point tree, degree table, thread pool, and plan cache.
+  /// mutable: apply() is const in the LinearOperator interface but replay
+  /// refreshes session state (charges, multipoles, cached plans).
+  mutable engine::EvalSession session_;
   mutable std::vector<double> sorted_charges_;
   mutable EvalStats last_stats_;
 };

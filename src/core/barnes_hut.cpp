@@ -98,6 +98,12 @@ EvalResult BarnesHutEvaluator::evaluate(ThreadPool& pool) const {
 
 EvalResult BarnesHutEvaluator::evaluate_at(ThreadPool& pool,
                                            std::span<const Vec3> points) const {
+  // External targets get the same policy treatment as source particles:
+  // kThrow fails fast on non-finite coordinates; kSanitize/kWarn keep the
+  // offending targets' output slots zeroed (run() skips them) so result
+  // indexing still matches `points`.
+  enforce_validation(validate_targets(points), tree_.config().validation,
+                     "BarnesHutEvaluator::evaluate_at");
   return run(pool, points, /*self=*/false);
 }
 
@@ -145,6 +151,10 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
         stack.reserve(64);
         for (std::size_t i = block_begin; i < block_end; ++i) {
           const Vec3 x = points[i];
+          // Sanitized non-finite targets keep a zero output slot; a NaN
+          // coordinate fails every MAC test and would otherwise degrade to
+          // an all-P2P sweep that still produces NaN.
+          if (!std::isfinite(x.x) || !std::isfinite(x.y) || !std::isfinite(x.z)) continue;
           double my_phi = 0.0;
           double my_bound = 0.0;
           Vec3 my_grad{};

@@ -54,6 +54,10 @@ DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalC
 
 EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
                                                  std::span<const Vec3> points) const {
+  // Same target policy as BarnesHutEvaluator::evaluate_at: throw under
+  // kThrow, otherwise skip non-finite targets leaving their slots zero.
+  enforce_validation(validate_targets(points), tree_.config().validation,
+                     "DipoleBarnesHutEvaluator::evaluate_at");
   EvalResult result;
   const std::size_t n = points.size();
   result.potential.assign(n, 0.0);
@@ -77,6 +81,7 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
         stack.reserve(64);
         for (std::size_t i = block_begin; i < block_end; ++i) {
           const Vec3 x = points[i];
+          if (!std::isfinite(x.x) || !std::isfinite(x.y) || !std::isfinite(x.z)) continue;
           double my_phi = 0.0;
           stack.clear();
           stack.push_back(0);

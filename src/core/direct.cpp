@@ -65,6 +65,10 @@ EvalResult evaluate_direct(const ParticleSystem& ps, unsigned threads, bool comp
 
 EvalResult evaluate_direct_at(const ParticleSystem& ps, std::span<const Vec3> points,
                               unsigned threads, bool compute_gradient) {
+  // External evaluation points bypass the source validation above; a NaN
+  // target would quietly produce a NaN potential in its own slot.
+  enforce_validation(validate_targets(points), ValidationPolicy::kThrow,
+                     "evaluate_direct_at");
   return direct_impl(ps, points, threads, compute_gradient);
 }
 

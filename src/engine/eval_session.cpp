@@ -1,0 +1,570 @@
+#include "engine/eval_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "analysis/invariants.hpp"
+#include "multipole/error_bounds.hpp"
+#include "multipole/operators.hpp"
+#include "obs/instrument.hpp"
+#include "obs/report.hpp"
+#include "util/timer.hpp"
+#include "util/validate.hpp"
+
+namespace treecode::engine {
+
+namespace {
+
+/// The alpha-criterion, identical to the Barnes-Hut traversal's: accept the
+/// cluster when its radius-to-distance ratio is at most alpha.
+inline bool mac_accepts(const TreeNode& node, const Vec3& point, double alpha,
+                        double& r_out) noexcept {
+  const double r = distance(point, node.center);
+  r_out = r;
+  return r > 0.0 && node.radius <= alpha * r;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline void fnv_mix(std::uint64_t& h, const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+inline void fnv_mix_value(std::uint64_t& h, const T& value) noexcept {
+  fnv_mix(h, &value, sizeof(T));
+}
+
+/// Hash of the target set plus every EvalConfig field that influences a
+/// traversal decision (MAC acceptance, degree law, budget demotion) or the
+/// shape of the compiled schedule (bounds, gradients). Fields that only
+/// affect execution (threads, block_size) are deliberately excluded so the
+/// same plan replays at any parallelism.
+std::uint64_t plan_key(std::span<const Vec3> targets, bool self, const EvalConfig& c) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix_value(h, self);
+  fnv_mix_value(h, c.alpha);
+  fnv_mix_value(h, c.degree);
+  fnv_mix_value(h, c.max_degree);
+  fnv_mix_value(h, static_cast<int>(c.mode));
+  fnv_mix_value(h, static_cast<int>(c.law));
+  fnv_mix_value(h, static_cast<int>(c.reference));
+  fnv_mix_value(h, c.reference_charge);
+  fnv_mix_value(h, c.error_budget);
+  fnv_mix_value(h, c.enforce_budget);
+  fnv_mix_value(h, c.track_error_bounds);
+  fnv_mix_value(h, c.compute_gradient);
+  fnv_mix_value(h, c.softening);
+  if (!targets.empty()) fnv_mix(h, targets.data(), targets.size() * sizeof(Vec3));
+  return h;
+}
+
+}  // namespace
+
+/// Per-thread compile statistics, merged in thread order after the sweep —
+/// the same shape (and merge order) as the fresh traversal's accumulator so
+/// plan stats match BarnesHutEvaluator stats exactly.
+struct EvalSession::CompileAccumulator {
+  std::uint64_t terms = 0;
+  std::uint64_t m2p = 0;
+  std::uint64_t p2p = 0;
+  std::uint64_t budget_refine = 0;
+  std::uint64_t budget_refine_leaf = 0;
+  double max_bound = 0.0;
+  int min_deg = std::numeric_limits<int>::max();
+  int max_deg = -1;
+  obs::LevelCounts m2p_by_level{};
+  obs::LevelCounts p2p_by_level{};
+  obs::DegreeCounts degree_used{};
+};
+
+EvalSession::EvalSession(Tree tree, const EvalConfig& config, const Options& options)
+    : tree_(std::move(tree)),
+      config_(config),
+      options_(options),
+      degrees_(assign_degrees(tree_, config_)),  // validates config
+      pool_(config.threads),
+      sorted_charges_(tree_.charges().begin(), tree_.charges().end()),
+      multipoles_(tree_.nodes().size()),
+      node_epoch_(tree_.nodes().size(), 0),
+      cache_(options.plan_cache_capacity) {}
+
+std::shared_ptr<const EvalPlan> EvalSession::compile(std::span<const Vec3> targets) {
+  return compile_impl(targets, /*self=*/false);
+}
+
+std::shared_ptr<const EvalPlan> EvalSession::compile_self() {
+  return compile_impl(tree_.positions(), /*self=*/true);
+}
+
+void EvalSession::update_charges(std::span<const double> charges) {
+  if (charges.size() != tree_.source_size()) {
+    throw std::invalid_argument("EvalSession: charge vector size mismatch");
+  }
+  if (!all_finite(charges)) {
+    throw std::invalid_argument("EvalSession: charge vector has non-finite values");
+  }
+  const auto& orig = tree_.original_index();
+  for (std::size_t si = 0; si < orig.size(); ++si) {
+    sorted_charges_[si] = charges[orig[si]];
+  }
+  ++charge_epoch_;
+}
+
+void EvalSession::update_charges_sorted(std::span<const double> charges) {
+  if (charges.size() != tree_.num_particles()) {
+    throw std::invalid_argument("EvalSession: sorted charge vector size mismatch");
+  }
+  if (!all_finite(charges)) {
+    throw std::invalid_argument("EvalSession: sorted charge vector has non-finite values");
+  }
+  std::copy(charges.begin(), charges.end(), sorted_charges_.begin());
+  ++charge_epoch_;
+}
+
+std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> targets,
+                                                          bool self) {
+  // Self targets are the tree's own particles, validated at tree build;
+  // external targets get the same policy treatment as source particles.
+  ValidationReport report;
+  const ValidationPolicy policy = tree_.config().validation;
+  if (!self) {
+    report = validate_targets(targets);
+    enforce_validation(report, policy, "EvalSession::compile");
+  }
+
+  const std::uint64_t key = plan_key(targets, self, config_);
+  obs::Registry& reg = obs::registry();
+  if (auto hit = cache_.find(key, targets, self)) {
+    reg.counter("engine.plan_cache_hits").add(1);
+    return hit;
+  }
+  reg.counter("engine.plan_cache_misses").add(1);
+
+  auto plan = std::make_shared<EvalPlan>();
+  plan->targets.assign(targets.begin(), targets.end());
+  plan->self = self;
+  plan->key = key;
+  for (const std::size_t idx : report.non_finite_positions) {
+    plan->skipped_targets.push_back(static_cast<std::uint32_t>(idx));
+  }
+
+  const ScopedTimer phase_timer("time.engine_compile", &plan->compile_seconds);
+
+  const std::size_t n = targets.size();
+  const auto& nodes = tree_.nodes();
+  const bool enforce = config_.enforce_budget;
+  const double budget = config_.error_budget;
+  const bool want_bounds = config_.track_error_bounds || enforce;
+  const double alpha = config_.alpha;
+
+  std::vector<char> skip(n, 0);
+  for (const std::uint32_t idx : plan->skipped_targets) skip[idx] = 1;
+
+  // One alpha-MAC traversal per target, parallel over target blocks. The
+  // DFS below mirrors BarnesHutEvaluator::run decision-for-decision
+  // (including the budget bound-accumulation order) so a replay of the
+  // recorded entries is bitwise-identical to a fresh traversal.
+  std::vector<std::vector<std::int32_t>> per_entries(n);
+  std::vector<std::vector<double>> per_bounds(want_bounds ? n : 0);
+  std::vector<CompileAccumulator> acc(pool_.width());
+
+  if (n > 0 && tree_.num_particles() > 0) {
+    parallel_for_blocked(
+        pool_, n, config_.block_size,
+        [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
+          CompileAccumulator& a = acc[t];
+          const std::uint64_t terms_before = a.terms + a.p2p;
+          std::vector<int> stack;
+          stack.reserve(64);
+          for (std::size_t i = block_begin; i < block_end; ++i) {
+            if (skip[i] != 0) continue;
+            const Vec3 x = targets[i];
+            std::vector<std::int32_t>& ent = per_entries[i];
+            double my_bound = 0.0;
+            stack.clear();
+            stack.push_back(0);
+            while (!stack.empty()) {
+              const int ni = stack.back();
+              stack.pop_back();
+              const auto nu = static_cast<std::size_t>(ni);
+              const TreeNode& node = nodes[nu];
+              if (node.count() == 0) continue;
+              double r = 0.0;
+              bool approximate = mac_accepts(node, x, alpha, r);
+              double thm1 = 0.0;
+              if (approximate && want_bounds) {
+                thm1 = multipole_error_bound(node.abs_charge, node.radius, r,
+                                             degrees_.degree[nu]);
+                if (enforce && my_bound + thm1 > budget) {
+                  approximate = false;
+                  ++a.budget_refine;
+                  if (node.is_leaf()) ++a.budget_refine_leaf;
+                }
+              }
+              if (approximate) {
+                const int deg = degrees_.degree[nu];
+                ent.push_back(EvalPlan::make_entry(ni, /*p2p=*/false));
+                if (want_bounds) per_bounds[i].push_back(thm1);
+                a.terms += static_cast<std::uint64_t>(deg + 1) *
+                           static_cast<std::uint64_t>(deg + 1);
+                ++a.m2p;
+                a.min_deg = std::min(a.min_deg, deg);
+                a.max_deg = std::max(a.max_deg, deg);
+                obs::count_slot(a.degree_used, deg);
+                obs::count_slot(a.m2p_by_level, node.level);
+                const double thm2 = mac_error_bound(node.abs_charge, r, alpha, deg);
+                a.max_bound = std::max(a.max_bound, thm2);
+                my_bound += thm1;
+              } else if (node.is_leaf()) {
+                ent.push_back(EvalPlan::make_entry(ni, /*p2p=*/true));
+                if (want_bounds) per_bounds[i].push_back(0.0);
+                a.p2p += node.count();
+                obs::count_slot(a.p2p_by_level, node.level, node.count());
+              } else {
+                for (int c = 0; c < node.num_children; ++c) {
+                  stack.push_back(node.first_child + c);
+                }
+              }
+            }
+          }
+          return (a.terms + a.p2p) - terms_before;
+        },
+        nullptr, "engine.compile.worker");
+  }
+
+  // Serial flatten into the plan's replay layout.
+  plan->offsets.resize(n + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan->offsets[i] = total;
+    total += per_entries[i].size();
+  }
+  plan->offsets[n] = total;
+  plan->entries.reserve(total);
+  if (want_bounds) plan->entry_bounds.reserve(total);
+  plan->target_cost.resize(n, 0);
+  std::vector<char> referenced(nodes.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t cost = 0;
+    for (std::size_t k = 0; k < per_entries[i].size(); ++k) {
+      const std::int32_t e = per_entries[i][k];
+      plan->entries.push_back(e);
+      if (want_bounds) plan->entry_bounds.push_back(per_bounds[i][k]);
+      const auto nu = static_cast<std::size_t>(EvalPlan::node_of(e));
+      if (EvalPlan::is_p2p(e)) {
+        cost += nodes[nu].count();
+      } else {
+        referenced[nu] = 1;
+        const auto deg = static_cast<std::uint64_t>(degrees_.degree[nu]);
+        cost += (deg + 1) * (deg + 1);
+      }
+    }
+    plan->target_cost[i] = cost;
+  }
+  for (std::size_t nu = 0; nu < referenced.size(); ++nu) {
+    if (referenced[nu] != 0) plan->m2p_nodes.push_back(static_cast<std::int32_t>(nu));
+  }
+
+  // Precompute the charge-independent m2p evaluation basis (1/r and the
+  // Y_n^m harmonics per entry). Replay then pays only the coefficient dot
+  // product — the transcendentals and recurrences, the bulk of the kernel,
+  // move into compile. Offsets are laid out serially (budget-gated, in
+  // schedule order); the fill itself is parallel over target blocks.
+  // m2p_grad has no basis form, so gradient plans skip the whole pass.
+  if (options_.precompute_basis && options_.basis_budget_bytes > 0 &&
+      !config_.compute_gradient && total > 0) {
+    plan->basis_offset.assign(total, EvalPlan::kNoBasis);
+    const std::uint64_t budget_doubles = options_.basis_budget_bytes / sizeof(double);
+    std::uint64_t basis_total = 0;
+    bool any = false;
+    for (std::uint64_t idx = 0; idx < total; ++idx) {
+      const std::int32_t e = plan->entries[idx];
+      if (EvalPlan::is_p2p(e)) continue;
+      const auto nu = static_cast<std::size_t>(EvalPlan::node_of(e));
+      const auto need =
+          static_cast<std::uint64_t>(m2p_basis_size(degrees_.degree[nu]));
+      if (basis_total + need > budget_doubles) break;
+      plan->basis_offset[idx] = basis_total;
+      basis_total += need;
+      any = true;
+    }
+    if (any) {
+      plan->basis.resize(basis_total);
+      parallel_for_blocked(
+          pool_, n, config_.block_size,
+          [&](std::size_t block_begin, std::size_t block_end, unsigned) -> std::uint64_t {
+            std::uint64_t filled = 0;
+            for (std::size_t i = block_begin; i < block_end; ++i) {
+              const Vec3 x = targets[i];
+              for (std::uint64_t idx = plan->offsets[i]; idx < plan->offsets[i + 1];
+                   ++idx) {
+                const std::uint64_t off = plan->basis_offset[idx];
+                if (off == EvalPlan::kNoBasis) continue;
+                const auto nu =
+                    static_cast<std::size_t>(EvalPlan::node_of(plan->entries[idx]));
+                const int deg = degrees_.degree[nu];
+                m2p_basis(deg, nodes[nu].center, x,
+                          std::span<double>(plan->basis.data() + off,
+                                            m2p_basis_size(deg)));
+                ++filled;
+              }
+            }
+            return filled;
+          },
+          nullptr, "engine.compile.worker");
+    } else {
+      plan->basis_offset.clear();
+    }
+  }
+
+  // Merge per-thread statistics in thread order (same as the fresh run).
+  int min_deg = std::numeric_limits<int>::max();
+  int max_deg = -1;
+  for (const CompileAccumulator& a : acc) {
+    plan->stats.multipole_terms += a.terms;
+    plan->stats.m2p_count += a.m2p;
+    plan->stats.p2p_pairs += a.p2p;
+    plan->stats.budget_refinements += a.budget_refine;
+    plan->stats.budget_refinements_leaf += a.budget_refine_leaf;
+    plan->stats.max_interaction_bound =
+        std::max(plan->stats.max_interaction_bound, a.max_bound);
+    min_deg = std::min(min_deg, a.min_deg);
+    max_deg = std::max(max_deg, a.max_deg);
+    for (std::size_t i = 0; i < plan->m2p_by_level.size(); ++i) {
+      plan->m2p_by_level[i] += a.m2p_by_level[i];
+      plan->p2p_by_level[i] += a.p2p_by_level[i];
+    }
+    for (std::size_t i = 0; i < plan->degree_used.size(); ++i) {
+      plan->degree_used[i] += a.degree_used[i];
+    }
+  }
+  plan->stats.min_degree_used = max_deg >= 0 ? min_deg : 0;
+  plan->stats.max_degree_used = max_deg >= 0 ? max_deg : 0;
+  plan->stats.reference_charge = degrees_.reference_charge;
+
+  reg.counter("engine.plan_compiles").add(1);
+  reg.gauge("engine.plan_entries").record_max(static_cast<double>(total));
+  reg.gauge("engine.plan_bytes").record_max(static_cast<double>(plan->memory_bytes()));
+  reg.gauge("engine.basis_bytes")
+      .record_max(static_cast<double>(plan->basis.size() * sizeof(double)));
+
+  TREECODE_ASSERT_PLAN_INVARIANTS(*plan, tree_, degrees_, config_,
+                                  "EvalSession::compile");
+  cache_.insert(plan);
+  return plan;
+}
+
+void EvalSession::ensure_refreshed(const EvalPlan& plan) {
+  stale_.clear();
+  for (const std::int32_t ni : plan.m2p_nodes) {
+    if (node_epoch_[static_cast<std::size_t>(ni)] != charge_epoch_) stale_.push_back(ni);
+  }
+  if (stale_.empty()) return;
+  const auto& nodes = tree_.nodes();
+  const auto& pos = tree_.positions();
+  const auto& q = sorted_charges_;
+
+  // Cover newly-seen nodes with a p2m basis while the budget lasts: offsets
+  // assigned serially (the pool layout must not depend on thread timing),
+  // the basis itself filled inside the parallel refresh below. Geometry and
+  // degrees are frozen, so a node's basis is computed exactly once.
+  std::vector<char> fill(stale_.size(), 0);
+  if (options_.precompute_basis && options_.refresh_basis_budget_bytes > 0) {
+    if (p2m_basis_offset_.empty()) {
+      p2m_basis_offset_.assign(nodes.size(), EvalPlan::kNoBasis);
+    }
+    const std::uint64_t budget_doubles =
+        options_.refresh_basis_budget_bytes / sizeof(double);
+    std::uint64_t pool_size = p2m_basis_pool_.size();
+    for (std::size_t k = 0; k < stale_.size(); ++k) {
+      const auto nu = static_cast<std::size_t>(stale_[k]);
+      if (p2m_basis_offset_[nu] != EvalPlan::kNoBasis) continue;
+      const auto need = static_cast<std::uint64_t>(
+          p2m_basis_size(degrees_.degree[nu], nodes[nu].count()));
+      if (pool_size + need > budget_doubles) continue;
+      p2m_basis_offset_[nu] = pool_size;
+      pool_size += need;
+      fill[k] = 1;
+    }
+    if (pool_size > p2m_basis_pool_.size()) {
+      p2m_basis_pool_.resize(pool_size);
+      obs::registry()
+          .gauge("engine.refresh_basis_bytes")
+          .record_max(static_cast<double>(pool_size * sizeof(double)));
+    }
+  }
+
+  auto refresh_node = [&](std::size_t k) {
+    const auto nu = static_cast<std::size_t>(stale_[k]);
+    const TreeNode& node = nodes[nu];
+    MultipoleExpansion& m = multipoles_[nu];
+    // First build allocates to the node's assigned degree; later refreshes
+    // reuse the storage (the degree table is frozen for the session).
+    if (node_epoch_[nu] == 0) {
+      m.reset(degrees_.degree[nu]);
+    } else {
+      m.clear();
+    }
+    const std::span<const Vec3> ppos(pos.data() + node.begin, node.count());
+    const std::span<const double> pq(q.data() + node.begin, node.count());
+    const std::uint64_t off =
+        p2m_basis_offset_.empty() ? EvalPlan::kNoBasis : p2m_basis_offset_[nu];
+    if (off != EvalPlan::kNoBasis) {
+      if (fill[k] != 0) {
+        p2m_basis(degrees_.degree[nu], node.center, ppos,
+                  std::span<double>(p2m_basis_pool_.data() + off,
+                                    p2m_basis_size(degrees_.degree[nu], node.count())));
+      }
+      p2m_apply_basis(pq, p2m_basis_pool_.data() + off, m);
+    } else {
+      p2m(node.center, ppos, pq, m);
+    }
+    node_epoch_[nu] = charge_epoch_;
+  };
+  if (pool_.width() > 1) {
+    parallel_for(
+        pool_, stale_.size(), 8,
+        [&](std::size_t b, std::size_t e, unsigned) {
+          for (std::size_t k = b; k < e; ++k) refresh_node(k);
+        },
+        nullptr, "engine.refresh.worker");
+  } else {
+    for (std::size_t k = 0; k < stale_.size(); ++k) refresh_node(k);
+  }
+  obs::registry().counter("engine.nodes_refreshed").add(stale_.size());
+}
+
+EvalResult EvalSession::evaluate(const EvalPlan& plan) {
+  const std::size_t n = plan.num_targets();
+  if (plan.offsets.size() != n + 1) {
+    throw std::invalid_argument("EvalSession: plan offsets inconsistent with targets");
+  }
+  EvalResult result;
+  result.stats = plan.stats;  // charge-independent schedule statistics
+  result.stats.build_seconds = 0.0;
+  result.stats.eval_seconds = 0.0;
+  result.stats.work = WorkStats{};
+  const std::size_t out_n = plan.self ? tree_.source_size() : n;
+  const bool want_grad = config_.compute_gradient;
+  const bool want_bounds = config_.track_error_bounds || config_.enforce_budget;
+  result.potential.assign(out_n, 0.0);
+  if (want_grad) result.gradient.assign(out_n, Vec3{});
+  if (want_bounds) result.error_bound.assign(out_n, 0.0);
+  if (n == 0 || tree_.num_particles() == 0) return result;
+
+  {
+    const ScopedTimer refresh_timer("time.engine_refresh", &result.stats.build_seconds);
+    ensure_refreshed(plan);
+  }
+
+  const auto& nodes = tree_.nodes();
+  const auto& pos = tree_.positions();
+  const auto& q = sorted_charges_;
+  const double softening2 = config_.softening * config_.softening;
+  const bool have_basis = !plan.basis_offset.empty();
+
+  std::vector<double> phi(n, 0.0);
+  std::vector<Vec3> grad(want_grad ? n : 0, Vec3{});
+  std::vector<double> bound(want_bounds ? n : 0, 0.0);
+
+  {
+    const ScopedTimer phase_timer("time.engine_replay", &result.stats.eval_seconds);
+    result.stats.work = parallel_for_blocked(
+        pool_, n, config_.block_size,
+        [&](std::size_t block_begin, std::size_t block_end, unsigned) -> std::uint64_t {
+          std::uint64_t cost = 0;
+          for (std::size_t i = block_begin; i < block_end; ++i) {
+            const Vec3 x = plan.targets[i];
+            double my_phi = 0.0;
+            double my_bound = 0.0;
+            Vec3 my_grad{};
+            const std::uint64_t begin = plan.offsets[i];
+            const std::uint64_t end = plan.offsets[i + 1];
+            for (std::uint64_t idx = begin; idx < end; ++idx) {
+              const std::int32_t e = plan.entries[idx];
+              const auto nu = static_cast<std::size_t>(EvalPlan::node_of(e));
+              const TreeNode& node = nodes[nu];
+              if (EvalPlan::is_p2p(e)) {
+                const std::span<const Vec3> ppos(pos.data() + node.begin, node.count());
+                const std::span<const double> pq(q.data() + node.begin, node.count());
+                if (want_grad) {
+                  const PotentialGrad pg = p2p_grad(x, ppos, pq, softening2);
+                  my_phi += pg.potential;
+                  my_grad += pg.gradient;
+                } else {
+                  my_phi += p2p(x, ppos, pq, softening2);
+                }
+              } else {
+                const MultipoleExpansion& m = multipoles_[nu];
+                if (want_grad) {
+                  const PotentialGrad pg = m2p_grad(m, node.center, x);
+                  my_phi += pg.potential;
+                  my_grad += pg.gradient;
+                } else {
+                  const std::uint64_t off =
+                      have_basis ? plan.basis_offset[idx] : EvalPlan::kNoBasis;
+                  my_phi += off != EvalPlan::kNoBasis
+                                ? m2p_apply_basis(m, plan.basis.data() + off)
+                                : m2p(m, node.center, x);
+                }
+                if (want_bounds) my_bound += plan.entry_bounds[idx];
+              }
+            }
+            if (!std::isfinite(my_phi)) {
+              throw std::runtime_error(
+                  "EvalSession: non-finite potential at evaluation point " +
+                  std::to_string(i));
+            }
+            phi[i] = my_phi;
+            if (want_grad) grad[i] = my_grad;
+            if (want_bounds) bound[i] = my_bound;
+            cost += plan.target_cost[i];
+          }
+          return cost;
+        },
+        nullptr, "engine.replay.worker");
+  }
+
+  obs::Registry& reg = obs::registry();
+  reg.counter("engine.replays").add(1);
+  reg.counter("engine.multipole_terms").add(result.stats.multipole_terms);
+  reg.counter("engine.m2p_count").add(result.stats.m2p_count);
+  reg.counter("engine.p2p_pairs").add(result.stats.p2p_pairs);
+  obs::flush_counts("engine.m2p_per_level", plan.m2p_by_level);
+  obs::flush_counts("engine.p2p_per_level", plan.p2p_by_level);
+  obs::flush_counts("engine.degree_used", plan.degree_used);
+
+  if (plan.self) {
+    const auto& orig = tree_.original_index();
+    for (std::size_t i = 0; i < n; ++i) {
+      result.potential[orig[i]] = phi[i];
+      if (want_grad) result.gradient[orig[i]] = grad[i];
+      if (want_bounds) result.error_bound[orig[i]] = bound[i];
+    }
+  } else {
+    result.potential = std::move(phi);
+    if (want_grad) result.gradient = std::move(grad);
+    if (want_bounds) result.error_bound = std::move(bound);
+  }
+  TREECODE_ASSERT_EVAL_INVARIANTS(tree_, degrees_, config_, result, out_n,
+                                  "EvalSession::evaluate");
+  return result;
+}
+
+EvalResult EvalSession::evaluate_at(std::span<const Vec3> targets) {
+  return evaluate(*compile(targets));
+}
+
+EvalResult EvalSession::evaluate() { return evaluate(*compile_self()); }
+
+}  // namespace treecode::engine

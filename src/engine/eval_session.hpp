@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file eval_session.hpp
+/// The evaluation engine: compile an interaction plan once, replay it for
+/// every subsequent charge vector.
+///
+/// An EvalSession owns a built Tree plus everything derived from it that is
+/// charge-independent: the Theorem-3 degree table, the thread pool, and an
+/// LRU cache of compiled EvalPlans. The intended lifecycle, mirroring the
+/// paper's GMRES-over-fixed-geometry application:
+///
+///     engine::EvalSession session(std::move(tree), config);
+///     auto plan = session.compile(targets);     // one alpha-MAC traversal
+///     for (each solver iteration) {
+///       session.update_charges(q);              // geometry untouched
+///       EvalResult r = session.evaluate(*plan); // list replay, no tree walk
+///     }
+///
+/// Charge refresh is lazy and partial: update_charges only bumps an epoch;
+/// the next evaluate rebuilds (P2M, from the node's own particles) exactly
+/// the stale nodes the plan's M2P list references, reusing the allocated
+/// coefficient storage. Nodes never referenced by any plan — typically the
+/// top levels, which never pass the MAC for surface targets yet carry the
+/// highest degrees and largest particle counts — are never built at all.
+///
+/// Plans stay valid as long as the session's tree and config live, i.e.
+/// forever: geometry, degrees, and per-node |q| aggregates are frozen at
+/// construction, and update_charges touches none of them. A different
+/// particle set or config means a new session.
+///
+/// Determinism: a replay performs the identical kernel calls in the
+/// identical order as a fresh traversal (see eval_plan.hpp), so potentials
+/// — and tracked error bounds — are bitwise-equal to BarnesHutEvaluator
+/// output at every thread count and block size.
+///
+/// Thread safety: the session parallelizes internally over its own pool
+/// but external calls must be serialized — compile, update_charges, and
+/// evaluate all mutate session state (cache, epochs, multipoles).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/degree_policy.hpp"
+#include "engine/eval_plan.hpp"
+#include "engine/plan_cache.hpp"
+#include "multipole/expansion.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tree/octree.hpp"
+
+namespace treecode::engine {
+
+/// Compile-once / replay-many treecode evaluator over one tree + config.
+class EvalSession {
+ public:
+  /// Session tuning knobs (none affect results — replay output is
+  /// bitwise-identical to a fresh traversal regardless).
+  struct Options {
+    /// Compiled plans kept per session, evicted LRU.
+    std::size_t plan_cache_capacity = 8;
+    /// Per-plan byte budget for the precomputed m2p evaluation basis (the
+    /// charge-independent 1/r + Y_n^m factors; see eval_plan.hpp). Compile
+    /// covers entries in schedule order until the budget is exhausted;
+    /// uncovered entries replay through the full m2p kernel with identical
+    /// results. 0 disables precomputation entirely.
+    std::size_t basis_budget_bytes = std::size_t{512} << 20;
+    /// Session-wide byte budget for the p2m refresh basis (per-particle rho
+    /// powers and conjugated harmonics, shared across plans). Nodes are
+    /// covered on first refresh until the budget is exhausted; uncovered
+    /// nodes rebuild through the full p2m kernel with identical results.
+    std::size_t refresh_basis_budget_bytes = std::size_t{512} << 20;
+    /// Master switch for both basis precomputes (gradient plans never
+    /// precompute the m2p side: m2p_grad has no basis form).
+    bool precompute_basis = true;
+  };
+
+  /// Takes ownership of the tree; validates the config and assigns
+  /// Theorem-3 degrees. No multipole is built yet — the first evaluate
+  /// builds exactly what its plan references.
+  EvalSession(Tree tree, const EvalConfig& config, const Options& options);
+  EvalSession(Tree tree, const EvalConfig& config, std::size_t plan_cache_capacity = 8)
+      : EvalSession(std::move(tree), config,
+                    Options{.plan_cache_capacity = plan_cache_capacity}) {}
+
+  /// Compile (or fetch from the LRU cache) the interaction plan for
+  /// arbitrary evaluation points. Target coordinates are validated under
+  /// the tree's ValidationPolicy: kThrow raises on non-finite targets;
+  /// kSanitize/kWarn keep the offending targets' output slots (zeroed) and
+  /// record them in the plan's skipped_targets.
+  [[nodiscard]] std::shared_ptr<const EvalPlan> compile(std::span<const Vec3> targets);
+
+  /// Plan for evaluating at the tree's own particles (self-interaction
+  /// excluded by the P2P kernels' r == 0 skip, as in BarnesHutEvaluator).
+  [[nodiscard]] std::shared_ptr<const EvalPlan> compile_self();
+
+  /// Replace the source charges, given in the *caller's original* particle
+  /// order (size tree().source_size()). O(n) gather + epoch bump; the
+  /// multipole refresh happens lazily in the next evaluate. Throws
+  /// std::invalid_argument on size mismatch or non-finite values.
+  void update_charges(std::span<const double> charges);
+
+  /// Same, but already in the tree's sorted order (size
+  /// tree().num_particles()) — the BEM matvec hot path, which gathers
+  /// through original_index() itself.
+  void update_charges_sorted(std::span<const double> charges);
+
+  /// Replay a compiled plan against the current charges: refresh stale
+  /// plan-referenced multipoles, then accumulate the frozen interaction
+  /// lists. No tree walk, no MAC tests, no degree decisions. The plan must
+  /// come from this session.
+  [[nodiscard]] EvalResult evaluate(const EvalPlan& plan);
+
+  /// Convenience: compile(targets) + evaluate. Warm calls with a cached
+  /// plan skip straight to replay.
+  [[nodiscard]] EvalResult evaluate_at(std::span<const Vec3> targets);
+
+  /// Convenience: compile_self() + evaluate, results in the caller's
+  /// original particle order (validation-dropped slots stay zero).
+  [[nodiscard]] EvalResult evaluate();
+
+  [[nodiscard]] const Tree& tree() const noexcept { return tree_; }
+  [[nodiscard]] const EvalConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DegreeAssignment& degrees() const noexcept { return degrees_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const PlanCache& cache() const noexcept { return cache_; }
+  /// Current charges in tree-sorted order (what the next evaluate uses).
+  [[nodiscard]] std::span<const double> sorted_charges() const noexcept {
+    return sorted_charges_;
+  }
+
+ private:
+  struct CompileAccumulator;
+
+  std::shared_ptr<const EvalPlan> compile_impl(std::span<const Vec3> targets, bool self);
+  /// Rebuild the plan-referenced multipoles whose epoch is stale.
+  void ensure_refreshed(const EvalPlan& plan);
+
+  Tree tree_;
+  EvalConfig config_;
+  Options options_;
+  DegreeAssignment degrees_;
+  ThreadPool pool_;
+  /// Active charges in tree-sorted order; starts as the tree's own.
+  std::vector<double> sorted_charges_;
+  /// Lazily built per-node expansions; entry i is valid iff
+  /// node_epoch_[i] == charge_epoch_.
+  std::vector<MultipoleExpansion> multipoles_;
+  std::vector<std::uint64_t> node_epoch_;  ///< 0 = never built
+  std::uint64_t charge_epoch_ = 1;
+  std::vector<std::int32_t> stale_;  ///< refresh scratch, reused across evaluates
+  /// Per-node offset into the pooled p2m refresh basis (EvalPlan::kNoBasis
+  /// = not covered; assigned on first refresh, budget-gated, then frozen —
+  /// the basis depends only on geometry and the node's frozen degree).
+  std::vector<std::uint64_t> p2m_basis_offset_;
+  std::vector<double> p2m_basis_pool_;
+  PlanCache cache_;
+};
+
+}  // namespace treecode::engine

@@ -1,0 +1,60 @@
+#include "engine/plan_cache.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace treecode::engine {
+
+namespace {
+
+/// Bytewise target-set equality. Vec3 is three doubles with no padding, so
+/// memcmp compares exact bit patterns — sanitized target sets containing
+/// NaNs still compare equal to themselves, keeping the cache warm under
+/// ValidationPolicy::kSanitize.
+bool same_targets(const EvalPlan& plan, std::span<const Vec3> targets, bool self) {
+  static_assert(sizeof(Vec3) == 3 * sizeof(double), "Vec3 must be padding-free");
+  if (plan.self != self || plan.targets.size() != targets.size()) return false;
+  if (targets.empty()) return true;
+  return std::memcmp(plan.targets.data(), targets.data(),
+                     targets.size() * sizeof(Vec3)) == 0;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const EvalPlan> PlanCache::find(std::uint64_t key,
+                                                std::span<const Vec3> targets,
+                                                bool self) {
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end() || !same_targets(**it->second, targets, self)) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  plans_.splice(plans_.begin(), plans_, it->second);  // touch: move to MRU
+  return *it->second;
+}
+
+void PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
+  if (plan == nullptr) return;
+  const std::uint64_t key = plan->key;
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    plans_.erase(it->second);
+    by_key_.erase(it);
+  }
+  while (plans_.size() >= capacity_) {
+    by_key_.erase(plans_.back()->key);
+    plans_.pop_back();
+    ++evictions_;
+  }
+  plans_.push_front(std::move(plan));
+  by_key_[key] = plans_.begin();
+}
+
+void PlanCache::clear() {
+  plans_.clear();
+  by_key_.clear();
+}
+
+}  // namespace treecode::engine

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// LRU cache of compiled EvalPlans, keyed by EvalPlan::key.
+///
+/// A GMRES solve alternates between at most a couple of target sets (the
+/// mesh vertices for the matvec, occasionally the particles themselves for
+/// diagnostics), so a small LRU suffices to make every apply after the
+/// first a pure replay. Keys are hashes; because a 64-bit hash can collide,
+/// `find` verifies full target equality (bytewise, so NaN-bearing sanitized
+/// target sets still match themselves) before returning a hit — a
+/// collision is treated as a miss and recompiled, never served wrong.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "engine/eval_plan.hpp"
+
+namespace treecode::engine {
+
+/// Fixed-capacity least-recently-used plan store. Not thread-safe: the
+/// owning EvalSession serializes compiles and evaluations.
+class PlanCache {
+ public:
+  /// Capacity is clamped to at least 1 (a zero-capacity cache would turn
+  /// every warm apply back into a cold compile, silently).
+  explicit PlanCache(std::size_t capacity = 8);
+
+  /// Look up `key`; on a hash hit, verify the stored plan was compiled for
+  /// exactly these targets (and the same self flag) before returning it.
+  /// A verified hit moves the plan to most-recently-used.
+  [[nodiscard]] std::shared_ptr<const EvalPlan> find(std::uint64_t key,
+                                                     std::span<const Vec3> targets,
+                                                     bool self);
+
+  /// Insert a freshly compiled plan under plan->key, evicting the
+  /// least-recently-used plan when full. Replaces any existing plan with
+  /// the same key.
+  void insert(std::shared_ptr<const EvalPlan> plan);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return plans_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  /// Most-recently-used at the front.
+  std::list<std::shared_ptr<const EvalPlan>> plans_;
+  std::unordered_map<std::uint64_t, std::list<std::shared_ptr<const EvalPlan>>::iterator>
+      by_key_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace treecode::engine

@@ -55,6 +55,52 @@ void p2m(const Vec3& center, std::span<const Vec3> positions, std::span<const do
   }
 }
 
+std::size_t p2m_basis_size(int p, std::size_t count) noexcept {
+  return count * (static_cast<std::size_t>(p) + 1 + 2 * tri_size(p));
+}
+
+void p2m_basis(int p, const Vec3& center, std::span<const Vec3> positions,
+               std::span<double> out) {
+  assert(p >= 0 && p <= kMaxDegree);
+  assert(out.size() >= p2m_basis_size(p, positions.size()));
+  thread_local std::vector<Complex> Y;
+  thread_local std::vector<double> rho_pow;
+  Y.resize(tri_size(p));
+  double* cursor = out.data();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Spherical s = to_spherical(positions[i] - center);
+    eval_harmonics(p, s.theta, s.phi, Y);
+    eval_powers(s.r, p, rho_pow);
+    for (int n = 0; n <= p; ++n) *cursor++ = rho_pow[static_cast<std::size_t>(n)];
+    for (std::size_t k = 0; k < Y.size(); ++k) {
+      // Stored pre-conjugated: negation is exact, so the apply's
+      // qr * stored_im reproduces qr * (-Y_im) bitwise.
+      *cursor++ = Y[k].real();
+      *cursor++ = -Y[k].imag();
+    }
+  }
+}
+
+void p2m_apply_basis(std::span<const double> charges, const double* basis,
+                     MultipoleExpansion& out) noexcept {
+  const int p = out.degree();
+  const std::size_t stride = static_cast<std::size_t>(p) + 1 + 2 * tri_size(p);
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    const double* rho = basis + i * stride;
+    const double* Yc = rho + p + 1;
+    const double q = charges[i];
+    for (int n = 0; n <= p; ++n) {
+      const double qr = q * rho[n];
+      for (int m = 0; m <= n; ++m) {
+        const std::size_t k = 2 * tri_index(n, m);
+        // Same two products and component-wise add as p2m's
+        // `coeff += qr * conj(Y)`.
+        out.coeff(n, m) += Complex{qr * Yc[k], qr * Yc[k + 1]};
+      }
+    }
+  }
+}
+
 void p2m_dipole(const Vec3& center, std::span<const Vec3> positions,
                 std::span<const Vec3> moments, MultipoleExpansion& out) {
   assert(positions.size() == moments.size());
@@ -232,6 +278,48 @@ double m2p(const MultipoleExpansion& mexp, const Vec3& center, const Vec3& point
     double bracket = (mexp.coeff(n, 0) * Y[tri_index(n, 0)]).real();
     for (int m = 1; m <= n; ++m) {
       bracket += 2.0 * (mexp.coeff(n, m) * Y[tri_index(n, m)]).real();
+    }
+    phi += bracket * rpow;
+    rpow *= inv_r;
+  }
+  return phi;
+}
+
+std::size_t m2p_basis_size(int p) noexcept {
+  return 1 + 2 * tri_size(p);
+}
+
+void m2p_basis(int p, const Vec3& center, const Vec3& point, std::span<double> out) {
+  assert(out.size() >= m2p_basis_size(p));
+  const Spherical s = to_spherical(point - center);
+  assert(s.r > 0.0);
+  thread_local std::vector<Complex> Y;
+  Y.resize(tri_size(p));
+  eval_harmonics(p, s.theta, s.phi, Y);
+  out[0] = 1.0 / s.r;
+  for (std::size_t i = 0; i < Y.size(); ++i) {
+    out[1 + 2 * i] = Y[i].real();
+    out[2 + 2 * i] = Y[i].imag();
+  }
+}
+
+double m2p_apply_basis(const MultipoleExpansion& mexp, const double* basis) noexcept {
+  const int p = mexp.degree();
+  const double inv_r = basis[0];
+  const double* Y = basis + 1;
+  double phi = 0.0;
+  double rpow = inv_r;  // 1/r^(n+1)
+  for (int n = 0; n <= p; ++n) {
+    // Each product below reproduces (coeff * Y).real() = re*re - im*im —
+    // the exact expression std::complex multiplication evaluates — on the
+    // stored Y doubles, keeping the accumulation bitwise-equal to m2p().
+    const std::size_t i0 = 2 * tri_index(n, 0);
+    const Complex c0 = mexp.coeff(n, 0);
+    double bracket = c0.real() * Y[i0] - c0.imag() * Y[i0 + 1];
+    for (int m = 1; m <= n; ++m) {
+      const std::size_t im = 2 * tri_index(n, m);
+      const Complex c = mexp.coeff(n, m);
+      bracket += 2.0 * (c.real() * Y[im] - c.imag() * Y[im + 1]);
     }
     phi += bracket * rpow;
     rpow *= inv_r;

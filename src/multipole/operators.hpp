@@ -77,6 +77,49 @@ struct PotentialGrad {
 /// Evaluate the multipole expansion at `point` (outside the source sphere).
 double m2p(const MultipoleExpansion& m, const Vec3& center, const Vec3& point);
 
+// ---------------------------------------------------------------------------
+// Precomputed evaluation basis
+//
+// The m2p kernel factors into a charge-independent geometric basis
+// (1/r and the spherical harmonics Y_n^m of the target direction — the
+// expensive transcendentals and recurrences) and a cheap dot product with
+// the multipole coefficients. For repeated evaluations over fixed geometry
+// (compiled traversal plans), the basis can be computed once and replayed:
+// m2p_apply_basis performs the identical floating-point operations on the
+// identical stored doubles, so its result is bitwise-equal to m2p().
+
+/// Doubles needed to store the m2p basis for degree p:
+/// 1 (for 1/r) + 2 * tri_size(p) (interleaved re/im of Y_n^m).
+[[nodiscard]] std::size_t m2p_basis_size(int p) noexcept;
+
+/// Fill `out` (size >= m2p_basis_size(p)) with the evaluation basis of
+/// `point` relative to `center`. Precondition: point != center.
+void m2p_basis(int p, const Vec3& center, const Vec3& point, std::span<double> out);
+
+/// Evaluate the expansion against a basis previously filled by m2p_basis()
+/// with p == m.degree(). Bitwise-identical to m2p(m, center, point).
+double m2p_apply_basis(const MultipoleExpansion& m, const double* basis) noexcept;
+
+/// The same factorization for p2m: per source particle the charge enters
+/// through exactly two multiplies (q * rho^n, then the scale of conj(Y)),
+/// so the rho powers and conjugated harmonics can be stored once per
+/// (node, particle) and replayed for every new charge vector.
+
+/// Doubles needed for the p2m basis of `count` particles at degree p:
+/// count * ((p + 1) rho powers + 2 * tri_size(p) conj(Y) re/im pairs).
+[[nodiscard]] std::size_t p2m_basis_size(int p, std::size_t count) noexcept;
+
+/// Fill `out` (size >= p2m_basis_size(p, positions.size())) with the p2m
+/// basis of the particles relative to `center`.
+void p2m_basis(int p, const Vec3& center, std::span<const Vec3> positions,
+               std::span<double> out);
+
+/// Accumulate the particles' multipole contributions from a basis filled by
+/// p2m_basis() with p == out.degree() and the same particle count/order.
+/// Bitwise-identical to p2m(center, positions, charges, out).
+void p2m_apply_basis(std::span<const double> charges, const double* basis,
+                     MultipoleExpansion& out) noexcept;
+
 /// Evaluate potential and analytic gradient of the multipole expansion.
 PotentialGrad m2p_grad(const MultipoleExpansion& m, const Vec3& center, const Vec3& point);
 

@@ -103,6 +103,16 @@ ValidationReport validate_particles(std::span<const Vec3> positions,
   return report;
 }
 
+ValidationReport validate_targets(std::span<const Vec3> points) {
+  ValidationReport report;
+  report.particles_checked = points.size();
+  report.empty_system = points.empty();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!finite(points[i])) report.non_finite_positions.push_back(i);
+  }
+  return report;
+}
+
 void enforce_validation(const ValidationReport& report, ValidationPolicy policy,
                         const char* context) {
   switch (policy) {

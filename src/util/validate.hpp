@@ -90,6 +90,14 @@ class ValidationError : public std::invalid_argument {
 ValidationReport validate_particles(std::span<const Vec3> positions,
                                     std::span<const double> charges);
 
+/// Inspect a set of evaluation points (targets of an `evaluate_at` / plan
+/// compile). Targets carry no charges, so only position finiteness is
+/// checked; non-finite entries land in `non_finite_positions` (caller
+/// indices). Under a sanitizing policy the evaluators leave the offending
+/// targets' output slots at zero instead of dropping them — every caller
+/// index keeps its result slot.
+ValidationReport validate_targets(std::span<const Vec3> points);
+
 /// Apply `policy` to `report`: throws ValidationError on errors under
 /// kThrow, prints the summary to stderr under kWarn when anything was
 /// found, does nothing under kSanitize. `context` prefixes the message.

@@ -14,6 +14,7 @@
 
 #include "core/treecode.hpp"
 #include "dist/distributions.hpp"
+#include "engine/eval_session.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -216,6 +217,65 @@ TEST_F(EvaluatorStress, FmmBitwiseDeterministicAcrossSchedules) {
   const EvalResult reference = evaluate_potentials(tree_, config(1), Method::kFmm);
   for (const unsigned threads : {2u, 4u, 8u}) {
     const EvalResult r = evaluate_potentials(tree_, config(threads), Method::kFmm);
+    EXPECT_EQ(r.potential, reference.potential) << "threads=" << threads;
+  }
+}
+
+// The engine's replay must hold the same bitwise-determinism contract as
+// the fresh evaluators: the plan partitions targets, each slot is written
+// by exactly one worker, and the accumulation order per target is frozen
+// in the plan — independent of thread count, block size, or which worker
+// claims which block. Run under TSan these also certify the compile /
+// refresh / replay phases race-free.
+class EngineStress : public EvaluatorStress {
+ protected:
+  static std::vector<Vec3> targets() {
+    std::vector<Vec3> t;
+    t.reserve(400);
+    for (int i = 0; i < 400; ++i) {
+      const double s = static_cast<double>(i) / 400.0;
+      t.push_back({1.2 * s - 0.1, 0.9 * s * s, 0.3 + 0.5 * s});
+    }
+    return t;
+  }
+
+  std::vector<double> charges(double scale) const {
+    std::vector<double> q(tree_.source_size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      q[i] = scale * (1.0 + 0.25 * static_cast<double>(i % 17));
+    }
+    return q;
+  }
+};
+
+TEST_F(EngineStress, ReplayBitwiseDeterministicAcrossSchedules) {
+  const std::vector<Vec3> pts = targets();
+  engine::EvalSession serial(Tree(tree_), config(1));
+  const EvalResult reference = serial.evaluate_at(pts);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const std::size_t block : {std::size_t{16}, std::size_t{64}}) {
+      engine::EvalSession session(Tree(tree_), config(threads, block));
+      const EvalResult r = session.evaluate_at(pts);
+      EXPECT_EQ(r.potential, reference.potential)
+          << "threads=" << threads << " block=" << block;
+      // Warm replay of the cached plan must reproduce itself exactly.
+      const EvalResult again = session.evaluate_at(pts);
+      EXPECT_EQ(again.potential, r.potential);
+    }
+  }
+}
+
+TEST_F(EngineStress, ReplayAfterChargeUpdateBitwiseAcrossSchedules) {
+  const std::vector<Vec3> pts = targets();
+  const std::vector<double> q = charges(0.75);
+  engine::EvalSession serial(Tree(tree_), config(1));
+  serial.update_charges(q);
+  const EvalResult reference = serial.evaluate_at(pts);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    engine::EvalSession session(Tree(tree_), config(threads));
+    (void)session.evaluate_at(pts);  // compile + first refresh at old charges
+    session.update_charges(q);       // lazy partial re-refresh path
+    const EvalResult r = session.evaluate_at(pts);
     EXPECT_EQ(r.potential, reference.potential) << "threads=" << threads;
   }
 }
