@@ -18,7 +18,7 @@
 // with a GMRES(10) solve on the engine-backed operator.
 //
 //   ./bench_engine_replay [--elements 6k] [--alpha 0.5] [--threads 4]
-//                         [--repeat 5] [--skip-gmres]
+//                         [--repeat 5] [--warmup 0] [--skip-gmres]
 //                         [--json-out report.json] [--trace-out trace.json]
 
 #include <cmath>
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
     const double alpha = flags.get_double("alpha", 0.5);
     const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
     const int repeats = bench::repeat_from(flags, 5);
+    const int warmup = bench::warmup_from(flags, 0);
     const bool skip_gmres = flags.get_bool("skip-gmres");
 
     std::printf("== Evaluation engine: compile-once / replay-many on the Table-3 BEM"
@@ -94,12 +95,12 @@ int main(int argc, char** argv) {
     // Legacy baseline: per-apply degree assignment + full multipole
     // rebuild + full alpha-MAC traversal, every time.
     const bench::RepeatStats legacy = bench::time_repeated(
-        repeats, [&] { op.apply_uncompiled(x, y_legacy); });
+        repeats, warmup, [&] { op.apply_uncompiled(x, y_legacy); });
 
     // Warm replay: the plan is cached; each apply is charge refresh +
     // list replay.
     const bench::RepeatStats replay = bench::time_repeated(
-        repeats, [&] { op.apply(x, y_replay); });
+        repeats, warmup, [&] { op.apply(x, y_replay); });
 
     const bool bitwise_equal =
         std::memcmp(y_replay.data(), y_legacy.data(),
@@ -163,6 +164,7 @@ int main(int argc, char** argv) {
     run_report.config()["alpha"] = alpha;
     run_report.config()["threads"] = static_cast<std::uint64_t>(threads);
     run_report.config()["repeat"] = repeats;
+    run_report.config()["warmup"] = warmup;
     bench::emit_reports(obs_opts, run_report);
     return bitwise_equal ? 0 : 1;
   } catch (const std::exception& e) {

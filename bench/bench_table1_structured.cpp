@@ -8,7 +8,12 @@
 //
 //   ./bench_table1_structured [--full] [--alpha 0.5] [--degree 4]
 //                             [--threads 4] [--csv]
+//                             [--audit 0] [--audit-seed 0]
 //                             [--json-out report.json] [--trace-out trace.json]
+//
+// --audit K samples K accepted M2P interactions per evaluation and reports
+// observed-error / Theorem-1-bound tightness per method (fixed-p vs
+// adaptive), feeding the report's "tightness" block.
 
 #include <cstdio>
 
@@ -20,12 +25,15 @@ int main(int argc, char** argv) {
   using namespace treecode::bench;
   try {
     const CliFlags flags(argc, argv,
-                         with_obs_flags({"full", "alpha", "degree", "threads", "csv"}));
+                         with_obs_flags({"full", "alpha", "degree", "threads", "csv",
+                                         "audit", "audit-seed"}));
     const ObsOptions obs_opts = obs_options_from(flags);
     PairConfig cfg;
     cfg.alpha = flags.get_double("alpha", 0.4);
     cfg.degree = static_cast<int>(flags.get_int("degree", 4));
     cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    cfg.audit_samples = static_cast<std::size_t>(flags.get_int("audit", 0));
+    cfg.audit_seed = static_cast<std::uint64_t>(flags.get_int("audit-seed", 0));
 
     std::printf("== Table 1 (structured / uniform distributions) ==\n");
     std::printf("alpha=%.2f base degree=%d (original: fixed degree; new: Theorem-3"
@@ -45,6 +53,8 @@ int main(int argc, char** argv) {
     report.config()["degree"] = cfg.degree;
     report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
     report.config()["full"] = flags.get_bool("full");
+    report.config()["audit"] = cfg.audit_samples;
+    report.config()["audit_seed"] = cfg.audit_seed;
     report.results()["rows"] = pair_rows_json(rows);
     report.results()["table"] = table_json(t);
     emit_reports(obs_opts, report);

@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -32,6 +33,8 @@ PairRow run_pair(const ParticleSystem& ps, const PairConfig& config) {
   cfg.alpha = config.alpha;
   cfg.degree = config.degree;
   cfg.threads = config.threads;
+  cfg.audit_samples = config.audit_samples;
+  cfg.audit_seed = config.audit_seed;
   {
     Timer t;
     const EvalResult r = evaluate_barnes_hut(tree, cfg);
@@ -39,6 +42,9 @@ PairRow run_pair(const ParticleSystem& ps, const PairConfig& config) {
     row.err_orig = abs_error_2norm(exact.potential, r.potential);
     row.rel_orig = relative_error_2norm(exact.potential, r.potential);
     row.terms_orig = static_cast<long long>(r.stats.multipole_terms);
+    row.tight_max_orig = r.stats.audit_max_tightness;
+    row.tight_mean_orig = r.stats.audit_mean_tightness;
+    row.audit_violations += r.stats.audit_bound_violations;
   }
   cfg.mode = DegreeMode::kAdaptive;
   {
@@ -49,6 +55,9 @@ PairRow run_pair(const ParticleSystem& ps, const PairConfig& config) {
     row.rel_new = relative_error_2norm(exact.potential, r.potential);
     row.terms_new = static_cast<long long>(r.stats.multipole_terms);
     row.max_degree_new = r.stats.max_degree_used;
+    row.tight_max_new = r.stats.audit_max_tightness;
+    row.tight_mean_new = r.stats.audit_mean_tightness;
+    row.audit_violations += r.stats.audit_bound_violations;
   }
   return row;
 }
@@ -87,9 +96,20 @@ int repeat_from(const CliFlags& flags, int def) {
   return n < 1 ? 1 : n;
 }
 
+int warmup_from(const CliFlags& flags, int def) {
+  const auto n = static_cast<int>(flags.get_int("warmup", def));
+  return n < 0 ? 0 : n;
+}
+
 RepeatStats time_repeated(int repeats, const std::function<void()>& fn) {
+  return time_repeated(repeats, 0, fn);
+}
+
+RepeatStats time_repeated(int repeats, int warmup, const std::function<void()>& fn) {
   RepeatStats stats;
   stats.repeats = repeats < 1 ? 1 : repeats;
+  stats.warmup = warmup < 0 ? 0 : warmup;
+  for (int i = 0; i < stats.warmup; ++i) fn();
   std::vector<double> seconds(static_cast<std::size_t>(stats.repeats), 0.0);
   for (double& s : seconds) {
     Timer t;
@@ -109,6 +129,7 @@ RepeatStats time_repeated(int repeats, const std::function<void()>& fn) {
 obs::Json repeat_stats_json(const RepeatStats& stats) {
   obs::Json j = obs::Json::object();
   j["repeats"] = stats.repeats;
+  j["warmup"] = stats.warmup;
   j["min_seconds"] = stats.min_seconds;
   j["median_seconds"] = stats.median_seconds;
   j["total_seconds"] = stats.total_seconds;
@@ -118,7 +139,9 @@ obs::Json repeat_stats_json(const RepeatStats& stats) {
 std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
   known.emplace_back("json-out");
   known.emplace_back("trace-out");
+  known.emplace_back("recorder-out");
   known.emplace_back("repeat");
+  known.emplace_back("warmup");
   return known;
 }
 
@@ -126,6 +149,7 @@ ObsOptions obs_options_from(const CliFlags& flags) {
   ObsOptions opts;
   opts.json_out = flags.get_string("json-out", "");
   opts.trace_out = flags.get_string("trace-out", "");
+  opts.recorder_out = flags.get_string("recorder-out", "");
   if (opts.active()) {
     // The registry is process-global: zero whatever earlier warm-up recorded
     // so the emitted report describes this run alone.
@@ -133,12 +157,21 @@ ObsOptions obs_options_from(const CliFlags& flags) {
     obs::drain_warnings();
     obs::trace::start();
   }
+  if (!opts.recorder_out.empty()) {
+    obs::recorder::reset();
+    obs::recorder::set_dump_path(opts.recorder_out);
+    obs::recorder::start();
+  }
   return opts;
 }
 
 void emit_reports(const ObsOptions& opts, const obs::RunReport& report) {
   if (!opts.active()) return;
   obs::trace::stop();
+  if (!opts.recorder_out.empty()) {
+    obs::recorder::stop();
+    obs::recorder::dump(opts.recorder_out, "run complete");
+  }
   if (!opts.json_out.empty()) report.write(opts.json_out);
   if (!opts.trace_out.empty()) obs::trace::write_chrome_json(opts.trace_out);
 }
@@ -172,6 +205,11 @@ obs::Json pair_rows_json(const std::vector<PairRow>& rows) {
     j["seconds_orig"] = r.seconds_orig;
     j["seconds_new"] = r.seconds_new;
     j["max_degree_new"] = r.max_degree_new;
+    j["tight_max_orig"] = r.tight_max_orig;
+    j["tight_mean_orig"] = r.tight_mean_orig;
+    j["tight_max_new"] = r.tight_max_new;
+    j["tight_mean_new"] = r.tight_mean_new;
+    j["audit_violations"] = r.audit_violations;
     arr.push_back(std::move(j));
   }
   return arr;

@@ -38,6 +38,14 @@ struct PairRow {
   double seconds_orig = 0.0;
   double seconds_new = 0.0;
   int max_degree_new = 0;
+  /// Audit tightness (0 unless PairConfig::audit_samples > 0): max and mean
+  /// observed-error / Theorem-1-bound ratio over the sampled interactions,
+  /// per method, plus any bound violations (expected 0).
+  double tight_max_orig = 0.0;
+  double tight_mean_orig = 0.0;
+  double tight_max_new = 0.0;
+  double tight_mean_new = 0.0;
+  std::uint64_t audit_violations = 0;
 };
 
 /// Parameters of a method-pair comparison. The defaults (alpha = 0.4,
@@ -49,6 +57,8 @@ struct PairConfig {
   int degree = 4;          ///< fixed degree == adaptive base degree
   unsigned threads = 0;    ///< for the evaluation (errors are unaffected)
   std::size_t leaf_capacity = 16;
+  std::size_t audit_samples = 0;  ///< bound-tightness audit samples per eval
+  std::uint64_t audit_seed = 0;
 };
 
 /// Factory for a particle distribution at size n.
@@ -86,30 +96,42 @@ std::vector<std::size_t> default_ladder(bool full);
 /// run) over N repeats.
 struct RepeatStats {
   int repeats = 0;
+  int warmup = 0;          ///< untimed iterations run before the repeats
   double min_seconds = 0.0;
   double median_seconds = 0.0;
-  double total_seconds = 0.0;
+  double total_seconds = 0.0;  ///< timed iterations only (excludes warmup)
 };
 
 /// Read `--repeat N` (shared flag, see with_obs_flags), clamped to >= 1.
 int repeat_from(const CliFlags& flags, int def = 1);
 
+/// Read `--warmup N` (shared flag), clamped to >= 0. Warmup iterations run
+/// `fn` but are excluded from the min/median statistics, so cold-cache
+/// first runs stop polluting trajectory comparisons.
+int warmup_from(const CliFlags& flags, int def = 0);
+
 /// Time `fn` `repeats` times and summarize per-iteration min/median.
 RepeatStats time_repeated(int repeats, const std::function<void()>& fn);
+
+/// Same, after `warmup` untimed iterations of `fn`.
+RepeatStats time_repeated(int repeats, int warmup, const std::function<void()>& fn);
 
 /// Serialize RepeatStats for a structured report.
 obs::Json repeat_stats_json(const RepeatStats& stats);
 
 /// Parsed observability flags for one run.
 struct ObsOptions {
-  std::string json_out;   ///< structured report path ("" = off)
-  std::string trace_out;  ///< Chrome trace-event path ("" = off)
+  std::string json_out;      ///< structured report path ("" = off)
+  std::string trace_out;     ///< Chrome trace-event path ("" = off)
+  std::string recorder_out;  ///< flight-recorder snapshot path ("" = off)
 
-  [[nodiscard]] bool active() const { return !json_out.empty() || !trace_out.empty(); }
+  [[nodiscard]] bool active() const {
+    return !json_out.empty() || !trace_out.empty() || !recorder_out.empty();
+  }
 };
 
-/// Append the shared flag names ("json-out", "trace-out", "repeat") to a
-/// binary's known-flags list.
+/// Append the shared flag names ("json-out", "trace-out", "recorder-out",
+/// "repeat", "warmup") to a binary's known-flags list.
 std::vector<std::string> with_obs_flags(std::vector<std::string> known);
 
 /// Read --json-out/--trace-out. Resets registry values (so the report covers

@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Statistically compare two treecode-bench-report files for perf regressions.
+
+The trajectory system: committed BENCH_*.json files are the baselines, CI
+regenerates the same measurement on the PR head and gates on this script.
+Both treecode-bench-report/v1 and /v2 are accepted.
+
+What is compared
+----------------
+* Every repeat-stats block in "results" — any object carrying numeric
+  "min_seconds" and "median_seconds" (produced by bench::time_repeated) —
+  is a timing metric, identified by its JSON path. Lower is better. A
+  metric REGRESSES when its ratio (candidate / baseline) exceeds
+  1 + threshold on min AND median (--metric can restrict to one); requiring
+  both cuts false alarms from one noisy statistic, since the min is the
+  least-perturbed run while the median is the typical one.
+* Every numeric "results" scalar whose key starts with "speedup" — higher
+  is better, compared inverted (regression when baseline/candidate exceeds
+  1 + threshold).
+
+Configs must match: a candidate measured with different elements/threads
+than the baseline is not comparable (exit 2 unless --allow-config-mismatch;
+"repeat"/"warmup" may differ — they change statistics quality, not the
+measured quantity). Metrics present in only one report are listed but never
+gated, so adding a bench row does not break the trajectory job.
+
+Self test
+---------
+    bench_compare.py --self-test BASELINE.json
+scales every timing in the baseline by 2x in-memory and verifies the
+comparison flags it: exit 0 iff the injected regression is detected. CI
+runs this so a silent comparator bug cannot quietly wave regressions
+through.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.25]
+                     [--metric min|median|both] [--allow-config-mismatch]
+    bench_compare.py --self-test BASELINE.json [--threshold 0.25]
+
+Exit status: 0 = no regression (or self-test passed), 1 = regression
+detected (or self-test failed to detect), 2 = usage/config error.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+ACCEPTED_SCHEMAS = ("treecode-bench-report/v1", "treecode-bench-report/v2")
+
+# Config keys that tune measurement statistics rather than the measured
+# workload; candidates may differ from the baseline on these.
+STATISTICAL_CONFIG_KEYS = ("repeat", "warmup")
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {path}: {e.strerror}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as e:
+        print(f"error: {path}: not valid JSON ({e})", file=sys.stderr)
+        raise SystemExit(2)
+    schema = report.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        print(f"error: {path}: unknown schema {schema!r} "
+              f"(accepted: {', '.join(ACCEPTED_SCHEMAS)})", file=sys.stderr)
+        raise SystemExit(2)
+    return report
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def collect_metrics(results, path="$.results"):
+    """Map of json-path -> ("time", {min, median}) or ("speedup", value)."""
+    metrics = {}
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            if is_number(node.get("min_seconds")) and is_number(node.get("median_seconds")):
+                metrics[path] = ("time", {"min": node["min_seconds"],
+                                          "median": node["median_seconds"]})
+            for key, sub in node.items():
+                if key.startswith("speedup") and is_number(sub):
+                    metrics[f"{path}.{key}"] = ("speedup", sub)
+                else:
+                    walk(sub, f"{path}.{key}")
+        elif isinstance(node, list):
+            for i, sub in enumerate(node):
+                walk(sub, f"{path}[{i}]")
+
+    walk(results, path)
+    return metrics
+
+
+def compare_configs(baseline, candidate):
+    """List of human-readable mismatches between the two config blocks."""
+    base_cfg = baseline.get("config", {})
+    cand_cfg = candidate.get("config", {})
+    mismatches = []
+    for key in sorted(set(base_cfg) | set(cand_cfg)):
+        if key in STATISTICAL_CONFIG_KEYS:
+            continue
+        if base_cfg.get(key) != cand_cfg.get(key):
+            mismatches.append(f"config.{key}: baseline={base_cfg.get(key)!r} "
+                              f"candidate={cand_cfg.get(key)!r}")
+    return mismatches
+
+
+def compare(baseline, candidate, threshold, metric_mode):
+    """Return (regressions, improvements, only_in_one) message lists."""
+    base = collect_metrics(baseline.get("results", {}))
+    cand = collect_metrics(candidate.get("results", {}))
+    regressions, improvements, only_in_one = [], [], []
+
+    for path in sorted(set(base) | set(cand)):
+        if path not in base:
+            only_in_one.append(f"{path}: only in candidate")
+            continue
+        if path not in cand:
+            only_in_one.append(f"{path}: only in baseline")
+            continue
+        b_kind, b_val = base[path]
+        c_kind, c_val = cand[path]
+        if b_kind != c_kind:
+            only_in_one.append(f"{path}: kind changed {b_kind} -> {c_kind}")
+            continue
+        if b_kind == "time":
+            ratios = {}
+            for stat in ("min", "median"):
+                if b_val[stat] > 0:
+                    ratios[stat] = c_val[stat] / b_val[stat]
+            stats = [s for s in (("min", "median") if metric_mode == "both"
+                                 else (metric_mode,)) if s in ratios]
+            if not stats:
+                continue
+            detail = ", ".join(
+                f"{s} {b_val[s]:.4g}s -> {c_val[s]:.4g}s ({ratios[s]:.2f}x)"
+                for s in stats)
+            if all(ratios[s] > 1.0 + threshold for s in stats):
+                regressions.append(f"{path}: {detail}")
+            elif all(ratios[s] < 1.0 / (1.0 + threshold) for s in stats):
+                improvements.append(f"{path}: {detail}")
+        else:  # speedup: higher is better
+            if c_val <= 0:
+                regressions.append(f"{path}: speedup {b_val:.3g} -> {c_val:.3g}")
+                continue
+            ratio = b_val / c_val
+            detail = f"speedup {b_val:.3g} -> {c_val:.3g}"
+            if ratio > 1.0 + threshold:
+                regressions.append(f"{path}: {detail}")
+            elif ratio < 1.0 / (1.0 + threshold):
+                improvements.append(f"{path}: {detail}")
+
+    return regressions, improvements, only_in_one
+
+
+def inject_slowdown(report, factor=2.0):
+    """A copy of `report` with every timing metric scaled by `factor` (and
+    every speedup scalar divided by it) — the self-test's known-bad input."""
+    slowed = copy.deepcopy(report)
+
+    def walk(node):
+        if isinstance(node, dict):
+            if is_number(node.get("min_seconds")) and is_number(node.get("median_seconds")):
+                node["min_seconds"] *= factor
+                node["median_seconds"] *= factor
+            for key in list(node):
+                if key.startswith("speedup") and is_number(node[key]):
+                    node[key] /= factor
+                else:
+                    walk(node[key])
+        elif isinstance(node, list):
+            for sub in node:
+                walk(sub)
+
+    walk(slowed.get("results", {}))
+    return slowed
+
+
+def run_self_test(baseline_path, threshold, metric_mode):
+    baseline = load_report(baseline_path)
+    if not collect_metrics(baseline.get("results", {})):
+        print(f"SELF-TEST FAIL: {baseline_path} contains no timing metrics",
+              file=sys.stderr)
+        return 1
+    slowed = inject_slowdown(baseline)
+    regressions, _, _ = compare(baseline, slowed, threshold, metric_mode)
+    if regressions:
+        print(f"SELF-TEST OK: injected 2x slowdown flagged "
+              f"({len(regressions)} regression(s) at threshold {threshold:g})")
+        return 0
+    print(f"SELF-TEST FAIL: injected 2x slowdown NOT flagged at threshold "
+          f"{threshold:g}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Compare two treecode bench reports for perf regressions.")
+    parser.add_argument("baseline", help="baseline report (committed BENCH_*.json)")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate report (omit with --self-test)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown tolerated before flagging "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--metric", choices=("min", "median", "both"),
+                        default="both",
+                        help="which statistic(s) must regress to flag (default both)")
+    parser.add_argument("--allow-config-mismatch", action="store_true",
+                        help="compare despite differing config blocks")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify an injected 2x slowdown on BASELINE is flagged")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        if args.candidate is not None:
+            parser.error("--self-test takes only the baseline report")
+        return run_self_test(args.baseline, args.threshold, args.metric)
+    if args.candidate is None:
+        parser.error("candidate report required (or use --self-test)")
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+
+    mismatches = compare_configs(baseline, candidate)
+    if mismatches:
+        for m in mismatches:
+            print(f"CONFIG MISMATCH {m}", file=sys.stderr)
+        if not args.allow_config_mismatch:
+            print("error: reports measure different configurations "
+                  "(--allow-config-mismatch to override)", file=sys.stderr)
+            return 2
+
+    regressions, improvements, only_in_one = compare(
+        baseline, candidate, args.threshold, args.metric)
+
+    for msg in only_in_one:
+        print(f"NOTE {msg}")
+    for msg in improvements:
+        print(f"IMPROVED {msg}")
+    for msg in regressions:
+        print(f"REGRESSION {msg}", file=sys.stderr)
+
+    checked = len(set(collect_metrics(baseline.get("results", {})))
+                  & set(collect_metrics(candidate.get("results", {}))))
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) across {checked} "
+              f"compared metric(s) at threshold {args.threshold:g}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: no regressions across {checked} compared metric(s) "
+          f"at threshold {args.threshold:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

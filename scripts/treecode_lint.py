@@ -10,9 +10,13 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          src/multipole/). Use ipow() (multipole/ipow.hpp):
                          std::pow with an integer exponent routes through the
                          general exp/log machinery per accepted interaction.
-  trace-span-literal     Every obs::TraceSpan / ScopedTimer name argument is a
-                         string literal, so trace/metric cardinality is bounded
-                         at compile time.
+  span-registry          Every obs::TraceSpan / ScopedTimer name argument and
+                         every parallel_for(_blocked) trailing trace-name
+                         argument is a constant from src/obs/spans.hpp
+                         (obs::span::kFoo), so a typo'd span name cannot
+                         fragment traces into near-duplicate series. The
+                         registry itself must not map two constants to the
+                         same string.
   non-relaxed-atomic     Atomic operations in designated hot-path files carry
                          an explicit std::memory_order_relaxed. Sharded
                          metrics and block claiming need atomicity, never
@@ -45,9 +49,20 @@ HOT_ATOMIC_FILES = ("src/obs/metrics.hpp", "src/parallel/")
 # Directories whose std::pow calls sit inside per-interaction loops.
 POW_HOT_DIRS = ("src/core/", "src/multipole/")
 
-# Headers that *define* TraceSpan / ScopedTimer; their constructor
-# declarations are not call sites.
-SPAN_DEFINING_FILES = ("src/obs/trace.hpp", "src/util/timer.hpp")
+# Exempt from span-registry: the registry itself, the headers that *define*
+# TraceSpan / ScopedTimer (constructor declarations are not call sites), and
+# parallel_for's implementation, which forwards its caller's trace_name and
+# supplies the registry fallback for anonymous sweeps.
+SPAN_EXEMPT_FILES = ("src/obs/spans.hpp", "src/obs/trace.hpp", "src/util/timer.hpp",
+                     "src/parallel/parallel_for.hpp", "src/parallel/parallel_for.cpp")
+
+# The central span registry and the shape of its entries.
+SPAN_REGISTRY = "src/obs/spans.hpp"
+REGISTRY_CONST_RE = re.compile(r"\bconstexpr\s+const\s+char\*\s+(k\w+)\s*=\s*\"([^\"]*)\"")
+
+# An acceptable span-name argument: a qualified reference to a registry
+# constant (obs::span::kFoo, span::kFoo, treecode::obs::span::kFoo).
+SPAN_CONST_RE = re.compile(r"(?:\w+\s*::\s*)*span\s*::\s*(k\w+)")
 
 ATOMIC_OP_RE = re.compile(
     r"\.(?:fetch_add|fetch_sub|fetch_or|fetch_and|load|store|exchange|"
@@ -60,6 +75,7 @@ ALLOC_CALL_RE = re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\(")
 POW_RE = re.compile(r"\bstd::pow\s*\(")
 SPAN_RE = re.compile(r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s+\w+\s*(\()|"
                      r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s*(\()")
+PARALLEL_FOR_RE = re.compile(r"\bparallel_for(?:_blocked)?\s*(\()")
 
 EVAL_ENTRY_RE = re.compile(
     r"\bEvalResult\s+(?:\w+::)?evaluate\w*\s*\(|\b(\w+Evaluator)::\1\s*\(|"
@@ -112,30 +128,66 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
-def extract_first_arg(code: str, open_paren: int) -> str:
-    """Return the text of the first argument of the call whose '(' is at
-    open_paren, up to the matching top-level ',' or ')'."""
+def extract_args(code: str, open_paren: int) -> list[str]:
+    """Split the call whose '(' is at open_paren into its top-level argument
+    texts. Tracks (), [] and {} so lambda bodies and brace-init lists do not
+    fool the comma split (comments and strings are already blanked)."""
     depth = 0
-    i = open_paren
+    args: list[str] = []
     start = open_paren + 1
+    i = open_paren
     while i < len(code):
         c = code[i]
-        if c == "(":
+        if c in "([{":
             depth += 1
-        elif c == ")":
+        elif c in ")]}":
             depth -= 1
             if depth == 0:
-                return code[start:i]
+                args.append(code[start:i])
+                return args
         elif c == "," and depth == 1:
-            return code[start:i]
+            args.append(code[start:i])
+            start = i + 1
         i += 1
-    return code[start:]
+    args.append(code[start:])
+    return args
+
+
+def extract_first_arg(code: str, open_paren: int) -> str:
+    """Return the text of the first argument of the call whose '(' is at
+    open_paren."""
+    return extract_args(code, open_paren)[0]
 
 
 class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[tuple[Path, int, str, str]] = []
+        self.span_names: set[str] = set()
+        self._load_span_registry()
+
+    def _load_span_registry(self) -> None:
+        """Parse src/obs/spans.hpp into the set of known constants, flagging
+        two constants that alias the same span string (which would silently
+        merge unrelated phases in every trace and report)."""
+        registry = self.root / SPAN_REGISTRY
+        if not registry.is_file():
+            self.findings.append((registry, 1, "span-registry",
+                                  "span registry header missing"))
+            return
+        raw = registry.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+        seen: dict[str, str] = {}
+        for m in REGISTRY_CONST_RE.finditer(raw):
+            name, value = m.group(1), m.group(2)
+            self.span_names.add(name)
+            lineno = raw.count("\n", 0, m.start()) + 1
+            if value in seen:
+                self.report(registry, lineno, "span-registry",
+                            f"{name} duplicates span string {value!r} "
+                            f"already used by {seen[value]}", raw_lines)
+            else:
+                seen[value] = name
 
     def report(self, path: Path, lineno: int, rule: str, message: str,
                raw_lines: list[str]) -> None:
@@ -196,15 +248,33 @@ class Linter:
                                 f"std::pow with integer exponent `{exponent}` in a hot "
                                 "kernel; use ipow() from multipole/ipow.hpp", raw_lines)
 
-        for m in SPAN_RE.finditer(code) if rel not in SPAN_DEFINING_FILES else ():
-            paren = m.start(1) if m.group(1) else m.start(2)
-            first = extract_first_arg(code, paren).strip()
-            # Strings were blanked to \x01...\x01 markers; a literal first
-            # argument is exactly one marker pair.
-            if not re.fullmatch(r"\x01[^\x01]*\x01", first):
-                self.report(path, line_of(m.start()), "trace-span-literal",
-                            "TraceSpan/ScopedTimer name must be a string literal",
-                            raw_lines)
+        def check_span_arg(arg: str, offset: int, context: str) -> None:
+            m = SPAN_CONST_RE.fullmatch(arg.strip())
+            if m is None:
+                self.report(path, line_of(offset), "span-registry",
+                            f"{context} must be a span-registry constant "
+                            "(obs::span::kFoo from src/obs/spans.hpp)", raw_lines)
+            elif self.span_names and m.group(1) not in self.span_names:
+                self.report(path, line_of(offset), "span-registry",
+                            f"{context} references span::{m.group(1)}, which is "
+                            "not defined in src/obs/spans.hpp", raw_lines)
+
+        if rel not in SPAN_EXEMPT_FILES:
+            for m in SPAN_RE.finditer(code):
+                paren = m.start(1) if m.group(1) else m.start(2)
+                check_span_arg(extract_first_arg(code, paren), m.start(),
+                               "TraceSpan/ScopedTimer name")
+            for m in PARALLEL_FOR_RE.finditer(code):
+                args = extract_args(code, m.start(1))
+                last = args[-1].strip() if args else ""
+                # The trace name is the optional trailing argument after the
+                # cancellation token. An omitted name (lambda body, token, or
+                # nullptr in trailing position) falls back to the registry's
+                # kParallelFor; only a name-shaped trailing argument — a raw
+                # string literal (blanked to \x01...\x01 markers) or a
+                # span-constant reference — is checked.
+                if re.fullmatch(r"\x01[^\x01]*\x01", last) or SPAN_CONST_RE.fullmatch(last):
+                    check_span_arg(last, m.start(), "parallel_for trace name")
 
         if rel == HOT_ATOMIC_FILES[0] or rel.startswith(HOT_ATOMIC_FILES[1]):
             for m in ATOMIC_OP_RE.finditer(code):

@@ -3,7 +3,8 @@
 
 Stdlib only (no jsonschema dependency): implements the subset of JSON Schema
 the bench-report schema actually uses — type, const, required, properties,
-items, additionalProperties.
+items, additionalProperties, $ref (to #/$defs/... within the same document),
+and oneOf (used to accept both treecode-bench-report/v1 and /v2).
 
 Usage: validate_report.py REPORT.json [SCHEMA.json]
 Exit status 0 on success, 1 with a path-qualified message on the first error.
@@ -32,8 +33,33 @@ def _type_ok(value, name):
     return isinstance(value, _TYPES[name])
 
 
-def validate(value, schema, path="$"):
+def _resolve_ref(ref, root):
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only same-document refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, path="$", root=None):
     """Return a list of error strings (empty when the value conforms)."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        return validate(value, _resolve_ref(schema["$ref"], root), path, root)
+    if "oneOf" in schema:
+        branch_errors = []
+        for branch in schema["oneOf"]:
+            errors = validate(value, branch, path, root)
+            if not errors:
+                return []
+            branch_errors.append(errors)
+        # No branch matched; report the branch that got furthest (fewest
+        # errors) so a near-miss v2 report complains about its actual
+        # problem, not about not being v1.
+        best = min(branch_errors, key=len)
+        return [f"{path}: no oneOf branch matched; closest branch errors:"] + best
     errors = []
     if "const" in schema and value != schema["const"]:
         errors.append(f"{path}: expected constant {schema['const']!r}, got {value!r}")
@@ -52,12 +78,12 @@ def validate(value, schema, path="$"):
         extra = schema.get("additionalProperties")
         for key, sub in value.items():
             if key in props:
-                errors.extend(validate(sub, props[key], f"{path}.{key}"))
+                errors.extend(validate(sub, props[key], f"{path}.{key}", root))
             elif isinstance(extra, dict):
-                errors.extend(validate(sub, extra, f"{path}.{key}"))
+                errors.extend(validate(sub, extra, f"{path}.{key}", root))
     if isinstance(value, list) and isinstance(schema.get("items"), dict):
         for i, sub in enumerate(value):
-            errors.extend(validate(sub, schema["items"], f"{path}[{i}]"))
+            errors.extend(validate(sub, schema["items"], f"{path}[{i}]", root))
     return errors
 
 

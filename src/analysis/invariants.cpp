@@ -9,6 +9,7 @@
 
 #include "engine/eval_plan.hpp"
 #include "multipole/error_bounds.hpp"
+#include "obs/recorder.hpp"
 #include "multipole/harmonics.hpp"
 #include "multipole/operators.hpp"
 
@@ -59,7 +60,12 @@ InvariantError::InvariantError(const InvariantReport& report)
     : std::logic_error(report.summary()), report_(report) {}
 
 void require(const InvariantReport& report, const char* context) {
+  obs::recorder::record(obs::recorder::Category::kInvariant, context,
+                        static_cast<double>(report.violations.size()));
   if (!report.ok()) {
+    // Dump the flight record before the unwind destroys the evaluation
+    // state the events describe.
+    obs::recorder::trigger(std::string("invariant failure: ") + context);
     InvariantReport prefixed = report;
     for (auto& v : prefixed.violations) v = std::string(context) + ": " + v;
     throw InvariantError(prefixed);

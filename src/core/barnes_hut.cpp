@@ -11,9 +11,12 @@
 #include "analysis/invariants.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
+#include "obs/audit.hpp"
 #include "obs/instrument.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 #include "util/validate.hpp"
 
 namespace treecode {
@@ -46,6 +49,8 @@ struct BarnesHutEvaluator::ThreadAccumulator {
   obs::LevelCounts m2p_by_level{};
   obs::LevelCounts p2p_by_level{};
   obs::DegreeCounts degree_used{};
+  /// Thread-private top-K audit reservoir (capacity 0 unless auditing).
+  obs::audit::Reservoir audit;
 };
 
 BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& config,
@@ -62,7 +67,7 @@ BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& confi
   }
   charges_ = sorted_charges.empty() ? std::span<const double>(tree_.charges())
                                     : sorted_charges;
-  const ScopedTimer phase_timer("time.bh_p2m", &build_seconds_);
+  const ScopedTimer phase_timer(obs::span::kBhP2m, &build_seconds_);
   const auto& nodes = tree_.nodes();
   multipoles_.resize(nodes.size());
   const auto& pos = tree_.positions();
@@ -80,7 +85,7 @@ BarnesHutEvaluator::BarnesHutEvaluator(const Tree& tree, const EvalConfig& confi
                  [&](std::size_t b, std::size_t e, unsigned) {
                    for (std::size_t i = b; i < e; ++i) build_node(i);
                  },
-                 nullptr, "bh.p2m.worker");
+                 nullptr, obs::span::kBhP2mWorker);
   } else {
     for (std::size_t i = 0; i < nodes.size(); ++i) build_node(i);
   }
@@ -119,6 +124,11 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
   const double budget = config_.error_budget;
   const bool want_grad = config_.compute_gradient;
   const bool want_bounds = config_.track_error_bounds || enforce;
+  // Audit target indices are sorted-order point indices in both self and
+  // external mode, so a self evaluation and an evaluate_at over the sorted
+  // positions audit identical interactions.
+  const bool auditing = config_.audit_samples > 0;
+  const bool want_thm1 = want_bounds || auditing;
   result.potential.assign(out_n, 0.0);
   if (want_grad) result.gradient.assign(out_n, Vec3{});
   if (want_bounds) result.error_bound.assign(out_n, 0.0);
@@ -139,9 +149,12 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
   std::vector<Vec3> grad(want_grad ? n : 0, Vec3{});
   std::vector<double> bound(want_bounds ? n : 0, 0.0);
   std::vector<ThreadAccumulator> acc(pool.width());
+  if (auditing) {
+    for (auto& a : acc) a.audit.set_capacity(config_.audit_samples);
+  }
 
   {
-    const ScopedTimer phase_timer("time.bh_traverse", &result.stats.eval_seconds);
+    const ScopedTimer phase_timer(obs::span::kBhTraverse, &result.stats.eval_seconds);
     result.stats.work = parallel_for_blocked(
       pool, n, config_.block_size,
       [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
@@ -158,6 +171,11 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
           double my_phi = 0.0;
           double my_bound = 0.0;
           Vec3 my_grad{};
+          // Per-target acceptance ordinal: combined with the target index it
+          // keys the audit sampling, and both are schedule-independent (the
+          // DFS visit order per target is fixed), so the sampled set is
+          // bitwise identical across thread counts and block sizes.
+          std::uint64_t audit_ord = 0;
           stack.clear();
           stack.push_back(0);
           while (!stack.empty()) {
@@ -170,7 +188,7 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
             // Theorem 1 with the actual cluster radius and distance —
             // rigorous and tighter than the alpha-form of Theorem 2.
             double thm1 = 0.0;
-            if (approximate && want_bounds) {
+            if (approximate && want_thm1) {
               thm1 = multipole_error_bound(node.abs_charge, node.radius, r,
                                            degrees_.degree[static_cast<std::size_t>(ni)]);
               // Budget enforcement: if approximating this cluster would
@@ -185,16 +203,35 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
             }
             if (approximate) {
               const MultipoleExpansion& m = multipoles_[static_cast<std::size_t>(ni)];
+              double contribution;
               if (want_grad) {
                 const PotentialGrad pg = m2p_grad(m, node.center, x);
-                my_phi += pg.potential;
+                contribution = pg.potential;
                 my_grad += pg.gradient;
               } else {
-                my_phi += m2p(m, node.center, x);
+                contribution = m2p(m, node.center, x);
               }
+              my_phi += contribution;
               a.terms += static_cast<std::uint64_t>(m.term_count());
               ++a.m2p;
               const int deg = m.degree();
+              if (auditing) {
+                obs::audit::Sample s;
+                s.key = obs::audit::sample_key(config_.audit_seed, i, audit_ord);
+                s.target = i;
+                s.node = ni;
+                s.level = node.level;
+                s.degree = deg;
+                s.abs_charge = node.abs_charge;
+                s.approx = contribution;
+                s.bound = thm1;
+                // Scale of the cluster's potential at x, for the rounding
+                // floor that separates truncation error from FP noise.
+                s.noise_scale =
+                    r > node.radius ? node.abs_charge / (r - node.radius) : 0.0;
+                a.audit.offer(s);
+              }
+              ++audit_ord;
               a.min_deg = std::min(a.min_deg, deg);
               a.max_deg = std::max(a.max_deg, deg);
               obs::count_slot(a.degree_used, deg);
@@ -226,6 +263,9 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
           // (parallel_for cancels the remaining blocks) instead of
           // returning garbage.
           if (!std::isfinite(my_phi)) {
+            obs::recorder::record(obs::recorder::Category::kNonFinite,
+                                  "bh.nonfinite_potential", static_cast<double>(i));
+            obs::recorder::trigger("bh: non-finite potential");
             throw std::runtime_error(
                 "BarnesHutEvaluator: non-finite potential at evaluation point " +
                 std::to_string(i));
@@ -236,7 +276,7 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
         }
         return (a.terms + a.p2p) - terms_before;  // cost of this block
       },
-      nullptr, "bh.traverse.worker");
+      nullptr, obs::span::kBhTraverseWorker);
   }
 
   // Merge per-thread accumulators into the result stats and flush the
@@ -270,6 +310,34 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
     // budget demoted everything to P2P): no degree was used.
     result.stats.min_degree_used = 0;
     result.stats.max_degree_used = 0;
+  }
+
+  if (auditing) {
+    // Gather the thread-private reservoirs (thread order is irrelevant:
+    // merge() selects and sorts by the samples alone) and audit the global
+    // K winners against exact P2P partial sums. Multipole-approximated
+    // interactions are unsoftened, so the exact comparator is too.
+    std::vector<obs::audit::Reservoir> reservoirs;
+    reservoirs.reserve(acc.size());
+    for (auto& a : acc) reservoirs.push_back(std::move(a.audit));
+    const std::vector<obs::audit::Sample> winners =
+        obs::audit::merge(reservoirs, config_.audit_samples);
+    const obs::audit::Summary summary = obs::audit::finalize(
+        winners, [&](const obs::audit::Sample& s) {
+          const TreeNode& node = nodes[static_cast<std::size_t>(s.node)];
+          return p2p(points[s.target],
+                     std::span<const Vec3>(pos.data() + node.begin, node.count()),
+                     std::span<const double>(q.data() + node.begin, node.count()),
+                     /*softening2=*/0.0);
+        });
+    result.stats.audit_samples = summary.samples;
+    result.stats.audit_bound_violations = summary.bound_violations;
+    result.stats.audit_max_tightness = summary.max_tightness;
+    result.stats.audit_mean_tightness = summary.mean_tightness;
+  }
+  if (result.stats.budget_refinements > 0) {
+    obs::recorder::record(obs::recorder::Category::kBudget, "bh.budget_refinements",
+                          static_cast<double>(result.stats.budget_refinements));
   }
 
   obs::Registry& reg = obs::registry();

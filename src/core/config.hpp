@@ -110,6 +110,20 @@ struct EvalConfig {
   /// Implies error-bound tracking; EvalResult::error_bound is filled.
   bool enforce_budget = false;
 
+  /// Audit sampling: when > 0, deterministically sample this many accepted
+  /// M2P interactions per evaluation, recompute each sampled cluster's
+  /// exact P2P partial sum, and record observed-error / Theorem-1-bound
+  /// tightness ratios into the metrics registry (see obs/audit.hpp). The
+  /// sample set is bitwise identical across thread counts and block sizes.
+  /// Supported by the Barnes-Hut evaluator and EvalSession replay; the FMM
+  /// ignores it (M2L error is not attributable to single particle-cluster
+  /// interactions). 0 (default) compiles down to a predicted branch.
+  std::size_t audit_samples = 0;
+
+  /// Seed for the audit's counter-based sampling keys. Two runs with the
+  /// same seed audit the same interactions; vary it to sample fresh ones.
+  std::uint64_t audit_seed = 0;
+
   /// Sanity-check the configuration; throws std::invalid_argument on the
   /// first violated invariant. Called by the evaluators on entry so a bad
   /// alpha or budget fails loudly instead of producing silent garbage.
@@ -164,6 +178,13 @@ struct EvalStats {
   int min_degree_used = 0;
   int max_degree_used = 0;
   double reference_charge = 0.0;      ///< the A_ref actually used
+  /// Audit outcome (all 0 unless EvalConfig::audit_samples > 0): sampled
+  /// interaction count, Theorem-1 violations among them, and the largest /
+  /// mean observed-error-to-bound tightness ratio (finite ratios only).
+  std::uint64_t audit_samples = 0;
+  std::uint64_t audit_bound_violations = 0;
+  double audit_max_tightness = 0.0;
+  double audit_mean_tightness = 0.0;
   WorkStats work;                     ///< per-thread work for speedup models
 };
 

@@ -10,6 +10,7 @@
 #include "obs/instrument.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 #include "util/validate.hpp"
 
 namespace treecode {
@@ -29,7 +30,7 @@ DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalC
   if (!all_finite(moments_)) {
     throw std::invalid_argument("DipoleBarnesHutEvaluator: non-finite dipole moment");
   }
-  const ScopedTimer build_phase("time.dipole_bh_p2m");
+  const ScopedTimer build_phase(obs::span::kDipoleBhP2m);
   const auto& nodes = tree_.nodes();
   multipoles_.resize(nodes.size());
   const auto& pos = tree_.positions();
@@ -46,7 +47,7 @@ DipoleBarnesHutEvaluator::DipoleBarnesHutEvaluator(const Tree& tree, const EvalC
                  [&](std::size_t b, std::size_t e, unsigned) {
                    for (std::size_t i = b; i < e; ++i) build_node(i);
                  },
-                 nullptr, "dipole_bh.p2m.worker");
+                 nullptr, obs::span::kDipoleBhP2mWorker);
   } else {
     for (std::size_t i = 0; i < nodes.size(); ++i) build_node(i);
   }
@@ -72,7 +73,7 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
   std::vector<int> max_deg(pool.width(), -1);
 
   {
-  const ScopedTimer eval_phase("time.dipole_bh_traverse", &result.stats.eval_seconds);
+  const ScopedTimer eval_phase(obs::span::kDipoleBhTraverse, &result.stats.eval_seconds);
   result.stats.work = parallel_for_blocked(
       pool, n, config_.block_size,
       [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
@@ -112,7 +113,7 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
         }
         return cost;
       },
-      nullptr, "dipole_bh.traverse.worker");
+      nullptr, obs::span::kDipoleBhTraverseWorker);
   }
   int used_min = std::numeric_limits<int>::max();
   int used_max = -1;

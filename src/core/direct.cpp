@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 #include "util/validate.hpp"
 
 namespace treecode {
@@ -28,7 +29,7 @@ EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
   const std::span<const Vec3> src_pos(ps.positions());
   const std::span<const double> src_q(ps.charges());
   {
-    const ScopedTimer eval_phase("time.direct_eval", &result.stats.eval_seconds);
+    const ScopedTimer eval_phase(obs::span::kDirectEval, &result.stats.eval_seconds);
     result.stats.work = parallel_for_blocked(
         pool, n, 128,
         [&](std::size_t b, std::size_t e, unsigned) -> std::uint64_t {
@@ -44,7 +45,7 @@ EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
           }
           return (e - b) * ps.size();
         },
-        nullptr, "direct.eval.worker");
+        nullptr, obs::span::kDirectEvalWorker);
   }
   result.stats.p2p_pairs = static_cast<std::uint64_t>(n) * ps.size();
   obs::registry().counter("direct.p2p_pairs").add(result.stats.p2p_pairs);

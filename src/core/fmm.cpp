@@ -12,6 +12,7 @@
 #include "obs/instrument.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 
 namespace treecode {
 
@@ -106,7 +107,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   // ---- Upward pass: per-node P2M (see barnes_hut.hpp for why not M2M).
   std::vector<MultipoleExpansion> multipole(tree.num_nodes());
   {
-    const ScopedTimer phase("time.fmm_p2m", &result.stats.build_seconds);
+    const ScopedTimer phase(obs::span::kFmmP2m, &result.stats.build_seconds);
     parallel_for(pool, tree.num_nodes(), 8,
                  [&](std::size_t b, std::size_t e, unsigned) {
                    for (std::size_t i = b; i < e; ++i) {
@@ -119,7 +120,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
                          multipole[i]);
                    }
                  },
-                 nullptr, "fmm.p2m.worker");
+                 nullptr, obs::span::kFmmP2mWorker);
   }
 
   Timer eval_timer;
@@ -130,7 +131,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   trav.lists.m2l_sources.resize(tree.num_nodes());
   trav.lists.p2p_sources.resize(tree.num_nodes());
   {
-    const ScopedTimer phase("time.fmm_traverse");
+    const ScopedTimer phase(obs::span::kFmmTraverse);
     trav.traverse(0, 0);
   }
 
@@ -140,7 +141,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   std::vector<ThreadStats> tstats(pool.width());
   const auto& m2l_targets = trav.lists.m2l_targets;
   {
-    const ScopedTimer phase("time.fmm_m2l");
+    const ScopedTimer phase(obs::span::kFmmM2l);
     parallel_for(pool, m2l_targets.size(), 1,
                  [&](std::size_t b, std::size_t e, unsigned t) {
       for (std::size_t k = b; k < e; ++k) {
@@ -176,7 +177,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
         }
       }
     },
-                 nullptr, "fmm.m2l.worker");
+                 nullptr, obs::span::kFmmM2lWorker);
   }
 
   // ---- Downward pass: L2L level by level (parents of level L-1 are final
@@ -189,7 +190,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
     by_level[static_cast<std::size_t>(tree.node(i).level)].push_back(static_cast<int>(i));
   }
   {
-  const ScopedTimer downward_phase("time.fmm_downward");
+  const ScopedTimer downward_phase(obs::span::kFmmDownward);
   for (const auto& level_nodes : by_level) {
     parallel_for(pool, level_nodes.size(), 4, [&](std::size_t b, std::size_t e, unsigned t) {
       for (std::size_t k = b; k < e; ++k) {
@@ -231,14 +232,14 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
           }
         }
       }
-    }, nullptr, "fmm.downward.worker");
+    }, nullptr, obs::span::kFmmDownwardWorker);
   }
   }
 
   // ---- P2P phase: parallel over target leaves.
   const auto& p2p_targets = trav.lists.p2p_targets;
   {
-  const ScopedTimer p2p_phase("time.fmm_p2p");
+  const ScopedTimer p2p_phase(obs::span::kFmmP2p);
   parallel_for(pool, p2p_targets.size(), 1, [&](std::size_t b, std::size_t e, unsigned t) {
     for (std::size_t k = b; k < e; ++k) {
       const int a = p2p_targets[k];
@@ -262,7 +263,7 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
         obs::count_slot(s.p2p_by_level, ta.level, pairs);
       }
     }
-  }, nullptr, "fmm.p2p.worker");
+  }, nullptr, obs::span::kFmmP2pWorker);
   }
   result.stats.eval_seconds = eval_timer.seconds();
 

@@ -10,9 +10,12 @@
 #include "analysis/invariants.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
+#include "obs/audit.hpp"
 #include "obs/instrument.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 #include "util/validate.hpp"
 
 namespace treecode::engine {
@@ -158,7 +161,7 @@ std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> 
     plan->skipped_targets.push_back(static_cast<std::uint32_t>(idx));
   }
 
-  const ScopedTimer phase_timer("time.engine_compile", &plan->compile_seconds);
+  const ScopedTimer phase_timer(obs::span::kEngineCompile, &plan->compile_seconds);
 
   const std::size_t n = targets.size();
   const auto& nodes = tree_.nodes();
@@ -239,7 +242,7 @@ std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> 
           }
           return (a.terms + a.p2p) - terms_before;
         },
-        nullptr, "engine.compile.worker");
+        nullptr, obs::span::kEngineCompileWorker);
   }
 
   // Serial flatten into the plan's replay layout.
@@ -321,7 +324,7 @@ std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> 
             }
             return filled;
           },
-          nullptr, "engine.compile.worker");
+          nullptr, obs::span::kEngineCompileWorker);
     } else {
       plan->basis_offset.clear();
     }
@@ -437,7 +440,7 @@ void EvalSession::ensure_refreshed(const EvalPlan& plan) {
         [&](std::size_t b, std::size_t e, unsigned) {
           for (std::size_t k = b; k < e; ++k) refresh_node(k);
         },
-        nullptr, "engine.refresh.worker");
+        nullptr, obs::span::kEngineRefreshWorker);
   } else {
     for (std::size_t k = 0; k < stale_.size(); ++k) refresh_node(k);
   }
@@ -463,7 +466,7 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
   if (n == 0 || tree_.num_particles() == 0) return result;
 
   {
-    const ScopedTimer refresh_timer("time.engine_refresh", &result.stats.build_seconds);
+    const ScopedTimer refresh_timer(obs::span::kEngineRefresh, &result.stats.build_seconds);
     ensure_refreshed(plan);
   }
 
@@ -472,22 +475,31 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
   const auto& q = sorted_charges_;
   const double softening2 = config_.softening * config_.softening;
   const bool have_basis = !plan.basis_offset.empty();
+  // Replay audits mirror the fresh traversal exactly: M2P entries appear in
+  // the plan in per-target DFS acceptance order, so the (target, ordinal)
+  // sampling keys — and therefore the audited interactions and their
+  // bitwise contributions — match a fresh evaluation over the same targets.
+  const bool auditing = config_.audit_samples > 0;
+  const bool have_entry_bounds = !plan.entry_bounds.empty();
 
   std::vector<double> phi(n, 0.0);
   std::vector<Vec3> grad(want_grad ? n : 0, Vec3{});
   std::vector<double> bound(want_bounds ? n : 0, 0.0);
+  std::vector<obs::audit::Reservoir> reservoirs(auditing ? pool_.width() : 0);
+  for (auto& r : reservoirs) r.set_capacity(config_.audit_samples);
 
   {
-    const ScopedTimer phase_timer("time.engine_replay", &result.stats.eval_seconds);
+    const ScopedTimer phase_timer(obs::span::kEngineReplay, &result.stats.eval_seconds);
     result.stats.work = parallel_for_blocked(
         pool_, n, config_.block_size,
-        [&](std::size_t block_begin, std::size_t block_end, unsigned) -> std::uint64_t {
+        [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
           std::uint64_t cost = 0;
           for (std::size_t i = block_begin; i < block_end; ++i) {
             const Vec3 x = plan.targets[i];
             double my_phi = 0.0;
             double my_bound = 0.0;
             Vec3 my_grad{};
+            std::uint64_t audit_ord = 0;
             const std::uint64_t begin = plan.offsets[i];
             const std::uint64_t end = plan.offsets[i + 1];
             for (std::uint64_t idx = begin; idx < end; ++idx) {
@@ -506,21 +518,50 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
                 }
               } else {
                 const MultipoleExpansion& m = multipoles_[nu];
+                double contribution;
                 if (want_grad) {
                   const PotentialGrad pg = m2p_grad(m, node.center, x);
-                  my_phi += pg.potential;
+                  contribution = pg.potential;
                   my_grad += pg.gradient;
                 } else {
                   const std::uint64_t off =
                       have_basis ? plan.basis_offset[idx] : EvalPlan::kNoBasis;
-                  my_phi += off != EvalPlan::kNoBasis
-                                ? m2p_apply_basis(m, plan.basis.data() + off)
-                                : m2p(m, node.center, x);
+                  contribution = off != EvalPlan::kNoBasis
+                                     ? m2p_apply_basis(m, plan.basis.data() + off)
+                                     : m2p(m, node.center, x);
                 }
+                my_phi += contribution;
                 if (want_bounds) my_bound += plan.entry_bounds[idx];
+                if (auditing) {
+                  obs::audit::Sample s;
+                  s.key = obs::audit::sample_key(config_.audit_seed, i, audit_ord);
+                  s.target = i;
+                  s.node = EvalPlan::node_of(e);
+                  s.level = node.level;
+                  s.degree = m.degree();
+                  s.abs_charge = node.abs_charge;
+                  s.approx = contribution;
+                  // Plans compiled without bound tracking carry no per-entry
+                  // bounds; recompute Theorem 1 with the same arguments the
+                  // fresh traversal uses so audits stay bitwise comparable.
+                  const double r_audit = distance(x, node.center);
+                  s.bound = have_entry_bounds
+                                ? plan.entry_bounds[idx]
+                                : multipole_error_bound(node.abs_charge, node.radius,
+                                                        r_audit, degrees_.degree[nu]);
+                  s.noise_scale = r_audit > node.radius
+                                      ? node.abs_charge / (r_audit - node.radius)
+                                      : 0.0;
+                  reservoirs[t].offer(s);
+                }
+                ++audit_ord;
               }
             }
             if (!std::isfinite(my_phi)) {
+              obs::recorder::record(obs::recorder::Category::kNonFinite,
+                                    "engine.nonfinite_potential",
+                                    static_cast<double>(i));
+              obs::recorder::trigger("engine: non-finite potential");
               throw std::runtime_error(
                   "EvalSession: non-finite potential at evaluation point " +
                   std::to_string(i));
@@ -532,7 +573,24 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
           }
           return cost;
         },
-        nullptr, "engine.replay.worker");
+        nullptr, obs::span::kEngineReplayWorker);
+  }
+
+  if (auditing) {
+    const std::vector<obs::audit::Sample> winners =
+        obs::audit::merge(reservoirs, config_.audit_samples);
+    const obs::audit::Summary summary = obs::audit::finalize(
+        winners, [&](const obs::audit::Sample& s) {
+          const TreeNode& node = nodes[static_cast<std::size_t>(s.node)];
+          return p2p(plan.targets[s.target],
+                     std::span<const Vec3>(pos.data() + node.begin, node.count()),
+                     std::span<const double>(q.data() + node.begin, node.count()),
+                     /*softening2=*/0.0);
+        });
+    result.stats.audit_samples = summary.samples;
+    result.stats.audit_bound_violations = summary.bound_violations;
+    result.stats.audit_max_tightness = summary.max_tightness;
+    result.stats.audit_mean_tightness = summary.mean_tightness;
   }
 
   obs::Registry& reg = obs::registry();

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace treecode::engine {
 
 namespace {
@@ -45,6 +47,8 @@ void PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
   }
   while (plans_.size() >= capacity_) {
     by_key_.erase(plans_.back()->key);
+    obs::recorder::record(obs::recorder::Category::kEviction, "plan_cache.evict",
+                          static_cast<double>(plans_.back()->memory_bytes()));
     plans_.pop_back();
     ++evictions_;
   }

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 
 namespace treecode {
 
@@ -71,7 +72,7 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
   if (b.size() != n || x.size() != n) throw std::invalid_argument("gmres: size mismatch");
   const int m = options.restart > 0 ? options.restart : 10;
 
-  const ScopedTimer solve_phase("time.gmres_solve");
+  const ScopedTimer solve_phase(obs::span::kGmresSolve);
   // Resolved once: append/increment below happen at iteration granularity.
   obs::Series& residual_series = obs::registry().series("gmres.residual");
   obs::Counter& iteration_counter = obs::registry().counter("gmres.iterations");
@@ -111,7 +112,7 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
   // subspace and make no further progress.
   while (result.iterations < options.max_iterations && !stagnated &&
          !result.happy_breakdown) {
-    const obs::TraceSpan cycle_span("gmres.cycle");
+    const obs::TraceSpan cycle_span(obs::span::kGmresCycle);
     // r = b - A x
     A.apply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];

@@ -190,6 +190,22 @@ class Parser {
   }
 
  private:
+  /// Containers may nest at most this deep. The parser recurses once per
+  /// nesting level, so without a cap a pathological input like 100k '['
+  /// characters overflows the stack instead of throwing; 512 levels is far
+  /// beyond any report the library emits.
+  static constexpr int kMaxDepth = 512;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) parser.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("Json::parse: " + what + " at byte " + std::to_string(pos_));
   }
@@ -221,8 +237,14 @@ class Parser {
   Json parse_value() {
     skip_ws();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(*this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(*this);
+        return parse_array();
+      }
       case '"': return Json(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -360,6 +382,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

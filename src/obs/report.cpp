@@ -1,8 +1,12 @@
 #include "obs/report.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace treecode::obs {
@@ -18,6 +22,9 @@ std::vector<std::string>& warning_list() {
 }  // namespace
 
 void warn(std::string message) {
+  // The recorder only keeps static labels; the message text itself is in
+  // the warning sink, the event just timestamps that *a* warning fired.
+  recorder::record(recorder::Category::kWarning, "obs.warn", 0.0);
   std::lock_guard lock(g_warnings_mutex);
   auto& list = warning_list();
   if (std::find(list.begin(), list.end(), message) == list.end()) {
@@ -76,6 +83,41 @@ Json spans_json() {
   return arr;
 }
 
+// ---- provenance ------------------------------------------------------------
+
+Json provenance_json() {
+  Json p = Json::object();
+  const char* sha = std::getenv("TREECODE_GIT_SHA");
+  p["git_sha"] = (sha != nullptr && *sha != '\0') ? sha : "unknown";
+#if defined(__VERSION__)
+  p["compiler"] = __VERSION__;
+#else
+  p["compiler"] = "unknown";
+#endif
+#if defined(NDEBUG)
+  p["assertions"] = false;
+#else
+  p["assertions"] = true;
+#endif
+#if defined(TREECODE_TRACING_ENABLED)
+  p["tracing"] = true;
+#else
+  p["tracing"] = false;
+#endif
+#if defined(TREECODE_CHECK_INVARIANTS)
+  p["invariants"] = true;
+#else
+  p["invariants"] = false;
+#endif
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    p["host"] = host;
+  } else {
+    p["host"] = "unknown";
+  }
+  return p;
+}
+
 // ---- RunReport -------------------------------------------------------------
 
 RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
@@ -86,7 +128,27 @@ Json RunReport::build() const {
   doc["tool"] = tool_;
   doc["config"] = config_;
   doc["results"] = results_;
-  doc["metrics"] = metrics_json(registry().snapshot());
+  doc["provenance"] = provenance_json();
+  const MetricsSnapshot snapshot = registry().snapshot();
+  // Tightness block: only when the audit engine actually sampled something
+  // this process, so non-auditing reports stay v1-shaped plus provenance.
+  const auto counter_it = snapshot.counters.find("audit.samples");
+  if (counter_it != snapshot.counters.end() && counter_it->second > 0) {
+    Json& t = doc["tightness"] = Json::object();
+    t["samples"] = counter_it->second;
+    const auto violations_it = snapshot.counters.find("audit.bound_violations");
+    t["bound_violations"] =
+        violations_it != snapshot.counters.end() ? violations_it->second : 0;
+    const auto max_it = snapshot.gauge_maxima.find("audit.max_tightness");
+    t["max"] = max_it != snapshot.gauge_maxima.end() ? max_it->second : 0.0;
+    const auto hist_it = snapshot.histograms.find("audit.tightness");
+    if (hist_it != snapshot.histograms.end() && hist_it->second.total > 0) {
+      t["mean"] = hist_it->second.sum / static_cast<double>(hist_it->second.total);
+    } else {
+      t["mean"] = 0.0;
+    }
+  }
+  doc["metrics"] = metrics_json(snapshot);
   doc["spans"] = spans_json();
   Json& warn_arr = doc["warnings"] = Json::array();
   for (const std::string& w : warnings()) warn_arr.push_back(w);

@@ -58,8 +58,11 @@ class RunReport {
 
   /// Assemble the full document. Schema (validated by
   /// scripts/validate_report.py against scripts/bench_report_schema.json):
-  ///   {"schema": "treecode-bench-report/v1", "tool": ..., "config": {...},
-  ///    "results": ..., "metrics": {...}, "spans": [...], "warnings": [...]}
+  ///   {"schema": "treecode-bench-report/v2", "tool": ..., "config": {...},
+  ///    "results": ..., "provenance": {...}, "metrics": {...},
+  ///    "spans": [...], "warnings": [...]}
+  /// plus an optional "tightness" block summarizing the audit engine's
+  /// observed-error/bound ratios when any audit ran this process.
   [[nodiscard]] Json build() const;
 
   /// build() and write pretty-printed JSON to `path`.
@@ -71,7 +74,14 @@ class RunReport {
   Json results_ = Json::object();
 };
 
-/// The schema identifier stamped into every report.
-inline constexpr const char* kReportSchema = "treecode-bench-report/v1";
+/// The provenance block stamped into every report: what produced this
+/// measurement (git SHA from $TREECODE_GIT_SHA, compiler, build flags,
+/// host), so a trajectory of BENCH_*.json files stays attributable.
+[[nodiscard]] Json provenance_json();
+
+/// The schema identifier stamped into every report. v2 added the required
+/// "provenance" block and the optional "tightness" block; consumers
+/// (validate_report.py, bench_compare.py) still accept v1.
+inline constexpr const char* kReportSchema = "treecode-bench-report/v2";
 
 }  // namespace treecode::obs

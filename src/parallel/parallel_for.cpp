@@ -5,6 +5,7 @@
 
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 
 namespace treecode {
 
@@ -32,7 +33,7 @@ WorkStats parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t bloc
     // Callers forward string literals per the parallel_for contract; the
     // fallback makes this the one non-literal span site.
     const obs::TraceSpan span(trace_name != nullptr ? trace_name
-                                                    : "parallel_for");  // lint-allow: trace-span-literal
+                                                    : obs::span::kParallelFor);
     Timer timer;
     std::uint64_t my_work = 0;
     while (!token->cancelled()) {

@@ -10,6 +10,7 @@
 #include "geom/morton.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
+#include "obs/spans.hpp"
 
 namespace treecode {
 
@@ -26,7 +27,7 @@ Tree::Tree(const ParticleSystem& ps, const TreeConfig& config) : config_(config)
 }
 
 void Tree::build(const ParticleSystem& ps) {
-  const ScopedTimer build_phase("time.tree_build");
+  const ScopedTimer build_phase(obs::span::kTreeBuild);
   source_size_ = ps.size();
   validation_ = validate_particles(ps.positions(), ps.charges());
   enforce_validation(validation_, config_.validation, "Tree");

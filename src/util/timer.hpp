@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace treecode {
@@ -58,6 +59,7 @@ class ScopedTimer {
     obs::registry()
         .counter(std::string(metric_) + "_ns")
         .add(static_cast<std::uint64_t>(s * 1e9));
+    obs::recorder::record(obs::recorder::Category::kPhase, metric_, s);
   }
 
   ScopedTimer(const ScopedTimer&) = delete;

@@ -98,5 +98,52 @@ TEST(Json, AccessorsThrowOnTypeMismatch) {
   EXPECT_THROW((void)j.as_string(), std::runtime_error);
 }
 
+TEST(Json, NonFiniteRoundTripsAsNullDeterministically) {
+  // Reports and flight records can legitimately contain NaN/Inf (an empty
+  // histogram's mean, an infinite tightness ratio); they must serialize as
+  // null the same way every time, and the result must re-parse.
+  obs::Json j = obs::Json::object();
+  j["nan"] = std::numeric_limits<double>::quiet_NaN();
+  j["inf"] = std::numeric_limits<double>::infinity();
+  j["ninf"] = -std::numeric_limits<double>::infinity();
+  j["ok"] = 2.0;
+  const std::string once = j.dump();
+  EXPECT_EQ(once, j.dump());
+  EXPECT_EQ(once, R"({"nan":null,"inf":null,"ninf":null,"ok":2})");
+  const obs::Json back = obs::Json::parse(once);
+  EXPECT_TRUE(back.at("nan").is_null());
+  EXPECT_TRUE(back.at("inf").is_null());
+  EXPECT_DOUBLE_EQ(back.at("ok").as_double(), 2.0);
+}
+
+TEST(Json, DeeplyNestedWithinLimitParses) {
+  // Real reports nest a few levels; 100 is far beyond anything the bench
+  // tools emit and must still parse on the recursive-descent parser.
+  const int depth = 100;
+  std::string text;
+  for (int i = 0; i < depth; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < depth; ++i) text += "]";
+  obs::Json j = obs::Json::parse(text);
+  for (int i = 0; i < depth; ++i) j = j.at(std::size_t{0});
+  EXPECT_DOUBLE_EQ(j.as_double(), 1.0);
+}
+
+TEST(Json, PathologicallyNestedInputIsRejectedNotStackOverflow) {
+  // A hostile or corrupted file with thousands of open brackets must fail
+  // with a parse error, not exhaust the stack in the recursive parser.
+  std::string arrays(2000, '[');
+  EXPECT_THROW(obs::Json::parse(arrays), std::runtime_error);
+  std::string objects;
+  for (int i = 0; i < 2000; ++i) objects += "{\"k\":";
+  EXPECT_THROW(obs::Json::parse(objects), std::runtime_error);
+  try {
+    obs::Json::parse(arrays);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace treecode

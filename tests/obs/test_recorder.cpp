@@ -1,0 +1,157 @@
+// Flight recorder unit tests: disabled no-op, sequencing, ring wraparound,
+// snapshot JSON shape, and trigger/dump behavior. Concurrent record/snapshot
+// stress lives in tests/parallel/test_stress.cpp (under TSan).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+
+namespace treecode {
+namespace {
+
+namespace rec = obs::recorder;
+
+obs::Json parse_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return obs::Json::parse(text.str());
+}
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rec::reset(); }
+  void TearDown() override { rec::reset(); }
+};
+
+TEST_F(RecorderTest, DisabledRecordIsANoOp) {
+  EXPECT_FALSE(rec::enabled());
+  rec::record(rec::Category::kCustom, "ignored", 1.0);
+  EXPECT_EQ(rec::recorded_count(), 0u);
+  EXPECT_TRUE(rec::events().empty());
+}
+
+TEST_F(RecorderTest, StopFreezesButKeepsEvents) {
+  rec::start();
+  rec::record(rec::Category::kCustom, "kept", 1.0);
+  rec::stop();
+  rec::record(rec::Category::kCustom, "dropped", 2.0);
+  const std::vector<rec::Event> events = rec::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].label, "kept");
+}
+
+TEST_F(RecorderTest, EventsComeBackInSequenceOrderWithPayload) {
+  rec::start();
+  rec::record(rec::Category::kPhase, "phase.one", 0.25);
+  rec::record(rec::Category::kBudget, "budget.demotions", 3.0);
+  rec::record(rec::Category::kEviction, "cache.evict", 1024.0);
+  const std::vector<rec::Event> events = rec::events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+  }
+  EXPECT_EQ(events[0].category, rec::Category::kPhase);
+  EXPECT_DOUBLE_EQ(events[0].value, 0.25);
+  EXPECT_STREQ(events[1].label, "budget.demotions");
+  EXPECT_EQ(events[2].category, rec::Category::kEviction);
+  EXPECT_DOUBLE_EQ(events[2].value, 1024.0);
+}
+
+TEST_F(RecorderTest, CategoryNamesAreStable) {
+  EXPECT_STREQ(rec::category_name(rec::Category::kPhase), "phase");
+  EXPECT_STREQ(rec::category_name(rec::Category::kInvariant), "invariant");
+  EXPECT_STREQ(rec::category_name(rec::Category::kNonFinite), "nonfinite");
+  EXPECT_STREQ(rec::category_name(rec::Category::kAudit), "audit");
+}
+
+TEST_F(RecorderTest, RingWraparoundKeepsTheMostRecentEvents) {
+  rec::start();
+  const std::uint64_t total = rec::kCapacity + 100;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    rec::record(rec::Category::kCustom, "tick", static_cast<double>(i));
+  }
+  EXPECT_EQ(rec::recorded_count(), total);
+  const std::vector<rec::Event> events = rec::events();
+  ASSERT_EQ(events.size(), rec::kCapacity);
+  // The 100 oldest were overwritten; the survivors are contiguous and end
+  // at the last record.
+  EXPECT_EQ(events.front().seq, 100u);
+  EXPECT_EQ(events.back().seq, total - 1);
+  EXPECT_DOUBLE_EQ(events.back().value, static_cast<double>(total - 1));
+}
+
+TEST_F(RecorderTest, ToJsonReportsDropsAndRoundTrips) {
+  rec::start();
+  const std::uint64_t total = rec::kCapacity + 17;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    rec::record(rec::Category::kWarning, "w", 0.0);
+  }
+  const obs::Json doc = rec::to_json("unit test");
+  const obs::Json back = obs::Json::parse(doc.dump());
+  EXPECT_EQ(back.at("schema").as_string(), "treecode-flight-record/v1");
+  EXPECT_EQ(back.at("reason").as_string(), "unit test");
+  EXPECT_EQ(back.at("recorded").as_double(), static_cast<double>(total));
+  EXPECT_EQ(back.at("dropped").as_double(), 17.0);
+  EXPECT_EQ(back.at("events").size(), rec::kCapacity);
+  const obs::Json& first = back.at("events").at(0);
+  EXPECT_EQ(first.at("category").as_string(), "warning");
+  EXPECT_EQ(first.at("label").as_string(), "w");
+}
+
+TEST_F(RecorderTest, TriggerWithoutDumpPathOnlyRecords) {
+  rec::start();
+  rec::trigger("no path configured");
+  EXPECT_EQ(rec::trigger_count(), 0u);
+  const std::vector<rec::Event> events = rec::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].label, "recorder.trigger");
+}
+
+TEST_F(RecorderTest, TriggerDumpsToConfiguredPath) {
+  const std::string path = ::testing::TempDir() + "flight_record_trigger.json";
+  std::remove(path.c_str());
+  rec::start();
+  rec::set_dump_path(path);
+  rec::record(rec::Category::kInvariant, "inv.check", 0.0);
+  rec::trigger("invariant failure: unit test");
+  EXPECT_EQ(rec::trigger_count(), 1u);
+  const obs::Json doc = parse_file(path);
+  EXPECT_EQ(doc.at("schema").as_string(), "treecode-flight-record/v1");
+  EXPECT_EQ(doc.at("reason").as_string(), "invariant failure: unit test");
+  // The snapshot includes both the original event and the trigger marker.
+  EXPECT_EQ(doc.at("events").size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(RecorderTest, DumpWorksWhileDisabled) {
+  rec::start();
+  rec::record(rec::Category::kCustom, "before stop", 1.0);
+  rec::stop();
+  const std::string path = ::testing::TempDir() + "flight_record_disabled.json";
+  std::remove(path.c_str());
+  EXPECT_TRUE(rec::dump(path, "post mortem"));
+  const obs::Json doc = parse_file(path);
+  EXPECT_EQ(doc.at("events").size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(RecorderTest, ResetClearsEverything) {
+  rec::start();
+  rec::record(rec::Category::kCustom, "x", 0.0);
+  rec::reset();
+  EXPECT_FALSE(rec::enabled());
+  EXPECT_EQ(rec::recorded_count(), 0u);
+  EXPECT_TRUE(rec::events().empty());
+  EXPECT_EQ(rec::trigger_count(), 0u);
+}
+
+}  // namespace
+}  // namespace treecode

@@ -16,6 +16,7 @@
 #include "dist/distributions.hpp"
 #include "engine/eval_session.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -278,6 +279,107 @@ TEST_F(EngineStress, ReplayAfterChargeUpdateBitwiseAcrossSchedules) {
     const EvalResult r = session.evaluate_at(pts);
     EXPECT_EQ(r.potential, reference.potential) << "threads=" << threads;
   }
+}
+
+// The audit engine's determinism contract: counter-based sampling keys
+// depend only on (seed, target, per-target acceptance ordinal), so the
+// audited sample set — and every statistic derived from it — must be
+// bitwise identical no matter how targets are partitioned across threads
+// and blocks. Under TSan these also certify the per-thread reservoirs and
+// the merge as race-free.
+TEST_F(EvaluatorStress, AuditBitwiseDeterministicAcrossSchedules) {
+  EvalConfig serial = config(1);
+  serial.audit_samples = 24;
+  serial.audit_seed = 11;
+  const EvalResult reference = evaluate_potentials(tree_, serial, Method::kBarnesHut);
+  ASSERT_EQ(reference.stats.audit_samples, 24u);
+  ASSERT_EQ(reference.stats.audit_bound_violations, 0u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const std::size_t block : {std::size_t{16}, std::size_t{64}}) {
+      EvalConfig cfg = config(threads, block);
+      cfg.audit_samples = 24;
+      cfg.audit_seed = 11;
+      const EvalResult r = evaluate_potentials(tree_, cfg, Method::kBarnesHut);
+      EXPECT_EQ(r.potential, reference.potential)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(r.stats.audit_samples, reference.stats.audit_samples);
+      EXPECT_EQ(r.stats.audit_bound_violations, reference.stats.audit_bound_violations);
+      EXPECT_EQ(r.stats.audit_max_tightness, reference.stats.audit_max_tightness)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(r.stats.audit_mean_tightness, reference.stats.audit_mean_tightness)
+          << "threads=" << threads << " block=" << block;
+    }
+  }
+}
+
+TEST_F(EngineStress, ReplayAuditBitwiseDeterministicAcrossSchedules) {
+  const std::vector<Vec3> pts = targets();
+  EvalConfig serial = config(1);
+  serial.audit_samples = 16;
+  serial.audit_seed = 5;
+  engine::EvalSession ref_session(Tree(tree_), serial);
+  const EvalResult reference = ref_session.evaluate_at(pts);
+  ASSERT_GT(reference.stats.audit_samples, 0u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const std::size_t block : {std::size_t{16}, std::size_t{64}}) {
+      EvalConfig cfg = config(threads, block);
+      cfg.audit_samples = 16;
+      cfg.audit_seed = 5;
+      engine::EvalSession session(Tree(tree_), cfg);
+      const EvalResult r = session.evaluate_at(pts);
+      EXPECT_EQ(r.potential, reference.potential)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(r.stats.audit_samples, reference.stats.audit_samples);
+      EXPECT_EQ(r.stats.audit_max_tightness, reference.stats.audit_max_tightness)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(r.stats.audit_mean_tightness, reference.stats.audit_mean_tightness)
+          << "threads=" << threads << " block=" << block;
+    }
+  }
+}
+
+TEST(RecorderStress, ConcurrentRecordersAndSnapshotReaders) {
+  // Writers hammer the ring from 6 threads while 2 threads repeatedly
+  // snapshot it: TSan certifies the seqlock slots race-free, and every
+  // snapshot must be internally consistent (strictly increasing seqs,
+  // valid categories, non-null labels) even mid-overwrite.
+  namespace rec = obs::recorder;
+  rec::reset();
+  rec::start();
+  constexpr int kWriters = 6;
+  constexpr std::uint64_t kPerWriter = 30000;
+  ThreadPool pool(kWriters);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::vector<std::jthread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::vector<rec::Event> events = rec::events();
+        for (std::size_t j = 1; j < events.size(); ++j) {
+          ASSERT_LT(events[j - 1].seq, events[j].seq);
+        }
+        for (const rec::Event& e : events) {
+          ASSERT_NE(e.label, nullptr);
+          ASSERT_LE(static_cast<int>(e.category), static_cast<int>(rec::Category::kCustom));
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.run_on_all([&](unsigned t) {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      rec::record(rec::Category::kCustom, "stress.tick",
+                  static_cast<double>(t) * 1e6 + static_cast<double>(i));
+    }
+  });
+  done.store(true, std::memory_order_release);
+  readers.clear();  // join
+  EXPECT_EQ(rec::recorded_count(), kWriters * kPerWriter);
+  EXPECT_GT(snapshots.load(), 0u);
+  const std::vector<rec::Event> final_events = rec::events();
+  EXPECT_EQ(final_events.size(), rec::kCapacity);
+  rec::reset();
 }
 
 TEST_F(EvaluatorStress, ConcurrentEvaluationsOnSharedTree) {
