@@ -68,6 +68,22 @@ def load_report(path):
         print(f"error: {path}: unknown schema {schema!r} "
               f"(accepted: {', '.join(ACCEPTED_SCHEMAS)})", file=sys.stderr)
         raise SystemExit(2)
+    # v2 reports carry a provenance block (git sha, compiler, build flags);
+    # comparing timings of unknown origin silently green-lights apples vs
+    # oranges, so its absence is a config error, not a tolerable omission.
+    if schema == "treecode-bench-report/v2" and not isinstance(
+            report.get("provenance"), dict):
+        print(f"error: {path}: v2 report has no provenance block",
+              file=sys.stderr)
+        raise SystemExit(2)
+    # A repeat count of zero means the repeat-stats blocks hold no actual
+    # measurements — min/median of an empty sample — and any comparison
+    # against them is noise dressed as data.
+    repeat = report.get("config", {}).get("repeat")
+    if repeat is not None and (not is_number(repeat) or repeat <= 0):
+        print(f"error: {path}: config.repeat is {repeat!r} "
+              f"(need a positive repeat count)", file=sys.stderr)
+        raise SystemExit(2)
     return report
 
 

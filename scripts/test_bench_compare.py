@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py's report validation and comparison.
+
+Run directly (python3 scripts/test_bench_compare.py) or via ctest
+(registered as `bench_compare_unit`). Pure stdlib; no pytest dependency.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def valid_v2_report():
+    return {
+        "schema": "treecode-bench-report/v2",
+        "tool": "bench_test",
+        "config": {"elements": 100, "threads": 2, "repeat": 3, "warmup": 1},
+        "results": {"replay": {"min_seconds": 1.0, "median_seconds": 1.1}},
+        "provenance": {"git_sha": "abc1234", "compiler": "12.2.0"},
+    }
+
+
+class LoadReportTest(unittest.TestCase):
+    """load_report must exit 2 — never traceback — on malformed reports."""
+
+    def load(self, report):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(report, f)
+            path = f.name
+        try:
+            return bench_compare.load_report(path)
+        finally:
+            os.unlink(path)
+
+    def assert_exit2(self, report):
+        with self.assertRaises(SystemExit) as ctx:
+            self.load(report)
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_valid_v2_loads(self):
+        self.assertEqual(self.load(valid_v2_report())["tool"], "bench_test")
+
+    def test_missing_provenance_exits_2(self):
+        report = valid_v2_report()
+        del report["provenance"]
+        self.assert_exit2(report)
+
+    def test_non_dict_provenance_exits_2(self):
+        report = valid_v2_report()
+        report["provenance"] = "d16a995"
+        self.assert_exit2(report)
+
+    def test_v1_without_provenance_still_loads(self):
+        report = valid_v2_report()
+        report["schema"] = "treecode-bench-report/v1"
+        del report["provenance"]
+        self.assertIn("results", self.load(report))
+
+    def test_zero_repeat_exits_2(self):
+        report = valid_v2_report()
+        report["config"]["repeat"] = 0
+        self.assert_exit2(report)
+
+    def test_negative_repeat_exits_2(self):
+        report = valid_v2_report()
+        report["config"]["repeat"] = -1
+        self.assert_exit2(report)
+
+    def test_non_numeric_repeat_exits_2(self):
+        report = valid_v2_report()
+        report["config"]["repeat"] = "five"
+        self.assert_exit2(report)
+
+    def test_absent_repeat_tolerated(self):
+        # Reports from tools that do not record a repeat count stay loadable.
+        report = valid_v2_report()
+        del report["config"]["repeat"]
+        self.assertIn("results", self.load(report))
+
+    def test_unknown_schema_exits_2(self):
+        report = valid_v2_report()
+        report["schema"] = "treecode-bench-report/v99"
+        self.assert_exit2(report)
+
+    def test_not_json_exits_2(self):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            f.write("{not json")
+            path = f.name
+        try:
+            with self.assertRaises(SystemExit) as ctx:
+                bench_compare.load_report(path)
+            self.assertEqual(ctx.exception.code, 2)
+        finally:
+            os.unlink(path)
+
+
+class CompareTest(unittest.TestCase):
+    """The comparator itself: regressions flagged, improvements not."""
+
+    def test_identical_reports_clean(self):
+        report = valid_v2_report()
+        regressions, improvements, _ = bench_compare.compare(
+            report, copy.deepcopy(report), 0.25, "both")
+        self.assertEqual(regressions, [])
+        self.assertEqual(improvements, [])
+
+    def test_slowdown_flagged(self):
+        baseline = valid_v2_report()
+        slowed = bench_compare.inject_slowdown(baseline)
+        regressions, _, _ = bench_compare.compare(baseline, slowed, 0.25, "both")
+        self.assertEqual(len(regressions), 1)
+
+    def test_speedup_scalar_regression(self):
+        baseline = valid_v2_report()
+        baseline["results"]["speedup_vs_fresh"] = 4.0
+        worse = copy.deepcopy(baseline)
+        worse["results"]["speedup_vs_fresh"] = 2.0
+        regressions, _, _ = bench_compare.compare(baseline, worse, 0.25, "both")
+        self.assertTrue(any("speedup" in r for r in regressions))
+
+    def test_new_metric_noted_not_gated(self):
+        baseline = valid_v2_report()
+        candidate = copy.deepcopy(baseline)
+        candidate["results"]["extra"] = {"min_seconds": 9.0,
+                                         "median_seconds": 9.5}
+        regressions, _, only = bench_compare.compare(
+            baseline, candidate, 0.25, "both")
+        self.assertEqual(regressions, [])
+        self.assertTrue(any("only in candidate" in m for m in only))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -29,6 +29,15 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          src/core/ or src/engine/) validates its inputs:
                          EvalConfig::validate() (directly or via
                          assign_degrees) or enforce_validation().
+  engine-returns-expected
+                         No ``throw`` statements in src/engine/: engine
+                         failures are typed ErrorCode values carried by
+                         treecode::Expected (util/expected.hpp), so callers
+                         can distinguish a memory denial (ladder-degradable)
+                         from bad input without parsing what() strings. The
+                         legacy exception wrappers route through
+                         value_or_throw()/throw_error(), which live in
+                         src/util/ — not the engine.
 
 Usage: scripts/treecode_lint.py [--root DIR]
 Exit status 0 = clean, 1 = findings, 2 = usage error.
@@ -76,6 +85,8 @@ POW_RE = re.compile(r"\bstd::pow\s*\(")
 SPAN_RE = re.compile(r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s+\w+\s*(\()|"
                      r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s*(\()")
 PARALLEL_FOR_RE = re.compile(r"\bparallel_for(?:_blocked)?\s*(\()")
+
+THROW_RE = re.compile(r"\bthrow\b")
 
 EVAL_ENTRY_RE = re.compile(
     r"\bEvalResult\s+(?:\w+::)?evaluate\w*\s*\(|\b(\w+Evaluator)::\1\s*\(|"
@@ -291,6 +302,15 @@ class Linter:
                 self.report(path, 1, "evaluator-validates",
                             "evaluator entry point without a validate()/"
                             "enforce_validation()/assign_degrees() call", raw_lines)
+
+        if rel.startswith("src/engine/"):
+            # `throw` as a keyword only: value_or_throw / throw_error contain
+            # no word boundary before "throw" and are the sanctioned escape
+            # hatches (defined in src/util/, outside this rule's scope).
+            for m in THROW_RE.finditer(code):
+                self.report(path, line_of(m.start()), "engine-returns-expected",
+                            "raw `throw` in the engine; return a typed Error "
+                            "via treecode::Expected instead", raw_lines)
 
     def run(self) -> int:
         files = sorted((self.root / "src").rglob("*.hpp")) + \

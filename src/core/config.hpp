@@ -12,6 +12,7 @@
 
 #include "geom/vec3.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/expected.hpp"
 
 namespace treecode {
 
@@ -124,6 +125,28 @@ struct EvalConfig {
   /// same seed audit the same interactions; vary it to sample fresh ones.
   std::uint64_t audit_seed = 0;
 
+  /// Hard session-wide byte budget for the engine's durable evaluation
+  /// state (compiled plans, evaluation bases, multipole coefficients),
+  /// enforced by the session's ResourceGovernor. A denied reservation never
+  /// fails the evaluation outright: the engine steps down its degradation
+  /// ladder (basis replay -> plain replay -> uncompiled traversal ->
+  /// direct P2P) and reports the serving rung in EvalStats::served_rung.
+  /// 0 (default) = unlimited; the ladder never engages on memory grounds.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Wall-clock deadline per engine evaluation, in seconds, enforced
+  /// cooperatively (workers poll between blocks). 0 (default) = none.
+  /// Expiry behavior is governed by `deadline_partial`. The deadline never
+  /// influences *which* ladder rung serves — rung choice stays
+  /// bitwise-deterministic across thread counts; only completion does.
+  double deadline_seconds = 0.0;
+
+  /// What an expired deadline yields: false (default) fails the evaluation
+  /// with ErrorCode::kDeadline; true returns the targets computed so far
+  /// (unserved slots zero), with EvalStats::outcome == kDeadline and
+  /// EvalStats::targets_served saying how many are valid.
+  bool deadline_partial = false;
+
   /// Sanity-check the configuration; throws std::invalid_argument on the
   /// first violated invariant. Called by the evaluators on entry so a bad
   /// alpha or budget fails loudly instead of producing silent garbage.
@@ -148,7 +171,23 @@ struct EvalConfig {
     if (reference == DegreeReference::kExplicit && !std::isfinite(reference_charge)) {
       throw std::invalid_argument("EvalConfig: explicit reference_charge must be finite");
     }
+    if (!std::isfinite(deadline_seconds) || deadline_seconds < 0.0) {
+      throw std::invalid_argument("EvalConfig: deadline_seconds must be finite and >= 0");
+    }
   }
+};
+
+/// The engine's degradation ladder (engine/eval_session.hpp). Rung choice
+/// is driven only by the resource-governor ledger (and injected faults) —
+/// never wall time — so it is bitwise-identical across thread counts.
+/// Rungs 0-2 produce bitwise-identical potentials and Theorem-1 bounds;
+/// rung 3 is exact summation (zero truncation error), so every rung
+/// preserves the error guarantee of the rung above it.
+enum class ServeRung : int {
+  kBasisReplay = 0,  ///< compiled plan + precomputed m2p evaluation basis
+  kPlainReplay = 1,  ///< compiled plan, full m2p kernels (no basis kept)
+  kTraversal = 2,    ///< uncompiled alpha-MAC traversal (no plan kept)
+  kDirect = 3,       ///< per-target direct P2P summation (no multipoles)
 };
 
 /// Instrumentation of one evaluation. `multipole_terms` is the paper's
@@ -185,6 +224,18 @@ struct EvalStats {
   std::uint64_t audit_bound_violations = 0;
   double audit_max_tightness = 0.0;
   double audit_mean_tightness = 0.0;
+  /// Degradation-ladder rung that served the evaluation. Always
+  /// kBasisReplay for evaluators outside the engine's ladder (fresh
+  /// Barnes-Hut, FMM, direct): the field is engine-specific reporting.
+  ServeRung served_rung = ServeRung::kBasisReplay;
+  /// kOk, or kDeadline when EvalConfig::deadline_partial returned a
+  /// partial result. Hard failures are reported as errors, not here.
+  ErrorCode outcome = ErrorCode::kOk;
+  /// Engine evaluations: targets with valid output — the target count
+  /// except under a deadline_partial expiry. (Validation-skipped targets
+  /// count as served: their zero slots are the policy's defined answer.)
+  /// 0 from evaluators that do not fill it (fresh Barnes-Hut, FMM).
+  std::uint64_t targets_served = 0;
   WorkStats work;                     ///< per-thread work for speedup models
 };
 

@@ -1,13 +1,17 @@
 #include "engine/eval_session.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "analysis/invariants.hpp"
+#include "core/barnes_hut.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
 #include "obs/audit.hpp"
@@ -16,6 +20,7 @@
 #include "obs/report.hpp"
 #include "util/timer.hpp"
 #include "obs/spans.hpp"
+#include "util/fault_inject.hpp"
 #include "util/validate.hpp"
 
 namespace treecode::engine {
@@ -50,8 +55,8 @@ inline void fnv_mix_value(std::uint64_t& h, const T& value) noexcept {
 /// Hash of the target set plus every EvalConfig field that influences a
 /// traversal decision (MAC acceptance, degree law, budget demotion) or the
 /// shape of the compiled schedule (bounds, gradients). Fields that only
-/// affect execution (threads, block_size) are deliberately excluded so the
-/// same plan replays at any parallelism.
+/// affect execution (threads, block_size, memory budget, deadline) are
+/// deliberately excluded so the same plan replays at any parallelism.
 std::uint64_t plan_key(std::span<const Vec3> targets, bool self, const EvalConfig& c) {
   std::uint64_t h = kFnvOffset;
   fnv_mix_value(h, self);
@@ -70,6 +75,47 @@ std::uint64_t plan_key(std::span<const Vec3> targets, bool self, const EvalConfi
   if (!targets.empty()) fnv_mix(h, targets.data(), targets.size() * sizeof(Vec3));
   return h;
 }
+
+/// Construct an Error, counting it and arming the flight recorder — every
+/// engine failure leaves a metrics + recorder trail regardless of whether
+/// the ladder absorbs it or the caller sees it.
+Error engine_error(ErrorCode code, std::string message) {
+  obs::registry().counter("engine.errors").add(1);
+  obs::recorder::record(obs::recorder::Category::kCustom, error_code_name(code), 0.0);
+  obs::recorder::trigger(error_code_name(code));
+  return Error{code, std::move(message)};
+}
+
+/// Errors the degradation ladder absorbs by stepping down a rung; every
+/// other code (bad input, NaN, deadline) propagates — no rung fixes those.
+bool memory_class(ErrorCode code) noexcept {
+  return code == ErrorCode::kMemoryBudget || code == ErrorCode::kFaultInjected;
+}
+
+ErrorCode denial_code(const ResourceGovernor& governor) noexcept {
+  return governor.last_denial_was_fault() ? ErrorCode::kFaultInjected
+                                          : ErrorCode::kMemoryBudget;
+}
+
+/// Arm the session deadline for the dynamic extent of one public
+/// evaluation, unless an outer scope already did (evaluate_at -> evaluate
+/// must not re-arm and extend the window).
+class DeadlineScope {
+ public:
+  DeadlineScope(ResourceGovernor& governor, double seconds)
+      : governor_(governor), armed_here_(seconds > 0.0 && !governor.deadline_armed()) {
+    if (armed_here_) governor_.arm_deadline(seconds);
+  }
+  ~DeadlineScope() {
+    if (armed_here_) governor_.disarm_deadline();
+  }
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  ResourceGovernor& governor_;
+  bool armed_here_;
+};
 
 }  // namespace
 
@@ -96,52 +142,74 @@ EvalSession::EvalSession(Tree tree, const EvalConfig& config, const Options& opt
       options_(options),
       degrees_(assign_degrees(tree_, config_)),  // validates config
       pool_(config.threads),
+      governor_(config.memory_budget_bytes),
       sorted_charges_(tree_.charges().begin(), tree_.charges().end()),
       multipoles_(tree_.nodes().size()),
       node_epoch_(tree_.nodes().size(), 0),
-      cache_(options.plan_cache_capacity) {}
-
-std::shared_ptr<const EvalPlan> EvalSession::compile(std::span<const Vec3> targets) {
-  return compile_impl(targets, /*self=*/false);
+      cache_(options.plan_cache_capacity, options.plan_cache_byte_capacity) {
+  cache_.set_governor(&governor_);
 }
 
-std::shared_ptr<const EvalPlan> EvalSession::compile_self() {
-  return compile_impl(tree_.positions(), /*self=*/true);
+Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile(
+    std::span<const Vec3> targets) {
+  return try_compile_impl(targets, /*self=*/false);
 }
 
-void EvalSession::update_charges(std::span<const double> charges) {
+Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_self() {
+  return try_compile_impl(tree_.positions(), /*self=*/true);
+}
+
+Expected<void> EvalSession::try_update_charges(std::span<const double> charges) {
   if (charges.size() != tree_.source_size()) {
-    throw std::invalid_argument("EvalSession: charge vector size mismatch");
+    return engine_error(ErrorCode::kInvalidArgument,
+                        "EvalSession: charge vector size mismatch");
   }
   if (!all_finite(charges)) {
-    throw std::invalid_argument("EvalSession: charge vector has non-finite values");
+    return engine_error(ErrorCode::kNonFinite,
+                        "EvalSession: charge vector has non-finite values");
   }
   const auto& orig = tree_.original_index();
   for (std::size_t si = 0; si < orig.size(); ++si) {
     sorted_charges_[si] = charges[orig[si]];
   }
+  if (fault::fire(fault::Site::kNanCharge) && !sorted_charges_.empty()) {
+    // Simulate a corruption that slipped past input validation; the replay's
+    // non-finite detector must catch it downstream (kNonFinite).
+    sorted_charges_[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   ++charge_epoch_;
+  return {};
 }
 
-void EvalSession::update_charges_sorted(std::span<const double> charges) {
+Expected<void> EvalSession::try_update_charges_sorted(std::span<const double> charges) {
   if (charges.size() != tree_.num_particles()) {
-    throw std::invalid_argument("EvalSession: sorted charge vector size mismatch");
+    return engine_error(ErrorCode::kInvalidArgument,
+                        "EvalSession: sorted charge vector size mismatch");
   }
   if (!all_finite(charges)) {
-    throw std::invalid_argument("EvalSession: sorted charge vector has non-finite values");
+    return engine_error(ErrorCode::kNonFinite,
+                        "EvalSession: sorted charge vector has non-finite values");
   }
   std::copy(charges.begin(), charges.end(), sorted_charges_.begin());
+  if (fault::fire(fault::Site::kNanCharge) && !sorted_charges_.empty()) {
+    sorted_charges_[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   ++charge_epoch_;
+  return {};
 }
 
-std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> targets,
-                                                          bool self) {
+Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
+    std::span<const Vec3> targets, bool self) {
   // Self targets are the tree's own particles, validated at tree build;
   // external targets get the same policy treatment as source particles.
   ValidationReport report;
   const ValidationPolicy policy = tree_.config().validation;
   if (!self) {
     report = validate_targets(targets);
+    if (policy == ValidationPolicy::kThrow && report.has_errors()) {
+      return engine_error(ErrorCode::kNonFinite,
+                          "EvalSession::compile: " + report.summary());
+    }
     enforce_validation(report, policy, "EvalSession::compile");
   }
 
@@ -278,16 +346,39 @@ std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> 
     if (referenced[nu] != 0) plan->m2p_nodes.push_back(static_cast<std::int32_t>(nu));
   }
 
+  // Governed commit of the plan's durable core (everything but the basis).
+  // A denial discards the compiled schedule; the ladder serves rung 2/3.
+  // The reservation travels with cache residency: the cache releases it on
+  // eviction, replacement, or clear.
+  const std::size_t plan_core_bytes = plan->memory_bytes();
+  if (!governor_.try_reserve(plan_core_bytes, "engine.plan")) {
+    reg.counter("engine.plan_denied").add(1);
+    return engine_error(denial_code(governor_),
+                        "EvalSession::compile: plan storage denied (" +
+                            std::to_string(plan_core_bytes) + " bytes)");
+  }
+
   // Precompute the charge-independent m2p evaluation basis (1/r and the
   // Y_n^m harmonics per entry). Replay then pays only the coefficient dot
   // product — the transcendentals and recurrences, the bulk of the kernel,
   // move into compile. Offsets are laid out serially (budget-gated, in
   // schedule order); the fill itself is parallel over target blocks.
   // m2p_grad has no basis form, so gradient plans skip the whole pass.
+  // The basis budget is clamped to the governor's remaining bytes, so a
+  // tight session budget yields a thinner basis (or none: rung 1), never a
+  // failed compile.
   if (options_.precompute_basis && options_.basis_budget_bytes > 0 &&
       !config_.compute_gradient && total > 0) {
     plan->basis_offset.assign(total, EvalPlan::kNoBasis);
-    const std::uint64_t budget_doubles = options_.basis_budget_bytes / sizeof(double);
+    std::uint64_t budget_bytes = options_.basis_budget_bytes;
+    if (governor_.enabled()) {
+      const std::size_t offsets_bytes = static_cast<std::size_t>(total) *
+                                        sizeof(std::uint64_t);
+      const std::size_t rem = governor_.remaining();
+      budget_bytes = std::min<std::uint64_t>(
+          budget_bytes, rem > offsets_bytes ? rem - offsets_bytes : 0);
+    }
+    const std::uint64_t budget_doubles = budget_bytes / sizeof(double);
     std::uint64_t basis_total = 0;
     bool any = false;
     for (std::uint64_t idx = 0; idx < total; ++idx) {
@@ -303,28 +394,38 @@ std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> 
     }
     if (any) {
       plan->basis.resize(basis_total);
-      parallel_for_blocked(
-          pool_, n, config_.block_size,
-          [&](std::size_t block_begin, std::size_t block_end, unsigned) -> std::uint64_t {
-            std::uint64_t filled = 0;
-            for (std::size_t i = block_begin; i < block_end; ++i) {
-              const Vec3 x = targets[i];
-              for (std::uint64_t idx = plan->offsets[i]; idx < plan->offsets[i + 1];
-                   ++idx) {
-                const std::uint64_t off = plan->basis_offset[idx];
-                if (off == EvalPlan::kNoBasis) continue;
-                const auto nu =
-                    static_cast<std::size_t>(EvalPlan::node_of(plan->entries[idx]));
-                const int deg = degrees_.degree[nu];
-                m2p_basis(deg, nodes[nu].center, x,
-                          std::span<double>(plan->basis.data() + off,
-                                            m2p_basis_size(deg)));
-                ++filled;
+      const std::size_t basis_delta = plan->memory_bytes() - plan_core_bytes;
+      if (!governor_.try_reserve(basis_delta, "engine.basis")) {
+        // Basis denied (budget raced tighter, or an injected fault): keep
+        // the plan, drop the basis — a rung-1 plan with identical results.
+        reg.counter("engine.basis_denied").add(1);
+        std::vector<std::uint64_t>().swap(plan->basis_offset);
+        std::vector<double>().swap(plan->basis);
+      } else {
+        parallel_for_blocked(
+            pool_, n, config_.block_size,
+            [&](std::size_t block_begin, std::size_t block_end,
+                unsigned) -> std::uint64_t {
+              std::uint64_t filled = 0;
+              for (std::size_t i = block_begin; i < block_end; ++i) {
+                const Vec3 x = targets[i];
+                for (std::uint64_t idx = plan->offsets[i]; idx < plan->offsets[i + 1];
+                     ++idx) {
+                  const std::uint64_t off = plan->basis_offset[idx];
+                  if (off == EvalPlan::kNoBasis) continue;
+                  const auto nu =
+                      static_cast<std::size_t>(EvalPlan::node_of(plan->entries[idx]));
+                  const int deg = degrees_.degree[nu];
+                  m2p_basis(deg, nodes[nu].center, x,
+                            std::span<double>(plan->basis.data() + off,
+                                              m2p_basis_size(deg)));
+                  ++filled;
+                }
               }
-            }
-            return filled;
-          },
-          nullptr, obs::span::kEngineCompileWorker);
+              return filled;
+            },
+            nullptr, obs::span::kEngineCompileWorker);
+      }
     } else {
       plan->basis_offset.clear();
     }
@@ -364,23 +465,44 @@ std::shared_ptr<const EvalPlan> EvalSession::compile_impl(std::span<const Vec3> 
   TREECODE_ASSERT_PLAN_INVARIANTS(*plan, tree_, degrees_, config_,
                                   "EvalSession::compile");
   cache_.insert(plan);
-  return plan;
+  return std::shared_ptr<const EvalPlan>(plan);
 }
 
-void EvalSession::ensure_refreshed(const EvalPlan& plan) {
+Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
   stale_.clear();
   for (const std::int32_t ni : plan.m2p_nodes) {
     if (node_epoch_[static_cast<std::size_t>(ni)] != charge_epoch_) stale_.push_back(ni);
   }
-  if (stale_.empty()) return;
+  if (stale_.empty()) return {};
   const auto& nodes = tree_.nodes();
   const auto& pos = tree_.positions();
   const auto& q = sorted_charges_;
 
+  // Governed batch reservation for first-build multipole coefficients —
+  // session-durable storage (reused across every later refresh), reserved
+  // once, serially, before the parallel rebuild so the decision is
+  // identical at every thread count.
+  std::size_t first_build_bytes = 0;
+  for (const std::int32_t ni : stale_) {
+    const auto nu = static_cast<std::size_t>(ni);
+    if (node_epoch_[nu] == 0) {
+      first_build_bytes += tri_size(degrees_.degree[nu]) * sizeof(Complex);
+    }
+  }
+  if (first_build_bytes > 0 &&
+      !governor_.try_reserve(first_build_bytes, "engine.multipoles")) {
+    obs::registry().counter("engine.refresh_denied").add(1);
+    return engine_error(denial_code(governor_),
+                        "EvalSession: multipole refresh denied (" +
+                            std::to_string(first_build_bytes) + " bytes)");
+  }
+
   // Cover newly-seen nodes with a p2m basis while the budget lasts: offsets
   // assigned serially (the pool layout must not depend on thread timing),
   // the basis itself filled inside the parallel refresh below. Geometry and
-  // degrees are frozen, so a node's basis is computed exactly once.
+  // degrees are frozen, so a node's basis is computed exactly once. A
+  // governor denial of the pool growth rolls the coverage back — the full
+  // p2m kernel produces identical coefficients, just slower.
   std::vector<char> fill(stale_.size(), 0);
   if (options_.precompute_basis && options_.refresh_basis_budget_bytes > 0) {
     if (p2m_basis_offset_.empty()) {
@@ -388,7 +510,8 @@ void EvalSession::ensure_refreshed(const EvalPlan& plan) {
     }
     const std::uint64_t budget_doubles =
         options_.refresh_basis_budget_bytes / sizeof(double);
-    std::uint64_t pool_size = p2m_basis_pool_.size();
+    const std::uint64_t old_pool = p2m_basis_pool_.size();
+    std::uint64_t pool_size = old_pool;
     for (std::size_t k = 0; k < stale_.size(); ++k) {
       const auto nu = static_cast<std::size_t>(stale_[k]);
       if (p2m_basis_offset_[nu] != EvalPlan::kNoBasis) continue;
@@ -399,11 +522,23 @@ void EvalSession::ensure_refreshed(const EvalPlan& plan) {
       pool_size += need;
       fill[k] = 1;
     }
-    if (pool_size > p2m_basis_pool_.size()) {
-      p2m_basis_pool_.resize(pool_size);
-      obs::registry()
-          .gauge("engine.refresh_basis_bytes")
-          .record_max(static_cast<double>(pool_size * sizeof(double)));
+    if (pool_size > old_pool) {
+      const std::size_t growth_bytes =
+          static_cast<std::size_t>(pool_size - old_pool) * sizeof(double);
+      if (governor_.try_reserve(growth_bytes, "engine.p2m_basis")) {
+        p2m_basis_pool_.resize(pool_size);
+        obs::registry()
+            .gauge("engine.refresh_basis_bytes")
+            .record_max(static_cast<double>(pool_size * sizeof(double)));
+      } else {
+        obs::registry().counter("engine.p2m_basis_denied").add(1);
+        for (std::size_t k = 0; k < stale_.size(); ++k) {
+          if (fill[k] != 0) {
+            p2m_basis_offset_[static_cast<std::size_t>(stale_[k])] = EvalPlan::kNoBasis;
+            fill[k] = 0;
+          }
+        }
+      }
     }
   }
 
@@ -445,18 +580,20 @@ void EvalSession::ensure_refreshed(const EvalPlan& plan) {
     for (std::size_t k = 0; k < stale_.size(); ++k) refresh_node(k);
   }
   obs::registry().counter("engine.nodes_refreshed").add(stale_.size());
+  return {};
 }
 
-EvalResult EvalSession::evaluate(const EvalPlan& plan) {
+Expected<EvalResult> EvalSession::replay(const EvalPlan& plan) {
   const std::size_t n = plan.num_targets();
-  if (plan.offsets.size() != n + 1) {
-    throw std::invalid_argument("EvalSession: plan offsets inconsistent with targets");
-  }
   EvalResult result;
   result.stats = plan.stats;  // charge-independent schedule statistics
   result.stats.build_seconds = 0.0;
   result.stats.eval_seconds = 0.0;
   result.stats.work = WorkStats{};
+  result.stats.served_rung =
+      plan.basis_offset.empty() ? ServeRung::kPlainReplay : ServeRung::kBasisReplay;
+  result.stats.outcome = ErrorCode::kOk;
+  result.stats.targets_served = static_cast<std::uint64_t>(n);
   const std::size_t out_n = plan.self ? tree_.source_size() : n;
   const bool want_grad = config_.compute_gradient;
   const bool want_bounds = config_.track_error_bounds || config_.enforce_budget;
@@ -467,7 +604,8 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
 
   {
     const ScopedTimer refresh_timer(obs::span::kEngineRefresh, &result.stats.build_seconds);
-    ensure_refreshed(plan);
+    Expected<void> refreshed = try_ensure_refreshed(plan);
+    if (!refreshed.ok()) return refreshed.error();
   }
 
   const auto& nodes = tree_.nodes();
@@ -488,11 +626,30 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
   std::vector<obs::audit::Reservoir> reservoirs(auditing ? pool_.width() : 0);
   for (auto& r : reservoirs) r.set_capacity(config_.audit_samples);
 
+  // Failure channels out of the parallel region: a detected non-finite
+  // potential or an expired deadline cancels the sweep cooperatively
+  // (blocks already running complete; unclaimed blocks are skipped).
+  CancellationToken cancel;
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<std::int64_t> nonfinite_at{-1};
+  const bool deadline_active = governor_.deadline_armed();
+  std::vector<char> done(deadline_active ? n : 0, 0);
+
   {
     const ScopedTimer phase_timer(obs::span::kEngineReplay, &result.stats.eval_seconds);
     result.stats.work = parallel_for_blocked(
         pool_, n, config_.block_size,
         [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
+          if (deadline_active && governor_.deadline_expired()) {
+            deadline_hit.store(true, std::memory_order_relaxed);
+            cancel.cancel();
+            return 0;
+          }
+          if constexpr (fault::kEnabled) {
+            if (fault::fire(fault::Site::kSlowWorker)) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+          }
           std::uint64_t cost = 0;
           for (std::size_t i = block_begin; i < block_end; ++i) {
             const Vec3 x = plan.targets[i];
@@ -561,19 +718,48 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
               obs::recorder::record(obs::recorder::Category::kNonFinite,
                                     "engine.nonfinite_potential",
                                     static_cast<double>(i));
-              obs::recorder::trigger("engine: non-finite potential");
-              throw std::runtime_error(
-                  "EvalSession: non-finite potential at evaluation point " +
-                  std::to_string(i));
+              std::int64_t expected_idx = -1;
+              nonfinite_at.compare_exchange_strong(expected_idx,
+                                                   static_cast<std::int64_t>(i),
+                                                   std::memory_order_relaxed);
+              cancel.cancel();
+              return cost;
             }
             phi[i] = my_phi;
             if (want_grad) grad[i] = my_grad;
             if (want_bounds) bound[i] = my_bound;
+            if (deadline_active) done[i] = 1;
             cost += plan.target_cost[i];
           }
           return cost;
         },
-        nullptr, obs::span::kEngineReplayWorker);
+        &cancel, obs::span::kEngineReplayWorker);
+  }
+
+  const std::int64_t bad_target = nonfinite_at.load(std::memory_order_relaxed);
+  if (bad_target >= 0) {
+    return engine_error(ErrorCode::kNonFinite,
+                        "EvalSession: non-finite potential at evaluation point " +
+                            std::to_string(bad_target));
+  }
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    obs::registry().counter("engine.deadline_expirations").add(1);
+    if (!config_.deadline_partial) {
+      return engine_error(ErrorCode::kDeadline,
+                          "EvalSession: deadline expired during replay");
+    }
+    result.stats.outcome = ErrorCode::kDeadline;
+    std::uint64_t served = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] != 0) {
+        ++served;
+      } else {
+        phi[i] = 0.0;
+        if (want_grad) grad[i] = Vec3{};
+        if (want_bounds) bound[i] = 0.0;
+      }
+    }
+    result.stats.targets_served = served;
   }
 
   if (auditing) {
@@ -595,6 +781,10 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
 
   obs::Registry& reg = obs::registry();
   reg.counter("engine.replays").add(1);
+  reg.counter(result.stats.served_rung == ServeRung::kBasisReplay
+                  ? "engine.serve.basis_replay"
+                  : "engine.serve.plain_replay")
+      .add(1);
   reg.counter("engine.multipole_terms").add(result.stats.multipole_terms);
   reg.counter("engine.m2p_count").add(result.stats.m2p_count);
   reg.counter("engine.p2p_pairs").add(result.stats.p2p_pairs);
@@ -619,10 +809,226 @@ EvalResult EvalSession::evaluate(const EvalPlan& plan) {
   return result;
 }
 
-EvalResult EvalSession::evaluate_at(std::span<const Vec3> targets) {
-  return evaluate(*compile(targets));
+std::size_t EvalSession::traversal_reserve_bytes() {
+  if (traversal_bytes_ == 0) {
+    std::size_t total = 0;
+    const std::size_t num_nodes = tree_.nodes().size();
+    for (std::size_t nu = 0; nu < num_nodes; ++nu) {
+      total += tri_size(degrees_.degree[nu]) * sizeof(Complex);
+    }
+    traversal_bytes_ = total;
+  }
+  return traversal_bytes_;
 }
 
-EvalResult EvalSession::evaluate() { return evaluate(*compile_self()); }
+Expected<EvalResult> EvalSession::serve_degraded(std::span<const Vec3> targets,
+                                                 bool self) {
+  obs::registry().counter("engine.degraded_serves").add(1);
+  // Rung 2 needs transient multipoles for the whole tree; reserve them for
+  // the duration of the traversal so a concurrent-session budget still
+  // holds, then hand the bytes back.
+  const std::size_t traversal_bytes = traversal_reserve_bytes();
+  if (governor_.try_reserve(traversal_bytes, "engine.traversal")) {
+    Expected<EvalResult> r = serve_traversal(targets, self);
+    governor_.release(traversal_bytes);
+    return r;
+  }
+  return serve_direct(targets, self);
+}
+
+Expected<EvalResult> EvalSession::serve_traversal(std::span<const Vec3> targets,
+                                                  bool self) {
+  if (governor_.deadline_expired() && !config_.deadline_partial) {
+    return engine_error(ErrorCode::kDeadline,
+                        "EvalSession: deadline expired before traversal fallback");
+  }
+  // The fresh evaluator re-runs validation, degree assignment, and the full
+  // upward pass — this is the degraded path; nothing durable is kept.
+  try {
+    const BarnesHutEvaluator fresh(tree_, config_, &pool_, sorted_charges_);
+    EvalResult result = self ? fresh.evaluate(pool_) : fresh.evaluate_at(pool_, targets);
+    result.stats.served_rung = ServeRung::kTraversal;
+    result.stats.outcome = ErrorCode::kOk;
+    result.stats.targets_served = static_cast<std::uint64_t>(targets.size());
+    obs::registry().counter("engine.serve.traversal").add(1);
+    return result;
+  } catch (const std::invalid_argument& e) {
+    return engine_error(ErrorCode::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    const ErrorCode code = what.find("non-finite") != std::string::npos
+                               ? ErrorCode::kNonFinite
+                               : ErrorCode::kInternal;
+    return engine_error(code, what);
+  }
+}
+
+Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bool self) {
+  const std::size_t n = targets.size();
+  EvalResult result;
+  result.stats.served_rung = ServeRung::kDirect;
+  result.stats.outcome = ErrorCode::kOk;
+  result.stats.targets_served = static_cast<std::uint64_t>(n);
+  const std::size_t out_n = self ? tree_.source_size() : n;
+  const bool want_grad = config_.compute_gradient;
+  const bool want_bounds = config_.track_error_bounds || config_.enforce_budget;
+  result.potential.assign(out_n, 0.0);
+  if (want_grad) result.gradient.assign(out_n, Vec3{});
+  // Direct summation is exact: the Theorem-1 truncation error of every
+  // interaction is zero, so the a-posteriori bound vector is identically
+  // zero and trivially within any error budget.
+  if (want_bounds) result.error_bound.assign(out_n, 0.0);
+  obs::registry().counter("engine.serve.direct").add(1);
+  if (n == 0 || tree_.num_particles() == 0) return result;
+
+  std::vector<char> skip(n, 0);
+  if (!self) {
+    const ValidationReport report = validate_targets(targets);
+    if (tree_.config().validation == ValidationPolicy::kThrow && report.has_errors()) {
+      return engine_error(ErrorCode::kNonFinite,
+                          "EvalSession::direct: " + report.summary());
+    }
+    for (const std::size_t idx : report.non_finite_positions) skip[idx] = 1;
+  }
+
+  const auto& pos = tree_.positions();
+  const auto& q = sorted_charges_;
+  const std::span<const Vec3> sources(pos.data(), tree_.num_particles());
+  const std::span<const double> charges(q.data(), tree_.num_particles());
+  const double softening2 = config_.softening * config_.softening;
+  const auto pairs_per_target = static_cast<std::uint64_t>(tree_.num_particles());
+
+  CancellationToken cancel;
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<std::int64_t> nonfinite_at{-1};
+  const bool deadline_active = governor_.deadline_armed();
+  std::vector<char> done(deadline_active ? n : 0, 0);
+  std::vector<double> phi(n, 0.0);
+  std::vector<Vec3> grad(want_grad ? n : 0, Vec3{});
+
+  {
+    const ScopedTimer phase_timer(obs::span::kEngineDirect, &result.stats.eval_seconds);
+    result.stats.work = parallel_for_blocked(
+        pool_, n, config_.block_size,
+        [&](std::size_t block_begin, std::size_t block_end, unsigned) -> std::uint64_t {
+          if (deadline_active && governor_.deadline_expired()) {
+            deadline_hit.store(true, std::memory_order_relaxed);
+            cancel.cancel();
+            return 0;
+          }
+          if constexpr (fault::kEnabled) {
+            if (fault::fire(fault::Site::kSlowWorker)) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+          }
+          std::uint64_t cost = 0;
+          for (std::size_t i = block_begin; i < block_end; ++i) {
+            if (skip[i] != 0) {
+              if (deadline_active) done[i] = 1;
+              continue;
+            }
+            const Vec3 x = targets[i];
+            double my_phi;
+            if (want_grad) {
+              const PotentialGrad pg = p2p_grad(x, sources, charges, softening2);
+              my_phi = pg.potential;
+              grad[i] = pg.gradient;
+            } else {
+              my_phi = p2p(x, sources, charges, softening2);
+            }
+            if (!std::isfinite(my_phi)) {
+              obs::recorder::record(obs::recorder::Category::kNonFinite,
+                                    "engine.nonfinite_potential",
+                                    static_cast<double>(i));
+              std::int64_t expected_idx = -1;
+              nonfinite_at.compare_exchange_strong(expected_idx,
+                                                   static_cast<std::int64_t>(i),
+                                                   std::memory_order_relaxed);
+              cancel.cancel();
+              return cost;
+            }
+            phi[i] = my_phi;
+            if (deadline_active) done[i] = 1;
+            cost += pairs_per_target;
+          }
+          return cost;
+        },
+        &cancel, obs::span::kEngineDirectWorker);
+  }
+
+  const std::int64_t bad_target = nonfinite_at.load(std::memory_order_relaxed);
+  if (bad_target >= 0) {
+    return engine_error(ErrorCode::kNonFinite,
+                        "EvalSession: non-finite potential at evaluation point " +
+                            std::to_string(bad_target));
+  }
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    obs::registry().counter("engine.deadline_expirations").add(1);
+    if (!config_.deadline_partial) {
+      return engine_error(ErrorCode::kDeadline,
+                          "EvalSession: deadline expired during direct fallback");
+    }
+    result.stats.outcome = ErrorCode::kDeadline;
+    std::uint64_t served = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] != 0) {
+        ++served;
+      } else {
+        phi[i] = 0.0;
+        if (want_grad) grad[i] = Vec3{};
+      }
+    }
+    result.stats.targets_served = served;
+  }
+  result.stats.p2p_pairs = result.stats.work.total_work();
+
+  if (self) {
+    const auto& orig = tree_.original_index();
+    for (std::size_t i = 0; i < n; ++i) {
+      result.potential[orig[i]] = phi[i];
+      if (want_grad) result.gradient[orig[i]] = grad[i];
+    }
+  } else {
+    result.potential = std::move(phi);
+    if (want_grad) result.gradient = std::move(grad);
+  }
+  return result;
+}
+
+Expected<EvalResult> EvalSession::try_evaluate(const EvalPlan& plan) {
+  const DeadlineScope deadline(governor_, config_.deadline_seconds);
+  if (plan.offsets.size() != plan.num_targets() + 1) {
+    return engine_error(ErrorCode::kInvalidArgument,
+                        "EvalSession: plan offsets inconsistent with targets");
+  }
+  Expected<EvalResult> served = replay(plan);
+  if (served.ok() || !memory_class(served.error().code)) return served;
+  return serve_degraded(plan.targets, plan.self);
+}
+
+Expected<EvalResult> EvalSession::try_evaluate_at(std::span<const Vec3> targets) {
+  const DeadlineScope deadline(governor_, config_.deadline_seconds);
+  Expected<std::shared_ptr<const EvalPlan>> plan = try_compile_impl(targets, false);
+  if (plan.ok()) {
+    Expected<EvalResult> served = replay(*plan.value());
+    if (served.ok() || !memory_class(served.error().code)) return served;
+  } else if (!memory_class(plan.error().code)) {
+    return plan.error();
+  }
+  return serve_degraded(targets, /*self=*/false);
+}
+
+Expected<EvalResult> EvalSession::try_evaluate() {
+  const DeadlineScope deadline(governor_, config_.deadline_seconds);
+  Expected<std::shared_ptr<const EvalPlan>> plan =
+      try_compile_impl(tree_.positions(), true);
+  if (plan.ok()) {
+    Expected<EvalResult> served = replay(*plan.value());
+    if (served.ok() || !memory_class(served.error().code)) return served;
+  } else if (!memory_class(plan.error().code)) {
+    return plan.error();
+  }
+  return serve_degraded(tree_.positions(), /*self=*/true);
+}
 
 }  // namespace treecode::engine

@@ -28,6 +28,49 @@
 /// construction, and update_charges touches none of them. A different
 /// particle set or config means a new session.
 ///
+/// ## Failure taxonomy and the try_ API
+///
+/// Every fallible entry point comes in two forms: `try_foo()` returns
+/// `Expected<...>` carrying a typed ErrorCode (util/expected.hpp) and never
+/// throws; the legacy `foo()` wrapper unwraps via EngineError for callers
+/// that prefer exceptions. Engine code itself contains no `throw` —
+/// enforced by scripts/treecode_lint.py rule `engine-returns-expected`.
+/// Every constructed Error increments `engine.errors` and arms the flight
+/// recorder with the error-code name as the trigger reason.
+///
+/// ## Resource governance and the degradation ladder
+///
+/// When EvalConfig::memory_budget_bytes is set, every durable allocation —
+/// compiled plan storage, the m2p evaluation basis, multipole coefficient
+/// batches, the p2m refresh basis — is first reserved against the
+/// session's ResourceGovernor. A denial does not fail the evaluation: the
+/// session steps down a fixed ladder, reporting the serving rung in
+/// EvalStats::served_rung:
+///
+///   rung 0  kBasisReplay  compiled plan + precomputed m2p basis
+///   rung 1  kPlainReplay  compiled plan, full m2p kernels
+///   rung 2  kTraversal    uncompiled alpha-MAC traversal (transient
+///                         multipoles, nothing retained)
+///   rung 3  kDirect       per-target exact P2P (no multipoles at all)
+///
+/// Rungs 0-2 produce bitwise-identical potentials and Theorem-1 bounds
+/// (replay is entry-for-entry the fresh traversal; the basis is bitwise-
+/// equal to the full kernel); rung 3 is exact summation with zero
+/// truncation error. Rung choice depends only on the governor's byte
+/// ledger and (serially ordered) injected faults — never wall time or
+/// thread scheduling — so it is bitwise-deterministic across thread
+/// counts. Governance covers the durable evaluation state; the tree,
+/// charges, and transient compile scratch are documented headroom.
+///
+/// ## Deadlines
+///
+/// EvalConfig::deadline_seconds arms a wall-clock deadline per evaluation,
+/// enforced cooperatively: replay and direct-summation workers poll
+/// between blocks and cancel the sweep via a CancellationToken on expiry.
+/// The outcome is kDeadline — a hard error by default, or a partial result
+/// (EvalStats::targets_served valid targets) under deadline_partial. The
+/// deadline never influences rung choice, only completion.
+///
 /// Determinism: a replay performs the identical kernel calls in the
 /// identical order as a fresh traversal (see eval_plan.hpp), so potentials
 /// — and tracked error bounds — are bitwise-equal to BarnesHutEvaluator
@@ -49,6 +92,8 @@
 #include "multipole/expansion.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tree/octree.hpp"
+#include "util/expected.hpp"
+#include "util/resource_governor.hpp"
 
 namespace treecode::engine {
 
@@ -60,6 +105,10 @@ class EvalSession {
   struct Options {
     /// Compiled plans kept per session, evicted LRU.
     std::size_t plan_cache_capacity = 8;
+    /// Byte bound on the *total* resident compiled plans (the cache evicts
+    /// LRU past it, and declines to retain a single plan larger than it).
+    /// 0 = count-bounded only.
+    std::size_t plan_cache_byte_capacity = 0;
     /// Per-plan byte budget for the precomputed m2p evaluation basis (the
     /// charge-independent 1/r + Y_n^m factors; see eval_plan.hpp). Compile
     /// covers entries in schedule order until the budget is exhausted;
@@ -78,7 +127,8 @@ class EvalSession {
 
   /// Takes ownership of the tree; validates the config and assigns
   /// Theorem-3 degrees. No multipole is built yet — the first evaluate
-  /// builds exactly what its plan references.
+  /// builds exactly what its plan references. The governor budget comes
+  /// from EvalConfig::memory_budget_bytes.
   EvalSession(Tree tree, const EvalConfig& config, const Options& options);
   EvalSession(Tree tree, const EvalConfig& config, std::size_t plan_cache_capacity = 8)
       : EvalSession(std::move(tree), config,
@@ -86,45 +136,81 @@ class EvalSession {
 
   /// Compile (or fetch from the LRU cache) the interaction plan for
   /// arbitrary evaluation points. Target coordinates are validated under
-  /// the tree's ValidationPolicy: kThrow raises on non-finite targets;
-  /// kSanitize/kWarn keep the offending targets' output slots (zeroed) and
-  /// record them in the plan's skipped_targets.
-  [[nodiscard]] std::shared_ptr<const EvalPlan> compile(std::span<const Vec3> targets);
+  /// the tree's ValidationPolicy: kThrow yields kNonFinite on non-finite
+  /// targets; kSanitize/kWarn keep the offending targets' output slots
+  /// (zeroed) and record them in the plan's skipped_targets. A governor
+  /// denial of the plan's bytes yields kMemoryBudget (the ladder in
+  /// try_evaluate_at then serves without a plan); a denial of only the
+  /// basis bytes silently yields a basis-free (rung-1) plan.
+  [[nodiscard]] Expected<std::shared_ptr<const EvalPlan>> try_compile(
+      std::span<const Vec3> targets);
 
   /// Plan for evaluating at the tree's own particles (self-interaction
   /// excluded by the P2P kernels' r == 0 skip, as in BarnesHutEvaluator).
-  [[nodiscard]] std::shared_ptr<const EvalPlan> compile_self();
+  [[nodiscard]] Expected<std::shared_ptr<const EvalPlan>> try_compile_self();
 
   /// Replace the source charges, given in the *caller's original* particle
   /// order (size tree().source_size()). O(n) gather + epoch bump; the
-  /// multipole refresh happens lazily in the next evaluate. Throws
-  /// std::invalid_argument on size mismatch or non-finite values.
-  void update_charges(std::span<const double> charges);
+  /// multipole refresh happens lazily in the next evaluate. Errors:
+  /// kInvalidArgument on size mismatch, kNonFinite on non-finite values
+  /// (the session's charges are left untouched — no poisoned basis pools).
+  [[nodiscard]] Expected<void> try_update_charges(std::span<const double> charges);
 
   /// Same, but already in the tree's sorted order (size
   /// tree().num_particles()) — the BEM matvec hot path, which gathers
   /// through original_index() itself.
-  void update_charges_sorted(std::span<const double> charges);
+  [[nodiscard]] Expected<void> try_update_charges_sorted(
+      std::span<const double> charges);
 
   /// Replay a compiled plan against the current charges: refresh stale
   /// plan-referenced multipoles, then accumulate the frozen interaction
   /// lists. No tree walk, no MAC tests, no degree decisions. The plan must
-  /// come from this session.
-  [[nodiscard]] EvalResult evaluate(const EvalPlan& plan);
+  /// come from this session (kInvalidArgument otherwise, shape-checked).
+  /// A governor denial during refresh degrades to rungs 2-3 over the
+  /// plan's own targets.
+  [[nodiscard]] Expected<EvalResult> try_evaluate(const EvalPlan& plan);
 
-  /// Convenience: compile(targets) + evaluate. Warm calls with a cached
-  /// plan skip straight to replay.
-  [[nodiscard]] EvalResult evaluate_at(std::span<const Vec3> targets);
+  /// Compile + evaluate with the full degradation ladder: warm calls with
+  /// a cached plan skip straight to replay; a compile denied by the
+  /// governor falls through to the uncompiled traversal or direct rungs.
+  [[nodiscard]] Expected<EvalResult> try_evaluate_at(std::span<const Vec3> targets);
 
-  /// Convenience: compile_self() + evaluate, results in the caller's
-  /// original particle order (validation-dropped slots stay zero).
-  [[nodiscard]] EvalResult evaluate();
+  /// Ladder evaluation at the tree's own particles, results in the
+  /// caller's original particle order (validation-dropped slots stay zero).
+  [[nodiscard]] Expected<EvalResult> try_evaluate();
+
+  // Legacy exception wrappers: unwrap the Expected, converting an Error to
+  // EngineError (a std::runtime_error carrying the ErrorCode).
+  [[nodiscard]] std::shared_ptr<const EvalPlan> compile(std::span<const Vec3> targets) {
+    return try_compile(targets).value_or_throw();
+  }
+  [[nodiscard]] std::shared_ptr<const EvalPlan> compile_self() {
+    return try_compile_self().value_or_throw();
+  }
+  void update_charges(std::span<const double> charges) {
+    try_update_charges(charges).value_or_throw();
+  }
+  void update_charges_sorted(std::span<const double> charges) {
+    try_update_charges_sorted(charges).value_or_throw();
+  }
+  [[nodiscard]] EvalResult evaluate(const EvalPlan& plan) {
+    return try_evaluate(plan).value_or_throw();
+  }
+  [[nodiscard]] EvalResult evaluate_at(std::span<const Vec3> targets) {
+    return try_evaluate_at(targets).value_or_throw();
+  }
+  [[nodiscard]] EvalResult evaluate() { return try_evaluate().value_or_throw(); }
 
   [[nodiscard]] const Tree& tree() const noexcept { return tree_; }
   [[nodiscard]] const EvalConfig& config() const noexcept { return config_; }
   [[nodiscard]] const DegreeAssignment& degrees() const noexcept { return degrees_; }
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
   [[nodiscard]] const PlanCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+  /// The session's byte ledger + deadline (budget from the config; tests
+  /// may tighten it mid-session via set_budget).
+  [[nodiscard]] ResourceGovernor& governor() noexcept { return governor_; }
+  [[nodiscard]] const ResourceGovernor& governor() const noexcept { return governor_; }
   /// Current charges in tree-sorted order (what the next evaluate uses).
   [[nodiscard]] std::span<const double> sorted_charges() const noexcept {
     return sorted_charges_;
@@ -133,15 +219,29 @@ class EvalSession {
  private:
   struct CompileAccumulator;
 
-  std::shared_ptr<const EvalPlan> compile_impl(std::span<const Vec3> targets, bool self);
-  /// Rebuild the plan-referenced multipoles whose epoch is stale.
-  void ensure_refreshed(const EvalPlan& plan);
+  Expected<std::shared_ptr<const EvalPlan>> try_compile_impl(
+      std::span<const Vec3> targets, bool self);
+  /// Rungs 0-1: replay `plan` (refresh + frozen-list accumulation).
+  Expected<EvalResult> replay(const EvalPlan& plan);
+  /// Rebuild the plan-referenced multipoles whose epoch is stale,
+  /// reserving first-build coefficient bytes against the governor.
+  Expected<void> try_ensure_refreshed(const EvalPlan& plan);
+  /// Rungs 2-3 over raw targets, entered when a plan cannot be afforded.
+  Expected<EvalResult> serve_degraded(std::span<const Vec3> targets, bool self);
+  /// Rung 2: transient BarnesHutEvaluator traversal.
+  Expected<EvalResult> serve_traversal(std::span<const Vec3> targets, bool self);
+  /// Rung 3: exact per-target P2P summation.
+  Expected<EvalResult> serve_direct(std::span<const Vec3> targets, bool self);
+  /// Transient multipole bytes a rung-2 traversal needs (all nodes at
+  /// their assigned degrees); computed once, geometry is frozen.
+  [[nodiscard]] std::size_t traversal_reserve_bytes();
 
   Tree tree_;
   EvalConfig config_;
   Options options_;
   DegreeAssignment degrees_;
   ThreadPool pool_;
+  ResourceGovernor governor_;
   /// Active charges in tree-sorted order; starts as the tree's own.
   std::vector<double> sorted_charges_;
   /// Lazily built per-node expansions; entry i is valid iff
@@ -155,6 +255,7 @@ class EvalSession {
   /// the basis depends only on geometry and the node's frozen degree).
   std::vector<std::uint64_t> p2m_basis_offset_;
   std::vector<double> p2m_basis_pool_;
+  std::size_t traversal_bytes_ = 0;  ///< lazy traversal_reserve_bytes() memo
   PlanCache cache_;
 };
 

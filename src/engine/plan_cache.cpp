@@ -3,7 +3,10 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "util/fault_inject.hpp"
+#include "util/resource_governor.hpp"
 
 namespace treecode::engine {
 
@@ -21,15 +24,30 @@ bool same_targets(const EvalPlan& plan, std::span<const Vec3> targets, bool self
                      targets.size() * sizeof(Vec3)) == 0;
 }
 
+std::size_t plan_basis_bytes(const EvalPlan& plan) noexcept {
+  return plan.basis.size() * sizeof(double);
+}
+
 }  // namespace
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+PlanCache::PlanCache(std::size_t capacity, std::size_t byte_capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), byte_capacity_(byte_capacity) {}
+
+void PlanCache::set_governor(ResourceGovernor* governor) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  governor_ = governor;
+}
 
 std::shared_ptr<const EvalPlan> PlanCache::find(std::uint64_t key,
                                                 std::span<const Vec3> targets,
                                                 bool self) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = by_key_.find(key);
   if (it == by_key_.end() || !same_targets(**it->second, targets, self)) {
+    ++misses_;
+    return nullptr;
+  }
+  if (fault::fire(fault::Site::kCacheVerifyMiss)) {
     ++misses_;
     return nullptr;
   }
@@ -38,27 +56,108 @@ std::shared_ptr<const EvalPlan> PlanCache::find(std::uint64_t key,
   return *it->second;
 }
 
-void PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
-  if (plan == nullptr) return;
+void PlanCache::evict_lru_locked() {
+  const std::shared_ptr<const EvalPlan>& victim = plans_.back();
+  const std::size_t victim_bytes = victim->memory_bytes();
+  by_key_.erase(victim->key);
+  obs::recorder::record(obs::recorder::Category::kEviction, "plan_cache.evict",
+                        static_cast<double>(victim_bytes));
+  bytes_ -= victim_bytes;
+  basis_bytes_ -= plan_basis_bytes(*victim);
+  if (governor_ != nullptr) governor_->release(victim_bytes);
+  plans_.pop_back();
+  ++evictions_;
+}
+
+void PlanCache::publish_gauges_locked() const {
+  obs::Registry& reg = obs::registry();
+  reg.gauge("engine.plan_bytes").set(static_cast<double>(bytes_));
+  reg.gauge("engine.basis_bytes").set(static_cast<double>(basis_bytes_));
+}
+
+bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
+  if (plan == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t key = plan->key;
+  const std::size_t new_bytes = plan->memory_bytes();
   if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    const std::size_t old_bytes = (*it->second)->memory_bytes();
+    bytes_ -= old_bytes;
+    basis_bytes_ -= plan_basis_bytes(**it->second);
+    if (governor_ != nullptr) governor_->release(old_bytes);
     plans_.erase(it->second);
     by_key_.erase(it);
   }
-  while (plans_.size() >= capacity_) {
-    by_key_.erase(plans_.back()->key);
-    obs::recorder::record(obs::recorder::Category::kEviction, "plan_cache.evict",
-                          static_cast<double>(plans_.back()->memory_bytes()));
-    plans_.pop_back();
-    ++evictions_;
+  if (byte_capacity_ != 0 && new_bytes > byte_capacity_) {
+    // The plan alone busts the byte capacity: caching it would immediately
+    // evict everything else and still sit over budget. Serve it transient.
+    obs::recorder::record(obs::recorder::Category::kEviction,
+                          "plan_cache.uncacheable", static_cast<double>(new_bytes));
+    if (governor_ != nullptr) governor_->release(new_bytes);
+    publish_gauges_locked();
+    return false;
   }
+  while (!plans_.empty() &&
+         (plans_.size() >= capacity_ ||
+          (byte_capacity_ != 0 && bytes_ + new_bytes > byte_capacity_))) {
+    evict_lru_locked();
+  }
+  bytes_ += new_bytes;
+  basis_bytes_ += plan_basis_bytes(*plan);
   plans_.push_front(std::move(plan));
   by_key_[key] = plans_.begin();
+  publish_gauges_locked();
+  return true;
 }
 
 void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (governor_ != nullptr) governor_->release(bytes_);
   plans_.clear();
   by_key_.clear();
+  bytes_ = 0;
+  basis_bytes_ = 0;
+  publish_gauges_locked();
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::size_t PlanCache::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::size_t PlanCache::byte_capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return byte_capacity_;
+}
+
+std::size_t PlanCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t PlanCache::basis_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return basis_bytes_;
+}
+
+std::uint64_t PlanCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t PlanCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace treecode::engine

@@ -10,25 +10,51 @@
 /// `find` verifies full target equality (bytewise, so NaN-bearing sanitized
 /// target sets still match themselves) before returning a hit — a
 /// collision is treated as a miss and recompiled, never served wrong.
+///
+/// The cache is the ledger of the session's *durable plan footprint*:
+/// it tracks resident bytes (bytes()/basis_bytes()), evicts by total bytes
+/// as well as by count, publishes the totals to the `engine.plan_bytes` /
+/// `engine.basis_bytes` gauges on every mutation, and — when wired to the
+/// session's ResourceGovernor — returns an evicted plan's reservation to
+/// the byte budget. A caller still holding a shared_ptr to an evicted plan
+/// keeps the memory alive past its accounting; that window is transient
+/// (the duration of one evaluate) and documented rather than tracked.
+///
+/// Under TREECODE_FAULT_INJECT, fault site kCacheVerifyMiss can discard a
+/// verified hit — the caller sees a miss and recompiles, exercising the
+/// recompile-under-pressure path deterministically.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 
 #include "engine/eval_plan.hpp"
 
+namespace treecode {
+class ResourceGovernor;
+}  // namespace treecode
+
 namespace treecode::engine {
 
-/// Fixed-capacity least-recently-used plan store. Not thread-safe: the
-/// owning EvalSession serializes compiles and evaluations.
+/// Fixed-capacity least-recently-used plan store with byte accounting.
+/// Thread-safe: every operation (including the accessors) takes the cache
+/// mutex, so concurrent find/insert/clear — e.g. a diagnostics thread
+/// clearing while a serve thread compiles — stay well-defined. The owning
+/// EvalSession still serializes its own compile/evaluate sequence.
 class PlanCache {
  public:
-  /// Capacity is clamped to at least 1 (a zero-capacity cache would turn
+  /// `capacity` is clamped to at least 1 (a zero-capacity cache would turn
   /// every warm apply back into a cold compile, silently).
-  explicit PlanCache(std::size_t capacity = 8);
+  /// `byte_capacity` bounds the *total resident plan bytes*; 0 = unbounded.
+  explicit PlanCache(std::size_t capacity = 8, std::size_t byte_capacity = 0);
+
+  /// Wire the session's governor: evicted/cleared/replaced plans release
+  /// their memory_bytes() reservation. The governor must outlive the cache.
+  void set_governor(ResourceGovernor* governor) noexcept;
 
   /// Look up `key`; on a hash hit, verify the stored plan was compiled for
   /// exactly these targets (and the same self flag) before returning it.
@@ -37,21 +63,40 @@ class PlanCache {
                                                      std::span<const Vec3> targets,
                                                      bool self);
 
-  /// Insert a freshly compiled plan under plan->key, evicting the
-  /// least-recently-used plan when full. Replaces any existing plan with
-  /// the same key.
-  void insert(std::shared_ptr<const EvalPlan> plan);
+  /// Insert a freshly compiled plan under plan->key, evicting LRU plans
+  /// while over the count or byte capacity. Replaces any existing plan with
+  /// the same key. Returns false when the plan alone exceeds the byte
+  /// capacity and was not retained (its governor reservation, if any, is
+  /// released immediately — the caller's shared_ptr stays usable but the
+  /// plan is transient).
+  bool insert(std::shared_ptr<const EvalPlan> plan);
 
   void clear();
 
-  [[nodiscard]] std::size_t size() const noexcept { return plans_.size(); }
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::size_t byte_capacity() const;
+  /// Total memory_bytes() of resident plans / their basis-vector subset.
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::size_t basis_bytes() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
 
  private:
+  /// Pop the LRU plan, release its reservation, update the ledgers.
+  /// Caller holds mu_.
+  void evict_lru_locked();
+  /// Push the resident totals to the engine.plan_bytes / engine.basis_bytes
+  /// gauges (value, not max — compile keeps the per-plan peak separately).
+  void publish_gauges_locked() const;
+
+  mutable std::mutex mu_;
   std::size_t capacity_;
+  std::size_t byte_capacity_;
+  std::size_t bytes_ = 0;
+  std::size_t basis_bytes_ = 0;
+  ResourceGovernor* governor_ = nullptr;
   /// Most-recently-used at the front.
   std::list<std::shared_ptr<const EvalPlan>> plans_;
   std::unordered_map<std::uint64_t, std::list<std::shared_ptr<const EvalPlan>>::iterator>

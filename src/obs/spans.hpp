@@ -54,9 +54,11 @@ inline constexpr const char* kDirectEvalWorker = "direct.eval.worker";
 inline constexpr const char* kEngineCompile = "time.engine_compile";
 inline constexpr const char* kEngineRefresh = "time.engine_refresh";
 inline constexpr const char* kEngineReplay = "time.engine_replay";
+inline constexpr const char* kEngineDirect = "time.engine_direct";
 inline constexpr const char* kEngineCompileWorker = "engine.compile.worker";
 inline constexpr const char* kEngineRefreshWorker = "engine.refresh.worker";
 inline constexpr const char* kEngineReplayWorker = "engine.replay.worker";
+inline constexpr const char* kEngineDirectWorker = "engine.direct.worker";
 
 // -- audit engine ------------------------------------------------------------
 inline constexpr const char* kAuditFinalize = "time.audit_finalize";

@@ -1,0 +1,25 @@
+#include "util/expected.hpp"
+
+namespace treecode {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kMemoryBudget: return "memory_budget";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kFaultInjected: return "fault_injected";
+    case ErrorCode::kNonFinite: return "non_finite";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+EngineError::EngineError(ErrorCode code, const std::string& message)
+    : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+      code_(code) {}
+
+void throw_error(const Error& error) { throw EngineError(error.code, error.message); }
+
+}  // namespace treecode

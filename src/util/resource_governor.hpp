@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file resource_governor.hpp
+/// Session-wide resource governance: byte accounting with a hard budget,
+/// plus an armable evaluation deadline.
+///
+/// BENCH_engine.json puts the compiled-plan + basis footprint near 746 MB
+/// for only 35k sources — an unguarded compile in a memory-constrained
+/// deployment does not fail gracefully, it gets OOM-killed. The governor
+/// turns "hope the allocator succeeds" into an explicit protocol: every
+/// durable engine allocation (plan storage, evaluation bases, multipole
+/// coefficients) first reserves its bytes here, and a denial surfaces as a
+/// typed kMemoryBudget error that the degradation ladder (eval_session.hpp)
+/// converts into a cheaper serving strategy instead of a dead process.
+///
+/// Accounting covers *durable* session footprint — storage that lives past
+/// the call that allocates it. Transient compile scratch (per-target entry
+/// vectors before the flatten) is of the same order as the plan itself and
+/// is documented headroom, not tracked.
+///
+/// Determinism contract: reservation outcomes depend only on the byte
+/// ledger and the (serial) reservation order — never on wall time or thread
+/// scheduling — so every degradation decision derived from them is
+/// bitwise-identical across thread counts, matching the TSan stress-suite
+/// guarantee. The fault harness (fault_inject.hpp, site kEngineAlloc)
+/// shares the reservation ordinal stream, which is what makes "fail the Nth
+/// engine allocation" a meaningful, replayable instruction.
+///
+/// The deadline is the one wall-clock element: arm_deadline() stamps an
+/// expiry; workers poll deadline_expired() between blocks (cooperative, via
+/// CancellationToken). Deadline outcomes are *reported* deterministically
+/// (kDeadline) but which block observes the expiry first is inherently
+/// timing-dependent — which is why the ladder never chooses a rung based on
+/// the deadline, only on the ledger.
+///
+/// Thread safety: reserve/release use relaxed atomics and may be called
+/// from any thread; the ledger is exact. Arming (budget, deadline) is a
+/// serial-phase operation by the owning session.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace treecode {
+
+/// Byte-budget ledger + cooperative deadline for one engine session.
+class ResourceGovernor {
+ public:
+  ResourceGovernor() = default;
+  explicit ResourceGovernor(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// 0 = unlimited (every reservation succeeds; the ledger still counts).
+  void set_budget(std::size_t bytes) noexcept {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t budget() const noexcept {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  /// Governing at all? (budget set). Disabled governors cost two relaxed
+  /// loads per reservation and nothing per replay block.
+  [[nodiscard]] bool enabled() const noexcept { return budget() != 0; }
+
+  [[nodiscard]] std::size_t used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  /// Bytes still reservable; SIZE_MAX when unlimited.
+  [[nodiscard]] std::size_t remaining() const noexcept;
+
+  /// Reserve `bytes` against the budget. False when the reservation would
+  /// exceed it — or when fault site kEngineAlloc fires at this ordinal
+  /// (then last_denial() reports kFaultInjected instead of kMemoryBudget).
+  /// Counts one reservation ordinal either way. `label` names the
+  /// allocation in the flight-recorder event a denial drops.
+  [[nodiscard]] bool try_reserve(std::size_t bytes, const char* label) noexcept;
+
+  /// Would try_reserve(bytes) succeed right now? No ledger change, no
+  /// ordinal consumed, no fault-site hit — a pure pre-flight check.
+  [[nodiscard]] bool can_reserve(std::size_t bytes) const noexcept;
+
+  /// Return bytes to the ledger (clamped at zero against release-without-
+  /// reserve bugs rather than wrapping).
+  void release(std::size_t bytes) noexcept;
+
+  /// True when the last denial came from the fault harness, not the budget.
+  [[nodiscard]] bool last_denial_was_fault() const noexcept {
+    return last_denial_fault_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t reservations() const noexcept {
+    return reservations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t denials() const noexcept {
+    return denials_.load(std::memory_order_relaxed);
+  }
+
+  /// Arm a deadline `seconds` from now (<= 0 disarms). Serial-phase only.
+  void arm_deadline(double seconds) noexcept;
+  void disarm_deadline() noexcept { deadline_ns_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] bool deadline_armed() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  /// Cooperative poll: has the armed deadline passed? Safe from workers.
+  [[nodiscard]] bool deadline_expired() const noexcept;
+
+ private:
+  std::atomic<std::size_t> budget_{0};
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::uint64_t> reservations_{0};
+  std::atomic<std::uint64_t> denials_{0};
+  std::atomic<bool> last_denial_fault_{false};
+  /// steady_clock expiry in ns since epoch; 0 = disarmed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace treecode

@@ -207,7 +207,12 @@ TEST(EvalSession, ThrowPolicyRejectsNonFiniteTargets) {
   engine::EvalSession session(Tree(ps), base_config());
   std::vector<Vec3> targets = grid_targets(10, 67);
   targets[4].y = kNan;
-  EXPECT_THROW((void)session.compile(targets), std::invalid_argument);
+  // The legacy wrapper surfaces the typed error as EngineError; the try_
+  // API reports the same failure as a kNonFinite code without throwing.
+  EXPECT_THROW((void)session.compile(targets), EngineError);
+  auto r = session.try_compile(targets);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNonFinite);
 }
 
 TEST(EvalSession, SanitizePolicySkipsNonFiniteTargets) {
@@ -229,10 +234,20 @@ TEST(EvalSession, RejectsBadChargeUpdates) {
   const ParticleSystem ps = clustered(300, 79);
   engine::EvalSession session(Tree(ps), base_config());
   std::vector<double> wrong_size(ps.size() + 1, 1.0);
-  EXPECT_THROW(session.update_charges(wrong_size), std::invalid_argument);
+  EXPECT_THROW(session.update_charges(wrong_size), EngineError);
+  auto size_err = session.try_update_charges(wrong_size);
+  ASSERT_FALSE(size_err.ok());
+  EXPECT_EQ(size_err.error().code, ErrorCode::kInvalidArgument);
   std::vector<double> bad(ps.size(), 1.0);
   bad[7] = kNan;
-  EXPECT_THROW(session.update_charges(bad), std::invalid_argument);
+  EXPECT_THROW(session.update_charges(bad), EngineError);
+  auto nan_err = session.try_update_charges(bad);
+  ASSERT_FALSE(nan_err.ok());
+  EXPECT_EQ(nan_err.error().code, ErrorCode::kNonFinite);
+  // Rejected updates leave the session's charges untouched: the next
+  // evaluate still serves the construction-time charges, finite throughout.
+  const EvalResult r = session.evaluate(*session.compile_self());
+  for (const double phi : r.potential) EXPECT_TRUE(std::isfinite(phi));
 }
 
 TEST(EvalSession, ForeignPlanShapeRejected) {
@@ -240,7 +255,10 @@ TEST(EvalSession, ForeignPlanShapeRejected) {
   engine::EvalSession session(Tree(ps), base_config());
   engine::EvalPlan bogus;
   bogus.targets = grid_targets(5, 89);  // offsets missing
-  EXPECT_THROW((void)session.evaluate(bogus), std::invalid_argument);
+  EXPECT_THROW((void)session.evaluate(bogus), EngineError);
+  auto r = session.try_evaluate(bogus);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -82,6 +82,70 @@ TEST(PlanCache, EvictedPlanSurvivesThroughSharedPtr) {
   EXPECT_EQ(a->targets.size(), 1u);
 }
 
+std::shared_ptr<EvalPlan> make_sized_plan(std::uint64_t key, std::size_t entries,
+                                          std::size_t basis_doubles = 0) {
+  auto plan = make_plan(key, static_cast<double>(key));
+  plan->entries.assign(entries, 0);
+  plan->basis.assign(basis_doubles, 0.0);
+  return plan;
+}
+
+TEST(PlanCache, BytesTrackResidentPlans) {
+  PlanCache cache(8);
+  EXPECT_EQ(cache.bytes(), 0u);
+  auto a = make_sized_plan(1, 100, 50);
+  auto b = make_sized_plan(2, 200);
+  cache.insert(a);
+  EXPECT_EQ(cache.bytes(), a->memory_bytes());
+  EXPECT_EQ(cache.basis_bytes(), 50 * sizeof(double));
+  cache.insert(b);
+  EXPECT_EQ(cache.bytes(), a->memory_bytes() + b->memory_bytes());
+  cache.clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.basis_bytes(), 0u);
+}
+
+TEST(PlanCache, ReplacingSameKeySwapsBytes) {
+  PlanCache cache(8);
+  auto small = make_sized_plan(7, 10);
+  auto big = make_sized_plan(7, 1000);
+  cache.insert(small);
+  cache.insert(big);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), big->memory_bytes());
+}
+
+TEST(PlanCache, EvictsByBytesBeforeCount) {
+  // Count capacity 8, but the byte bound only fits two of these plans.
+  auto a = make_sized_plan(1, 1000);
+  const std::size_t byte_cap = 2 * a->memory_bytes() + a->memory_bytes() / 2;
+  PlanCache cache(8, byte_cap);
+  EXPECT_EQ(cache.byte_capacity(), byte_cap);
+  cache.insert(a);
+  cache.insert(make_sized_plan(2, 1000));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.insert(make_sized_plan(3, 1000));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), byte_cap);
+  // Key 1 was the LRU victim.
+  EXPECT_EQ(cache.find(1, targets_of(*a), false), nullptr);
+}
+
+TEST(PlanCache, OversizedPlanNotRetained) {
+  auto small = make_sized_plan(1, 10);
+  auto huge = make_sized_plan(2, 100000);
+  PlanCache cache(8, small->memory_bytes() * 4);
+  EXPECT_TRUE(cache.insert(small));
+  // A plan alone over the byte bound is declined — caching it would evict
+  // everything and still bust the budget — but the caller's pointer works.
+  EXPECT_FALSE(cache.insert(huge));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(2, targets_of(*huge), false), nullptr);
+  EXPECT_NE(cache.find(1, targets_of(*small), false), nullptr);
+}
+
 TEST(PlanCache, ClearResetsPlansButKeepsCounters) {
   PlanCache cache(4);
   auto a = make_plan(1, 1.0);

@@ -15,6 +15,7 @@
 #include "core/treecode.hpp"
 #include "dist/distributions.hpp"
 #include "engine/eval_session.hpp"
+#include "engine/plan_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "parallel/parallel_for.hpp"
@@ -380,6 +381,66 @@ TEST(RecorderStress, ConcurrentRecordersAndSnapshotReaders) {
   const std::vector<rec::Event> final_events = rec::events();
   EXPECT_EQ(final_events.size(), rec::kCapacity);
   rec::reset();
+}
+
+TEST(PlanCacheStress, ConcurrentFindInsertClearUnderEvictionPressure) {
+  // The cache is the one engine structure shared across threads without the
+  // session's serialization (a diagnostics thread may clear() while a serve
+  // thread compiles). Hammer find/insert/clear from several threads with a
+  // byte capacity small enough that inserts constantly evict; TSan certifies
+  // the mutex covers every ledger update, and the byte ledger must return to
+  // a consistent state afterwards.
+  engine::PlanCache cache(4, 6000);
+  auto make = [](std::uint64_t key) {
+    auto plan = std::make_shared<engine::EvalPlan>();
+    plan->key = key;
+    plan->targets = {{static_cast<double>(key), 0.0, 0.0}};
+    plan->self = false;
+    plan->entries.assign(200 + static_cast<std::size_t>(key % 7) * 50, 0);
+    return plan;
+  };
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kOpsPerThread = 4000;
+  std::atomic<std::uint64_t> verified_hits{0};
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+          const std::uint64_t key = (static_cast<std::uint64_t>(t) * 31 + i) % 11;
+          switch (i % 4) {
+            case 0:
+            case 1: {
+              const auto plan = make(key);
+              if (const auto hit = cache.find(key, plan->targets, false)) {
+                // A verified hit must be exactly the plan inserted under
+                // this key: same target, never a torn or foreign plan.
+                ASSERT_EQ(hit->key, key);
+                ASSERT_EQ(hit->targets[0].x, static_cast<double>(key));
+                verified_hits.fetch_add(1, std::memory_order_relaxed);
+              }
+              break;
+            }
+            case 2:
+              cache.insert(make(key));
+              break;
+            default:
+              if (i % 512 == 3) cache.clear();
+              break;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_GT(verified_hits.load(), 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_LE(cache.bytes(), cache.byte_capacity());
+  // The ledger reconciles: a final clear leaves exactly nothing accounted.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.basis_bytes(), 0u);
 }
 
 TEST_F(EvaluatorStress, ConcurrentEvaluationsOnSharedTree) {

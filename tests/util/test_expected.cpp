@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/expected.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(Expected, ValueRoundTrip) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(std::move(e).value_or_throw(), 42);
+}
+
+TEST(Expected, ErrorRoundTrip) {
+  Expected<int> e = Error{ErrorCode::kMemoryBudget, "plan too big"};
+  ASSERT_FALSE(e.ok());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.error().code, ErrorCode::kMemoryBudget);
+  EXPECT_EQ(e.error().message, "plan too big");
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> e = std::make_unique<int>(7);
+  ASSERT_TRUE(e.ok());
+  std::unique_ptr<int> p = std::move(e).value_or_throw();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Expected, VoidSpecialization) {
+  Expected<void> ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_NO_THROW(ok.value_or_throw());
+
+  Expected<void> bad = Error{ErrorCode::kNonFinite, "nan charge"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kNonFinite);
+  EXPECT_THROW(bad.value_or_throw(), EngineError);
+}
+
+TEST(Expected, ValueOrThrowConvertsToEngineError) {
+  Expected<int> e = Error{ErrorCode::kDeadline, "expired mid-replay"};
+  try {
+    (void)std::move(e).value_or_throw();
+    FAIL() << "value_or_throw did not throw";
+  } catch (const EngineError& err) {
+    EXPECT_EQ(err.code(), ErrorCode::kDeadline);
+    // The message leads with the stable code name so callers catching the
+    // std::runtime_error base still see the taxonomy in what().
+    EXPECT_NE(std::string(err.what()).find("deadline"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("expired mid-replay"), std::string::npos);
+  }
+}
+
+TEST(Expected, EngineErrorIsRuntimeError) {
+  // Legacy catch sites written against std::runtime_error keep working.
+  Expected<void> bad = Error{ErrorCode::kInvalidArgument, "size mismatch"};
+  EXPECT_THROW(bad.value_or_throw(), std::runtime_error);
+}
+
+TEST(ErrorCodeName, StableNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(error_code_name(ErrorCode::kMemoryBudget), "memory_budget");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadline), "deadline");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kFaultInjected), "fault_injected");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNonFinite), "non_finite");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace treecode

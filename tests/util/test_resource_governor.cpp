@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <climits>
+#include <thread>
+
+#include "util/resource_governor.hpp"
+
+namespace treecode {
+namespace {
+
+TEST(ResourceGovernor, UnlimitedByDefault) {
+  ResourceGovernor g;
+  EXPECT_FALSE(g.enabled());
+  EXPECT_EQ(g.remaining(), SIZE_MAX);
+  EXPECT_TRUE(g.try_reserve(std::size_t{1} << 40, "test.huge"));
+  // The ledger still counts even without a budget.
+  EXPECT_EQ(g.used(), std::size_t{1} << 40);
+  EXPECT_EQ(g.reservations(), 1u);
+  EXPECT_EQ(g.denials(), 0u);
+}
+
+TEST(ResourceGovernor, BudgetDeniesOverflow) {
+  ResourceGovernor g(1000);
+  EXPECT_TRUE(g.enabled());
+  EXPECT_TRUE(g.try_reserve(600, "test.a"));
+  EXPECT_EQ(g.remaining(), 400u);
+  EXPECT_FALSE(g.try_reserve(500, "test.b"));
+  // A denial leaves the ledger untouched and counts both the attempt and
+  // the denial.
+  EXPECT_EQ(g.used(), 600u);
+  EXPECT_EQ(g.reservations(), 2u);
+  EXPECT_EQ(g.denials(), 1u);
+  EXPECT_FALSE(g.last_denial_was_fault());
+  // Exact fit succeeds: the budget is inclusive.
+  EXPECT_TRUE(g.try_reserve(400, "test.c"));
+  EXPECT_EQ(g.remaining(), 0u);
+}
+
+TEST(ResourceGovernor, ReleaseReturnsBytes) {
+  ResourceGovernor g(1000);
+  ASSERT_TRUE(g.try_reserve(800, "test.a"));
+  g.release(300);
+  EXPECT_EQ(g.used(), 500u);
+  EXPECT_TRUE(g.try_reserve(500, "test.b"));
+}
+
+TEST(ResourceGovernor, ReleaseClampsAtZero) {
+  ResourceGovernor g(1000);
+  ASSERT_TRUE(g.try_reserve(100, "test.a"));
+  // Over-release (a release-without-reserve bug) clamps instead of wrapping
+  // the unsigned ledger to ~SIZE_MAX, which would deny everything forever.
+  g.release(5000);
+  EXPECT_EQ(g.used(), 0u);
+  EXPECT_TRUE(g.try_reserve(1000, "test.b"));
+}
+
+TEST(ResourceGovernor, CanReserveIsPureAndOrdinalFree) {
+  ResourceGovernor g(1000);
+  EXPECT_TRUE(g.can_reserve(1000));
+  EXPECT_FALSE(g.can_reserve(1001));
+  // Pre-flight checks consume no reservation ordinal and move no bytes.
+  EXPECT_EQ(g.reservations(), 0u);
+  EXPECT_EQ(g.used(), 0u);
+}
+
+TEST(ResourceGovernor, ZeroByteReservationAlwaysSucceeds) {
+  ResourceGovernor g(1);
+  ASSERT_TRUE(g.try_reserve(1, "test.a"));
+  EXPECT_TRUE(g.try_reserve(0, "test.empty"));
+  EXPECT_EQ(g.used(), 1u);
+}
+
+TEST(ResourceGovernor, SetBudgetMidSession) {
+  ResourceGovernor g;
+  ASSERT_TRUE(g.try_reserve(500, "test.a"));
+  g.set_budget(400);
+  // Already over the tightened budget: everything further is denied until
+  // bytes are released.
+  EXPECT_FALSE(g.try_reserve(1, "test.b"));
+  EXPECT_EQ(g.remaining(), 0u);
+  g.release(200);
+  EXPECT_TRUE(g.try_reserve(100, "test.c"));
+}
+
+TEST(ResourceGovernor, DeadlineDisarmedByDefault) {
+  ResourceGovernor g;
+  EXPECT_FALSE(g.deadline_armed());
+  EXPECT_FALSE(g.deadline_expired());
+}
+
+TEST(ResourceGovernor, DeadlineExpires) {
+  ResourceGovernor g;
+  g.arm_deadline(1e-9);
+  EXPECT_TRUE(g.deadline_armed());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(g.deadline_expired());
+  g.disarm_deadline();
+  EXPECT_FALSE(g.deadline_armed());
+  EXPECT_FALSE(g.deadline_expired());
+}
+
+TEST(ResourceGovernor, GenerousDeadlineDoesNotExpire) {
+  ResourceGovernor g;
+  g.arm_deadline(3600.0);
+  EXPECT_TRUE(g.deadline_armed());
+  EXPECT_FALSE(g.deadline_expired());
+}
+
+TEST(ResourceGovernor, NonPositiveDeadlineDisarms) {
+  ResourceGovernor g;
+  g.arm_deadline(10.0);
+  ASSERT_TRUE(g.deadline_armed());
+  g.arm_deadline(0.0);
+  EXPECT_FALSE(g.deadline_armed());
+}
+
+}  // namespace
+}  // namespace treecode
