@@ -1,18 +1,23 @@
 // Microbenchmarks (google-benchmark) for the kernel-level building blocks:
 // expansion operators vs degree, tree construction, SFC key throughput.
 // These are the constants behind every table; run with --benchmark_filter
-// to focus.
+// to focus. `--metrics-out path.json` additionally dumps the final
+// MetricsSnapshot as JSON (the google-benchmark flag parser owns argv here,
+// so the flag is peeled off before benchmark::Initialize sees it).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstring>
 #include <random>
+#include <string>
 
 #include "dist/distributions.hpp"
 #include "geom/hilbert.hpp"
 #include "multipole/operators.hpp"
 #include "multipole/rotation.hpp"
 #include "obs/instrument.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "tree/octree.hpp"
 
@@ -215,6 +220,35 @@ void BM_TreeBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeBuild)->Arg(10'000)->Arg(100'000);
 
+/// Remove `--metrics-out path` / `--metrics-out=path` from argv (returning
+/// the path) so benchmark::Initialize's strict flag parser never sees it.
+std::string take_metrics_out_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      path = argv[i] + 14;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return path;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string metrics_out = take_metrics_out_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    treecode::obs::write_json_file(
+        metrics_out, treecode::obs::metrics_json(treecode::obs::registry().snapshot()));
+  }
+  return 0;
+}

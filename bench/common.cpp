@@ -5,7 +5,10 @@
 #include <span>
 #include <utility>
 
+#include "obs/openmetrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -140,6 +143,11 @@ std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
   known.emplace_back("json-out");
   known.emplace_back("trace-out");
   known.emplace_back("recorder-out");
+  known.emplace_back("metrics-out");
+  known.emplace_back("openmetrics-out");
+  known.emplace_back("telemetry-out");
+  known.emplace_back("telemetry");
+  known.emplace_back("slo");
   known.emplace_back("repeat");
   known.emplace_back("warmup");
   return known;
@@ -150,6 +158,11 @@ ObsOptions obs_options_from(const CliFlags& flags) {
   opts.json_out = flags.get_string("json-out", "");
   opts.trace_out = flags.get_string("trace-out", "");
   opts.recorder_out = flags.get_string("recorder-out", "");
+  opts.metrics_out = flags.get_string("metrics-out", "");
+  opts.openmetrics_out = flags.get_string("openmetrics-out", "");
+  opts.telemetry_out = flags.get_string("telemetry-out", "");
+  opts.telemetry = flags.get_bool("telemetry");
+  opts.slo = flags.get_bool("slo");
   if (opts.active()) {
     // The registry is process-global: zero whatever earlier warm-up recorded
     // so the emitted report describes this run alone.
@@ -162,6 +175,11 @@ ObsOptions obs_options_from(const CliFlags& flags) {
     obs::recorder::set_dump_path(opts.recorder_out);
     obs::recorder::start();
   }
+  if (!opts.telemetry_out.empty() || opts.telemetry) {
+    obs::telemetry::reset();
+    obs::telemetry::enable();
+    if (!opts.telemetry_out.empty()) obs::telemetry::set_sink(opts.telemetry_out);
+  }
   return opts;
 }
 
@@ -172,8 +190,25 @@ void emit_reports(const ObsOptions& opts, const obs::RunReport& report) {
     obs::recorder::stop();
     obs::recorder::dump(opts.recorder_out, "run complete");
   }
+  if (!opts.telemetry_out.empty()) obs::telemetry::close_sink();
+  if (opts.slo) {
+    // Before the report/metric dumps: the check's slo.* counters and any
+    // breach warnings belong in the same snapshot the outputs capture.
+    obs::slo::Watchdog watchdog;
+    for (obs::slo::Rule& rule : obs::slo::default_engine_rules()) {
+      watchdog.add_rule(std::move(rule));
+    }
+    watchdog.check(obs::registry().snapshot());
+  }
   if (!opts.json_out.empty()) report.write(opts.json_out);
   if (!opts.trace_out.empty()) obs::trace::write_chrome_json(opts.trace_out);
+  if (!opts.metrics_out.empty()) {
+    obs::write_json_file(opts.metrics_out,
+                         obs::metrics_json(obs::registry().snapshot()));
+  }
+  if (!opts.openmetrics_out.empty()) {
+    obs::openmetrics::write(opts.openmetrics_out, obs::registry().snapshot());
+  }
 }
 
 obs::Json table_json(const Table& t) {

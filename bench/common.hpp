@@ -121,26 +121,41 @@ obs::Json repeat_stats_json(const RepeatStats& stats);
 
 /// Parsed observability flags for one run.
 struct ObsOptions {
-  std::string json_out;      ///< structured report path ("" = off)
-  std::string trace_out;     ///< Chrome trace-event path ("" = off)
-  std::string recorder_out;  ///< flight-recorder snapshot path ("" = off)
+  std::string json_out;         ///< structured report path ("" = off)
+  std::string trace_out;        ///< Chrome trace-event path ("" = off)
+  std::string recorder_out;     ///< flight-recorder snapshot path ("" = off)
+  std::string metrics_out;      ///< MetricsSnapshot JSON path ("" = off)
+  std::string openmetrics_out;  ///< OpenMetrics exposition path ("" = off)
+  std::string telemetry_out;    ///< request-telemetry JSONL path ("" = off)
+  bool telemetry = false;       ///< ring-only telemetry, no JSONL sink
+  bool slo = false;             ///< check default engine SLO rules at exit
 
   [[nodiscard]] bool active() const {
-    return !json_out.empty() || !trace_out.empty() || !recorder_out.empty();
+    return !json_out.empty() || !trace_out.empty() || !recorder_out.empty() ||
+           !metrics_out.empty() || !openmetrics_out.empty() ||
+           !telemetry_out.empty() || telemetry || slo;
   }
 };
 
 /// Append the shared flag names ("json-out", "trace-out", "recorder-out",
+/// "metrics-out", "openmetrics-out", "telemetry-out", "telemetry", "slo",
 /// "repeat", "warmup") to a binary's known-flags list.
 std::vector<std::string> with_obs_flags(std::vector<std::string> known);
 
-/// Read --json-out/--trace-out. Resets registry values (so the report covers
-/// this run only) and starts trace collection when either output is active.
+/// Read the shared observability flags. Resets registry values (so the
+/// report covers this run only) and starts trace collection when any output
+/// is active; --telemetry-out additionally enables per-request telemetry
+/// with a JSONL sink at that path.
 ObsOptions obs_options_from(const CliFlags& flags);
 
 /// Write the requested outputs: the report to json_out, the Chrome
-/// trace-event file to trace_out. Stops trace collection. No-op when neither
-/// flag was given.
+/// trace-event file to trace_out, the metrics snapshot (JSON / OpenMetrics
+/// text) to metrics_out / openmetrics_out. Stops trace collection and closes
+/// the telemetry sink. With `slo`, checks the default engine SLO rules
+/// against the final snapshot first, so the report records `slo.*` counters
+/// and any breach warnings. None of these flags enter report.config() —
+/// bench_compare.py's config-equality gate must keep matching runs that
+/// differ only in observability outputs. No-op when no flag was given.
 void emit_reports(const ObsOptions& opts, const obs::RunReport& report);
 
 /// Serialize a Table as {"headers": [...], "rows": [[...], ...]}. Cells stay

@@ -16,6 +16,8 @@
 //                         [--adaptive] [--threads 4] [--tol 1e-8]
 //                         [--second-kind]   (well-conditioned double-layer form)
 //                         [--json-out report.json] [--trace-out trace.json]
+//                         [--metrics-out metrics.json] [--openmetrics-out m.prom]
+//                         [--telemetry-out records.jsonl] [--slo]
 
 #include <cstdio>
 #include <exception>
@@ -26,21 +28,20 @@
 #include "bem/bem_operator.hpp"
 #include "bem/double_layer.hpp"
 #include "bem/meshgen.hpp"
+#include "common.hpp"
 #include "linalg/gmres.hpp"
 #include "obs/report.hpp"
-#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"mesh", "elements", "degree", "alpha", "adaptive",
-                                      "threads", "tol", "second-kind", "json-out",
-                                      "trace-out"});
-    const std::string json_out = flags.get_string("json-out", "");
-    const std::string trace_out = flags.get_string("trace-out", "");
-    if (!json_out.empty() || !trace_out.empty()) obs::trace::start();
+    const CliFlags flags(argc, argv,
+                         bench::with_obs_flags({"mesh", "elements", "degree", "alpha",
+                                                "adaptive", "threads", "tol",
+                                                "second-kind"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::string mesh_name = flags.get_string("mesh", "propeller");
     const std::size_t elements = static_cast<std::size_t>(flags.get_int("elements", 8'000));
     const LatLonSize size = latlon_for_triangles(elements);
@@ -133,27 +134,21 @@ int main(int argc, char** argv) {
                   100.0 * std::abs(phis[pi] - expected) / expected);
     }
 
-    if (!json_out.empty() || !trace_out.empty()) {
-      obs::trace::stop();
-      if (!json_out.empty()) {
-        obs::RunReport report("bem_solver");
-        report.config()["mesh"] = mesh_name;
-        report.config()["elements"] = mesh.num_triangles();
-        report.config()["unknowns"] = mesh.num_vertices();
-        report.config()["degree"] = opt.eval.degree;
-        report.config()["alpha"] = opt.eval.alpha;
-        report.config()["adaptive"] = opt.eval.mode == DegreeMode::kAdaptive;
-        report.config()["second_kind"] = second_kind;
-        report.results()["converged"] = r.converged;
-        report.results()["iterations"] = r.iterations;
-        report.results()["relative_residual"] = r.relative_residual;
-        obs::Json hist = obs::Json::array();
-        for (double res : r.residual_history) hist.push_back(res);
-        report.results()["residual_history"] = std::move(hist);
-        report.write(json_out);
-      }
-      if (!trace_out.empty()) obs::trace::write_chrome_json(trace_out);
-    }
+    obs::RunReport report("bem_solver");
+    report.config()["mesh"] = mesh_name;
+    report.config()["elements"] = mesh.num_triangles();
+    report.config()["unknowns"] = mesh.num_vertices();
+    report.config()["degree"] = opt.eval.degree;
+    report.config()["alpha"] = opt.eval.alpha;
+    report.config()["adaptive"] = opt.eval.mode == DegreeMode::kAdaptive;
+    report.config()["second_kind"] = second_kind;
+    report.results()["converged"] = r.converged;
+    report.results()["iterations"] = r.iterations;
+    report.results()["relative_residual"] = r.relative_residual;
+    obs::Json hist = obs::Json::array();
+    for (double res : r.residual_history) hist.push_back(res);
+    report.results()["residual_history"] = std::move(hist);
+    bench::emit_reports(obs_opts, report);
     return r.converged ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -10,14 +10,18 @@
 // propeller/gripper shapes are then extracted with the same pipeline.
 //
 //   ./examples/capacitance [--elements 4k] [--degree 5] [--alpha 0.5]
-//                          [--threads 4]
+//                          [--threads 4] [--tol 1e-6]
+//                          [--json-out report.json] [--metrics-out metrics.json]
 
+#include <cmath>
 #include <cstdio>
 #include <exception>
 
 #include "bem/bem_operator.hpp"
 #include "bem/meshgen.hpp"
+#include "common.hpp"
 #include "linalg/gmres.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -59,7 +63,9 @@ double extract_capacitance(const char* name, const TriangleMesh& mesh,
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"elements", "degree", "alpha", "threads", "tol"});
+    const CliFlags flags(argc, argv, bench::with_obs_flags({"elements", "degree",
+                                                            "alpha", "threads", "tol"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::size_t elements = static_cast<std::size_t>(flags.get_int("elements", 2'000));
     SingleLayerOperator::Options opt;
     opt.eval.alpha = flags.get_double("alpha", 0.5);
@@ -75,8 +81,19 @@ int main(int argc, char** argv) {
     std::printf("           analytic capacitance of the unit sphere: 1.00000 "
                 "(error %.2f%%)\n",
                 100.0 * std::abs(c_sphere - 1.0));
-    extract_capacitance("propeller", make_propeller(s.n_lat, s.n_lon), opt, tol);
-    extract_capacitance("gripper", make_gripper(s.n_lat, s.n_lon), opt, tol);
+    const double c_prop = extract_capacitance("propeller", make_propeller(s.n_lat, s.n_lon), opt, tol);
+    const double c_grip = extract_capacitance("gripper", make_gripper(s.n_lat, s.n_lon), opt, tol);
+
+    obs::RunReport report("capacitance");
+    report.config()["elements"] = elements;
+    report.config()["degree"] = opt.eval.degree;
+    report.config()["alpha"] = opt.eval.alpha;
+    report.config()["tol"] = tol;
+    report.results()["c_sphere"] = c_sphere;
+    report.results()["c_sphere_error"] = std::abs(c_sphere - 1.0);
+    report.results()["c_propeller"] = c_prop;
+    report.results()["c_gripper"] = c_grip;
+    bench::emit_reports(obs_opts, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

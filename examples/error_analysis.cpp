@@ -7,22 +7,26 @@
 // degrees pin it flat.
 //
 //   ./examples/error_analysis [--alpha 0.5] [--degree 3] [--n 8k]
+//                              [--json-out report.json] [--metrics-out metrics.json]
 
 #include <cmath>
 #include <cstdio>
 #include <exception>
 
+#include "common.hpp"
 #include "core/treecode.hpp"
 #include "dist/distributions.hpp"
 #include "multipole/error_bounds.hpp"
 #include "multipole/operators.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace treecode;
   try {
-    const CliFlags flags(argc, argv, {"alpha", "degree", "n"});
+    const CliFlags flags(argc, argv, bench::with_obs_flags({"alpha", "degree", "n"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const double alpha = flags.get_double("alpha", 0.5);
     const int p_min = static_cast<int>(flags.get_int("degree", 3));
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 8'000));
@@ -113,6 +117,15 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t3.to_string().c_str());
     std::printf("Tighter budgets trade multipole approximations for P2P work;\n"
                 "every target's bound stays under the budget line.\n");
+
+    obs::RunReport report("error_analysis");
+    report.config()["alpha"] = alpha;
+    report.config()["degree"] = p_min;
+    report.config()["n"] = n;
+    report.results()["truncation_vs_bounds"] = bench::table_json(t1);
+    report.results()["per_level_bounds"] = bench::table_json(t2);
+    report.results()["budget_enforcement"] = bench::table_json(t3);
+    bench::emit_reports(obs_opts, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -10,14 +10,17 @@
 //   ./examples/nbody_gravity [--n 10k] [--steps 10] [--dt 1e-3]
 //                            [--alpha 0.6] [--degree 4] [--threads 4]
 //                            [--softening 0.01] [--dist plummer|galaxy]
+//                            [--json-out report.json] [--metrics-out metrics.json]
 
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <string>
 
+#include "common.hpp"
 #include "dist/distributions.hpp"
 #include "nbody/simulation.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -25,8 +28,9 @@ int main(int argc, char** argv) {
   using namespace treecode;
   try {
     const CliFlags flags(argc, argv,
-                         {"n", "steps", "dt", "alpha", "degree", "threads", "softening",
-                          "dist"});
+                         bench::with_obs_flags({"n", "steps", "dt", "alpha", "degree",
+                                                "threads", "softening", "dist"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 10'000));
     const int steps = static_cast<int>(flags.get_int("steps", 10));
     const double dt = flags.get_double("dt", 1e-3);
@@ -60,6 +64,22 @@ int main(int argc, char** argv) {
                            (d0.total_energy() == 0.0 ? 1.0 : d0.total_energy())),
                   norm(d.momentum));
     }
+
+    const NBodyDiagnostics df = sim.diagnostics();
+    obs::RunReport report("nbody_gravity");
+    report.config()["n"] = n;
+    report.config()["steps"] = steps;
+    report.config()["dt"] = dt;
+    report.config()["dist"] = which;
+    report.config()["alpha"] = cfg.eval.alpha;
+    report.config()["degree"] = cfg.eval.degree;
+    report.results()["seconds"] = total.seconds();
+    report.results()["final_total_energy"] = df.total_energy();
+    report.results()["relative_energy_drift"] =
+        std::abs((df.total_energy() - d0.total_energy()) /
+                 (d0.total_energy() == 0.0 ? 1.0 : d0.total_energy()));
+    report.results()["final_momentum_norm"] = norm(df.momentum);
+    bench::emit_reports(obs_opts, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

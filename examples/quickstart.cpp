@@ -3,14 +3,15 @@
 //
 //   ./examples/quickstart [--n 20k] [--alpha 0.5] [--degree 4] [--threads 4]
 //                         [--json-out report.json] [--trace-out trace.json]
+//                         [--metrics-out metrics.json] [--openmetrics-out m.prom]
 
 #include <cstdio>
 #include <exception>
 
+#include "common.hpp"
 #include "core/treecode.hpp"
 #include "dist/distributions.hpp"
 #include "obs/report.hpp"
-#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -19,10 +20,8 @@ int main(int argc, char** argv) {
   using namespace treecode;
   try {
     const CliFlags flags(argc, argv,
-                         {"n", "alpha", "degree", "threads", "json-out", "trace-out"});
-    const std::string json_out = flags.get_string("json-out", "");
-    const std::string trace_out = flags.get_string("trace-out", "");
-    if (!json_out.empty() || !trace_out.empty()) obs::trace::start();
+                         bench::with_obs_flags({"n", "alpha", "degree", "threads"}));
+    const bench::ObsOptions obs_opts = bench::obs_options_from(flags);
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 20'000));
 
     // 1. Make (or load) particles: positions + charges.
@@ -62,24 +61,18 @@ int main(int argc, char** argv) {
                   exact.potential[i]);
     }
 
-    if (!json_out.empty() || !trace_out.empty()) {
-      obs::trace::stop();
-      if (!json_out.empty()) {
-        obs::RunReport report("quickstart");
-        report.config()["n"] = n;
-        report.config()["alpha"] = cfg.alpha;
-        report.config()["degree"] = cfg.degree;
-        report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
-        report.results()["multipole_terms"] = result.stats.multipole_terms;
-        report.results()["p2p_pairs"] = result.stats.p2p_pairs;
-        report.results()["min_degree_used"] = result.stats.min_degree_used;
-        report.results()["max_degree_used"] = result.stats.max_degree_used;
-        report.results()["relative_error_2norm"] =
-            relative_error_2norm(exact.potential, result.potential);
-        report.write(json_out);
-      }
-      if (!trace_out.empty()) obs::trace::write_chrome_json(trace_out);
-    }
+    obs::RunReport report("quickstart");
+    report.config()["n"] = n;
+    report.config()["alpha"] = cfg.alpha;
+    report.config()["degree"] = cfg.degree;
+    report.config()["threads"] = static_cast<std::uint64_t>(cfg.threads);
+    report.results()["multipole_terms"] = result.stats.multipole_terms;
+    report.results()["p2p_pairs"] = result.stats.p2p_pairs;
+    report.results()["min_degree_used"] = result.stats.min_degree_used;
+    report.results()["max_degree_used"] = result.stats.max_degree_used;
+    report.results()["relative_error_2norm"] =
+        relative_error_2norm(exact.potential, result.potential);
+    bench::emit_reports(obs_opts, report);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -17,6 +17,17 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          fragment traces into near-duplicate series. The
                          registry itself must not map two constants to the
                          same string.
+  metric-name-literal    Every metrics-registry accessor call —
+                         counter()/gauge()/histogram()/series() and
+                         obs::flush_counts() — in src/ names its series
+                         through a constant from src/obs/metric_names.hpp
+                         (obs::metric::kFoo), so a typo'd metric name cannot
+                         fork a series away from the bench reports, the
+                         OpenMetrics exposition, and the SLO watchdog's
+                         rules. Computed names (the snprintf'd per-level
+                         audit fan-outs) are exempt by construction. The
+                         registry itself must not map two constants to the
+                         same string.
   non-relaxed-atomic     Atomic operations in designated hot-path files carry
                          an explicit std::memory_order_relaxed. Sharded
                          metrics and block claiming need atomicity, never
@@ -72,6 +83,20 @@ REGISTRY_CONST_RE = re.compile(r"\bconstexpr\s+const\s+char\*\s+(k\w+)\s*=\s*\"(
 # An acceptable span-name argument: a qualified reference to a registry
 # constant (obs::span::kFoo, span::kFoo, treecode::obs::span::kFoo).
 SPAN_CONST_RE = re.compile(r"(?:\w+\s*::\s*)*span\s*::\s*(k\w+)")
+
+# The central metric-name registry and an acceptable metric-name argument.
+METRIC_REGISTRY = "src/obs/metric_names.hpp"
+METRIC_CONST_RE = re.compile(r"(?:\w+\s*::\s*)*metric\s*::\s*(k\w+)")
+
+# Metrics-registry accessor call sites: member accessors reached through a
+# registry reference (the leading [.>] excludes the declarations inside
+# metrics.hpp) plus the free-function histogram flusher.
+METRIC_CALL_RE = re.compile(
+    r"[.>]\s*(?:counter|gauge|histogram|series)\s*(\()|"
+    r"\b(?:obs\s*::\s*)?flush_counts\s*(\()")
+
+# A string literal blanked by strip_comments_and_strings.
+BLANKED_STRING_RE = re.compile(r"\x01[^\x01]*\x01")
 
 ATOMIC_OP_RE = re.compile(
     r"\.(?:fetch_add|fetch_sub|fetch_or|fetch_and|load|store|exchange|"
@@ -175,7 +200,9 @@ class Linter:
         self.root = root
         self.findings: list[tuple[Path, int, str, str]] = []
         self.span_names: set[str] = set()
+        self.metric_names: set[str] = set()
         self._load_span_registry()
+        self._load_metric_registry()
 
     def _load_span_registry(self) -> None:
         """Parse src/obs/spans.hpp into the set of known constants, flagging
@@ -196,6 +223,29 @@ class Linter:
             if value in seen:
                 self.report(registry, lineno, "span-registry",
                             f"{name} duplicates span string {value!r} "
+                            f"already used by {seen[value]}", raw_lines)
+            else:
+                seen[value] = name
+
+    def _load_metric_registry(self) -> None:
+        """Parse src/obs/metric_names.hpp into the set of known constants,
+        flagging two constants that alias the same metric string (which would
+        silently merge unrelated series in every snapshot and exposition)."""
+        registry = self.root / METRIC_REGISTRY
+        if not registry.is_file():
+            self.findings.append((registry, 1, "metric-name-literal",
+                                  "metric-name registry header missing"))
+            return
+        raw = registry.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+        seen: dict[str, str] = {}
+        for m in REGISTRY_CONST_RE.finditer(raw):
+            name, value = m.group(1), m.group(2)
+            self.metric_names.add(name)
+            lineno = raw.count("\n", 0, m.start()) + 1
+            if value in seen:
+                self.report(registry, lineno, "metric-name-literal",
+                            f"{name} duplicates metric string {value!r} "
                             f"already used by {seen[value]}", raw_lines)
             else:
                 seen[value] = name
@@ -286,6 +336,22 @@ class Linter:
                 # span-constant reference — is checked.
                 if re.fullmatch(r"\x01[^\x01]*\x01", last) or SPAN_CONST_RE.fullmatch(last):
                     check_span_arg(last, m.start(), "parallel_for trace name")
+
+        if rel != METRIC_REGISTRY:
+            for m in METRIC_CALL_RE.finditer(code):
+                paren = m.start(1) if m.group(1) else m.start(2)
+                first = extract_first_arg(code, paren).strip()
+                if BLANKED_STRING_RE.fullmatch(first):
+                    self.report(path, line_of(m.start()), "metric-name-literal",
+                                "metric name must be a metric-registry constant "
+                                "(obs::metric::kFoo from src/obs/metric_names.hpp)",
+                                raw_lines)
+                else:
+                    c = METRIC_CONST_RE.fullmatch(first)
+                    if c and self.metric_names and c.group(1) not in self.metric_names:
+                        self.report(path, line_of(m.start()), "metric-name-literal",
+                                    f"references metric::{c.group(1)}, which is not "
+                                    "defined in src/obs/metric_names.hpp", raw_lines)
 
         if rel == HOT_ATOMIC_FILES[0] or rel.startswith(HOT_ATOMIC_FILES[1]):
             for m in ATOMIC_OP_RE.finditer(code):

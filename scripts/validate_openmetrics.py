@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus/OpenMetrics text exposition (stdlib only).
+
+Checks the output of obs::openmetrics::render()/write() the way a strict
+scraper would:
+
+  - every non-comment line is `<name>[{labels}] <value>`;
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+    [a-zA-Z_][a-zA-Z0-9_]*, label values are well-quoted with only
+    \\\\, \\", \\n escapes;
+  - values are decimal floats or the literals NaN/+Inf/-Inf;
+  - every sample belongs to a preceding `# TYPE` family, with the
+    conventional suffix for its type (counter samples end in _total;
+    histogram samples in _bucket/_sum/_count);
+  - histogram families are complete and coherent: bucket `le` values are
+    unique, sorted, cumulative (counts non-decreasing), include +Inf, the
+    +Inf bucket equals `_count`, and `_sum` is present;
+  - the document ends with `# EOF`.
+
+Usage: validate_openmetrics.py METRICS.prom
+       validate_openmetrics.py --self-test
+Exit status 0 on success, 1 with a line-qualified message on failure.
+"""
+
+import math
+import re
+import sys
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                      r"(counter|gauge|histogram|summary|untyped)$")
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                        r"(?:\{([^}]*)\})? (\S+)$")
+_ESCAPE_RE = re.compile(r'\\(.)')
+
+
+def _parse_value(text):
+    if text == "NaN":
+        return math.nan
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(text, errors, lineno):
+    """Parse `k="v",k2="v2"` into a dict; report malformed pairs."""
+    labels = {}
+    if not text:
+        return labels
+    for pair in text.split(","):
+        if "=" not in pair:
+            errors.append(f"line {lineno}: malformed label pair {pair!r}")
+            continue
+        name, _, value = pair.partition("=")
+        if not _LABEL_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad label name {name!r}")
+        if len(value) < 2 or value[0] != '"' or value[-1] != '"':
+            errors.append(f"line {lineno}: label value {value!r} not quoted")
+            continue
+        body = value[1:-1]
+        for m in _ESCAPE_RE.finditer(body):
+            if m.group(1) not in ('\\', '"', 'n'):
+                errors.append(f"line {lineno}: bad escape \\{m.group(1)}")
+        if re.search(r'(?<!\\)"', body.replace('\\\\', '')):
+            errors.append(f"line {lineno}: unescaped quote in {value!r}")
+        labels[name] = body
+    return labels
+
+
+def validate_text(text):
+    """Return a list of error strings (empty when the exposition conforms)."""
+    errors = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("document does not end with '# EOF'")
+    families = {}  # name -> type
+    # histogram name -> {"buckets": [(le_str, value)], "sum": bool, "count": n}
+    histograms = {}
+    saw_sample = False
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                errors.append(f"line {lineno}: '# EOF' before end of document")
+            continue
+        if line.startswith("#"):
+            m = _TYPE_RE.match(line)
+            if not m:
+                if line.startswith("# TYPE"):
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                continue  # HELP/other comments are fine
+            name, family_type = m.groups()
+            if name in families:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            families[name] = family_type
+            if family_type == "histogram":
+                histograms[name] = {"buckets": [], "sum": False, "count": None}
+            continue
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        saw_sample = True
+        name, label_text, value_text = m.groups()
+        value = _parse_value(value_text)
+        if value is None:
+            errors.append(f"line {lineno}: bad sample value {value_text!r}")
+            continue
+        labels = _parse_labels(label_text or "", errors, lineno)
+        family = _family_of(name, families)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name} has no TYPE family")
+            continue
+        family_name, family_type = family
+        if family_type == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"line {lineno}: counter sample {name} "
+                              "does not end in _total")
+            if value < 0:
+                errors.append(f"line {lineno}: negative counter {name}")
+        elif family_type == "histogram":
+            h = histograms[family_name]
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: bucket without le label")
+                else:
+                    h["buckets"].append((labels["le"], value))
+            elif name.endswith("_sum"):
+                h["sum"] = True
+            elif name.endswith("_count"):
+                h["count"] = value
+            else:
+                errors.append(f"line {lineno}: histogram sample {name} has "
+                              "no _bucket/_sum/_count suffix")
+    if not saw_sample and not errors:
+        # An all-comment document is structurally valid; nothing more to do.
+        pass
+    for name, h in histograms.items():
+        les = [le for le, _ in h["buckets"]]
+        if len(set(les)) != len(les):
+            errors.append(f"histogram {name}: duplicate le values")
+        if "+Inf" not in les:
+            errors.append(f"histogram {name}: missing le=\"+Inf\" bucket")
+        le_values = []
+        for le in les:
+            v = _parse_value(le)
+            if v is None:
+                errors.append(f"histogram {name}: bad le value {le!r}")
+                v = math.nan
+            le_values.append(v)
+        if le_values != sorted(le_values):
+            errors.append(f"histogram {name}: le values not sorted")
+        counts = [v for _, v in h["buckets"]]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            errors.append(f"histogram {name}: bucket counts not cumulative")
+        if not h["sum"]:
+            errors.append(f"histogram {name}: missing _sum")
+        if h["count"] is None:
+            errors.append(f"histogram {name}: missing _count")
+        elif h["buckets"] and "+Inf" in les:
+            inf_count = dict(h["buckets"])["+Inf"]
+            if inf_count != h["count"]:
+                errors.append(f"histogram {name}: +Inf bucket {inf_count} != "
+                              f"_count {h['count']}")
+    return errors
+
+
+def _family_of(sample_name, families):
+    """Find the TYPE family a sample belongs to, honoring suffixes."""
+    if sample_name in families:
+        return sample_name, families[sample_name]
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base, families[base]
+    return None
+
+
+def _self_test():
+    good = (
+        "# TYPE engine_replays counter\n"
+        "engine_replays_total 7\n"
+        "# TYPE audit_max_tightness gauge\n"
+        "audit_max_tightness 0.5\n"
+        "# TYPE g_nan gauge\n"
+        "g_nan NaN\n"
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="0.1"} 2\n'
+        'lat_bucket{le="1"} 5\n'
+        'lat_bucket{le="+Inf"} 6\n'
+        "lat_sum 4.5\n"
+        "lat_count 6\n"
+        "# EOF\n"
+    )
+    cases = [
+        (good, True),
+        (good.replace("# EOF\n", ""), False),              # no EOF
+        (good.replace('le="+Inf"} 6', 'le="+Inf"} 5'), False),  # +Inf != count
+        (good.replace('le="1"} 5', 'le="1"} 1'), False),   # not cumulative
+        (good.replace("lat_sum 4.5\n", ""), False),        # missing _sum
+        (good.replace("engine_replays_total", "engine_replays"), False),
+        ("orphan_total 1\n# EOF\n", False),                # no TYPE family
+        ("# TYPE x counter\nx_total notanumber\n# EOF\n", False),
+        ("# EOF\n", True),                                 # empty but valid
+    ]
+    for i, (text, expect_ok) in enumerate(cases):
+        errors = validate_text(text)
+        if bool(errors) == expect_ok:
+            print(f"self-test case {i} failed: expect_ok={expect_ok}, "
+                  f"errors={errors}", file=sys.stderr)
+            return 1
+    print("OK validate_openmetrics self-test")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return _self_test()
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    with open(argv[1], encoding="utf-8") as f:
+        text = f.read()
+    errors = validate_text(text)
+    if errors:
+        for e in errors[:20]:
+            print(f"FAIL {argv[1]}: {e}", file=sys.stderr)
+        return 1
+    samples = sum(1 for line in text.split("\n")
+                  if line and not line.startswith("#"))
+    print(f"OK {argv[1]}: {samples} sample(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate a request-telemetry JSONL sink (treecode-request-record/v1).
+
+Each line must parse as JSON and conform to
+scripts/telemetry_record_schema.json (checked with the same stdlib subset
+validator that validate_report.py uses). Cross-line checks: seq values are
+unique, and the known enumerations (api, rung_name) only contain values the
+emitter can produce. Line *order* is not checked — concurrent emitters take
+their seq before the sink lock, so a sink may interleave.
+
+Usage: validate_telemetry.py RECORDS.jsonl [SCHEMA.json]
+       validate_telemetry.py --self-test
+Exit status 0 on success, 1 with a line-qualified message on the first error.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from validate_report import validate  # noqa: E402
+
+_APIS = {
+    "compile", "compile_self", "update_charges", "update_charges_sorted",
+    "evaluate_plan", "evaluate_at", "evaluate_self",
+}
+_RUNGS = {"basis_replay", "plain_replay", "traversal", "direct", "none"}
+
+
+def validate_file(path, schema):
+    """Return a list of error strings (empty when the sink conforms)."""
+    errors = []
+    seqs = set()
+    n = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            n += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: not JSON: {e}")
+                continue
+            for err in validate(record, schema):
+                errors.append(f"line {lineno}: {err}")
+            if not isinstance(record, dict):
+                continue
+            seq = record.get("seq")
+            if seq in seqs:
+                errors.append(f"line {lineno}: duplicate seq {seq}")
+            seqs.add(seq)
+            api = record.get("api")
+            if api not in _APIS:
+                errors.append(f"line {lineno}: unknown api {api!r}")
+            rung_name = record.get("rung_name")
+            if rung_name not in _RUNGS:
+                errors.append(f"line {lineno}: unknown rung_name {rung_name!r}")
+            key = record.get("plan_key", "")
+            if not (isinstance(key, str) and key.startswith("0x")
+                    and len(key) == 18):
+                errors.append(f"line {lineno}: plan_key {key!r} is not an "
+                              "0x-prefixed 16-digit hex string")
+    if n == 0:
+        errors.append("empty sink: expected at least one record line")
+    return errors
+
+
+def _self_test():
+    good = {
+        "schema": "treecode-request-record/v1", "seq": 0, "ts_us": 12,
+        "api": "evaluate_plan", "plan_key": "0x00000000deadbeef", "rung": 0,
+        "rung_name": "basis_replay", "outcome": "ok", "ok": True,
+        "wall_seconds": 1e-3, "targets": 64, "plan_bytes": 10,
+        "basis_bytes": 20, "deadline_slack_seconds": None,
+        "audit_max_tightness": 0.5, "threads": 4,
+    }
+    import copy
+    import tempfile
+
+    cases = []  # (lines, expect_ok)
+    cases.append(([good], True))
+    second = copy.deepcopy(good)
+    second["seq"] = 1
+    second["deadline_slack_seconds"] = 0.25
+    cases.append(([good, second], True))
+    cases.append(([good, good], False))  # duplicate seq
+    bad_api = copy.deepcopy(good)
+    bad_api["api"] = "teleport"
+    cases.append(([bad_api], False))
+    missing = copy.deepcopy(good)
+    del missing["wall_seconds"]
+    cases.append(([missing], False))
+    bad_key = copy.deepcopy(good)
+    bad_key["plan_key"] = "deadbeef"
+    cases.append(([bad_key], False))
+    cases.append(([], False))  # empty sink
+
+    schema = _load_schema(None)
+    for i, (lines, expect_ok) in enumerate(cases):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            for record in lines:
+                f.write(json.dumps(record) + "\n")
+            path = f.name
+        errors = validate_file(path, schema)
+        os.unlink(path)
+        if bool(errors) == expect_ok:
+            print(f"self-test case {i} failed: expect_ok={expect_ok}, "
+                  f"errors={errors}", file=sys.stderr)
+            return 1
+    print("OK validate_telemetry self-test")
+    return 0
+
+
+def _load_schema(schema_path):
+    if schema_path is None:
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "telemetry_record_schema.json")
+    with open(schema_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return _self_test()
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    path = argv[1]
+    schema = _load_schema(argv[2] if len(argv) == 3 else None)
+    errors = validate_file(path, schema)
+    if errors:
+        for e in errors[:20]:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+        return 1
+    with open(path, encoding="utf-8") as f:
+        n = sum(1 for line in f if line.strip())
+    print(f"OK {path}: {n} valid treecode-request-record/v1 line(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,6 +13,7 @@
 #include "multipole/operators.hpp"
 #include "obs/audit.hpp"
 #include "obs/instrument.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "util/timer.hpp"
@@ -341,15 +342,15 @@ EvalResult BarnesHutEvaluator::run(ThreadPool& pool, std::span<const Vec3> point
   }
 
   obs::Registry& reg = obs::registry();
-  reg.counter("bh.multipole_terms").add(result.stats.multipole_terms);
-  reg.counter("bh.m2p_count").add(result.stats.m2p_count);
-  reg.counter("bh.p2p_pairs").add(result.stats.p2p_pairs);
-  reg.counter("bh.budget_refinements").add(result.stats.budget_refinements);
-  reg.counter("bh.budget_refinements_leaf").add(result.stats.budget_refinements_leaf);
-  reg.gauge("bh.max_interaction_bound").record_max(result.stats.max_interaction_bound);
-  obs::flush_counts("bh.m2p_per_level", m2p_by_level);
-  obs::flush_counts("bh.p2p_per_level", p2p_by_level);
-  obs::flush_counts("bh.degree_used", degree_used);
+  reg.counter(obs::metric::kBhMultipoleTerms).add(result.stats.multipole_terms);
+  reg.counter(obs::metric::kBhM2pCount).add(result.stats.m2p_count);
+  reg.counter(obs::metric::kBhP2pPairs).add(result.stats.p2p_pairs);
+  reg.counter(obs::metric::kBhBudgetRefinements).add(result.stats.budget_refinements);
+  reg.counter(obs::metric::kBhBudgetRefinementsLeaf).add(result.stats.budget_refinements_leaf);
+  reg.gauge(obs::metric::kBhMaxInteractionBound).record_max(result.stats.max_interaction_bound);
+  obs::flush_counts(obs::metric::kBhM2pPerLevel, m2p_by_level);
+  obs::flush_counts(obs::metric::kBhP2pPerLevel, p2p_by_level);
+  obs::flush_counts(obs::metric::kBhDegreeUsed, degree_used);
 
   // A budget that demotes most MAC-accepted interactions is unachievably
   // tight: the traversal is quietly degenerating toward direct summation.

@@ -8,6 +8,7 @@
 #include "analysis/invariants.hpp"
 #include "multipole/operators.hpp"
 #include "obs/instrument.hpp"
+#include "obs/metric_names.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
 #include "obs/spans.hpp"
@@ -127,8 +128,8 @@ EvalResult DipoleBarnesHutEvaluator::evaluate_at(ThreadPool& pool,
   result.stats.min_degree_used = used_max >= 0 ? used_min : 0;
   result.stats.max_degree_used = used_max >= 0 ? used_max : 0;
   obs::Registry& reg = obs::registry();
-  reg.counter("dipole_bh.multipole_terms").add(result.stats.multipole_terms);
-  reg.counter("dipole_bh.p2p_pairs").add(result.stats.p2p_pairs);
+  reg.counter(obs::metric::kDipoleBhMultipoleTerms).add(result.stats.multipole_terms);
+  reg.counter(obs::metric::kDipoleBhP2pPairs).add(result.stats.p2p_pairs);
 #if defined(TREECODE_CHECK_INVARIANTS)
   // The dipole evaluator produces potentials only; check against a config
   // copy with the unproduced outputs switched off.

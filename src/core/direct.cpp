@@ -2,6 +2,7 @@
 
 #include "analysis/invariants.hpp"
 #include "multipole/operators.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
@@ -48,7 +49,7 @@ EvalResult direct_impl(const ParticleSystem& ps, std::span<const Vec3> points,
         nullptr, obs::span::kDirectEvalWorker);
   }
   result.stats.p2p_pairs = static_cast<std::uint64_t>(n) * ps.size();
-  obs::registry().counter("direct.p2p_pairs").add(result.stats.p2p_pairs);
+  obs::registry().counter(obs::metric::kDirectP2pPairs).add(result.stats.p2p_pairs);
 #if defined(TREECODE_CHECK_INVARIANTS)
   EvalConfig checked;
   checked.compute_gradient = compute_gradient;

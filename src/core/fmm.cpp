@@ -10,6 +10,7 @@
 #include "multipole/operators.hpp"
 #include "multipole/rotation.hpp"
 #include "obs/instrument.hpp"
+#include "obs/metric_names.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/timer.hpp"
 #include "obs/spans.hpp"
@@ -293,13 +294,13 @@ EvalResult evaluate_fmm(const Tree& tree, const EvalConfig& config) {
   result.stats.reference_charge = degrees.reference_charge;
 
   obs::Registry& reg = obs::registry();
-  reg.counter("fmm.multipole_terms").add(result.stats.multipole_terms);
-  reg.counter("fmm.m2l_count").add(result.stats.m2l_count);
-  reg.counter("fmm.p2p_pairs").add(result.stats.p2p_pairs);
-  reg.gauge("fmm.max_interaction_bound").record_max(result.stats.max_interaction_bound);
-  obs::flush_counts("fmm.m2l_per_level", m2l_by_level);
-  obs::flush_counts("fmm.p2p_per_level", p2p_by_level);
-  obs::flush_counts("fmm.degree_used", degree_used);
+  reg.counter(obs::metric::kFmmMultipoleTerms).add(result.stats.multipole_terms);
+  reg.counter(obs::metric::kFmmM2lCount).add(result.stats.m2l_count);
+  reg.counter(obs::metric::kFmmP2pPairs).add(result.stats.p2p_pairs);
+  reg.gauge(obs::metric::kFmmMaxInteractionBound).record_max(result.stats.max_interaction_bound);
+  obs::flush_counts(obs::metric::kFmmM2lPerLevel, m2l_by_level);
+  obs::flush_counts(obs::metric::kFmmP2pPerLevel, p2p_by_level);
+  obs::flush_counts(obs::metric::kFmmDegreeUsed, degree_used);
 
   // Scatter to the caller's particle order.
   const auto& orig = tree.original_index();

@@ -16,8 +16,10 @@
 #include "multipole/operators.hpp"
 #include "obs/audit.hpp"
 #include "obs/instrument.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "util/timer.hpp"
 #include "obs/spans.hpp"
 #include "util/fault_inject.hpp"
@@ -80,7 +82,7 @@ std::uint64_t plan_key(std::span<const Vec3> targets, bool self, const EvalConfi
 /// engine failure leaves a metrics + recorder trail regardless of whether
 /// the ladder absorbs it or the caller sees it.
 Error engine_error(ErrorCode code, std::string message) {
-  obs::registry().counter("engine.errors").add(1);
+  obs::registry().counter(obs::metric::kEngineErrors).add(1);
   obs::recorder::record(obs::recorder::Category::kCustom, error_code_name(code), 0.0);
   obs::recorder::trigger(error_code_name(code));
   return Error{code, std::move(message)};
@@ -117,6 +119,36 @@ class DeadlineScope {
   bool armed_here_;
 };
 
+/// Emit one telemetry RequestRecord at a public entry point's exit — the
+/// per-request tuple (plan, rung, outcome, wall, bytes, deadline slack,
+/// audit tightness) the serving layer records; see obs/telemetry.hpp.
+/// One relaxed load and a branch while telemetry is disabled.
+void emit_request(obs::telemetry::Api api, std::uint64_t key, double wall,
+                  bool ok, ErrorCode code, const EvalStats* stats,
+                  const PlanCache& cache, const EvalConfig& config,
+                  unsigned threads) {
+  if (!obs::telemetry::enabled()) return;
+  obs::telemetry::RequestRecord r;
+  r.api = api;
+  r.plan_key = key;
+  if (stats != nullptr) {
+    r.rung = static_cast<std::int8_t>(stats->served_rung);
+    r.targets = stats->targets_served;
+    r.audit_max_tightness = stats->audit_max_tightness;
+  }
+  r.outcome = static_cast<std::uint8_t>(code);
+  r.outcome_name = error_code_name(code);
+  r.ok = ok;
+  r.wall_seconds = wall;
+  r.plan_bytes = cache.bytes();
+  r.basis_bytes = cache.basis_bytes();
+  r.deadline_slack_seconds = config.deadline_seconds > 0.0
+                                 ? config.deadline_seconds - wall
+                                 : std::numeric_limits<double>::quiet_NaN();
+  r.threads = threads;
+  obs::telemetry::emit(r);
+}
+
 }  // namespace
 
 /// Per-thread compile statistics, merged in thread order after the sweep —
@@ -152,14 +184,37 @@ EvalSession::EvalSession(Tree tree, const EvalConfig& config, const Options& opt
 
 Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile(
     std::span<const Vec3> targets) {
-  return try_compile_impl(targets, /*self=*/false);
+  const Timer timer;
+  Expected<std::shared_ptr<const EvalPlan>> plan =
+      try_compile_impl(targets, /*self=*/false);
+  emit_request(obs::telemetry::Api::kCompile,
+               plan.ok() ? plan.value()->key : 0, timer.seconds(), plan.ok(),
+               plan.ok() ? ErrorCode::kOk : plan.error().code,
+               /*stats=*/nullptr, cache_, config_, pool_.width());
+  return plan;
 }
 
 Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_self() {
-  return try_compile_impl(tree_.positions(), /*self=*/true);
+  const Timer timer;
+  Expected<std::shared_ptr<const EvalPlan>> plan =
+      try_compile_impl(tree_.positions(), /*self=*/true);
+  emit_request(obs::telemetry::Api::kCompileSelf,
+               plan.ok() ? plan.value()->key : 0, timer.seconds(), plan.ok(),
+               plan.ok() ? ErrorCode::kOk : plan.error().code,
+               /*stats=*/nullptr, cache_, config_, pool_.width());
+  return plan;
 }
 
 Expected<void> EvalSession::try_update_charges(std::span<const double> charges) {
+  const Timer timer;
+  Expected<void> result = try_update_charges_impl(charges);
+  emit_request(obs::telemetry::Api::kUpdateCharges, 0, timer.seconds(),
+               result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
+               /*stats=*/nullptr, cache_, config_, pool_.width());
+  return result;
+}
+
+Expected<void> EvalSession::try_update_charges_impl(std::span<const double> charges) {
   if (charges.size() != tree_.source_size()) {
     return engine_error(ErrorCode::kInvalidArgument,
                         "EvalSession: charge vector size mismatch");
@@ -182,6 +237,16 @@ Expected<void> EvalSession::try_update_charges(std::span<const double> charges) 
 }
 
 Expected<void> EvalSession::try_update_charges_sorted(std::span<const double> charges) {
+  const Timer timer;
+  Expected<void> result = try_update_charges_sorted_impl(charges);
+  emit_request(obs::telemetry::Api::kUpdateChargesSorted, 0, timer.seconds(),
+               result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
+               /*stats=*/nullptr, cache_, config_, pool_.width());
+  return result;
+}
+
+Expected<void> EvalSession::try_update_charges_sorted_impl(
+    std::span<const double> charges) {
   if (charges.size() != tree_.num_particles()) {
     return engine_error(ErrorCode::kInvalidArgument,
                         "EvalSession: sorted charge vector size mismatch");
@@ -216,10 +281,10 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
   const std::uint64_t key = plan_key(targets, self, config_);
   obs::Registry& reg = obs::registry();
   if (auto hit = cache_.find(key, targets, self)) {
-    reg.counter("engine.plan_cache_hits").add(1);
+    reg.counter(obs::metric::kEnginePlanCacheHits).add(1);
     return hit;
   }
-  reg.counter("engine.plan_cache_misses").add(1);
+  reg.counter(obs::metric::kEnginePlanCacheMisses).add(1);
 
   auto plan = std::make_shared<EvalPlan>();
   plan->targets.assign(targets.begin(), targets.end());
@@ -352,7 +417,7 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
   // eviction, replacement, or clear.
   const std::size_t plan_core_bytes = plan->memory_bytes();
   if (!governor_.try_reserve(plan_core_bytes, "engine.plan")) {
-    reg.counter("engine.plan_denied").add(1);
+    reg.counter(obs::metric::kEnginePlanDenied).add(1);
     return engine_error(denial_code(governor_),
                         "EvalSession::compile: plan storage denied (" +
                             std::to_string(plan_core_bytes) + " bytes)");
@@ -398,7 +463,7 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
       if (!governor_.try_reserve(basis_delta, "engine.basis")) {
         // Basis denied (budget raced tighter, or an injected fault): keep
         // the plan, drop the basis — a rung-1 plan with identical results.
-        reg.counter("engine.basis_denied").add(1);
+        reg.counter(obs::metric::kEngineBasisDenied).add(1);
         std::vector<std::uint64_t>().swap(plan->basis_offset);
         std::vector<double>().swap(plan->basis);
       } else {
@@ -456,10 +521,10 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
   plan->stats.max_degree_used = max_deg >= 0 ? max_deg : 0;
   plan->stats.reference_charge = degrees_.reference_charge;
 
-  reg.counter("engine.plan_compiles").add(1);
-  reg.gauge("engine.plan_entries").record_max(static_cast<double>(total));
-  reg.gauge("engine.plan_bytes").record_max(static_cast<double>(plan->memory_bytes()));
-  reg.gauge("engine.basis_bytes")
+  reg.counter(obs::metric::kEnginePlanCompiles).add(1);
+  reg.gauge(obs::metric::kEnginePlanEntries).record_max(static_cast<double>(total));
+  reg.gauge(obs::metric::kEnginePlanBytes).record_max(static_cast<double>(plan->memory_bytes()));
+  reg.gauge(obs::metric::kEngineBasisBytes)
       .record_max(static_cast<double>(plan->basis.size() * sizeof(double)));
 
   TREECODE_ASSERT_PLAN_INVARIANTS(*plan, tree_, degrees_, config_,
@@ -491,7 +556,7 @@ Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
   }
   if (first_build_bytes > 0 &&
       !governor_.try_reserve(first_build_bytes, "engine.multipoles")) {
-    obs::registry().counter("engine.refresh_denied").add(1);
+    obs::registry().counter(obs::metric::kEngineRefreshDenied).add(1);
     return engine_error(denial_code(governor_),
                         "EvalSession: multipole refresh denied (" +
                             std::to_string(first_build_bytes) + " bytes)");
@@ -528,10 +593,10 @@ Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
       if (governor_.try_reserve(growth_bytes, "engine.p2m_basis")) {
         p2m_basis_pool_.resize(pool_size);
         obs::registry()
-            .gauge("engine.refresh_basis_bytes")
+            .gauge(obs::metric::kEngineRefreshBasisBytes)
             .record_max(static_cast<double>(pool_size * sizeof(double)));
       } else {
-        obs::registry().counter("engine.p2m_basis_denied").add(1);
+        obs::registry().counter(obs::metric::kEngineP2mBasisDenied).add(1);
         for (std::size_t k = 0; k < stale_.size(); ++k) {
           if (fill[k] != 0) {
             p2m_basis_offset_[static_cast<std::size_t>(stale_[k])] = EvalPlan::kNoBasis;
@@ -579,7 +644,7 @@ Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
   } else {
     for (std::size_t k = 0; k < stale_.size(); ++k) refresh_node(k);
   }
-  obs::registry().counter("engine.nodes_refreshed").add(stale_.size());
+  obs::registry().counter(obs::metric::kEngineNodesRefreshed).add(stale_.size());
   return {};
 }
 
@@ -743,7 +808,7 @@ Expected<EvalResult> EvalSession::replay(const EvalPlan& plan) {
                             std::to_string(bad_target));
   }
   if (deadline_hit.load(std::memory_order_relaxed)) {
-    obs::registry().counter("engine.deadline_expirations").add(1);
+    obs::registry().counter(obs::metric::kEngineDeadlineExpirations).add(1);
     if (!config_.deadline_partial) {
       return engine_error(ErrorCode::kDeadline,
                           "EvalSession: deadline expired during replay");
@@ -780,17 +845,17 @@ Expected<EvalResult> EvalSession::replay(const EvalPlan& plan) {
   }
 
   obs::Registry& reg = obs::registry();
-  reg.counter("engine.replays").add(1);
+  reg.counter(obs::metric::kEngineReplays).add(1);
   reg.counter(result.stats.served_rung == ServeRung::kBasisReplay
-                  ? "engine.serve.basis_replay"
-                  : "engine.serve.plain_replay")
+                  ? obs::metric::kEngineServeBasisReplay
+                  : obs::metric::kEngineServePlainReplay)
       .add(1);
-  reg.counter("engine.multipole_terms").add(result.stats.multipole_terms);
-  reg.counter("engine.m2p_count").add(result.stats.m2p_count);
-  reg.counter("engine.p2p_pairs").add(result.stats.p2p_pairs);
-  obs::flush_counts("engine.m2p_per_level", plan.m2p_by_level);
-  obs::flush_counts("engine.p2p_per_level", plan.p2p_by_level);
-  obs::flush_counts("engine.degree_used", plan.degree_used);
+  reg.counter(obs::metric::kEngineMultipoleTerms).add(result.stats.multipole_terms);
+  reg.counter(obs::metric::kEngineM2pCount).add(result.stats.m2p_count);
+  reg.counter(obs::metric::kEngineP2pPairs).add(result.stats.p2p_pairs);
+  obs::flush_counts(obs::metric::kEngineM2pPerLevel, plan.m2p_by_level);
+  obs::flush_counts(obs::metric::kEngineP2pPerLevel, plan.p2p_by_level);
+  obs::flush_counts(obs::metric::kEngineDegreeUsed, plan.degree_used);
 
   if (plan.self) {
     const auto& orig = tree_.original_index();
@@ -823,7 +888,7 @@ std::size_t EvalSession::traversal_reserve_bytes() {
 
 Expected<EvalResult> EvalSession::serve_degraded(std::span<const Vec3> targets,
                                                  bool self) {
-  obs::registry().counter("engine.degraded_serves").add(1);
+  obs::registry().counter(obs::metric::kEngineDegradedServes).add(1);
   // Rung 2 needs transient multipoles for the whole tree; reserve them for
   // the duration of the traversal so a concurrent-session budget still
   // holds, then hand the bytes back.
@@ -850,7 +915,7 @@ Expected<EvalResult> EvalSession::serve_traversal(std::span<const Vec3> targets,
     result.stats.served_rung = ServeRung::kTraversal;
     result.stats.outcome = ErrorCode::kOk;
     result.stats.targets_served = static_cast<std::uint64_t>(targets.size());
-    obs::registry().counter("engine.serve.traversal").add(1);
+    obs::registry().counter(obs::metric::kEngineServeTraversal).add(1);
     return result;
   } catch (const std::invalid_argument& e) {
     return engine_error(ErrorCode::kInvalidArgument, e.what());
@@ -878,7 +943,7 @@ Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bo
   // interaction is zero, so the a-posteriori bound vector is identically
   // zero and trivially within any error budget.
   if (want_bounds) result.error_bound.assign(out_n, 0.0);
-  obs::registry().counter("engine.serve.direct").add(1);
+  obs::registry().counter(obs::metric::kEngineServeDirect).add(1);
   if (n == 0 || tree_.num_particles() == 0) return result;
 
   std::vector<char> skip(n, 0);
@@ -963,7 +1028,7 @@ Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bo
                             std::to_string(bad_target));
   }
   if (deadline_hit.load(std::memory_order_relaxed)) {
-    obs::registry().counter("engine.deadline_expirations").add(1);
+    obs::registry().counter(obs::metric::kEngineDeadlineExpirations).add(1);
     if (!config_.deadline_partial) {
       return engine_error(ErrorCode::kDeadline,
                           "EvalSession: deadline expired during direct fallback");
@@ -996,6 +1061,17 @@ Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bo
 }
 
 Expected<EvalResult> EvalSession::try_evaluate(const EvalPlan& plan) {
+  const Timer timer;
+  Expected<EvalResult> served = try_evaluate_impl(plan);
+  emit_request(obs::telemetry::Api::kEvaluatePlan, plan.key, timer.seconds(),
+               served.ok(), served.ok() ? served.value().stats.outcome
+                                        : served.error().code,
+               served.ok() ? &served.value().stats : nullptr, cache_, config_,
+               pool_.width());
+  return served;
+}
+
+Expected<EvalResult> EvalSession::try_evaluate_impl(const EvalPlan& plan) {
   const DeadlineScope deadline(governor_, config_.deadline_seconds);
   if (plan.offsets.size() != plan.num_targets() + 1) {
     return engine_error(ErrorCode::kInvalidArgument,
@@ -1007,28 +1083,43 @@ Expected<EvalResult> EvalSession::try_evaluate(const EvalPlan& plan) {
 }
 
 Expected<EvalResult> EvalSession::try_evaluate_at(std::span<const Vec3> targets) {
-  const DeadlineScope deadline(governor_, config_.deadline_seconds);
-  Expected<std::shared_ptr<const EvalPlan>> plan = try_compile_impl(targets, false);
-  if (plan.ok()) {
-    Expected<EvalResult> served = replay(*plan.value());
-    if (served.ok() || !memory_class(served.error().code)) return served;
-  } else if (!memory_class(plan.error().code)) {
-    return plan.error();
-  }
-  return serve_degraded(targets, /*self=*/false);
+  const Timer timer;
+  std::uint64_t key = 0;
+  Expected<EvalResult> served = try_evaluate_at_impl(targets, /*self=*/false, key);
+  emit_request(obs::telemetry::Api::kEvaluateAt, key, timer.seconds(),
+               served.ok(), served.ok() ? served.value().stats.outcome
+                                        : served.error().code,
+               served.ok() ? &served.value().stats : nullptr, cache_, config_,
+               pool_.width());
+  return served;
 }
 
 Expected<EvalResult> EvalSession::try_evaluate() {
+  const Timer timer;
+  std::uint64_t key = 0;
+  Expected<EvalResult> served =
+      try_evaluate_at_impl(tree_.positions(), /*self=*/true, key);
+  emit_request(obs::telemetry::Api::kEvaluateSelf, key, timer.seconds(),
+               served.ok(), served.ok() ? served.value().stats.outcome
+                                        : served.error().code,
+               served.ok() ? &served.value().stats : nullptr, cache_, config_,
+               pool_.width());
+  return served;
+}
+
+Expected<EvalResult> EvalSession::try_evaluate_at_impl(std::span<const Vec3> targets,
+                                                       bool self,
+                                                       std::uint64_t& key_out) {
   const DeadlineScope deadline(governor_, config_.deadline_seconds);
-  Expected<std::shared_ptr<const EvalPlan>> plan =
-      try_compile_impl(tree_.positions(), true);
+  Expected<std::shared_ptr<const EvalPlan>> plan = try_compile_impl(targets, self);
   if (plan.ok()) {
+    key_out = plan.value()->key;
     Expected<EvalResult> served = replay(*plan.value());
     if (served.ok() || !memory_class(served.error().code)) return served;
   } else if (!memory_class(plan.error().code)) {
     return plan.error();
   }
-  return serve_degraded(tree_.positions(), /*self=*/true);
+  return serve_degraded(targets, self);
 }
 
 }  // namespace treecode::engine

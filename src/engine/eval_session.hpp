@@ -205,6 +205,7 @@ class EvalSession {
   [[nodiscard]] const EvalConfig& config() const noexcept { return config_; }
   [[nodiscard]] const DegreeAssignment& degrees() const noexcept { return degrees_; }
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const ThreadPool& pool() const noexcept { return pool_; }
   [[nodiscard]] const PlanCache& cache() const noexcept { return cache_; }
   [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
   /// The session's byte ledger + deadline (budget from the config; tests
@@ -219,8 +220,19 @@ class EvalSession {
  private:
   struct CompileAccumulator;
 
+  // Entry-point bodies: each public try_* above is a thin wrapper that
+  // times the call and emits one obs::telemetry RequestRecord at exit
+  // (api, plan key, rung, outcome, wall seconds, resident bytes, deadline
+  // slack, audit tightness) — success or failure.
   Expected<std::shared_ptr<const EvalPlan>> try_compile_impl(
       std::span<const Vec3> targets, bool self);
+  Expected<void> try_update_charges_impl(std::span<const double> charges);
+  Expected<void> try_update_charges_sorted_impl(std::span<const double> charges);
+  Expected<EvalResult> try_evaluate_impl(const EvalPlan& plan);
+  /// Shared ladder body for try_evaluate_at / try_evaluate; `key_out`
+  /// reports the compiled plan's cache key (0 if compile was denied).
+  Expected<EvalResult> try_evaluate_at_impl(std::span<const Vec3> targets,
+                                            bool self, std::uint64_t& key_out);
   /// Rungs 0-1: replay `plan` (refresh + frozen-list accumulation).
   Expected<EvalResult> replay(const EvalPlan& plan);
   /// Rebuild the plan-referenced multipoles whose epoch is stale,

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "util/fault_inject.hpp"
@@ -71,8 +72,8 @@ void PlanCache::evict_lru_locked() {
 
 void PlanCache::publish_gauges_locked() const {
   obs::Registry& reg = obs::registry();
-  reg.gauge("engine.plan_bytes").set(static_cast<double>(bytes_));
-  reg.gauge("engine.basis_bytes").set(static_cast<double>(basis_bytes_));
+  reg.gauge(obs::metric::kEnginePlanBytes).set(static_cast<double>(bytes_));
+  reg.gauge(obs::metric::kEngineBasisBytes).set(static_cast<double>(basis_bytes_));
 }
 
 bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
@@ -158,6 +159,23 @@ std::uint64_t PlanCache::misses() const {
 std::uint64_t PlanCache::evictions() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+std::vector<PlanCache::PlanInfo> PlanCache::contents() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlanInfo> out;
+  out.reserve(plans_.size());
+  for (const auto& plan : plans_) {  // MRU first: list order is recency
+    PlanInfo info;
+    info.key = plan->key;
+    info.self = plan->self;
+    info.num_targets = plan->num_targets();
+    info.num_entries = plan->entries.size();
+    info.bytes = plan->memory_bytes();
+    info.basis_bytes = plan_basis_bytes(*plan);
+    out.push_back(info);
+  }
+  return out;
 }
 
 }  // namespace treecode::engine

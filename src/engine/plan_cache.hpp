@@ -83,6 +83,19 @@ class PlanCache {
   [[nodiscard]] std::uint64_t misses() const;
   [[nodiscard]] std::uint64_t evictions() const;
 
+  /// One resident plan's accounting — what introspection snapshots
+  /// (engine/introspect.hpp, treecode-inspect) report per cached plan.
+  struct PlanInfo {
+    std::uint64_t key = 0;
+    bool self = false;
+    std::size_t num_targets = 0;
+    std::size_t num_entries = 0;
+    std::size_t bytes = 0;        ///< EvalPlan::memory_bytes()
+    std::size_t basis_bytes = 0;  ///< m2p basis subset of `bytes`
+  };
+  /// Snapshot of every resident plan, most-recently-used first.
+  [[nodiscard]] std::vector<PlanInfo> contents() const;
+
  private:
   /// Pop the LRU plan, release its reservation, update the ledgers.
   /// Caller holds mu_.

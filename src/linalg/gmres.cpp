@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -74,8 +75,8 @@ GmresResult gmres(const LinearOperator& A, std::span<const double> b, std::span<
 
   const ScopedTimer solve_phase(obs::span::kGmresSolve);
   // Resolved once: append/increment below happen at iteration granularity.
-  obs::Series& residual_series = obs::registry().series("gmres.residual");
-  obs::Counter& iteration_counter = obs::registry().counter("gmres.iterations");
+  obs::Series& residual_series = obs::registry().series(obs::metric::kGmresResidual);
+  obs::Counter& iteration_counter = obs::registry().counter(obs::metric::kGmresIterations);
 
   GmresResult result;
   if (!finite_vector(b) || !finite_vector(x)) {

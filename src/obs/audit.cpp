@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
@@ -87,7 +88,7 @@ Summary finalize(std::span<const Sample> winners,
   const ScopedTimer phase(span::kAuditFinalize);
 
   Registry& reg = registry();
-  Histogram& tightness_all = reg.histogram("audit.tightness", tightness_buckets());
+  Histogram& tightness_all = reg.histogram(metric::kAuditTightness, tightness_buckets());
   double mean_sum = 0.0;
   std::uint64_t finite_count = 0;
 
@@ -143,9 +144,9 @@ Summary finalize(std::span<const Sample> winners,
     summary.mean_tightness = mean_sum / static_cast<double>(finite_count);
   }
 
-  reg.counter("audit.samples").add(summary.samples);
-  reg.counter("audit.bound_violations").add(summary.bound_violations);
-  reg.gauge("audit.max_tightness").record_max(summary.max_tightness);
+  reg.counter(metric::kAuditSamples).add(summary.samples);
+  reg.counter(metric::kAuditBoundViolations).add(summary.bound_violations);
+  reg.gauge(metric::kAuditMaxTightness).record_max(summary.max_tightness);
   recorder::record(recorder::Category::kAudit, "audit.finalize",
                    static_cast<double>(summary.samples));
   return summary;

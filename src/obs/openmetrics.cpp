@@ -1,0 +1,168 @@
+#include "obs/openmetrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace treecode::obs::openmetrics {
+
+namespace {
+
+/// Format a sample value the way the text exposition expects: `NaN`,
+/// `+Inf`, `-Inf` for non-finite values, shortest-round-trip decimal
+/// otherwise.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  for (int precision = 1; precision < 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string format_count(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+/// Track sanitized names already emitted; a collision (two registry names
+/// mapping to one exposition name) would interleave unrelated series, so
+/// the later name is skipped with a warning instead.
+bool claim_name(std::set<std::string>& taken, const std::string& sanitized,
+                const std::string& original) {
+  if (taken.insert(sanitized).second) return true;
+  warn("openmetrics: skipping '" + original + "': sanitized name '" +
+       sanitized + "' already emitted");
+  return false;
+}
+
+}  // namespace
+
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string render(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> taken;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string base = sanitize_name(name);
+    if (!claim_name(taken, base, name)) continue;
+    out += "# TYPE " + base + " counter\n";
+    out += base + "_total " + format_count(value) + "\n";
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string base = sanitize_name(name);
+    if (!claim_name(taken, base, name)) continue;
+    out += "# TYPE " + base + " gauge\n";
+    out += base + " " + format_value(value) + "\n";
+    const auto max_it = snapshot.gauge_maxima.find(name);
+    if (max_it != snapshot.gauge_maxima.end()) {
+      const std::string max_name = base + "_max";
+      if (claim_name(taken, max_name, name + " (max)")) {
+        out += "# TYPE " + max_name + " gauge\n";
+        out += max_name + " " + format_value(max_it->second) + "\n";
+      }
+    }
+  }
+
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string base = sanitize_name(name);
+    if (!claim_name(taken, base, name)) continue;
+    out += "# TYPE " + base + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += base + "_bucket{le=\"" +
+             escape_label_value(format_value(h.bounds[i])) + "\"} " +
+             format_count(cumulative) + "\n";
+    }
+    out += base + "_bucket{le=\"+Inf\"} " + format_count(h.total) + "\n";
+    out += base + "_sum " + format_value(h.sum) + "\n";
+    out += base + "_count " + format_count(h.total) + "\n";
+  }
+
+  // snapshot.series (ordered trajectories) has no exposition equivalent and
+  // is intentionally omitted; see the header comment.
+
+  out += "# EOF\n";
+  return out;
+}
+
+bool write(const std::string& path, const MetricsSnapshot& snapshot) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) {
+    warn("openmetrics: cannot open " + path);
+    return false;
+  }
+  file << render(snapshot);
+  file.flush();
+  if (!file) {
+    warn("openmetrics: write failed for " + path);
+    return false;
+  }
+  return true;
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.total == 0 || h.bounds.empty() || std::isnan(q)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(h.total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    const std::uint64_t in_bucket = i < h.counts.size() ? h.counts[i] : 0;
+    const std::uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank && in_bucket > 0) {
+      const double lower = i == 0 ? 0.0 : h.bounds[i - 1];
+      const double upper = h.bounds[i];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  // Rank falls in the overflow bucket: no upper edge to interpolate toward.
+  return h.bounds.back();
+}
+
+}  // namespace treecode::obs::openmetrics

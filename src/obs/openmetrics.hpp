@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file openmetrics.hpp
+/// OpenMetrics/Prometheus text exposition over a MetricsSnapshot.
+///
+/// Bench reports snapshot the registry as one-shot JSON; a monitoring
+/// system wants the standard pull format instead. render() turns a
+/// MetricsSnapshot into the Prometheus text exposition (OpenMetrics
+/// compatible): counters as `<name>_total`, gauges as plain samples (the
+/// registry's running maxima as a companion `<name>_max` gauge), histograms
+/// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, ending
+/// with `# EOF`.
+///
+/// Conventions and edge cases (all covered by tests/obs/test_openmetrics.cpp
+/// and checked by scripts/validate_openmetrics.py in CI):
+///  - Registry names are dotted (`engine.plan_bytes`); exposition names must
+///    match [a-zA-Z_:][a-zA-Z0-9_:]* — sanitize_name() rewrites every
+///    invalid character to '_' and prefixes '_' when the first character is
+///    a digit. Two registry names that collide after sanitization would
+///    silently interleave one series; the second is skipped with a warning.
+///  - Non-finite values render as the literals `NaN`, `+Inf`, `-Inf` (the
+///    text format, unlike JSON, has them).
+///  - Histogram buckets are *inclusive upper bounds* in both models; the
+///    registry's implicit overflow bucket becomes `le="+Inf"`, and bucket
+///    counts are cumulated on the way out (the registry stores per-bucket
+///    counts).
+///  - Label *values* escape backslash, double-quote, and newline; the only
+///    label this exporter emits is `le`.
+///  - Series (ordered value lists, e.g. gmres.residual) have no exposition
+///    equivalent and are omitted — scrape-based monitors read rates, not
+///    trajectories; trajectories stay in the JSON reports.
+///
+/// Also home of histogram_quantile(): Prometheus-style linear interpolation
+/// inside the bucket containing the target rank — what the SLO watchdog
+/// (obs/slo.hpp) uses for p99 latency rules over
+/// telemetry.request_seconds.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace treecode::obs::openmetrics {
+
+/// Rewrite a registry metric name into a valid exposition name.
+[[nodiscard]] std::string sanitize_name(std::string_view name);
+
+/// Escape a label value (backslash, double-quote, newline).
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Render the full exposition text for a snapshot, `# EOF` terminated.
+[[nodiscard]] std::string render(const MetricsSnapshot& snapshot);
+
+/// render() to a file. Returns false (after a warning) on I/O failure.
+bool write(const std::string& path, const MetricsSnapshot& snapshot);
+
+/// The value at quantile q (0..1] of a histogram, linearly interpolated
+/// within the bucket containing the target rank (Prometheus
+/// histogram_quantile semantics: buckets are inclusive upper bounds, the
+/// lowest bucket interpolates from 0). An empty histogram yields NaN; a
+/// rank landing in the overflow bucket yields the last finite bound (the
+/// quantile is at least that; the overflow bucket has no upper edge to
+/// interpolate toward).
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& h, double q);
+
+}  // namespace treecode::obs::openmetrics

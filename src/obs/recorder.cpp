@@ -142,8 +142,12 @@ Json to_json(const std::string& reason) {
   const std::vector<Event> snapshot = events();
   const std::uint64_t recorded = recorded_count();
   Json doc = Json::object();
-  doc["schema"] = "treecode-flight-record/v1";
+  doc["schema"] = "treecode-flight-record/v2";
   doc["reason"] = reason;
+  // v2: the same provenance block bench reports carry (git SHA, compiler,
+  // host, UTC timestamp), so a post-mortem dump found on disk weeks later
+  // is attributable to a build and a machine.
+  doc["provenance"] = provenance_json();
   doc["recorded"] = recorded;
   doc["dropped"] = recorded > snapshot.size()
                        ? recorded - static_cast<std::uint64_t>(snapshot.size())

@@ -10,7 +10,7 @@
 /// *in what order* just before the failure. The recorder keeps the last
 /// `kCapacity` events (phase transitions, budget demotions, plan-cache
 /// evictions, invariant-check outcomes, ...) and writes them to disk as a
-/// `treecode-flight-record/v1` JSON document on invariant failure,
+/// `treecode-flight-record/v2` JSON document on invariant failure,
 /// non-finite detection, or explicit request.
 ///
 /// Design constraints, in order:
@@ -98,8 +98,10 @@ std::vector<Event> events();
 /// Total events ever recorded (including ones the ring has overwritten).
 std::uint64_t recorded_count();
 
-/// Snapshot as a `treecode-flight-record/v1` JSON document:
-/// {schema, reason, recorded, dropped, events:[{seq,ts_us,tid,category,label,value}]}.
+/// Snapshot as a `treecode-flight-record/v2` JSON document:
+/// {schema, reason, provenance, recorded, dropped,
+///  events:[{seq,ts_us,tid,category,label,value}]}. v2 added the bench
+/// reports' provenance block (git SHA, compiler, host, UTC timestamp).
 Json to_json(const std::string& reason);
 
 /// Where trigger() writes snapshots. Empty (default) disables dumping;

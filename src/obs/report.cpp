@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 #include "obs/recorder.hpp"
@@ -114,6 +115,15 @@ Json provenance_json() {
     p["host"] = host;
   } else {
     p["host"] = "unknown";
+  }
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  char stamp[32] = {};
+  if (gmtime_r(&now, &tm_utc) != nullptr &&
+      std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc) > 0) {
+    p["utc"] = stamp;
+  } else {
+    p["utc"] = "unknown";
   }
   return p;
 }

@@ -76,7 +76,8 @@ class RunReport {
 
 /// The provenance block stamped into every report: what produced this
 /// measurement (git SHA from $TREECODE_GIT_SHA, compiler, build flags,
-/// host), so a trajectory of BENCH_*.json files stays attributable.
+/// host, UTC timestamp), so a trajectory of BENCH_*.json files stays
+/// attributable. Flight-recorder dumps (v2) embed the same block.
 [[nodiscard]] Json provenance_json();
 
 /// The schema identifier stamped into every report. v2 added the required

@@ -1,0 +1,290 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace treecode::obs::telemetry {
+
+namespace {
+
+/// One ring slot, seqlock-stamped exactly like the flight recorder's
+/// (obs/recorder.cpp): begin/end bracket the payload, a reader discards any
+/// slot whose stamps disagree. Stamps store seq+1 so zero-initialized reads
+/// as empty.
+struct Slot {
+  std::atomic<std::uint64_t> begin{0};
+  std::atomic<std::uint64_t> end{0};
+  std::atomic<std::int64_t> ts_us{0};
+  std::atomic<std::uint8_t> api{0};
+  std::atomic<std::uint64_t> plan_key{0};
+  std::atomic<std::int8_t> rung{-1};
+  std::atomic<std::uint8_t> outcome{0};
+  std::atomic<const char*> outcome_name{nullptr};
+  std::atomic<bool> ok{true};
+  std::atomic<double> wall_seconds{0.0};
+  std::atomic<std::uint64_t> targets{0};
+  std::atomic<std::uint64_t> plan_bytes{0};
+  std::atomic<std::uint64_t> basis_bytes{0};
+  std::atomic<double> deadline_slack_seconds{0.0};
+  std::atomic<double> audit_max_tightness{0.0};
+  std::atomic<std::uint32_t> threads{0};
+};
+
+static_assert((kRingCapacity & (kRingCapacity - 1)) == 0, "ring index uses a mask");
+
+struct State {
+  std::array<Slot, kRingCapacity> ring;
+  std::atomic<std::uint64_t> next_seq{0};
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> epoch_us{0};
+  // Sink state is cold relative to the ring (one line per finished request);
+  // a mutex serializes appends and rotation.
+  std::mutex sink_mutex;
+  std::string sink_path;
+  std::ofstream sink;
+  std::uint64_t sink_bytes = 0;
+  std::uint64_t rotate_bytes = 0;
+  unsigned max_files = 3;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Degradation-ladder rung names, matching core ServeRung's enumerator
+/// values (obs cannot include core/config.hpp — util links obs).
+const char* rung_name(std::int8_t rung) {
+  switch (rung) {
+    case 0: return "basis_replay";
+    case 1: return "plain_replay";
+    case 2: return "traversal";
+    case 3: return "direct";
+    default: return "none";
+  }
+}
+
+/// Rotate path.<max-2> -> path.<max-1>, ..., path -> path.1 and reopen.
+/// Called with sink_mutex held.
+void rotate_locked(State& s) {
+  s.sink.close();
+  for (unsigned i = s.max_files - 1; i >= 1; --i) {
+    const std::string to = s.sink_path + "." + std::to_string(i);
+    const std::string from =
+        i == 1 ? s.sink_path : s.sink_path + "." + std::to_string(i - 1);
+    std::remove(to.c_str());
+    std::rename(from.c_str(), to.c_str());
+  }
+  s.sink.open(s.sink_path, std::ios::out | std::ios::trunc);
+  s.sink_bytes = 0;
+  registry().counter(metric::kTelemetrySinkRotations).add(1);
+}
+
+/// Append one JSONL line, rotating first if it would exceed the budget.
+/// Called with sink_mutex held.
+void append_line_locked(State& s, const std::string& line) {
+  if (!s.sink.is_open()) return;
+  const std::uint64_t bytes = line.size() + 1;
+  if (s.rotate_bytes > 0 && s.sink_bytes > 0 &&
+      s.sink_bytes + bytes > s.rotate_bytes) {
+    rotate_locked(s);
+  }
+  s.sink << line << '\n';
+  s.sink.flush();
+  if (!s.sink) {
+    registry().counter(metric::kTelemetrySinkErrors).add(1);
+    s.sink.clear();
+  } else {
+    s.sink_bytes += bytes;
+  }
+}
+
+std::span<const double> request_seconds_bounds() {
+  // 1us .. ~1000s in factor-4 decades: replay latencies cluster around
+  // milliseconds, compile around seconds; the tails matter for p99.
+  static const std::vector<double> bounds = exponential_buckets(1e-6, 4.0, 16);
+  return bounds;
+}
+
+}  // namespace
+
+const char* api_name(Api api) {
+  switch (api) {
+    case Api::kCompile: return "compile";
+    case Api::kCompileSelf: return "compile_self";
+    case Api::kUpdateCharges: return "update_charges";
+    case Api::kUpdateChargesSorted: return "update_charges_sorted";
+    case Api::kEvaluatePlan: return "evaluate_plan";
+    case Api::kEvaluateAt: return "evaluate_at";
+    case Api::kEvaluateSelf: return "evaluate_self";
+  }
+  return "unknown";
+}
+
+void enable() {
+  State& s = state();
+  s.epoch_us.store(now_us(), std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void disable() { state().enabled.store(false, std::memory_order_release); }
+
+bool enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+void reset() {
+  State& s = state();
+  s.enabled.store(false, std::memory_order_release);
+  for (Slot& slot : s.ring) {
+    slot.begin.store(0, std::memory_order_relaxed);
+    slot.end.store(0, std::memory_order_relaxed);
+    slot.outcome_name.store(nullptr, std::memory_order_relaxed);
+  }
+  s.next_seq.store(0, std::memory_order_relaxed);
+  const std::scoped_lock lock(s.sink_mutex);
+  if (s.sink.is_open()) s.sink.close();
+  s.sink_path.clear();
+  s.sink_bytes = 0;
+  s.rotate_bytes = 0;
+  s.max_files = 3;
+}
+
+void set_sink(std::string path, std::uint64_t rotate_bytes, unsigned max_files) {
+  State& s = state();
+  const std::scoped_lock lock(s.sink_mutex);
+  if (s.sink.is_open()) s.sink.close();
+  s.sink_path = std::move(path);
+  s.rotate_bytes = rotate_bytes;
+  s.max_files = max_files < 2 ? 2 : max_files;
+  s.sink_bytes = 0;
+  s.sink.open(s.sink_path, std::ios::out | std::ios::trunc);
+  if (!s.sink.is_open()) {
+    registry().counter(metric::kTelemetrySinkErrors).add(1);
+    warn("telemetry sink open failed: " + s.sink_path);
+  }
+}
+
+void close_sink() {
+  State& s = state();
+  const std::scoped_lock lock(s.sink_mutex);
+  if (s.sink.is_open()) s.sink.close();
+  s.sink_path.clear();
+}
+
+void emit(RequestRecord record) {
+  State& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  record.seq = s.next_seq.fetch_add(1, std::memory_order_relaxed);
+  record.ts_us = now_us() - s.epoch_us.load(std::memory_order_relaxed);
+
+  // Seqlock write (see obs/recorder.cpp): open the slot, fill relaxed,
+  // publish with a release store of the matching end stamp.
+  Slot& slot = s.ring[record.seq & (kRingCapacity - 1)];
+  slot.begin.store(record.seq + 1, std::memory_order_relaxed);
+  slot.ts_us.store(record.ts_us, std::memory_order_relaxed);
+  slot.api.store(static_cast<std::uint8_t>(record.api), std::memory_order_relaxed);
+  slot.plan_key.store(record.plan_key, std::memory_order_relaxed);
+  slot.rung.store(record.rung, std::memory_order_relaxed);
+  slot.outcome.store(record.outcome, std::memory_order_relaxed);
+  slot.outcome_name.store(record.outcome_name, std::memory_order_relaxed);
+  slot.ok.store(record.ok, std::memory_order_relaxed);
+  slot.wall_seconds.store(record.wall_seconds, std::memory_order_relaxed);
+  slot.targets.store(record.targets, std::memory_order_relaxed);
+  slot.plan_bytes.store(record.plan_bytes, std::memory_order_relaxed);
+  slot.basis_bytes.store(record.basis_bytes, std::memory_order_relaxed);
+  slot.deadline_slack_seconds.store(record.deadline_slack_seconds,
+                                    std::memory_order_relaxed);
+  slot.audit_max_tightness.store(record.audit_max_tightness,
+                                 std::memory_order_relaxed);
+  slot.threads.store(record.threads, std::memory_order_relaxed);
+  slot.end.store(record.seq + 1, std::memory_order_release);
+
+  Registry& reg = registry();
+  reg.counter(metric::kTelemetryRequests).add(1);
+  if (!record.ok) reg.counter(metric::kTelemetryErrors).add(1);
+  reg.histogram(metric::kTelemetryRequestSeconds, request_seconds_bounds())
+      .observe(record.wall_seconds);
+
+  const std::scoped_lock lock(s.sink_mutex);
+  if (s.sink.is_open()) append_line_locked(s, to_json(record).dump(0));
+}
+
+std::vector<RequestRecord> records() {
+  State& s = state();
+  std::vector<RequestRecord> out;
+  out.reserve(kRingCapacity);
+  for (const Slot& slot : s.ring) {
+    const std::uint64_t end = slot.end.load(std::memory_order_acquire);
+    if (end == 0) continue;  // never written
+    RequestRecord r;
+    r.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    r.api = static_cast<Api>(slot.api.load(std::memory_order_relaxed));
+    r.plan_key = slot.plan_key.load(std::memory_order_relaxed);
+    r.rung = slot.rung.load(std::memory_order_relaxed);
+    r.outcome = slot.outcome.load(std::memory_order_relaxed);
+    const char* name = slot.outcome_name.load(std::memory_order_relaxed);
+    r.ok = slot.ok.load(std::memory_order_relaxed);
+    r.wall_seconds = slot.wall_seconds.load(std::memory_order_relaxed);
+    r.targets = slot.targets.load(std::memory_order_relaxed);
+    r.plan_bytes = slot.plan_bytes.load(std::memory_order_relaxed);
+    r.basis_bytes = slot.basis_bytes.load(std::memory_order_relaxed);
+    r.deadline_slack_seconds =
+        slot.deadline_slack_seconds.load(std::memory_order_relaxed);
+    r.audit_max_tightness = slot.audit_max_tightness.load(std::memory_order_relaxed);
+    r.threads = slot.threads.load(std::memory_order_relaxed);
+    const std::uint64_t begin = slot.begin.load(std::memory_order_relaxed);
+    if (begin != end) continue;  // torn: writer was mid-update
+    r.seq = end - 1;
+    r.outcome_name = name != nullptr ? name : "ok";
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestRecord& a, const RequestRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t emitted_count() {
+  return state().next_seq.load(std::memory_order_relaxed);
+}
+
+Json to_json(const RequestRecord& record) {
+  char key_hex[19];
+  std::snprintf(key_hex, sizeof key_hex, "0x%016llx",
+                static_cast<unsigned long long>(record.plan_key));
+  Json doc = Json::object();
+  doc["schema"] = "treecode-request-record/v1";
+  doc["seq"] = record.seq;
+  doc["ts_us"] = record.ts_us;
+  doc["api"] = api_name(record.api);
+  doc["plan_key"] = key_hex;
+  doc["rung"] = static_cast<std::int64_t>(record.rung);
+  doc["rung_name"] = rung_name(record.rung);
+  doc["outcome"] = record.outcome_name;
+  doc["ok"] = record.ok;
+  doc["wall_seconds"] = record.wall_seconds;
+  doc["targets"] = record.targets;
+  doc["plan_bytes"] = record.plan_bytes;
+  doc["basis_bytes"] = record.basis_bytes;
+  // NaN marks "no deadline armed"; the JSON writer turns it into null.
+  doc["deadline_slack_seconds"] = record.deadline_slack_seconds;
+  doc["audit_max_tightness"] = record.audit_max_tightness;
+  doc["threads"] = static_cast<std::uint64_t>(record.threads);
+  return doc;
+}
+
+}  // namespace treecode::obs::telemetry

@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 
 namespace treecode {
@@ -12,7 +13,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
           [this, t](const std::stop_token& stop) { worker_loop(t, stop); });
     }
   }
-  obs::registry().gauge("pool.threads").set(static_cast<double>(width()));
+  obs::registry().gauge(obs::metric::kPoolThreads).set(static_cast<double>(width()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,7 +26,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_on_all(const std::function<void(unsigned)>& task) {
-  obs::registry().counter("pool.dispatches").increment();
+  obs::registry().counter(obs::metric::kPoolDispatches).increment();
   if (workers_.empty()) {
     task(0);
     return;

@@ -8,6 +8,7 @@
 #include "analysis/invariants.hpp"
 #include "geom/hilbert.hpp"
 #include "geom/morton.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
 #include "obs/spans.hpp"
@@ -138,10 +139,10 @@ void Tree::build(const ParticleSystem& ps) {
       num_leaves == 0 ? 0.0 : sum_density / static_cast<double>(num_leaves);
 
   obs::Registry& reg = obs::registry();
-  reg.gauge("tree.height").set(static_cast<double>(height_));
-  reg.gauge("tree.num_nodes").set(static_cast<double>(nodes_.size()));
-  reg.gauge("tree.num_leaves").set(static_cast<double>(num_leaves));
-  reg.gauge("tree.num_particles").set(static_cast<double>(positions_.size()));
+  reg.gauge(obs::metric::kTreeHeight).set(static_cast<double>(height_));
+  reg.gauge(obs::metric::kTreeNumNodes).set(static_cast<double>(nodes_.size()));
+  reg.gauge(obs::metric::kTreeNumLeaves).set(static_cast<double>(num_leaves));
+  reg.gauge(obs::metric::kTreeNumParticles).set(static_cast<double>(positions_.size()));
 
   TREECODE_ASSERT_TREE_INVARIANTS(*this, "Tree::build");
 }

@@ -20,6 +20,7 @@ const char* site_name(Site site) noexcept {
 #include <atomic>
 #include <cstddef>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 
@@ -129,7 +130,7 @@ bool fire(Site site) noexcept {
   }
   if (fires) {
     s.fired_count.fetch_add(1, std::memory_order_relaxed);
-    obs::registry().counter("fault.injected").add(1);
+    obs::registry().counter(obs::metric::kFaultInjected).add(1);
     obs::recorder::record(obs::recorder::Category::kCustom, site_name(site),
                           static_cast<double>(hit));
   }

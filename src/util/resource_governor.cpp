@@ -3,6 +3,7 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "util/fault_inject.hpp"
@@ -50,12 +51,12 @@ bool ResourceGovernor::try_reserve(std::size_t bytes, const char* label) noexcep
   if (denied) {
     denials_.fetch_add(1, std::memory_order_relaxed);
     last_denial_fault_.store(injected, std::memory_order_relaxed);
-    obs::registry().counter("governor.denials").add(1);
+    obs::registry().counter(obs::metric::kGovernorDenials).add(1);
     obs::recorder::record(obs::recorder::Category::kCustom, label,
                           static_cast<double>(bytes));
     return false;
   }
-  obs::registry().gauge("governor.used_bytes").record_max(static_cast<double>(used()));
+  obs::registry().gauge(obs::metric::kGovernorUsedBytes).record_max(static_cast<double>(used()));
   return true;
 }
 

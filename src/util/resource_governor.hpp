@@ -102,6 +102,31 @@ class ResourceGovernor {
   /// Cooperative poll: has the armed deadline passed? Safe from workers.
   [[nodiscard]] bool deadline_expired() const noexcept;
 
+  /// One consistent-enough read of the whole ledger — what introspection
+  /// snapshots (engine/introspect.hpp, treecode-inspect) report. Each field
+  /// is an independent relaxed load; the ledger may move between them, which
+  /// is fine for a diagnostic view.
+  struct Snapshot {
+    std::size_t budget = 0;
+    std::size_t used = 0;
+    std::size_t remaining = 0;
+    std::uint64_t reservations = 0;
+    std::uint64_t denials = 0;
+    bool enabled = false;
+    bool deadline_armed = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    s.budget = budget();
+    s.used = used();
+    s.remaining = remaining();
+    s.reservations = reservations();
+    s.denials = denials();
+    s.enabled = enabled();
+    s.deadline_armed = deadline_armed();
+    return s;
+  }
+
  private:
   std::atomic<std::size_t> budget_{0};
   std::atomic<std::size_t> used_{0};

@@ -1,0 +1,120 @@
+// EvalSession request-telemetry integration: every try_* entry point emits
+// one RequestRecord at exit with the right api, plan key, serving rung,
+// outcome, and session facts (cache bytes, deadline slack, thread width) —
+// on failures as much as successes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/treecode.hpp"
+#include "dist/distributions.hpp"
+#include "engine/eval_session.hpp"
+#include "obs/telemetry.hpp"
+
+namespace treecode {
+namespace {
+
+namespace tel = obs::telemetry;
+
+class EvalSessionTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tel::reset();
+    tel::enable();
+  }
+  void TearDown() override { tel::reset(); }
+};
+
+EvalConfig base_config() {
+  EvalConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.degree = 4;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST_F(EvalSessionTelemetryTest, WarmReplayLoopEmitsOneRecordPerCall) {
+  const ParticleSystem ps = dist::uniform_cube(1200, 9);
+  engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}),
+                              base_config());
+
+  auto plan = session.try_compile_self();
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> charges(session.sorted_charges().begin(),
+                              session.sorted_charges().end());
+  for (double& q : charges) q = -q;
+  ASSERT_TRUE(session.try_update_charges_sorted(charges).ok());
+  ASSERT_TRUE(session.try_evaluate(*plan.value()).ok());
+
+  const std::vector<tel::RequestRecord> records = tel::records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(tel::emitted_count(), 3u);
+
+  const tel::RequestRecord& compile = records[0];
+  EXPECT_EQ(compile.api, tel::Api::kCompileSelf);
+  EXPECT_TRUE(compile.ok);
+  EXPECT_EQ(compile.plan_key, plan.value()->key);
+  EXPECT_NE(compile.plan_key, 0u);
+  EXPECT_EQ(compile.rung, -1);
+  EXPECT_GT(compile.plan_bytes, 0u);
+  EXPECT_EQ(compile.threads, 2u);
+
+  const tel::RequestRecord& update = records[1];
+  EXPECT_EQ(update.api, tel::Api::kUpdateChargesSorted);
+  EXPECT_TRUE(update.ok);
+  EXPECT_EQ(update.rung, -1);
+
+  const tel::RequestRecord& eval = records[2];
+  EXPECT_EQ(eval.api, tel::Api::kEvaluatePlan);
+  EXPECT_TRUE(eval.ok);
+  EXPECT_EQ(eval.plan_key, plan.value()->key);
+  EXPECT_GE(eval.rung, 0);  // served by some ladder rung
+  EXPECT_EQ(eval.targets, ps.size());
+  EXPECT_GE(eval.wall_seconds, 0.0);
+  // No deadline configured: slack is the NaN sentinel.
+  EXPECT_TRUE(std::isnan(eval.deadline_slack_seconds));
+}
+
+TEST_F(EvalSessionTelemetryTest, FailedRequestEmitsErrorRecord) {
+  const ParticleSystem ps = dist::uniform_cube(600, 3);
+  engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}),
+                              base_config());
+  // Wrong charge count: the update must fail but still emit telemetry.
+  const std::vector<double> wrong(ps.size() + 1, 1.0);
+  ASSERT_FALSE(session.try_update_charges_sorted(wrong).ok());
+
+  const std::vector<tel::RequestRecord> records = tel::records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].api, tel::Api::kUpdateChargesSorted);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_NE(records[0].outcome, 0);
+  EXPECT_STRNE(records[0].outcome_name, "ok");
+}
+
+TEST_F(EvalSessionTelemetryTest, DeadlineSlackRecordedWhenDeadlineArmed) {
+  const ParticleSystem ps = dist::uniform_cube(600, 5);
+  EvalConfig cfg = base_config();
+  cfg.deadline_seconds = 30.0;  // generous: must not expire, only be recorded
+  engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}), cfg);
+  ASSERT_TRUE(session.try_compile_self().ok());
+
+  const std::vector<tel::RequestRecord> records = tel::records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(std::isnan(records[0].deadline_slack_seconds));
+  EXPECT_GT(records[0].deadline_slack_seconds, 0.0);
+  EXPECT_LT(records[0].deadline_slack_seconds, 30.0);
+}
+
+TEST_F(EvalSessionTelemetryTest, DisabledTelemetryEmitsNothing) {
+  tel::reset();  // disabled
+  const ParticleSystem ps = dist::uniform_cube(600, 7);
+  engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}),
+                              base_config());
+  ASSERT_TRUE(session.try_compile_self().ok());
+  EXPECT_EQ(tel::emitted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace treecode

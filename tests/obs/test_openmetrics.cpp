@@ -1,0 +1,187 @@
+// OpenMetrics exporter unit tests: name sanitization (and collision
+// handling), label escaping, non-finite rendering, counter/gauge/histogram
+// exposition shape, empty snapshots, and histogram_quantile interpolation
+// edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/report.hpp"
+
+namespace treecode {
+namespace {
+
+namespace om = obs::openmetrics;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(OpenMetricsName, SanitizesInvalidCharacters) {
+  EXPECT_EQ(om::sanitize_name("engine.plan_bytes"), "engine_plan_bytes");
+  EXPECT_EQ(om::sanitize_name("audit.tightness.L3"), "audit_tightness_L3");
+  EXPECT_EQ(om::sanitize_name("already_valid:name"), "already_valid:name");
+  EXPECT_EQ(om::sanitize_name("sp ace-dash/slash"), "sp_ace_dash_slash");
+}
+
+TEST(OpenMetricsName, PrefixesLeadingDigitAndEmpty) {
+  EXPECT_EQ(om::sanitize_name("2fast"), "_2fast");
+  EXPECT_EQ(om::sanitize_name(""), "_");
+}
+
+TEST(OpenMetricsName, EscapesLabelValues) {
+  EXPECT_EQ(om::escape_label_value("plain"), "plain");
+  EXPECT_EQ(om::escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(OpenMetricsRender, EmptySnapshotIsJustEof) {
+  const obs::MetricsSnapshot snapshot;
+  EXPECT_EQ(om::render(snapshot), "# EOF\n");
+}
+
+TEST(OpenMetricsRender, CountersGetTotalSuffixAndType) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["engine.replays"] = 7;
+  const std::string text = om::render(snapshot);
+  EXPECT_NE(text.find("# TYPE engine_replays counter\n"), std::string::npos);
+  EXPECT_NE(text.find("engine_replays_total 7\n"), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetricsRender, GaugesAndMaximaCompanion) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.gauges["audit.max_tightness"] = 0.25;
+  snapshot.gauge_maxima["audit.max_tightness"] = 0.75;
+  const std::string text = om::render(snapshot);
+  EXPECT_NE(text.find("# TYPE audit_max_tightness gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("audit_max_tightness 0.25\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE audit_max_tightness_max gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("audit_max_tightness_max 0.75\n"), std::string::npos);
+}
+
+TEST(OpenMetricsRender, NonFiniteGaugesUseTextLiterals) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.gauges["g.nan"] = kNan;
+  snapshot.gauges["g.pos"] = kInf;
+  snapshot.gauges["g.neg"] = -kInf;
+  const std::string text = om::render(snapshot);
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("g_pos +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("g_neg -Inf\n"), std::string::npos);
+}
+
+TEST(OpenMetricsRender, HistogramBucketsAreCumulativeWithInf) {
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramSnapshot h;
+  h.bounds = {0.1, 1.0};
+  h.counts = {2, 3, 1};  // per-bucket: <=0.1, <=1.0, overflow
+  h.total = 6;
+  h.sum = 4.5;
+  snapshot.histograms["telemetry.request_seconds"] = h;
+  const std::string text = om::render(snapshot);
+  EXPECT_NE(text.find("# TYPE telemetry_request_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_request_seconds_bucket{le=\"0.1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_request_seconds_bucket{le=\"1\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_request_seconds_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telemetry_request_seconds_sum 4.5\n"), std::string::npos);
+  EXPECT_NE(text.find("telemetry_request_seconds_count 6\n"), std::string::npos);
+}
+
+TEST(OpenMetricsRender, EmptyHistogramStillWellFormed) {
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0};
+  h.counts = {0, 0};
+  h.total = 0;
+  h.sum = 0.0;
+  snapshot.histograms["empty.hist"] = h;
+  const std::string text = om::render(snapshot);
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_count 0\n"), std::string::npos);
+}
+
+TEST(OpenMetricsRender, SanitizationCollisionSkipsSecondSeries) {
+  obs::drain_warnings();
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["a.b"] = 1;
+  snapshot.counters["a:b"] = 2;  // sorts after "a.b"; "a:b" is already valid
+  const std::string text = om::render(snapshot);
+  // "a.b" sanitizes to "a_b", "a:b" stays "a:b" — no collision here. Force
+  // one with two dotted spellings of the same exposition name.
+  obs::MetricsSnapshot clash;
+  clash.counters["engine.plan.bytes"] = 1;
+  clash.counters["engine.plan_bytes"] = 2;
+  const std::string clashed = om::render(clash);
+  const std::size_t first = clashed.find("engine_plan_bytes_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(clashed.find("engine_plan_bytes_total", first + 1), std::string::npos);
+  bool warned = false;
+  for (const std::string& w : obs::drain_warnings()) {
+    if (w.find("already emitted") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+  (void)text;
+}
+
+TEST(OpenMetricsQuantile, EmptyHistogramIsNan) {
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0};
+  h.counts = {0, 0};
+  h.total = 0;
+  EXPECT_TRUE(std::isnan(om::histogram_quantile(h, 0.5)));
+}
+
+TEST(OpenMetricsQuantile, InterpolatesWithinBucket) {
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {10, 10, 0};
+  h.total = 20;
+  // Median rank = 10 lands exactly at the first bucket's upper bound.
+  EXPECT_DOUBLE_EQ(om::histogram_quantile(h, 0.5), 1.0);
+  // Rank 15 is halfway through the (1.0, 2.0] bucket.
+  EXPECT_DOUBLE_EQ(om::histogram_quantile(h, 0.75), 1.5);
+}
+
+TEST(OpenMetricsQuantile, FirstBucketInterpolatesFromZero) {
+  obs::HistogramSnapshot h;
+  h.bounds = {4.0};
+  h.counts = {8, 0};
+  h.total = 8;
+  EXPECT_DOUBLE_EQ(om::histogram_quantile(h, 0.5), 2.0);
+}
+
+TEST(OpenMetricsQuantile, OverflowRankYieldsLastFiniteBound) {
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {1, 1, 8};
+  h.total = 10;
+  EXPECT_DOUBLE_EQ(om::histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST(OpenMetricsQuantile, RendersFromLiveRegistry) {
+  obs::registry().reset_values();
+  const std::vector<double> bounds = obs::exponential_buckets(0.001, 10.0, 4);
+  auto& hist = obs::registry().histogram("quantile.live", bounds);
+  hist.observe(0.0005);
+  hist.observe(0.05);
+  hist.observe(0.5);
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  const auto it = snapshot.histograms.find("quantile.live");
+  ASSERT_NE(it, snapshot.histograms.end());
+  const double p99 = om::histogram_quantile(it->second, 0.99);
+  EXPECT_GT(p99, 0.05);
+  EXPECT_LE(p99, 1.0);
+  obs::registry().reset_values();
+}
+
+}  // namespace
+}  // namespace treecode

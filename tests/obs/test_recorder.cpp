@@ -96,7 +96,13 @@ TEST_F(RecorderTest, ToJsonReportsDropsAndRoundTrips) {
   }
   const obs::Json doc = rec::to_json("unit test");
   const obs::Json back = obs::Json::parse(doc.dump());
-  EXPECT_EQ(back.at("schema").as_string(), "treecode-flight-record/v1");
+  EXPECT_EQ(back.at("schema").as_string(), "treecode-flight-record/v2");
+  // v2 provenance block: attributable post-mortems.
+  EXPECT_TRUE(back.at("provenance").is_object());
+  EXPECT_TRUE(back.at("provenance").at("git_sha").is_string());
+  EXPECT_TRUE(back.at("provenance").at("compiler").is_string());
+  EXPECT_TRUE(back.at("provenance").at("host").is_string());
+  EXPECT_TRUE(back.at("provenance").at("utc").is_string());
   EXPECT_EQ(back.at("reason").as_string(), "unit test");
   EXPECT_EQ(back.at("recorded").as_double(), static_cast<double>(total));
   EXPECT_EQ(back.at("dropped").as_double(), 17.0);
@@ -124,7 +130,7 @@ TEST_F(RecorderTest, TriggerDumpsToConfiguredPath) {
   rec::trigger("invariant failure: unit test");
   EXPECT_EQ(rec::trigger_count(), 1u);
   const obs::Json doc = parse_file(path);
-  EXPECT_EQ(doc.at("schema").as_string(), "treecode-flight-record/v1");
+  EXPECT_EQ(doc.at("schema").as_string(), "treecode-flight-record/v2");
   EXPECT_EQ(doc.at("reason").as_string(), "invariant failure: unit test");
   // The snapshot includes both the original event and the trigger marker.
   EXPECT_EQ(doc.at("events").size(), 2u);

@@ -1,0 +1,204 @@
+// Request-telemetry unit tests: disabled no-op, record round-trip through
+// the ring, ring overflow (oldest records overwritten, emitted_count keeps
+// the true total), JSON shape, registry side effects, and the JSONL sink
+// with size-based rotation. Concurrent emit/records stress lives in
+// tests/parallel/test_stress.cpp (under TSan).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace treecode {
+namespace {
+
+namespace tel = obs::telemetry;
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tel::reset();
+    obs::registry().reset_values();
+  }
+  void TearDown() override {
+    tel::reset();
+    obs::registry().reset_values();
+  }
+};
+
+tel::RequestRecord sample_record(std::uint64_t key) {
+  tel::RequestRecord r;
+  r.api = tel::Api::kEvaluatePlan;
+  r.plan_key = key;
+  r.rung = 0;
+  r.ok = true;
+  r.wall_seconds = 0.001;
+  r.targets = 64;
+  r.plan_bytes = 1024;
+  r.basis_bytes = 2048;
+  r.deadline_slack_seconds = std::numeric_limits<double>::quiet_NaN();
+  r.audit_max_tightness = 0.5;
+  r.threads = 4;
+  return r;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(TelemetryTest, DisabledEmitIsANoOp) {
+  EXPECT_FALSE(tel::enabled());
+  tel::emit(sample_record(1));
+  EXPECT_EQ(tel::emitted_count(), 0u);
+  EXPECT_TRUE(tel::records().empty());
+}
+
+TEST_F(TelemetryTest, RecordRoundTripsThroughRing) {
+  tel::enable();
+  tel::emit(sample_record(0xabcd));
+  const std::vector<tel::RequestRecord> records = tel::records();
+  ASSERT_EQ(records.size(), 1u);
+  const tel::RequestRecord& r = records[0];
+  EXPECT_EQ(r.seq, 0u);
+  EXPECT_EQ(r.plan_key, 0xabcdu);
+  EXPECT_EQ(r.api, tel::Api::kEvaluatePlan);
+  EXPECT_EQ(r.rung, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_STREQ(r.outcome_name, "ok");
+  EXPECT_EQ(r.targets, 64u);
+  EXPECT_EQ(r.threads, 4u);
+  EXPECT_TRUE(std::isnan(r.deadline_slack_seconds));
+}
+
+TEST_F(TelemetryTest, ApiNamesAreStable) {
+  EXPECT_STREQ(tel::api_name(tel::Api::kCompile), "compile");
+  EXPECT_STREQ(tel::api_name(tel::Api::kCompileSelf), "compile_self");
+  EXPECT_STREQ(tel::api_name(tel::Api::kUpdateCharges), "update_charges");
+  EXPECT_STREQ(tel::api_name(tel::Api::kUpdateChargesSorted),
+               "update_charges_sorted");
+  EXPECT_STREQ(tel::api_name(tel::Api::kEvaluatePlan), "evaluate_plan");
+  EXPECT_STREQ(tel::api_name(tel::Api::kEvaluateAt), "evaluate_at");
+  EXPECT_STREQ(tel::api_name(tel::Api::kEvaluateSelf), "evaluate_self");
+}
+
+TEST_F(TelemetryTest, RingOverflowKeepsNewestRecords) {
+  tel::enable();
+  const std::uint64_t total = tel::kRingCapacity + 100;
+  for (std::uint64_t i = 0; i < total; ++i) tel::emit(sample_record(i));
+  EXPECT_EQ(tel::emitted_count(), total);
+  const std::vector<tel::RequestRecord> records = tel::records();
+  ASSERT_EQ(records.size(), tel::kRingCapacity);
+  // Oldest surviving record is exactly `total - capacity`; order is oldest
+  // first and contiguous.
+  EXPECT_EQ(records.front().seq, total - tel::kRingCapacity);
+  EXPECT_EQ(records.back().seq, total - 1);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, records[i - 1].seq + 1);
+  }
+}
+
+TEST_F(TelemetryTest, EmitFeedsRegistryMetrics) {
+  tel::enable();
+  tel::emit(sample_record(1));
+  tel::RequestRecord bad = sample_record(2);
+  bad.ok = false;
+  bad.outcome = 3;
+  bad.outcome_name = "deadline_expired";
+  tel::emit(bad);
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  EXPECT_EQ(snapshot.counters.at("telemetry.requests"), 2u);
+  EXPECT_EQ(snapshot.counters.at("telemetry.errors"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("telemetry.request_seconds").total, 2u);
+}
+
+TEST_F(TelemetryTest, ToJsonShapeAndSentinels) {
+  tel::RequestRecord r = sample_record(0xdeadbeef);
+  r.seq = 41;
+  const obs::Json j = tel::to_json(r);
+  EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v1");
+  EXPECT_EQ(j.at("api").as_string(), "evaluate_plan");
+  EXPECT_EQ(j.at("plan_key").as_string(), "0x00000000deadbeef");
+  EXPECT_EQ(j.at("rung").as_int(), 0);
+  EXPECT_EQ(j.at("rung_name").as_string(), "basis_replay");
+  EXPECT_TRUE(j.at("ok").as_bool());
+  // NaN slack (no deadline) must serialize as null, not a bare NaN token
+  // (which JSON has no syntax for). The writer maps non-finite to null.
+  EXPECT_NE(j.dump(0).find("\"deadline_slack_seconds\":null"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SinkWritesOneJsonLinePerRecord) {
+  const std::string path = ::testing::TempDir() + "/telemetry_sink.jsonl";
+  std::remove(path.c_str());
+  tel::enable();
+  tel::set_sink(path);
+  tel::emit(sample_record(1));
+  tel::emit(sample_record(2));
+  tel::close_sink();
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    const obs::Json j = obs::Json::parse(line);
+    EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v1");
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, SinkRotatesBySizeAndDropsOldest) {
+  const std::string path = ::testing::TempDir() + "/telemetry_rotate.jsonl";
+  for (int i = 0; i < 4; ++i) {
+    std::remove((i == 0 ? path : path + "." + std::to_string(i)).c_str());
+  }
+  tel::enable();
+  // Each line is a few hundred bytes; rotate after ~1KB, keep 3 files.
+  tel::set_sink(path, /*rotate_bytes=*/1024, /*max_files=*/3);
+  for (std::uint64_t i = 0; i < 64; ++i) tel::emit(sample_record(i));
+  tel::close_sink();
+
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_TRUE(std::ifstream(path + ".1").good());
+  EXPECT_TRUE(std::ifstream(path + ".2").good());
+  EXPECT_FALSE(std::ifstream(path + ".3").good());
+
+  // Rotation happened at least once and every surviving line still parses.
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  EXPECT_GE(snapshot.counters.at("telemetry.sink_rotations"), 1u);
+  std::uint64_t parsed = 0;
+  for (const std::string& suffix : {std::string(), std::string(".1"),
+                                    std::string(".2")}) {
+    for (const std::string& line : read_lines(path + suffix)) {
+      const obs::Json j = obs::Json::parse(line);
+      EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v1");
+      ++parsed;
+    }
+  }
+  EXPECT_GT(parsed, 0u);
+  EXPECT_LE(parsed, 64u);
+  for (int i = 0; i < 3; ++i) {
+    std::remove((i == 0 ? path : path + "." + std::to_string(i)).c_str());
+  }
+}
+
+TEST_F(TelemetryTest, ResetClearsRingCountersAndSink) {
+  tel::enable();
+  tel::emit(sample_record(1));
+  EXPECT_EQ(tel::emitted_count(), 1u);
+  tel::reset();
+  EXPECT_FALSE(tel::enabled());
+  EXPECT_EQ(tel::emitted_count(), 0u);
+  EXPECT_TRUE(tel::records().empty());
+}
+
+}  // namespace
+}  // namespace treecode

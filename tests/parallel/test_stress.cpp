@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,8 +19,10 @@
 #include "dist/distributions.hpp"
 #include "engine/eval_session.hpp"
 #include "engine/plan_cache.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -381,6 +386,78 @@ TEST(RecorderStress, ConcurrentRecordersAndSnapshotReaders) {
   const std::vector<rec::Event> final_events = rec::events();
   EXPECT_EQ(final_events.size(), rec::kCapacity);
   rec::reset();
+}
+
+TEST(TelemetryStress, ConcurrentEmittersWithSinkAndReaders) {
+  // Same seqlock contract as RecorderStress, for the request-telemetry
+  // ring — with the JSONL sink armed so the mutex-serialized append path
+  // runs concurrently too. Writers stamp a per-record relation
+  // (targets == plan_key * 3 + 1); any torn slot a reader surfaced would
+  // break it. No record may be lost: emitted_count is exact.
+  namespace tel = obs::telemetry;
+  tel::reset();
+  const std::string sink = ::testing::TempDir() + "/telemetry_stress.jsonl";
+  std::remove(sink.c_str());
+  tel::enable();
+  tel::set_sink(sink, /*rotate_bytes=*/64 * 1024, /*max_files=*/2);
+  constexpr int kWriters = 6;
+  constexpr std::uint64_t kPerWriter = 4000;
+  ThreadPool pool(kWriters);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::vector<std::jthread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::vector<tel::RequestRecord> records = tel::records();
+        for (std::size_t j = 1; j < records.size(); ++j) {
+          ASSERT_LT(records[j - 1].seq, records[j].seq);
+        }
+        for (const tel::RequestRecord& r : records) {
+          ASSERT_EQ(r.targets, r.plan_key * 3 + 1);
+          ASSERT_NE(r.outcome_name, nullptr);
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.run_on_all([&](unsigned t) {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      tel::RequestRecord r;
+      r.api = tel::Api::kEvaluatePlan;
+      r.plan_key = static_cast<std::uint64_t>(t) * kPerWriter + i;
+      r.targets = r.plan_key * 3 + 1;
+      r.wall_seconds = 1e-6 * static_cast<double>(i);
+      tel::emit(r);
+    }
+  });
+  done.store(true, std::memory_order_release);
+  readers.clear();  // join
+  EXPECT_EQ(tel::emitted_count(), kWriters * kPerWriter);
+  EXPECT_GT(snapshots.load(), 0u);
+  const std::vector<tel::RequestRecord> final_records = tel::records();
+  EXPECT_EQ(final_records.size(), tel::kRingCapacity);
+  for (const tel::RequestRecord& r : final_records) {
+    EXPECT_EQ(r.targets, r.plan_key * 3 + 1);
+  }
+  tel::close_sink();
+  // Every sink line is whole: the mutex serialized appends, so each parses
+  // and satisfies the same relation (no torn or interleaved writes).
+  std::ifstream in(sink);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t parsed = 0;
+  while (std::getline(in, line)) {
+    const obs::Json j = obs::Json::parse(line);
+    const std::uint64_t key =
+        std::stoull(j.at("plan_key").as_string(), nullptr, 16);
+    ASSERT_EQ(static_cast<std::uint64_t>(j.at("targets").as_int()), key * 3 + 1);
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0u);
+  tel::reset();
+  std::remove(sink.c_str());
+  std::remove((sink + ".1").c_str());
 }
 
 TEST(PlanCacheStress, ConcurrentFindInsertClearUnderEvictionPressure) {

@@ -1,0 +1,113 @@
+// treecode-inspect: build a demo EvalSession, drive it through a few
+// telemetered evaluations, and dump the full engine state snapshot
+// (treecode-inspect/v1: provenance, session, governor ledger, plan-cache
+// contents, telemetry records, flight-recorder ring, metrics, warnings) as
+// one JSON document — the operator's "what is this engine doing?" view.
+//
+//   ./tools/treecode-inspect [--n 4k] [--alpha 0.5] [--degree 4]
+//       [--threads 4] [--evals 4] [--audit-samples 64]
+//       [--memory-budget-bytes 0] [--out inspect.json]
+//       [--openmetrics-out metrics.prom] [--telemetry-out records.jsonl]
+//       [--slo]
+//
+// With no --out the document prints to stdout. --slo checks the default
+// engine SLO rules against the final snapshot and includes the watchdog
+// status block. Exit status: 0 on success, 1 on engine error, 2 when --slo
+// found breaches.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "dist/distributions.hpp"
+#include "engine/eval_session.hpp"
+#include "engine/introspect.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
+#include "tree/octree.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treecode;
+  try {
+    const CliFlags flags(argc, argv,
+                         {"n", "alpha", "degree", "threads", "evals",
+                          "audit-samples", "memory-budget-bytes", "out",
+                          "openmetrics-out", "telemetry-out", "slo"});
+    const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 4'000));
+    const int evals = static_cast<int>(flags.get_int("evals", 4));
+    const std::string out = flags.get_string("out", "");
+    const std::string openmetrics_out = flags.get_string("openmetrics-out", "");
+    const std::string telemetry_out = flags.get_string("telemetry-out", "");
+
+    obs::telemetry::enable();
+    if (!telemetry_out.empty()) obs::telemetry::set_sink(telemetry_out);
+    obs::recorder::start();
+
+    EvalConfig cfg;
+    cfg.alpha = flags.get_double("alpha", 0.5);
+    cfg.degree = static_cast<int>(flags.get_int("degree", 4));
+    cfg.mode = DegreeMode::kAdaptive;
+    cfg.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+    cfg.track_error_bounds = true;
+    cfg.audit_samples = static_cast<std::size_t>(flags.get_int("audit-samples", 64));
+    cfg.memory_budget_bytes =
+        static_cast<std::size_t>(flags.get_int("memory-budget-bytes", 0));
+
+    const ParticleSystem ps = dist::uniform_cube(n, /*seed=*/42);
+    engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}), cfg);
+
+    // A warm replay loop: compile once, then refresh + replay per "solver
+    // iteration" — the lifecycle the telemetry records should show.
+    auto plan = session.try_compile_self();
+    if (!plan.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", plan.error().message.c_str());
+      return 1;
+    }
+    std::vector<double> charges(session.sorted_charges().begin(),
+                                session.sorted_charges().end());
+    for (int i = 0; i < evals; ++i) {
+      for (double& q : charges) q = -q;
+      if (auto r = session.try_update_charges_sorted(charges); !r.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", r.error().message.c_str());
+        return 1;
+      }
+      if (auto r = session.try_evaluate(*plan.value()); !r.ok()) {
+        std::fprintf(stderr, "evaluate failed: %s\n", r.error().message.c_str());
+        return 1;
+      }
+    }
+
+    obs::Json doc = engine::inspect_json(&session);
+
+    int exit_code = 0;
+    if (flags.get_bool("slo")) {
+      obs::slo::Watchdog watchdog;
+      for (obs::slo::Rule& rule : obs::slo::default_engine_rules()) {
+        watchdog.add_rule(std::move(rule));
+      }
+      watchdog.check(obs::registry().snapshot());
+      doc["slo"] = watchdog.status_json();
+      if (watchdog.breaches() > 0) exit_code = 2;
+    }
+
+    if (!openmetrics_out.empty() &&
+        !obs::openmetrics::write(openmetrics_out, obs::registry().snapshot())) {
+      return 1;
+    }
+    obs::telemetry::close_sink();
+
+    if (out.empty()) {
+      std::printf("%s\n", doc.dump(2).c_str());
+    } else {
+      obs::write_json_file(out, doc);
+      std::printf("wrote %s\n", out.c_str());
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
