@@ -1,0 +1,93 @@
+"""Findings report: treecode-analyze-report/v1.
+
+Mirrors the repo's report conventions (bench_report/telemetry): a schema
+tag, a provenance block (git sha, host, tool versions, UTC stamp), and
+machine-readable payload. Validated by scripts/validate_analyze_report.py
+against scripts/analyze_report_schema.json in CI, so downstream tooling
+can rely on the shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+from model import Finding
+
+SCHEMA = "treecode-analyze-report/v1"
+
+
+def _git_sha(repo_root: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def provenance(repo_root: str, frontend: str, frontend_detail: str) -> dict:
+    return {
+        "git_sha": _git_sha(repo_root),
+        "frontend": frontend,
+        "frontend_detail": frontend_detail,
+        "python": platform.python_version(),
+        "host": platform.node() or "unknown",
+        "utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
+
+
+def build(findings: list[Finding], rules: dict[str, str], files_scanned: int,
+          functions: int, repo_root: str, frontend: str,
+          frontend_detail: str) -> dict:
+    by_rule: dict[str, int] = {r: 0 for r in rules}
+    unsuppressed = 0
+    items = []
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        if not f.suppressed:
+            unsuppressed += 1
+        items.append({
+            "rule": f.rule,
+            "file": f.file,
+            "line": f.line,
+            "message": f.message,
+            "suppressed": f.suppressed,
+        })
+    return {
+        "schema": SCHEMA,
+        "rules": dict(rules),
+        "files_scanned": files_scanned,
+        "functions": functions,
+        "findings": items,
+        "counts": {
+            "total": len(items),
+            "unsuppressed": unsuppressed,
+            "suppressed": len(items) - unsuppressed,
+            "by_rule": by_rule,
+        },
+        "provenance": provenance(repo_root, frontend, frontend_detail),
+    }
+
+
+def write(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def print_findings(findings: list[Finding], stream=None,
+                   show_suppressed: bool = False) -> None:
+    stream = stream or sys.stdout
+    for f in findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        tag = " (suppressed)" if f.suppressed else ""
+        print(f"{f.file}:{f.line}: [{f.rule}]{tag} {f.message}", file=stream)

@@ -40,6 +40,12 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          src/core/ or src/engine/) validates its inputs:
                          EvalConfig::validate() (directly or via
                          assign_degrees) or enforce_validation().
+  header-hygiene         Every header in src/ starts with ``#pragma once``
+                         (a double inclusion is an ODR landmine the linker
+                         reports cryptically, if at all), and no file lists
+                         the same ``#include`` target twice (the second copy
+                         is dead weight that masks a missing include when
+                         one of the two is later removed).
   engine-returns-expected
                          No ``throw`` statements in src/engine/: engine
                          failures are typed ErrorCode values carried by
@@ -112,6 +118,9 @@ SPAN_RE = re.compile(r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s+\w+\s*(\()|"
 PARALLEL_FOR_RE = re.compile(r"\bparallel_for(?:_blocked)?\s*(\()")
 
 THROW_RE = re.compile(r"\bthrow\b")
+
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+INCLUDE_LINE_RE = re.compile(r"^\s*#\s*include\s*([<\"][^>\"]+[>\"])")
 
 EVAL_ENTRY_RE = re.compile(
     r"\bEvalResult\s+(?:\w+::)?evaluate\w*\s*\(|\b(\w+Evaluator)::\1\s*\(|"
@@ -368,6 +377,22 @@ class Linter:
                 self.report(path, 1, "evaluator-validates",
                             "evaluator entry point without a validate()/"
                             "enforce_validation()/assign_degrees() call", raw_lines)
+
+        if rel.endswith(".hpp") and not PRAGMA_ONCE_RE.search(raw):
+            self.report(path, 1, "header-hygiene",
+                        "header missing `#pragma once`", raw_lines)
+        seen_includes: dict[str, int] = {}
+        for idx, line in enumerate(raw_lines, 1):
+            inc = INCLUDE_LINE_RE.match(line)
+            if inc is None:
+                continue
+            target = inc.group(1)
+            if target in seen_includes:
+                self.report(path, idx, "header-hygiene",
+                            f"duplicate #include {target} (first included at "
+                            f"line {seen_includes[target]})", raw_lines)
+            else:
+                seen_includes[target] = idx
 
         if rel.startswith("src/engine/"):
             # `throw` as a keyword only: value_or_throw / throw_error contain

@@ -127,6 +127,10 @@ void emit_request(obs::telemetry::Api api, std::uint64_t key, double wall,
                   bool ok, ErrorCode code, const EvalStats* stats,
                   const PlanCache& cache, const EvalConfig& config,
                   unsigned threads) {
+  // Counted before the telemetry-enabled gate: engine.requests is the SLO
+  // error-rate denominator (obs/slo.cpp) and must cover every entry-point
+  // call, with or without a telemetry session.
+  obs::registry().counter(obs::metric::kEngineRequests).add(1);
   if (!obs::telemetry::enabled()) return;
   obs::telemetry::RequestRecord r;
   r.api = api;
@@ -178,9 +182,7 @@ EvalSession::EvalSession(Tree tree, const EvalConfig& config, const Options& opt
       sorted_charges_(tree_.charges().begin(), tree_.charges().end()),
       multipoles_(tree_.nodes().size()),
       node_epoch_(tree_.nodes().size(), 0),
-      cache_(options.plan_cache_capacity, options.plan_cache_byte_capacity) {
-  cache_.set_governor(&governor_);
-}
+      cache_(options.plan_cache_capacity, options.plan_cache_byte_capacity) {}
 
 Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile(
     std::span<const Vec3> targets) {
@@ -271,11 +273,15 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
   const ValidationPolicy policy = tree_.config().validation;
   if (!self) {
     report = validate_targets(targets);
-    if (policy == ValidationPolicy::kThrow && report.has_errors()) {
+    // Under kThrow policy enforce_validation throws ValidationError;
+    // convert at this edge so the entry point keeps its typed-Expected
+    // contract (kWarn/kSanitize pass straight through).
+    try {
+      enforce_validation(report, policy, "EvalSession::compile");
+    } catch (const ValidationError&) {
       return engine_error(ErrorCode::kNonFinite,
                           "EvalSession::compile: " + report.summary());
     }
-    enforce_validation(report, policy, "EvalSession::compile");
   }
 
   const std::uint64_t key = plan_key(targets, self, config_);
@@ -314,7 +320,10 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
   std::vector<std::vector<double>> per_bounds(want_bounds ? n : 0);
   std::vector<CompileAccumulator> acc(pool_.width());
 
-  if (n > 0 && tree_.num_particles() > 0) {
+  // The runtime rethrows a worker's exception on this thread (a traversal
+  // worker can only hit bad_alloc growing its per-target entry vectors);
+  // each fan-out edge converts it to a typed error.
+  if (n > 0 && tree_.num_particles() > 0) try {
     parallel_for_blocked(
         pool_, n, config_.block_size,
         [&](std::size_t block_begin, std::size_t block_end, unsigned t) -> std::uint64_t {
@@ -376,6 +385,10 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
           return (a.terms + a.p2p) - terms_before;
         },
         nullptr, obs::span::kEngineCompileWorker);
+  } catch (const std::exception& e) {
+    return engine_error(ErrorCode::kInternal,
+                        std::string("EvalSession::compile: worker exception: ") +
+                            e.what());
   }
 
   // Serial flatten into the plan's replay layout.
@@ -413,10 +426,13 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
 
   // Governed commit of the plan's durable core (everything but the basis).
   // A denial discards the compiled schedule; the ladder serves rung 2/3.
-  // The reservation travels with cache residency: the cache releases it on
-  // eviction, replacement, or clear.
+  // The RAII reservation travels with cache residency: released on
+  // eviction, replacement, clear — or right here if anything below throws
+  // before the insert.
   const std::size_t plan_core_bytes = plan->memory_bytes();
-  if (!governor_.try_reserve(plan_core_bytes, "engine.plan")) {
+  ResourceGovernor::Reservation plan_reservation =
+      governor_.reserve(plan_core_bytes, "engine.plan");
+  if (!plan_reservation) {
     reg.counter(obs::metric::kEnginePlanDenied).add(1);
     return engine_error(denial_code(governor_),
                         "EvalSession::compile: plan storage denied (" +
@@ -460,13 +476,16 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
     if (any) {
       plan->basis.resize(basis_total);
       const std::size_t basis_delta = plan->memory_bytes() - plan_core_bytes;
-      if (!governor_.try_reserve(basis_delta, "engine.basis")) {
+      ResourceGovernor::Reservation basis_reservation =
+          governor_.reserve(basis_delta, "engine.basis");
+      if (!basis_reservation) {
         // Basis denied (budget raced tighter, or an injected fault): keep
         // the plan, drop the basis — a rung-1 plan with identical results.
         reg.counter(obs::metric::kEngineBasisDenied).add(1);
         std::vector<std::uint64_t>().swap(plan->basis_offset);
         std::vector<double>().swap(plan->basis);
-      } else {
+      } else try {
+        plan_reservation.absorb(std::move(basis_reservation));
         parallel_for_blocked(
             pool_, n, config_.block_size,
             [&](std::size_t block_begin, std::size_t block_end,
@@ -490,6 +509,11 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
               return filled;
             },
             nullptr, obs::span::kEngineCompileWorker);
+      } catch (const std::exception& e) {
+        return engine_error(
+            ErrorCode::kInternal,
+            std::string("EvalSession::compile: basis worker exception: ") +
+                e.what());
       }
     } else {
       plan->basis_offset.clear();
@@ -529,7 +553,7 @@ Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_impl(
 
   TREECODE_ASSERT_PLAN_INVARIANTS(*plan, tree_, degrees_, config_,
                                   "EvalSession::compile");
-  cache_.insert(plan);
+  cache_.insert(plan, std::move(plan_reservation));
   return std::shared_ptr<const EvalPlan>(plan);
 }
 
@@ -554,12 +578,16 @@ Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
       first_build_bytes += tri_size(degrees_.degree[nu]) * sizeof(Complex);
     }
   }
-  if (first_build_bytes > 0 &&
-      !governor_.try_reserve(first_build_bytes, "engine.multipoles")) {
-    obs::registry().counter(obs::metric::kEngineRefreshDenied).add(1);
-    return engine_error(denial_code(governor_),
-                        "EvalSession: multipole refresh denied (" +
-                            std::to_string(first_build_bytes) + " bytes)");
+  if (first_build_bytes > 0) {
+    ResourceGovernor::Reservation r =
+        governor_.reserve(first_build_bytes, "engine.multipoles");
+    if (!r) {
+      obs::registry().counter(obs::metric::kEngineRefreshDenied).add(1);
+      return engine_error(denial_code(governor_),
+                          "EvalSession: multipole refresh denied (" +
+                              std::to_string(first_build_bytes) + " bytes)");
+    }
+    multipole_reservation_.absorb(std::move(r));
   }
 
   // Cover newly-seen nodes with a p2m basis while the budget lasts: offsets
@@ -590,8 +618,10 @@ Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
     if (pool_size > old_pool) {
       const std::size_t growth_bytes =
           static_cast<std::size_t>(pool_size - old_pool) * sizeof(double);
-      if (governor_.try_reserve(growth_bytes, "engine.p2m_basis")) {
+      if (ResourceGovernor::Reservation growth =
+              governor_.reserve(growth_bytes, "engine.p2m_basis")) {
         p2m_basis_pool_.resize(pool_size);
+        p2m_reservation_.absorb(std::move(growth));
         obs::registry()
             .gauge(obs::metric::kEngineRefreshBasisBytes)
             .record_max(static_cast<double>(pool_size * sizeof(double)));
@@ -634,13 +664,17 @@ Expected<void> EvalSession::try_ensure_refreshed(const EvalPlan& plan) {
     }
     node_epoch_[nu] = charge_epoch_;
   };
-  if (pool_.width() > 1) {
+  if (pool_.width() > 1) try {
     parallel_for(
         pool_, stale_.size(), 8,
         [&](std::size_t b, std::size_t e, unsigned) {
           for (std::size_t k = b; k < e; ++k) refresh_node(k);
         },
         nullptr, obs::span::kEngineRefreshWorker);
+  } catch (const std::exception& e) {
+    return engine_error(ErrorCode::kInternal,
+                        std::string("EvalSession: refresh worker exception: ") +
+                            e.what());
   } else {
     for (std::size_t k = 0; k < stale_.size(); ++k) refresh_node(k);
   }
@@ -700,7 +734,7 @@ Expected<EvalResult> EvalSession::replay(const EvalPlan& plan) {
   const bool deadline_active = governor_.deadline_armed();
   std::vector<char> done(deadline_active ? n : 0, 0);
 
-  {
+  try {
     const ScopedTimer phase_timer(obs::span::kEngineReplay, &result.stats.eval_seconds);
     result.stats.work = parallel_for_blocked(
         pool_, n, config_.block_size,
@@ -799,6 +833,10 @@ Expected<EvalResult> EvalSession::replay(const EvalPlan& plan) {
           return cost;
         },
         &cancel, obs::span::kEngineReplayWorker);
+  } catch (const std::exception& e) {
+    return engine_error(ErrorCode::kInternal,
+                        std::string("EvalSession: replay worker exception: ") +
+                            e.what());
   }
 
   const std::int64_t bad_target = nonfinite_at.load(std::memory_order_relaxed);
@@ -893,10 +931,10 @@ Expected<EvalResult> EvalSession::serve_degraded(std::span<const Vec3> targets,
   // the duration of the traversal so a concurrent-session budget still
   // holds, then hand the bytes back.
   const std::size_t traversal_bytes = traversal_reserve_bytes();
-  if (governor_.try_reserve(traversal_bytes, "engine.traversal")) {
-    Expected<EvalResult> r = serve_traversal(targets, self);
-    governor_.release(traversal_bytes);
-    return r;
+  if (ResourceGovernor::Reservation traversal =
+          governor_.reserve(traversal_bytes, "engine.traversal")) {
+    // Held for the dynamic extent of the traversal; returned on any exit.
+    return serve_traversal(targets, self);
   }
   return serve_direct(targets, self);
 }
@@ -971,7 +1009,7 @@ Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bo
   std::vector<double> phi(n, 0.0);
   std::vector<Vec3> grad(want_grad ? n : 0, Vec3{});
 
-  {
+  try {
     const ScopedTimer phase_timer(obs::span::kEngineDirect, &result.stats.eval_seconds);
     result.stats.work = parallel_for_blocked(
         pool_, n, config_.block_size,
@@ -1019,6 +1057,10 @@ Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bo
           return cost;
         },
         &cancel, obs::span::kEngineDirectWorker);
+  } catch (const std::exception& e) {
+    return engine_error(ErrorCode::kInternal,
+                        std::string("EvalSession: direct worker exception: ") +
+                            e.what());
   }
 
   const std::int64_t bad_target = nonfinite_at.load(std::memory_order_relaxed);

@@ -267,6 +267,13 @@ class EvalSession {
   /// the basis depends only on geometry and the node's frozen degree).
   std::vector<std::uint64_t> p2m_basis_offset_;
   std::vector<double> p2m_basis_pool_;
+  /// Budget reservations backing the two durable session pools above
+  /// (multipole coefficients, p2m refresh basis). Grown by absorb() on
+  /// each governed expansion; the bytes return to the ledger when the
+  /// session dies. Declared after governor_: destroyed first, releasing
+  /// into a live ledger.
+  ResourceGovernor::Reservation multipole_reservation_;
+  ResourceGovernor::Reservation p2m_reservation_;
   std::size_t traversal_bytes_ = 0;  ///< lazy traversal_reserve_bytes() memo
   PlanCache cache_;
 };

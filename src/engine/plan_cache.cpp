@@ -34,17 +34,12 @@ std::size_t plan_basis_bytes(const EvalPlan& plan) noexcept {
 PlanCache::PlanCache(std::size_t capacity, std::size_t byte_capacity)
     : capacity_(capacity == 0 ? 1 : capacity), byte_capacity_(byte_capacity) {}
 
-void PlanCache::set_governor(ResourceGovernor* governor) noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
-  governor_ = governor;
-}
-
 std::shared_ptr<const EvalPlan> PlanCache::find(std::uint64_t key,
                                                 std::span<const Vec3> targets,
                                                 bool self) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = by_key_.find(key);
-  if (it == by_key_.end() || !same_targets(**it->second, targets, self)) {
+  if (it == by_key_.end() || !same_targets(*it->second->plan, targets, self)) {
     ++misses_;
     return nullptr;
   }
@@ -54,19 +49,18 @@ std::shared_ptr<const EvalPlan> PlanCache::find(std::uint64_t key,
   }
   ++hits_;
   plans_.splice(plans_.begin(), plans_, it->second);  // touch: move to MRU
-  return *it->second;
+  return it->second->plan;
 }
 
 void PlanCache::evict_lru_locked() {
-  const std::shared_ptr<const EvalPlan>& victim = plans_.back();
-  const std::size_t victim_bytes = victim->memory_bytes();
-  by_key_.erase(victim->key);
+  const Entry& victim = plans_.back();
+  const std::size_t victim_bytes = victim.plan->memory_bytes();
+  by_key_.erase(victim.plan->key);
   obs::recorder::record(obs::recorder::Category::kEviction, "plan_cache.evict",
                         static_cast<double>(victim_bytes));
   bytes_ -= victim_bytes;
-  basis_bytes_ -= plan_basis_bytes(*victim);
-  if (governor_ != nullptr) governor_->release(victim_bytes);
-  plans_.pop_back();
+  basis_bytes_ -= plan_basis_bytes(*victim.plan);
+  plans_.pop_back();  // ~Entry returns the reservation to the budget
   ++evictions_;
 }
 
@@ -76,25 +70,24 @@ void PlanCache::publish_gauges_locked() const {
   reg.gauge(obs::metric::kEngineBasisBytes).set(static_cast<double>(basis_bytes_));
 }
 
-bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
+bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan,
+                       ResourceGovernor::Reservation reservation) {
   if (plan == nullptr) return false;
   const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t key = plan->key;
   const std::size_t new_bytes = plan->memory_bytes();
   if (const auto it = by_key_.find(key); it != by_key_.end()) {
-    const std::size_t old_bytes = (*it->second)->memory_bytes();
-    bytes_ -= old_bytes;
-    basis_bytes_ -= plan_basis_bytes(**it->second);
-    if (governor_ != nullptr) governor_->release(old_bytes);
-    plans_.erase(it->second);
+    bytes_ -= it->second->plan->memory_bytes();
+    basis_bytes_ -= plan_basis_bytes(*it->second->plan);
+    plans_.erase(it->second);  // ~Entry releases the replaced reservation
     by_key_.erase(it);
   }
   if (byte_capacity_ != 0 && new_bytes > byte_capacity_) {
     // The plan alone busts the byte capacity: caching it would immediately
-    // evict everything else and still sit over budget. Serve it transient.
+    // evict everything else and still sit over budget. Serve it transient;
+    // `reservation` returns the bytes on the way out.
     obs::recorder::record(obs::recorder::Category::kEviction,
                           "plan_cache.uncacheable", static_cast<double>(new_bytes));
-    if (governor_ != nullptr) governor_->release(new_bytes);
     publish_gauges_locked();
     return false;
   }
@@ -105,7 +98,7 @@ bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
   }
   bytes_ += new_bytes;
   basis_bytes_ += plan_basis_bytes(*plan);
-  plans_.push_front(std::move(plan));
+  plans_.push_front(Entry{std::move(plan), std::move(reservation)});
   by_key_[key] = plans_.begin();
   publish_gauges_locked();
   return true;
@@ -113,8 +106,7 @@ bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan) {
 
 void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (governor_ != nullptr) governor_->release(bytes_);
-  plans_.clear();
+  plans_.clear();  // each ~Entry returns its reservation
   by_key_.clear();
   bytes_ = 0;
   basis_bytes_ = 0;
@@ -165,14 +157,15 @@ std::vector<PlanCache::PlanInfo> PlanCache::contents() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<PlanInfo> out;
   out.reserve(plans_.size());
-  for (const auto& plan : plans_) {  // MRU first: list order is recency
+  for (const auto& entry : plans_) {  // MRU first: list order is recency
+    const EvalPlan& plan = *entry.plan;
     PlanInfo info;
-    info.key = plan->key;
-    info.self = plan->self;
-    info.num_targets = plan->num_targets();
-    info.num_entries = plan->entries.size();
-    info.bytes = plan->memory_bytes();
-    info.basis_bytes = plan_basis_bytes(*plan);
+    info.key = plan.key;
+    info.self = plan.self;
+    info.num_targets = plan.num_targets();
+    info.num_entries = plan.entries.size();
+    info.bytes = plan.memory_bytes();
+    info.basis_bytes = plan_basis_bytes(plan);
     out.push_back(info);
   }
   return out;

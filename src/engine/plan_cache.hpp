@@ -14,11 +14,14 @@
 /// The cache is the ledger of the session's *durable plan footprint*:
 /// it tracks resident bytes (bytes()/basis_bytes()), evicts by total bytes
 /// as well as by count, publishes the totals to the `engine.plan_bytes` /
-/// `engine.basis_bytes` gauges on every mutation, and — when wired to the
-/// session's ResourceGovernor — returns an evicted plan's reservation to
-/// the byte budget. A caller still holding a shared_ptr to an evicted plan
-/// keeps the memory alive past its accounting; that window is transient
-/// (the duration of one evaluate) and documented rather than tracked.
+/// `engine.basis_bytes` gauges on every mutation, and holds each resident
+/// plan's ResourceGovernor::Reservation alongside the plan itself —
+/// eviction, replacement, clear, or cache destruction returns the bytes to
+/// the budget through the guard's destructor, so no path (including an
+/// exceptional one) can strand them. A caller still holding a shared_ptr
+/// to an evicted plan keeps the memory alive past its accounting; that
+/// window is transient (the duration of one evaluate) and documented
+/// rather than tracked.
 ///
 /// Under TREECODE_FAULT_INJECT, fault site kCacheVerifyMiss can discard a
 /// verified hit — the caller sees a miss and recompiles, exercising the
@@ -33,10 +36,7 @@
 #include <unordered_map>
 
 #include "engine/eval_plan.hpp"
-
-namespace treecode {
-class ResourceGovernor;
-}  // namespace treecode
+#include "util/resource_governor.hpp"
 
 namespace treecode::engine {
 
@@ -52,10 +52,6 @@ class PlanCache {
   /// `byte_capacity` bounds the *total resident plan bytes*; 0 = unbounded.
   explicit PlanCache(std::size_t capacity = 8, std::size_t byte_capacity = 0);
 
-  /// Wire the session's governor: evicted/cleared/replaced plans release
-  /// their memory_bytes() reservation. The governor must outlive the cache.
-  void set_governor(ResourceGovernor* governor) noexcept;
-
   /// Look up `key`; on a hash hit, verify the stored plan was compiled for
   /// exactly these targets (and the same self flag) before returning it.
   /// A verified hit moves the plan to most-recently-used.
@@ -63,13 +59,19 @@ class PlanCache {
                                                      std::span<const Vec3> targets,
                                                      bool self);
 
-  /// Insert a freshly compiled plan under plan->key, evicting LRU plans
-  /// while over the count or byte capacity. Replaces any existing plan with
-  /// the same key. Returns false when the plan alone exceeds the byte
-  /// capacity and was not retained (its governor reservation, if any, is
-  /// released immediately — the caller's shared_ptr stays usable but the
-  /// plan is transient).
-  bool insert(std::shared_ptr<const EvalPlan> plan);
+  /// Insert a freshly compiled plan under plan->key together with the
+  /// governor reservation backing its bytes, evicting LRU plans while over
+  /// the count or byte capacity. Replaces any existing plan with the same
+  /// key (the replaced plan's reservation is released). Returns false when
+  /// the plan alone exceeds the byte capacity and was not retained — its
+  /// reservation is released immediately; the caller's shared_ptr stays
+  /// usable but the plan is transient.
+  bool insert(std::shared_ptr<const EvalPlan> plan,
+              ResourceGovernor::Reservation reservation);
+  /// Insert without a reservation (ungoverned sessions and unit tests).
+  bool insert(std::shared_ptr<const EvalPlan> plan) {
+    return insert(std::move(plan), ResourceGovernor::Reservation{});
+  }
 
   void clear();
 
@@ -97,7 +99,14 @@ class PlanCache {
   [[nodiscard]] std::vector<PlanInfo> contents() const;
 
  private:
-  /// Pop the LRU plan, release its reservation, update the ledgers.
+  /// One resident plan plus the budget reservation that backs it; the
+  /// reservation releases itself whenever the entry leaves the list.
+  struct Entry {
+    std::shared_ptr<const EvalPlan> plan;
+    ResourceGovernor::Reservation reservation;
+  };
+
+  /// Pop the LRU plan (releasing its reservation), update the ledgers.
   /// Caller holds mu_.
   void evict_lru_locked();
   /// Push the resident totals to the engine.plan_bytes / engine.basis_bytes
@@ -109,11 +118,9 @@ class PlanCache {
   std::size_t byte_capacity_;
   std::size_t bytes_ = 0;
   std::size_t basis_bytes_ = 0;
-  ResourceGovernor* governor_ = nullptr;
   /// Most-recently-used at the front.
-  std::list<std::shared_ptr<const EvalPlan>> plans_;
-  std::unordered_map<std::uint64_t, std::list<std::shared_ptr<const EvalPlan>>::iterator>
-      by_key_;
+  std::list<Entry> plans_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> by_key_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

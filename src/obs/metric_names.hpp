@@ -57,6 +57,9 @@ inline constexpr const char* kFmmDegreeUsed = "fmm.degree_used";
 inline constexpr const char* kDirectP2pPairs = "direct.p2p_pairs";
 
 // -- evaluation engine -------------------------------------------------------
+/// Every public try_* entry-point call, counted unconditionally (before the
+/// telemetry-enabled gate) — the SLO ratio denominator.
+inline constexpr const char* kEngineRequests = "engine.requests";
 inline constexpr const char* kEngineErrors = "engine.errors";
 inline constexpr const char* kEnginePlanCacheHits = "engine.plan_cache_hits";
 inline constexpr const char* kEnginePlanCacheMisses = "engine.plan_cache_misses";

@@ -125,14 +125,17 @@ std::vector<Rule> default_engine_rules() {
   error_rate.name = "engine-error-rate";
   error_rate.kind = RuleKind::kCounterRatio;
   error_rate.metric = metric::kEngineErrors;
-  error_rate.denominator = metric::kTelemetryRequests;
+  // engine.requests, not telemetry.requests: the engine counts every
+  // entry-point call even when no telemetry session is active, so the
+  // error rate cannot be inflated by an undercounted denominator.
+  error_rate.denominator = metric::kEngineRequests;
   error_rate.threshold = 0.01;
 
   Rule degraded_share;
   degraded_share.name = "engine-degraded-share";
   degraded_share.kind = RuleKind::kCounterRatio;
   degraded_share.metric = metric::kEngineDegradedServes;
-  degraded_share.denominator = metric::kTelemetryRequests;
+  degraded_share.denominator = metric::kEngineRequests;
   degraded_share.threshold = 0.05;
 
   Rule latency_p99;

@@ -38,7 +38,7 @@ namespace treecode::obs::slo {
 /// How a rule turns a snapshot into one measured value.
 enum class RuleKind : std::uint8_t {
   /// counters[metric] / counters[denominator] (0 when the denominator is 0
-  /// or missing). Example: engine.errors per telemetry.requests.
+  /// or missing). Example: engine.errors per engine.requests.
   kCounterRatio,
   /// histogram_quantile(histograms[metric], quantile).
   kHistogramQuantile,
@@ -92,8 +92,8 @@ class Watchdog {
 
 /// The default objectives for an engine-serving process — the rules the
 /// bench harness arms under --slo and treecode-inspect reports:
-///   engine-error-rate        engine.errors / telemetry.requests  <= 0.01
-///   engine-degraded-share    engine.degraded_serves / telemetry.requests <= 0.05
+///   engine-error-rate        engine.errors / engine.requests     <= 0.01
+///   engine-degraded-share    engine.degraded_serves / engine.requests <= 0.05
 ///   replay-latency-p99       p99(telemetry.request_seconds)      <= 1.0 s
 ///   audit-tightness-ceiling  max(audit.max_tightness)            <= 1.0
 [[nodiscard]] std::vector<Rule> default_engine_rules();

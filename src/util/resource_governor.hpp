@@ -81,6 +81,86 @@ class ResourceGovernor {
   /// reserve bugs rather than wrapping).
   void release(std::size_t bytes) noexcept;
 
+  /// RAII ownership of one reservation. The static analyzer
+  /// (scripts/analyze, rule governor-raii) flags raw try_reserve/release
+  /// pairs outside this file: between a manual reserve and its release,
+  /// any throw leaks the bytes from the ledger for the session's lifetime.
+  /// A Reservation returns them from whatever scope unwinds it.
+  ///
+  /// Move-only. An empty guard (default-constructed, denied, moved-from,
+  /// or released) is falsy and owns nothing. `absorb()` merges another
+  /// guard's bytes into this one for durable storage that grows in steps
+  /// (the p2m basis pool) but is returned as one block.
+  class [[nodiscard]] Reservation {
+   public:
+    Reservation() = default;
+    Reservation(Reservation&& other) noexcept
+        : governor_(other.governor_), bytes_(other.bytes_) {
+      other.governor_ = nullptr;
+      other.bytes_ = 0;
+    }
+    Reservation& operator=(Reservation&& other) noexcept {
+      if (this != &other) {
+        release();
+        governor_ = other.governor_;
+        bytes_ = other.bytes_;
+        other.governor_ = nullptr;
+        other.bytes_ = 0;
+      }
+      return *this;
+    }
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+    ~Reservation() { release(); }
+
+    /// Held bytes (0 when empty).
+    [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+    /// Holding a successful reservation?
+    explicit operator bool() const noexcept { return governor_ != nullptr; }
+
+    /// Return the bytes to the ledger now (idempotent).
+    void release() noexcept {
+      if (governor_ != nullptr) {
+        governor_->release(bytes_);
+        governor_ = nullptr;
+        bytes_ = 0;
+      }
+    }
+
+    /// Take over `other`'s bytes, merging into this guard. Both must be
+    /// against the same governor (or either may be empty).
+    void absorb(Reservation&& other) noexcept {
+      if (!other) {
+        return;
+      }
+      if (governor_ == nullptr) {
+        *this = static_cast<Reservation&&>(other);
+        return;
+      }
+      bytes_ += other.bytes_;
+      other.governor_ = nullptr;
+      other.bytes_ = 0;
+    }
+
+   private:
+    friend class ResourceGovernor;
+    Reservation(ResourceGovernor* governor, std::size_t bytes) noexcept
+        : governor_(governor), bytes_(bytes) {}
+
+    ResourceGovernor* governor_ = nullptr;
+    std::size_t bytes_ = 0;
+  };
+
+  /// try_reserve with RAII ownership: empty guard on denial (same ordinal
+  /// accounting and fault-site semantics), owning guard on success.
+  [[nodiscard]] Reservation reserve(std::size_t bytes,
+                                    const char* label) noexcept {
+    if (!try_reserve(bytes, label)) {
+      return Reservation{};
+    }
+    return Reservation{this, bytes};
+  }
+
   /// True when the last denial came from the fault harness, not the budget.
   [[nodiscard]] bool last_denial_was_fault() const noexcept {
     return last_denial_fault_.load(std::memory_order_relaxed);

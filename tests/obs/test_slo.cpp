@@ -161,7 +161,7 @@ TEST_F(SloTest, BreachEmitsWarningCounterAndArmsRecorder) {
 
 TEST_F(SloTest, DefaultEngineRulesPassOnHealthySnapshot) {
   obs::MetricsSnapshot snapshot;
-  snapshot.counters["telemetry.requests"] = 1000;
+  snapshot.counters["engine.requests"] = 1000;
   snapshot.counters["engine.errors"] = 2;
   snapshot.counters["engine.degraded_serves"] = 10;
   obs::HistogramSnapshot h;
