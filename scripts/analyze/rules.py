@@ -76,12 +76,16 @@ RULES: dict[str, str] = {
 # The parallel runtime itself orchestrates workers and rethrows their
 # exceptions; its internals are the mechanism, not a client of it.
 PARALLEL_RUNTIME_PREFIX = "src/parallel/"
-ENTRY_FILE_PREFIX = "src/engine/"
+# Both the engine and the serving layer above it expose public try_*
+# entry points bound by the throw-path and telemetry contracts.
+ENTRY_FILE_PREFIX = ("src/engine/", "src/service/")
 GOVERNOR_IMPL_FILES = ("src/util/resource_governor.hpp",
                        "src/util/resource_governor.cpp")
 PARALLEL_FNS = {"parallel_for", "parallel_for_blocked"}
 EMIT_HELPERS = {"emit_request"}
-REQUEST_COUNTER_TOKEN = "kEngineRequests"
+# Engine emit helpers count engine.requests; the service's counts
+# service.requests. Either satisfies the count-before-gate contract.
+REQUEST_COUNTER_TOKENS = ("kEngineRequests", "kServiceRequests")
 _MAX_PATH = 40
 
 # Member names that belong to STL containers/handles in practice. A member
@@ -497,28 +501,26 @@ def rule_engine_request_count(idx: _Index) -> list[Finding]:
         counted_at = None
         for call in fn.calls:
             if call.name in ("counter", "add") and \
-                    REQUEST_COUNTER_TOKEN in call.arg0:
-                counted_at = call.line
-                break
-            if call.name == "counter" and REQUEST_COUNTER_TOKEN in call.arg0:
+                    any(tok in call.arg0 for tok in REQUEST_COUNTER_TOKENS):
                 counted_at = call.line
                 break
         if counted_at is None:
             out.append(_finding(
                 idx, "engine-request-count", fn.file, fn.line,
-                f"{fn.qual_name} does not increment "
-                "obs::metric::kEngineRequests; the request counter is the "
-                "SLO error-rate denominator and must count every entry-point "
-                "call, telemetry enabled or not"))
+                f"{fn.qual_name} does not increment its layer's request "
+                "counter (obs::metric::kEngineRequests or kServiceRequests); "
+                "the request counter is the SLO error-rate denominator and "
+                "must count every entry-point call, telemetry enabled or "
+                "not"))
             continue
         early = [r.line for r in fn.returns if r.line < counted_at]
         if early:
             out.append(_finding(
                 idx, "engine-request-count", fn.file, early[0],
-                f"{fn.qual_name} can return before counting "
-                "obs::metric::kEngineRequests (counted at line "
-                f"{counted_at}); disabled-telemetry exits would be dropped "
-                "from the request count"))
+                f"{fn.qual_name} can return before counting its request "
+                f"counter (counted at line {counted_at}); "
+                "disabled-telemetry exits would be dropped from the "
+                "request count"))
     return out
 
 

@@ -37,7 +37,8 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          entry point (``EvalResult evaluate_*``, an
                          ``*Evaluator`` constructor, or the engine's
                          EvalSession constructor/evaluate methods, in
-                         src/core/ or src/engine/) validates its inputs:
+                         src/core/, src/engine/, or src/service/) validates
+                         its inputs:
                          EvalConfig::validate() (directly or via
                          assign_degrees) or enforce_validation().
   header-hygiene         Every header in src/ starts with ``#pragma once``
@@ -47,7 +48,8 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          is dead weight that masks a missing include when
                          one of the two is later removed).
   engine-returns-expected
-                         No ``throw`` statements in src/engine/: engine
+                         No ``throw`` statements in src/engine/ or
+                         src/service/: engine and service-boundary
                          failures are typed ErrorCode values carried by
                          treecode::Expected (util/expected.hpp), so callers
                          can distinguish a memory denial (ladder-degradable)
@@ -371,7 +373,7 @@ class Linter:
                                 "atomic op on a hot path without explicit "
                                 "std::memory_order_relaxed", raw_lines)
 
-        if (rel.startswith("src/core/") or rel.startswith("src/engine/")) \
+        if rel.startswith(("src/core/", "src/engine/", "src/service/")) \
                 and rel.endswith(".cpp"):
             if EVAL_ENTRY_RE.search(code) and not VALIDATES_RE.search(code):
                 self.report(path, 1, "evaluator-validates",
@@ -394,14 +396,15 @@ class Linter:
             else:
                 seen_includes[target] = idx
 
-        if rel.startswith("src/engine/"):
+        if rel.startswith(("src/engine/", "src/service/")):
             # `throw` as a keyword only: value_or_throw / throw_error contain
             # no word boundary before "throw" and are the sanctioned escape
             # hatches (defined in src/util/, outside this rule's scope).
             for m in THROW_RE.finditer(code):
                 self.report(path, line_of(m.start()), "engine-returns-expected",
-                            "raw `throw` in the engine; return a typed Error "
-                            "via treecode::Expected instead", raw_lines)
+                            "raw `throw` in the engine/service layer; return "
+                            "a typed Error via treecode::Expected instead",
+                            raw_lines)
 
     def run(self) -> int:
         files = sorted((self.root / "src").rglob("*.hpp")) + \

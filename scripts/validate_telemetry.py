@@ -22,7 +22,8 @@ from validate_report import validate  # noqa: E402
 
 _APIS = {
     "compile", "compile_self", "update_charges", "update_charges_sorted",
-    "evaluate_plan", "evaluate_at", "evaluate_self",
+    "evaluate_plan", "evaluate_at", "evaluate_self", "evaluate_batch",
+    "service_register", "service_submit", "service_unregister",
 }
 _RUNGS = {"basis_replay", "plain_replay", "traversal", "direct", "none"}
 
@@ -74,7 +75,7 @@ def _self_test():
         "rung_name": "basis_replay", "outcome": "ok", "ok": True,
         "wall_seconds": 1e-3, "targets": 64, "plan_bytes": 10,
         "basis_bytes": 20, "deadline_slack_seconds": None,
-        "audit_max_tightness": 0.5, "threads": 4,
+        "audit_max_tightness": 0.5, "threads": 4, "batch_width": 1,
     }
     import copy
     import tempfile

@@ -126,7 +126,7 @@ class DeadlineScope {
 void emit_request(obs::telemetry::Api api, std::uint64_t key, double wall,
                   bool ok, ErrorCode code, const EvalStats* stats,
                   const PlanCache& cache, const EvalConfig& config,
-                  unsigned threads) {
+                  unsigned threads, std::uint32_t batch_width = 0) {
   // Counted before the telemetry-enabled gate: engine.requests is the SLO
   // error-rate denominator (obs/slo.cpp) and must cover every entry-point
   // call, with or without a telemetry session.
@@ -150,6 +150,7 @@ void emit_request(obs::telemetry::Api api, std::uint64_t key, double wall,
                                  ? config.deadline_seconds - wall
                                  : std::numeric_limits<double>::quiet_NaN();
   r.threads = threads;
+  r.batch_width = batch_width;
   obs::telemetry::emit(r);
 }
 
@@ -1122,6 +1123,417 @@ Expected<EvalResult> EvalSession::try_evaluate_impl(const EvalPlan& plan) {
   Expected<EvalResult> served = replay(plan);
   if (served.ok() || !memory_class(served.error().code)) return served;
   return serve_degraded(plan.targets, plan.self);
+}
+
+Expected<std::vector<EvalResult>> EvalSession::try_evaluate_batch(
+    const EvalPlan& plan, std::span<const std::span<const double>> charge_columns) {
+  const Timer timer;
+  Expected<std::vector<EvalResult>> served =
+      try_evaluate_batch_impl(plan, charge_columns);
+  const EvalStats* stats =
+      served.ok() && !served.value().empty() ? &served.value().front().stats : nullptr;
+  emit_request(obs::telemetry::Api::kEvaluateBatch, plan.key, timer.seconds(),
+               served.ok(),
+               served.ok() ? (stats != nullptr ? stats->outcome : ErrorCode::kOk)
+                           : served.error().code,
+               stats, cache_, config_, pool_.width(),
+               static_cast<std::uint32_t>(charge_columns.size()));
+  return served;
+}
+
+void EvalSession::cover_p2m_basis(const EvalPlan& plan) {
+  if (!options_.precompute_basis || options_.refresh_basis_budget_bytes == 0) return;
+  const auto& nodes = tree_.nodes();
+  const auto& pos = tree_.positions();
+  if (p2m_basis_offset_.empty()) {
+    p2m_basis_offset_.assign(nodes.size(), EvalPlan::kNoBasis);
+  }
+  // Offsets assigned serially (the pool layout must not depend on thread
+  // timing), exactly like try_ensure_refreshed — the two paths share the
+  // pool, the budget rule, and the per-node layout, so whichever runs first
+  // covers a node and the other reuses it.
+  const std::uint64_t budget_doubles =
+      options_.refresh_basis_budget_bytes / sizeof(double);
+  const std::uint64_t old_pool = p2m_basis_pool_.size();
+  std::uint64_t pool_size = old_pool;
+  std::vector<std::int32_t> fresh;
+  for (const std::int32_t ni : plan.m2p_nodes) {
+    const auto nu = static_cast<std::size_t>(ni);
+    if (p2m_basis_offset_[nu] != EvalPlan::kNoBasis) continue;
+    const auto need = static_cast<std::uint64_t>(
+        p2m_basis_size(degrees_.degree[nu], nodes[nu].count()));
+    if (pool_size + need > budget_doubles) continue;
+    p2m_basis_offset_[nu] = pool_size;
+    pool_size += need;
+    fresh.push_back(ni);
+  }
+  if (pool_size == old_pool) return;
+  const std::size_t growth_bytes =
+      static_cast<std::size_t>(pool_size - old_pool) * sizeof(double);
+  ResourceGovernor::Reservation growth =
+      governor_.reserve(growth_bytes, "engine.p2m_basis");
+  if (!growth) {
+    obs::registry().counter(obs::metric::kEngineP2mBasisDenied).add(1);
+    for (const std::int32_t ni : fresh) {
+      p2m_basis_offset_[static_cast<std::size_t>(ni)] = EvalPlan::kNoBasis;
+    }
+    return;
+  }
+  auto fill_node = [&](std::size_t j) {
+    const auto nu = static_cast<std::size_t>(fresh[j]);
+    const TreeNode& node = nodes[nu];
+    const int deg = degrees_.degree[nu];
+    p2m_basis(deg, node.center,
+              std::span<const Vec3>(pos.data() + node.begin, node.count()),
+              std::span<double>(p2m_basis_pool_.data() + p2m_basis_offset_[nu],
+                                p2m_basis_size(deg, node.count())));
+  };
+  try {
+    p2m_basis_pool_.resize(pool_size);
+    p2m_reservation_.absorb(std::move(growth));
+    if (pool_.width() > 1) {
+      parallel_for(
+          pool_, fresh.size(), 8,
+          [&](std::size_t b, std::size_t e, unsigned) {
+            for (std::size_t j = b; j < e; ++j) fill_node(j);
+          },
+          nullptr, obs::span::kEngineRefreshWorker);
+    } else {
+      for (std::size_t j = 0; j < fresh.size(); ++j) fill_node(j);
+    }
+    obs::registry()
+        .gauge(obs::metric::kEngineRefreshBasisBytes)
+        .record_max(static_cast<double>(pool_size * sizeof(double)));
+  } catch (const std::exception&) {
+    // Allocation or worker failure: roll the coverage back so no node
+    // points at unfilled pool storage; the full p2m kernel serves instead.
+    for (const std::int32_t ni : fresh) {
+      p2m_basis_offset_[static_cast<std::size_t>(ni)] = EvalPlan::kNoBasis;
+    }
+  }
+}
+
+Expected<std::vector<EvalResult>> EvalSession::evaluate_batch_sequential(
+    const EvalPlan& plan, std::span<const std::span<const double>> charge_columns) {
+  obs::registry().counter(obs::metric::kEngineBatchFallbacks).add(1);
+  std::vector<EvalResult> results;
+  results.reserve(charge_columns.size());
+  for (std::size_t c = 0; c < charge_columns.size(); ++c) {
+    Expected<void> updated = try_update_charges_impl(charge_columns[c]);
+    if (!updated.ok()) return updated.error();
+    Expected<EvalResult> served = try_evaluate_impl(plan);
+    if (!served.ok()) return served.error();
+    results.push_back(std::move(served).value());
+  }
+  return results;
+}
+
+Expected<std::vector<EvalResult>> EvalSession::try_evaluate_batch_impl(
+    const EvalPlan& plan, std::span<const std::span<const double>> charge_columns) {
+  const DeadlineScope deadline(governor_, config_.deadline_seconds);
+  if (plan.offsets.size() != plan.num_targets() + 1) {
+    return engine_error(ErrorCode::kInvalidArgument,
+                        "EvalSession: plan offsets inconsistent with targets");
+  }
+  const std::size_t k = charge_columns.size();
+  if (k == 0) {
+    return engine_error(ErrorCode::kInvalidArgument,
+                        "EvalSession: batch has no charge columns");
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (charge_columns[c].size() != tree_.source_size()) {
+      return engine_error(ErrorCode::kInvalidArgument,
+                          "EvalSession: batch column " + std::to_string(c) +
+                              " size mismatch");
+    }
+    if (!all_finite(charge_columns[c])) {
+      return engine_error(ErrorCode::kNonFinite,
+                          "EvalSession: batch column " + std::to_string(c) +
+                              " has non-finite values");
+    }
+  }
+  obs::Registry& reg = obs::registry();
+  reg.counter(obs::metric::kEngineBatchColumns).add(k);
+
+  // Gradient and audit evaluations have no batched kernel form (m2p_grad
+  // carries no basis; audit reservoirs key on a single charge vector) —
+  // serve them column-by-column through the single-RHS path, which is
+  // trivially bitwise-identical.
+  if (config_.compute_gradient || config_.audit_samples > 0) {
+    return evaluate_batch_sequential(plan, charge_columns);
+  }
+
+  const std::size_t n = plan.num_targets();
+  const std::size_t np = tree_.num_particles();
+  const std::size_t out_n = plan.self ? tree_.source_size() : n;
+  const bool want_bounds = config_.track_error_bounds || config_.enforce_budget;
+  const bool have_basis = !plan.basis_offset.empty();
+  const ServeRung rung =
+      have_basis ? ServeRung::kBasisReplay : ServeRung::kPlainReplay;
+
+  std::vector<EvalResult> results(k);
+  for (EvalResult& r : results) {
+    r.stats = plan.stats;
+    r.stats.build_seconds = 0.0;
+    r.stats.eval_seconds = 0.0;
+    r.stats.work = WorkStats{};
+    r.stats.served_rung = rung;
+    r.stats.outcome = ErrorCode::kOk;
+    r.stats.targets_served = static_cast<std::uint64_t>(n);
+    r.potential.assign(out_n, 0.0);
+    if (want_bounds) r.error_bound.assign(out_n, 0.0);
+  }
+  if (n == 0 || np == 0) return results;
+
+  // Governed batch workspace: k per-column copies of every plan-referenced
+  // multipole, the k sorted charge columns, and the k potential rows.
+  // Reserved before any allocation; a denial falls back to the sequential
+  // path rather than failing the batch.
+  std::size_t coeff_bytes = 0;
+  const auto& nodes = tree_.nodes();
+  for (const std::int32_t ni : plan.m2p_nodes) {
+    coeff_bytes +=
+        tri_size(degrees_.degree[static_cast<std::size_t>(ni)]) * sizeof(Complex);
+  }
+  const std::size_t workspace_bytes =
+      coeff_bytes * k + k * np * sizeof(double) + k * n * sizeof(double);
+  ResourceGovernor::Reservation workspace =
+      governor_.reserve(workspace_bytes, "engine.batch");
+  if (!workspace) {
+    reg.counter(obs::metric::kEngineBatchDenied).add(1);
+    return evaluate_batch_sequential(plan, charge_columns);
+  }
+
+  double refresh_seconds = 0.0;
+  double eval_seconds = 0.0;
+
+  // Gather each column into tree-sorted order — the identical permutation
+  // try_update_charges performs (a pure copy, no arithmetic).
+  std::vector<double> sorted(k * np);
+  {
+    const ScopedTimer refresh_timer(obs::span::kEngineRefresh, &refresh_seconds);
+    const auto& orig = tree_.original_index();
+    for (std::size_t c = 0; c < k; ++c) {
+      double* col = sorted.data() + c * np;
+      const std::span<const double> src = charge_columns[c];
+      for (std::size_t si = 0; si < orig.size(); ++si) col[si] = src[orig[si]];
+    }
+
+    // Per-column multipoles for every node the plan references, rebuilt from
+    // the column's charges exactly as the single-RHS refresh would: reset to
+    // the node's frozen degree, then p2m through the shared basis pool when
+    // covered (bitwise-equal to the full kernel) or the full p2m otherwise.
+    cover_p2m_basis(plan);
+  }
+
+  const std::size_t num_m2p = plan.m2p_nodes.size();
+  std::vector<MultipoleExpansion> batch_m(num_m2p * k);
+  const auto& pos = tree_.positions();
+  auto build_node = [&](std::size_t j) {
+    const auto nu = static_cast<std::size_t>(plan.m2p_nodes[j]);
+    const TreeNode& node = nodes[nu];
+    const int deg = degrees_.degree[nu];
+    const std::span<const Vec3> ppos(pos.data() + node.begin, node.count());
+    const std::uint64_t off =
+        p2m_basis_offset_.empty() ? EvalPlan::kNoBasis : p2m_basis_offset_[nu];
+    for (std::size_t c = 0; c < k; ++c) {
+      MultipoleExpansion& m = batch_m[j * k + c];
+      m.reset(deg);
+      const std::span<const double> pq(sorted.data() + c * np + node.begin,
+                                       node.count());
+      if (off != EvalPlan::kNoBasis) {
+        p2m_apply_basis(pq, p2m_basis_pool_.data() + off, m);
+      } else {
+        p2m(node.center, ppos, pq, m);
+      }
+    }
+  };
+  try {
+    const ScopedTimer refresh_timer(obs::span::kEngineRefresh, &refresh_seconds);
+    if (pool_.width() > 1) {
+      parallel_for(
+          pool_, num_m2p, 8,
+          [&](std::size_t b, std::size_t e, unsigned) {
+            for (std::size_t j = b; j < e; ++j) build_node(j);
+          },
+          nullptr, obs::span::kEngineRefreshWorker);
+    } else {
+      for (std::size_t j = 0; j < num_m2p; ++j) build_node(j);
+    }
+  } catch (const std::exception& e) {
+    return engine_error(ErrorCode::kInternal,
+                        std::string("EvalSession: batch refresh worker exception: ") +
+                            e.what());
+  }
+  // Node index -> batch slot for the walk below.
+  std::vector<std::int32_t> m2p_slot(nodes.size(), -1);
+  for (std::size_t j = 0; j < num_m2p; ++j) {
+    m2p_slot[static_cast<std::size_t>(plan.m2p_nodes[j])] =
+        static_cast<std::int32_t>(j);
+  }
+
+  const double softening2 = config_.softening * config_.softening;
+  constexpr std::size_t kMaxWidth = 8;  // SoA column block held in registers
+
+  std::vector<double> phi(k * n, 0.0);  // phi[c * n + i]
+  std::vector<double> bound(want_bounds ? n : 0, 0.0);  // charge-independent
+
+  CancellationToken cancel;
+  std::atomic<bool> deadline_hit{false};
+  // Packed (target * k + column) of the first non-finite potential seen.
+  std::atomic<std::int64_t> nonfinite_at{-1};
+  const bool deadline_active = governor_.deadline_armed();
+  std::vector<char> done(deadline_active ? n : 0, 0);
+  WorkStats work;
+
+  try {
+    const ScopedTimer phase_timer(obs::span::kEngineReplay, &eval_seconds);
+    work = parallel_for_blocked(
+        pool_, n, config_.block_size,
+        [&](std::size_t block_begin, std::size_t block_end, unsigned) -> std::uint64_t {
+          if (deadline_active && governor_.deadline_expired()) {
+            deadline_hit.store(true, std::memory_order_relaxed);
+            cancel.cancel();
+            return 0;
+          }
+          if constexpr (fault::kEnabled) {
+            if (fault::fire(fault::Site::kSlowWorker)) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+          }
+          std::uint64_t cost = 0;
+          for (std::size_t i = block_begin; i < block_end; ++i) {
+            const Vec3 x = plan.targets[i];
+            double my_bound = 0.0;
+            const std::uint64_t begin = plan.offsets[i];
+            const std::uint64_t end = plan.offsets[i + 1];
+            // One entry-stream walk per column block: the plan entries, the
+            // m2p basis pool, and the leaf positions stream from memory once
+            // for up to kMaxWidth columns, while each column's accumulator
+            // stays in a register. Per column the kernel calls, operands,
+            // and accumulation order are exactly the single-RHS replay's.
+            for (std::size_t c0 = 0; c0 < k; c0 += kMaxWidth) {
+              const std::size_t width = std::min(kMaxWidth, k - c0);
+              double acc[kMaxWidth] = {0.0};
+              double p2p_out[kMaxWidth];
+              std::span<const double> cq[kMaxWidth];
+              for (std::uint64_t idx = begin; idx < end; ++idx) {
+                const std::int32_t e = plan.entries[idx];
+                const auto nu = static_cast<std::size_t>(EvalPlan::node_of(e));
+                const TreeNode& node = nodes[nu];
+                if (EvalPlan::is_p2p(e)) {
+                  const std::span<const Vec3> ppos(pos.data() + node.begin,
+                                                   node.count());
+                  for (std::size_t w = 0; w < width; ++w) {
+                    cq[w] = std::span<const double>(
+                        sorted.data() + (c0 + w) * np + node.begin, node.count());
+                  }
+                  p2p_batch(x, ppos,
+                            std::span<const std::span<const double>>(cq, width),
+                            softening2, std::span<double>(p2p_out, width));
+                  for (std::size_t w = 0; w < width; ++w) acc[w] += p2p_out[w];
+                } else {
+                  const std::int32_t j = m2p_slot[nu];
+                  const std::uint64_t off =
+                      have_basis ? plan.basis_offset[idx] : EvalPlan::kNoBasis;
+                  for (std::size_t w = 0; w < width; ++w) {
+                    const MultipoleExpansion& m =
+                        batch_m[static_cast<std::size_t>(j) * k + c0 + w];
+                    acc[w] += off != EvalPlan::kNoBasis
+                                  ? m2p_apply_basis(m, plan.basis.data() + off)
+                                  : m2p(m, node.center, x);
+                  }
+                  if (c0 == 0 && want_bounds) my_bound += plan.entry_bounds[idx];
+                }
+              }
+              for (std::size_t w = 0; w < width; ++w) {
+                if (!std::isfinite(acc[w])) {
+                  obs::recorder::record(obs::recorder::Category::kNonFinite,
+                                        "engine.nonfinite_potential",
+                                        static_cast<double>(i));
+                  std::int64_t expected_idx = -1;
+                  nonfinite_at.compare_exchange_strong(
+                      expected_idx,
+                      static_cast<std::int64_t>(i * k + c0 + w),
+                      std::memory_order_relaxed);
+                  cancel.cancel();
+                  return cost;
+                }
+                phi[(c0 + w) * n + i] = acc[w];
+              }
+            }
+            if (want_bounds) bound[i] = my_bound;
+            if (deadline_active) done[i] = 1;
+            cost += plan.target_cost[i] * k;
+          }
+          return cost;
+        },
+        &cancel, obs::span::kEngineReplayWorker);
+  } catch (const std::exception& e) {
+    return engine_error(ErrorCode::kInternal,
+                        std::string("EvalSession: batch replay worker exception: ") +
+                            e.what());
+  }
+
+  const std::int64_t bad = nonfinite_at.load(std::memory_order_relaxed);
+  if (bad >= 0) {
+    return engine_error(
+        ErrorCode::kNonFinite,
+        "EvalSession: non-finite potential at evaluation point " +
+            std::to_string(bad / static_cast<std::int64_t>(k)) + " in batch column " +
+            std::to_string(bad % static_cast<std::int64_t>(k)));
+  }
+  std::uint64_t served = static_cast<std::uint64_t>(n);
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    reg.counter(obs::metric::kEngineDeadlineExpirations).add(1);
+    if (!config_.deadline_partial) {
+      return engine_error(ErrorCode::kDeadline,
+                          "EvalSession: deadline expired during batch replay");
+    }
+    served = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] != 0) {
+        ++served;
+      } else {
+        for (std::size_t c = 0; c < k; ++c) phi[c * n + i] = 0.0;
+        if (want_bounds) bound[i] = 0.0;
+      }
+    }
+  }
+
+  reg.counter(obs::metric::kEngineBatchReplays).add(1);
+  reg.counter(rung == ServeRung::kBasisReplay
+                  ? obs::metric::kEngineServeBasisReplay
+                  : obs::metric::kEngineServePlainReplay)
+      .add(1);
+  reg.counter(obs::metric::kEngineMultipoleTerms).add(plan.stats.multipole_terms * k);
+  reg.counter(obs::metric::kEngineM2pCount).add(plan.stats.m2p_count * k);
+  reg.counter(obs::metric::kEngineP2pPairs).add(plan.stats.p2p_pairs * k);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    EvalResult& r = results[c];
+    r.stats.build_seconds = refresh_seconds;
+    r.stats.eval_seconds = eval_seconds;
+    r.stats.work = work;
+    r.stats.targets_served = served;
+    if (served != static_cast<std::uint64_t>(n)) r.stats.outcome = ErrorCode::kDeadline;
+    const double* row = phi.data() + c * n;
+    if (plan.self) {
+      const auto& orig = tree_.original_index();
+      for (std::size_t i = 0; i < n; ++i) {
+        r.potential[orig[i]] = row[i];
+        if (want_bounds) r.error_bound[orig[i]] = bound[i];
+      }
+    } else {
+      std::copy(row, row + n, r.potential.begin());
+      if (want_bounds) {
+        std::copy(bound.begin(), bound.end(), r.error_bound.begin());
+      }
+    }
+    TREECODE_ASSERT_EVAL_INVARIANTS(tree_, degrees_, config_, r, out_n,
+                                    "EvalSession::evaluate_batch");
+  }
+  return results;
 }
 
 Expected<EvalResult> EvalSession::try_evaluate_at(std::span<const Vec3> targets) {

@@ -170,6 +170,27 @@ class EvalSession {
   /// plan's own targets.
   [[nodiscard]] Expected<EvalResult> try_evaluate(const EvalPlan& plan);
 
+  /// Multi-RHS batched replay: evaluate `plan` against k charge columns
+  /// (each in the *caller's original* particle order, size
+  /// tree().source_size()) in one walk of the frozen entry stream per
+  /// column block (SoA blocks of up to 8 columns). Column c of the result
+  /// is bitwise-identical to try_update_charges(charge_columns[c]) followed
+  /// by try_evaluate(plan), at every thread count and batch width: the
+  /// batch shares only charge-independent work (distances, the shared
+  /// sqrt denominator, the streamed m2p/p2m bases) and performs each
+  /// column's arithmetic on identical operands in identical order. The
+  /// batched path leaves the session's own charges, epochs, and multipoles
+  /// untouched. Gradient or audit configs — and a governor denial of the
+  /// batch workspace (engine.batch_denied) — fall back to a sequential
+  /// per-column replay (engine.batch_fallbacks), still bitwise-identical
+  /// but leaving the session's charges at the last column. Errors:
+  /// kInvalidArgument (no columns, size mismatch, foreign plan),
+  /// kNonFinite (bad column input, or a non-finite computed potential —
+  /// the message names the target and column), kDeadline.
+  [[nodiscard]] Expected<std::vector<EvalResult>> try_evaluate_batch(
+      const EvalPlan& plan,
+      std::span<const std::span<const double>> charge_columns);
+
   /// Compile + evaluate with the full degradation ladder: warm calls with
   /// a cached plan skip straight to replay; a compile denied by the
   /// governor falls through to the uncompiled traversal or direct rungs.
@@ -229,6 +250,18 @@ class EvalSession {
   Expected<void> try_update_charges_impl(std::span<const double> charges);
   Expected<void> try_update_charges_sorted_impl(std::span<const double> charges);
   Expected<EvalResult> try_evaluate_impl(const EvalPlan& plan);
+  Expected<std::vector<EvalResult>> try_evaluate_batch_impl(
+      const EvalPlan& plan, std::span<const std::span<const double>> charge_columns);
+  /// Per-column single-RHS replay: the batch path for configs without a
+  /// batched kernel form (gradients, audits) or when the workspace was
+  /// denied. Mutates the session's charges (last column wins).
+  Expected<std::vector<EvalResult>> evaluate_batch_sequential(
+      const EvalPlan& plan, std::span<const std::span<const double>> charge_columns);
+  /// Best-effort p2m-basis coverage of every node `plan` references
+  /// (charge-independent, budget-gated, shared with the single-RHS refresh
+  /// pool) so a batch can rebuild per-column multipoles through
+  /// p2m_apply_basis. Never fails: uncovered nodes use the full kernel.
+  void cover_p2m_basis(const EvalPlan& plan);
   /// Shared ladder body for try_evaluate_at / try_evaluate; `key_out`
   /// reports the compiled plan's cache key (0 if compile was denied).
   Expected<EvalResult> try_evaluate_at_impl(std::span<const Vec3> targets,

@@ -1,5 +1,6 @@
 #include "engine/plan_cache.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <utility>
 
@@ -29,10 +30,29 @@ std::size_t plan_basis_bytes(const EvalPlan& plan) noexcept {
   return plan.basis.size() * sizeof(double);
 }
 
+/// Process-wide resident totals across every live PlanCache. The
+/// engine.plan_bytes / engine.basis_bytes gauges publish these aggregates:
+/// with one cache per tenant session, a per-cache gauge `set` would let
+/// caches overwrite each other's totals and leave a destroyed tenant's
+/// bytes on the series forever. Instead each cache contributes a delta on
+/// every mutation and withdraws its whole contribution on destruction, so
+/// the gauges track exactly the plans that are still resident somewhere.
+std::atomic<long long> g_plan_bytes_total{0};
+std::atomic<long long> g_basis_bytes_total{0};
+
 }  // namespace
 
 PlanCache::PlanCache(std::size_t capacity, std::size_t byte_capacity)
     : capacity_(capacity == 0 ? 1 : capacity), byte_capacity_(byte_capacity) {}
+
+PlanCache::~PlanCache() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();  // each ~Entry returns its reservation to the governor
+  by_key_.clear();
+  bytes_ = 0;
+  basis_bytes_ = 0;
+  publish_gauges_locked();  // withdraw this cache's share from the gauges
+}
 
 std::shared_ptr<const EvalPlan> PlanCache::find(std::uint64_t key,
                                                 std::span<const Vec3> targets,
@@ -64,10 +84,22 @@ void PlanCache::evict_lru_locked() {
   ++evictions_;
 }
 
-void PlanCache::publish_gauges_locked() const {
+void PlanCache::publish_gauges_locked() {
+  const long long plan_delta = static_cast<long long>(bytes_) -
+                               static_cast<long long>(published_bytes_);
+  const long long basis_delta = static_cast<long long>(basis_bytes_) -
+                                static_cast<long long>(published_basis_bytes_);
+  const long long plan_total =
+      g_plan_bytes_total.fetch_add(plan_delta, std::memory_order_relaxed) +
+      plan_delta;
+  const long long basis_total =
+      g_basis_bytes_total.fetch_add(basis_delta, std::memory_order_relaxed) +
+      basis_delta;
+  published_bytes_ = bytes_;
+  published_basis_bytes_ = basis_bytes_;
   obs::Registry& reg = obs::registry();
-  reg.gauge(obs::metric::kEnginePlanBytes).set(static_cast<double>(bytes_));
-  reg.gauge(obs::metric::kEngineBasisBytes).set(static_cast<double>(basis_bytes_));
+  reg.gauge(obs::metric::kEnginePlanBytes).set(static_cast<double>(plan_total));
+  reg.gauge(obs::metric::kEngineBasisBytes).set(static_cast<double>(basis_total));
 }
 
 bool PlanCache::insert(std::shared_ptr<const EvalPlan> plan,

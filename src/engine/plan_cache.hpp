@@ -52,6 +52,14 @@ class PlanCache {
   /// `byte_capacity` bounds the *total resident plan bytes*; 0 = unbounded.
   explicit PlanCache(std::size_t capacity = 8, std::size_t byte_capacity = 0);
 
+  /// Releases every resident plan's reservation and withdraws this cache's
+  /// contribution from the process-wide engine.plan_bytes /
+  /// engine.basis_bytes gauges — a destroyed session (an unregistered
+  /// tenant) must not leave its bytes on the shared series.
+  ~PlanCache();
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
   /// Look up `key`; on a hash hit, verify the stored plan was compiled for
   /// exactly these targets (and the same self flag) before returning it.
   /// A verified hit moves the plan to most-recently-used.
@@ -109,15 +117,22 @@ class PlanCache {
   /// Pop the LRU plan (releasing its reservation), update the ledgers.
   /// Caller holds mu_.
   void evict_lru_locked();
-  /// Push the resident totals to the engine.plan_bytes / engine.basis_bytes
-  /// gauges (value, not max — compile keeps the per-plan peak separately).
-  void publish_gauges_locked() const;
+  /// Push this cache's resident-byte delta into the process-wide totals and
+  /// set the engine.plan_bytes / engine.basis_bytes gauges from the
+  /// aggregate (value, not max — compile keeps the per-plan peak
+  /// separately). Every mutation and the destructor go through here, so the
+  /// gauges always sum the bytes of the caches that are actually alive.
+  void publish_gauges_locked();
 
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::size_t byte_capacity_;
   std::size_t bytes_ = 0;
   std::size_t basis_bytes_ = 0;
+  /// What this cache last contributed to the process-wide gauge totals;
+  /// publish_gauges_locked() applies bytes_ - published_bytes_ as a delta.
+  std::size_t published_bytes_ = 0;
+  std::size_t published_basis_bytes_ = 0;
   /// Most-recently-used at the front.
   std::list<Entry> plans_;
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> by_key_;

@@ -449,6 +449,23 @@ double p2p(const Vec3& point, std::span<const Vec3> positions, std::span<const d
   return phi;
 }
 
+void p2p_batch(const Vec3& point, std::span<const Vec3> positions,
+               std::span<const std::span<const double>> charge_columns,
+               double softening2, std::span<double> out) {
+  const std::size_t k = charge_columns.size();
+  for (std::size_t c = 0; c < k; ++c) out[c] = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double r2 = distance2(point, positions[i]);
+    if (r2 == 0.0) continue;
+    // One sqrt shared by every column: p2p() divides by
+    // sqrt(r2 + softening2) computed from the same operands, so each
+    // column's quotient — and therefore its running sum — is bitwise the
+    // single-RHS value.
+    const double denom = std::sqrt(r2 + softening2);
+    for (std::size_t c = 0; c < k; ++c) out[c] += charge_columns[c][i] / denom;
+  }
+}
+
 PotentialGrad p2p_grad(const Vec3& point, std::span<const Vec3> positions,
                        std::span<const double> charges, double softening2) {
   PotentialGrad out;

@@ -141,6 +141,18 @@ PotentialGrad l2p_grad(const LocalExpansion& l, const Vec3& center, const Vec3& 
 double p2p(const Vec3& point, std::span<const Vec3> positions, std::span<const double> charges,
            double softening2 = 0.0);
 
+/// Multi-RHS direct summation: potentials at `point` against the same
+/// particle set for several charge columns at once, accumulated into `out`
+/// (out.size() == charge_columns.size(); out[c] is *overwritten*). Each
+/// column performs the identical per-particle division on the identical
+/// operands in the identical order as p2p() would on that column alone, so
+/// out[c] is bitwise-equal to p2p(point, positions, charge_columns[c],
+/// softening2). The positions/distances are computed once and shared across
+/// columns — the arithmetic-intensity win of batched replay.
+void p2p_batch(const Vec3& point, std::span<const Vec3> positions,
+               std::span<const std::span<const double>> charge_columns,
+               double softening2, std::span<double> out);
+
 /// Potential and gradient at `point` by direct summation (softened as p2p).
 PotentialGrad p2p_grad(const Vec3& point, std::span<const Vec3> positions,
                        std::span<const double> charges, double softening2 = 0.0);

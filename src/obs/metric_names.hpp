@@ -86,6 +86,25 @@ inline constexpr const char* kEngineServeBasisReplay = "engine.serve.basis_repla
 inline constexpr const char* kEngineServePlainReplay = "engine.serve.plain_replay";
 inline constexpr const char* kEngineServeTraversal = "engine.serve.traversal";
 inline constexpr const char* kEngineServeDirect = "engine.serve.direct";
+/// Multi-RHS batched replay (EvalSession::try_evaluate_batch).
+inline constexpr const char* kEngineBatchReplays = "engine.batch_replays";
+inline constexpr const char* kEngineBatchColumns = "engine.batch_columns";
+inline constexpr const char* kEngineBatchFallbacks = "engine.batch_fallbacks";
+inline constexpr const char* kEngineBatchDenied = "engine.batch_denied";
+
+// -- evaluation service ------------------------------------------------------
+/// Every public EvalService try_* entry-point call, counted unconditionally
+/// (before the telemetry-enabled gate) — mirrors engine.requests.
+inline constexpr const char* kServiceRequests = "service.requests";
+inline constexpr const char* kServiceErrors = "service.errors";
+inline constexpr const char* kServiceTenants = "service.tenants";
+inline constexpr const char* kServiceSubmitted = "service.submitted";
+inline constexpr const char* kServiceServed = "service.served";
+inline constexpr const char* kServiceRejected = "service.rejected";
+inline constexpr const char* kServiceCancelled = "service.cancelled";
+inline constexpr const char* kServiceBatches = "service.batches";
+inline constexpr const char* kServiceBatchColumns = "service.batch_columns";
+inline constexpr const char* kServiceBatchWidth = "service.batch_width";
 
 // -- audit engine ------------------------------------------------------------
 inline constexpr const char* kAuditTightness = "audit.tightness";

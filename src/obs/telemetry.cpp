@@ -38,6 +38,7 @@ struct Slot {
   std::atomic<double> deadline_slack_seconds{0.0};
   std::atomic<double> audit_max_tightness{0.0};
   std::atomic<std::uint32_t> threads{0};
+  std::atomic<std::uint32_t> batch_width{0};
 };
 
 static_assert((kRingCapacity & (kRingCapacity - 1)) == 0, "ring index uses a mask");
@@ -133,6 +134,10 @@ const char* api_name(Api api) {
     case Api::kEvaluatePlan: return "evaluate_plan";
     case Api::kEvaluateAt: return "evaluate_at";
     case Api::kEvaluateSelf: return "evaluate_self";
+    case Api::kEvaluateBatch: return "evaluate_batch";
+    case Api::kServiceRegister: return "service_register";
+    case Api::kServiceSubmit: return "service_submit";
+    case Api::kServiceUnregister: return "service_unregister";
   }
   return "unknown";
 }
@@ -212,6 +217,7 @@ void emit(RequestRecord record) {
   slot.audit_max_tightness.store(record.audit_max_tightness,
                                  std::memory_order_relaxed);
   slot.threads.store(record.threads, std::memory_order_relaxed);
+  slot.batch_width.store(record.batch_width, std::memory_order_relaxed);
   slot.end.store(record.seq + 1, std::memory_order_release);
 
   Registry& reg = registry();
@@ -247,6 +253,7 @@ std::vector<RequestRecord> records() {
         slot.deadline_slack_seconds.load(std::memory_order_relaxed);
     r.audit_max_tightness = slot.audit_max_tightness.load(std::memory_order_relaxed);
     r.threads = slot.threads.load(std::memory_order_relaxed);
+    r.batch_width = slot.batch_width.load(std::memory_order_relaxed);
     const std::uint64_t begin = slot.begin.load(std::memory_order_relaxed);
     if (begin != end) continue;  // torn: writer was mid-update
     r.seq = end - 1;
@@ -284,6 +291,7 @@ Json to_json(const RequestRecord& record) {
   doc["deadline_slack_seconds"] = record.deadline_slack_seconds;
   doc["audit_max_tightness"] = record.audit_max_tightness;
   doc["threads"] = static_cast<std::uint64_t>(record.threads);
+  doc["batch_width"] = static_cast<std::uint64_t>(record.batch_width);
   return doc;
 }
 

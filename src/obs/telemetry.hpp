@@ -47,6 +47,10 @@ enum class Api : std::uint8_t {
   kEvaluatePlan,
   kEvaluateAt,
   kEvaluateSelf,
+  kEvaluateBatch,      ///< multi-RHS batched replay (EvalSession::try_evaluate_batch)
+  kServiceRegister,    ///< service tenant registration (EvalService)
+  kServiceSubmit,      ///< service request admission (EvalService)
+  kServiceUnregister,  ///< service tenant teardown (EvalService)
 };
 
 /// Human-readable name for an Api ("compile", "evaluate_at", ...).
@@ -72,6 +76,7 @@ struct RequestRecord {
   double deadline_slack_seconds = 0.0;  ///< deadline - wall; NaN = no deadline
   double audit_max_tightness = 0.0;     ///< max |error|/bound this request
   std::uint32_t threads = 0;    ///< session pool width
+  std::uint32_t batch_width = 0;  ///< multi-RHS columns (0 = not a batch)
 };
 
 /// Number of ring slots. Power of two so the slot index is a mask.

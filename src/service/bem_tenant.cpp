@@ -1,0 +1,71 @@
+#include "service/bem_tenant.hpp"
+
+#include <utility>
+
+namespace treecode::service {
+
+namespace {
+
+/// Gauss points as a particle system: position = world-space quadrature
+/// point, charge slot = quadrature weight (placeholder; every apply
+/// overwrites the charges through the service). Identical to
+/// SingleLayerOperator's tree input.
+ParticleSystem gauss_particles(const std::vector<MeshQuadPoint>& points) {
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+  positions.reserve(points.size());
+  charges.reserve(points.size());
+  for (const MeshQuadPoint& p : points) {
+    positions.push_back(p.position);
+    charges.push_back(p.weight);
+  }
+  return ParticleSystem(std::move(positions), std::move(charges));
+}
+
+}  // namespace
+
+BemTenantOperator::BemTenantOperator(EvalService& service, std::string name,
+                                     const TriangleMesh& mesh,
+                                     const Options& options)
+    : service_(service),
+      name_(std::move(name)),
+      mesh_(mesh),
+      quad_points_(quadrature_points(mesh, triangle_rule(options.gauss_points))) {
+  EvalService::TenantOptions tenant;
+  tenant.eval = options.eval;
+  tenant.tree = options.tree;
+  service_.try_register_tenant(name_, gauss_particles(quad_points_),
+                               mesh_.vertices(), tenant)
+      .value_or_throw();
+}
+
+BemTenantOperator::~BemTenantOperator() {
+  (void)service_.try_unregister_tenant(name_);
+}
+
+void BemTenantOperator::apply(std::span<const double> x,
+                              std::span<double> y) const {
+  // Weighted Gauss charges in the tenant's original particle order. The
+  // per-point arithmetic (shape-function dot, then * weight) matches
+  // SingleLayerOperator::gather_sorted_charges operand-for-operand; the
+  // engine applies the tree's sort permutation afterwards, so the sorted
+  // charge array — and therefore every downstream kernel call — is
+  // bitwise-identical to the in-process operator's.
+  std::vector<double> charges(quad_points_.size());
+  for (std::size_t g = 0; g < quad_points_.size(); ++g) {
+    const MeshQuadPoint& p = quad_points_[g];
+    const Triangle& tri = mesh_.triangle(p.triangle);
+    double q = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      q += p.shape[static_cast<std::size_t>(k)] *
+           x[tri.v[static_cast<std::size_t>(k)]];
+    }
+    charges[g] = q * p.weight;
+  }
+  EvalService::Ticket ticket =
+      service_.try_submit(name_, charges).value_or_throw();
+  EvalResult result = ticket.wait().value_or_throw();
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = result.potential[i];
+}
+
+}  // namespace treecode::service

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file bem_tenant.hpp
+/// SingleLayerOperator re-hosted as an EvalService tenant: the BEM matvec
+/// becomes "just another client" of the shared serving layer.
+///
+/// Registration inserts the mesh's Gauss points as the tenant geometry and
+/// compiles the plan for the mesh vertices; each apply() builds the
+/// weighted Gauss charges exactly as SingleLayerOperator's gather does and
+/// submits them as one request. Because the service's batched replay is
+/// bitwise-identical per column to the single-RHS path, a GMRES solve
+/// through this operator reproduces SingleLayerOperator::apply() bit for
+/// bit — while its matvecs coalesce with other tenants' traffic.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bem/mesh.hpp"
+#include "bem/quadrature.hpp"
+#include "core/config.hpp"
+#include "linalg/operator.hpp"
+#include "service/eval_service.hpp"
+
+namespace treecode::service {
+
+/// LinearOperator adapter: y = A x served through an EvalService tenant.
+class BemTenantOperator final : public LinearOperator {
+ public:
+  struct Options {
+    EvalConfig eval;       ///< treecode settings for the tenant session
+    int gauss_points = 6;  ///< per-element rule (the paper uses 6)
+    TreeConfig tree;       ///< octree settings over the Gauss points
+  };
+
+  /// Registers tenant `name` on `service` with the mesh's Gauss points as
+  /// sources and its vertices as targets. Throws (via value_or_throw) if
+  /// registration is refused — construction is the one boundary where the
+  /// caller has no ticket to carry a typed error.
+  BemTenantOperator(EvalService& service, std::string name,
+                    const TriangleMesh& mesh, const Options& options);
+  /// Unregisters the tenant (best effort; the service may already be gone
+  /// from its own shutdown path).
+  ~BemTenantOperator() override;
+  BemTenantOperator(const BemTenantOperator&) = delete;
+  BemTenantOperator& operator=(const BemTenantOperator&) = delete;
+
+  [[nodiscard]] std::size_t rows() const override { return mesh_.num_vertices(); }
+  [[nodiscard]] std::size_t cols() const override { return mesh_.num_vertices(); }
+
+  /// Submit one matvec and wait for it. Failures surface via
+  /// value_or_throw (GMRES has no typed-error channel).
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  [[nodiscard]] const std::string& tenant() const noexcept { return name_; }
+  [[nodiscard]] std::size_t num_sources() const noexcept { return quad_points_.size(); }
+
+ private:
+  EvalService& service_;
+  std::string name_;
+  const TriangleMesh& mesh_;
+  std::vector<MeshQuadPoint> quad_points_;
+};
+
+}  // namespace treecode::service

@@ -1,0 +1,550 @@
+#include "service/eval_service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "engine/introspect.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "util/timer.hpp"
+#include "util/validate.hpp"
+
+namespace treecode::service {
+
+namespace {
+
+/// Per-tenant fan-out series name: `<base>.<tenant>`. Non-literal by
+/// construction, so the metric-name-literal lint exemption applies; the
+/// base constants live in obs/metric_names.hpp.
+std::string tenant_metric(const char* base, const std::string& tenant) {
+  return std::string(base) + "." + tenant;
+}
+
+/// Construct a service Error, counting it on the aggregate error series.
+/// Rejections (backpressure, quarantine) go through service_rejection
+/// instead — they are flow control, not failures, and feed a separate
+/// counter so SLO error-rate objectives do not fire on load shedding.
+Error service_error(ErrorCode code, std::string message) {
+  obs::registry().counter(obs::metric::kServiceErrors).add(1);
+  return Error{code, std::move(message)};
+}
+
+/// Construct the typed backpressure Error, counting the rejection on the
+/// aggregate and per-tenant series.
+Error service_rejection(const std::string& tenant, std::string message) {
+  obs::registry().counter(obs::metric::kServiceRejected).add(1);
+  obs::registry()
+      .counter(tenant_metric(obs::metric::kServiceRejected, tenant))
+      .add(1);
+  return Error{ErrorCode::kRejected, std::move(message)};
+}
+
+/// Emit one telemetry RequestRecord at a service entry point's exit,
+/// mirroring the engine's emit_request contract: service.requests is
+/// counted unconditionally (the per-tenant SLO denominators divide by it),
+/// the record itself only while telemetry is enabled.
+void emit_request(obs::telemetry::Api api, std::uint64_t plan_key, double wall,
+                  bool ok, ErrorCode code, std::uint32_t batch_width) {
+  obs::registry().counter(obs::metric::kServiceRequests).add(1);
+  if (!obs::telemetry::enabled()) return;
+  obs::telemetry::RequestRecord r;
+  r.api = api;
+  r.plan_key = plan_key;
+  r.outcome = static_cast<std::uint8_t>(code);
+  r.outcome_name = error_code_name(code);
+  r.ok = ok;
+  r.wall_seconds = wall;
+  r.batch_width = batch_width;
+  obs::telemetry::emit(r);
+}
+
+/// Complete one request exactly once and wake its waiter. Called with no
+/// service lock held (the state has its own mutex).
+void fulfill(const std::shared_ptr<detail::RequestState>& state,
+             Expected<EvalResult> result) {
+  {
+    const std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::make_unique<Expected<EvalResult>>(std::move(result));
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                    ch == '_' || ch == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Expected<EvalResult> EvalService::Ticket::wait() {
+  if (state_ == nullptr) {
+    return Error{ErrorCode::kInvalidArgument, "EvalService: empty ticket"};
+  }
+  const std::shared_ptr<detail::RequestState> state = std::move(state_);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done; });
+  std::unique_ptr<Expected<EvalResult>> result = std::move(state->result);
+  lock.unlock();
+  if (result == nullptr) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "EvalService: ticket result already taken"};
+  }
+  return std::move(*result);
+}
+
+EvalService::EvalService(const Options& options) : options_(options) {
+  if (options_.start_scheduler) {
+    scheduler_ = std::thread([this] { scheduler_main(); });
+  }
+}
+
+EvalService::~EvalService() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+
+  // Cancel everything still queued, then let the tenant map tear the
+  // sessions down (each PlanCache withdraws its gauge contribution and
+  // returns its reservations).
+  std::vector<std::shared_ptr<detail::RequestState>> pending;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, tenant] : tenants_) {
+      for (Request& request : tenant.queue) {
+        pending.push_back(std::move(request.state));
+      }
+      tenant.queue.clear();
+    }
+  }
+  if (!pending.empty()) {
+    obs::registry().counter(obs::metric::kServiceCancelled).add(pending.size());
+  }
+  for (const auto& state : pending) {
+    fulfill(state, Error{ErrorCode::kCancelled, "EvalService: service shut down"});
+  }
+}
+
+Expected<void> EvalService::try_register_tenant(const std::string& name,
+                                                ParticleSystem particles,
+                                                std::vector<Vec3> targets,
+                                                const TenantOptions& options) {
+  const Timer timer;
+  Expected<void> result = try_register_tenant_impl(name, std::move(particles),
+                                                   std::move(targets), options);
+  std::uint64_t key = 0;
+  if (result.ok()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = tenants_.find(name); it != tenants_.end()) {
+      key = it->second.plan->key;
+    }
+  }
+  emit_request(obs::telemetry::Api::kServiceRegister, key, timer.seconds(),
+               result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
+               /*batch_width=*/0);
+  return result;
+}
+
+Expected<void> EvalService::try_register_tenant_impl(const std::string& name,
+                                                     ParticleSystem particles,
+                                                     std::vector<Vec3> targets,
+                                                     const TenantOptions& options) {
+  if (!valid_tenant_name(name)) {
+    return service_error(ErrorCode::kInvalidArgument,
+                         "EvalService: tenant name must be 1-64 chars of [a-z0-9_-]");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return service_rejection(name, "EvalService: service shutting down");
+    }
+    if (tenants_.count(name) != 0) {
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: tenant '" + name + "' already registered");
+    }
+  }
+
+  // The expensive part — tree build, degree assignment, plan compile —
+  // runs outside the service lock so registration cannot stall serving.
+  Tenant tenant;
+  tenant.options = options;
+  tenant.options.max_batch_width =
+      std::clamp<std::size_t>(options.max_batch_width, 1, 8);
+  if (tenant.options.max_queue_depth == 0) tenant.options.max_queue_depth = 1;
+  try {
+    Tree tree(particles, options.tree);
+    tenant.session = std::make_unique<engine::EvalSession>(
+        std::move(tree), options.eval, options.session);
+  } catch (const std::exception& e) {
+    // Tree/config validation rejects the registration input; the client's
+    // fault, surfaced as the typed code rather than the exception.
+    return service_error(ErrorCode::kInvalidArgument,
+                         std::string("EvalService: tenant geometry/config rejected: ") +
+                             e.what());
+  }
+  tenant.source_size = tenant.session->tree().source_size();
+  Expected<std::shared_ptr<const engine::EvalPlan>> plan =
+      targets.empty() ? tenant.session->try_compile_self()
+                      : tenant.session->try_compile(targets);
+  if (!plan.ok()) {
+    return service_error(plan.error().code, plan.error().message);
+  }
+  tenant.plan = std::move(plan).value();
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return service_rejection(name, "EvalService: service shutting down");
+    }
+    const auto [it, inserted] = tenants_.emplace(name, std::move(tenant));
+    if (!inserted) {
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: tenant '" + name + "' already registered");
+    }
+    obs::registry()
+        .gauge(obs::metric::kServiceTenants)
+        .set(static_cast<double>(tenants_.size()));
+  }
+  return {};
+}
+
+Expected<EvalService::Ticket> EvalService::try_submit(
+    const std::string& name, std::span<const double> charges) {
+  const Timer timer;
+  Expected<Ticket> result = try_submit_impl(name, charges);
+  emit_request(obs::telemetry::Api::kServiceSubmit, 0, timer.seconds(),
+               result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
+               /*batch_width=*/0);
+  return result;
+}
+
+Expected<EvalService::Ticket> EvalService::try_submit_impl(
+    const std::string& name, std::span<const double> charges) {
+  std::shared_ptr<detail::RequestState> state;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: unknown tenant '" + name + "'");
+    }
+    Tenant& tenant = it->second;
+    if (tenant.closing || stop_) {
+      ++tenant.rejected;
+      return service_rejection(name, "EvalService: tenant '" + name +
+                                         "' is shutting down");
+    }
+    if (tenant.quarantined) {
+      ++tenant.rejected;
+      return service_rejection(name, "EvalService: tenant '" + name +
+                                         "' quarantined (error budget exhausted)");
+    }
+    if (charges.size() != tenant.source_size) {
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: charge vector size mismatch for tenant '" +
+                               name + "'");
+    }
+    // Checked at admission, not evaluation: a coalesced batch serves many
+    // requests with one replay, and one tenant request with poisoned input
+    // must fail alone rather than void its batch-mates' results.
+    if (!all_finite(charges)) {
+      ++tenant.errors;
+      obs::registry()
+          .counter(tenant_metric(obs::metric::kServiceErrors, name))
+          .add(1);
+      if (tenant.options.error_budget > 0 &&
+          tenant.errors > tenant.options.error_budget) {
+        tenant.quarantined = true;
+      }
+      return service_error(ErrorCode::kNonFinite,
+                           "EvalService: non-finite charges for tenant '" + name +
+                               "'");
+    }
+    if (tenant.queue.size() >= tenant.options.max_queue_depth) {
+      ++tenant.rejected;
+      return service_rejection(name, "EvalService: queue full for tenant '" +
+                                         name + "'");
+    }
+    state = std::make_shared<detail::RequestState>();
+    tenant.queue.push_back(
+        Request{std::vector<double>(charges.begin(), charges.end()), state});
+    ++tenant.submitted;
+    obs::registry().counter(obs::metric::kServiceSubmitted).add(1);
+    obs::registry()
+        .counter(tenant_metric(obs::metric::kServiceSubmitted, name))
+        .add(1);
+  }
+  work_cv_.notify_one();
+  return Ticket(std::move(state));
+}
+
+Expected<void> EvalService::try_unregister_tenant(const std::string& name) {
+  const Timer timer;
+  Expected<void> result = try_unregister_tenant_impl(name);
+  emit_request(obs::telemetry::Api::kServiceUnregister, 0, timer.seconds(),
+               result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
+               /*batch_width=*/0);
+  return result;
+}
+
+Expected<void> EvalService::try_unregister_tenant_impl(const std::string& name) {
+  std::vector<std::shared_ptr<detail::RequestState>> pending;
+  std::unique_ptr<engine::EvalSession> session;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: unknown tenant '" + name + "'");
+    }
+    Tenant& tenant = it->second;
+    if (tenant.closing) {
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: tenant '" + name + "' already closing");
+    }
+    tenant.closing = true;  // no new admissions, no new batches
+    idle_cv_.wait(lock, [&] { return !tenant.busy; });
+    for (Request& request : tenant.queue) {
+      pending.push_back(std::move(request.state));
+    }
+    // The session (plan cache, reservations) leaves the table under the
+    // lock but is destroyed outside it: PlanCache's destructor withdraws
+    // the tenant's plan/basis bytes from the shared gauges in this step.
+    session = std::move(tenant.session);
+    tenants_.erase(it);
+    obs::registry()
+        .gauge(obs::metric::kServiceTenants)
+        .set(static_cast<double>(tenants_.size()));
+  }
+  if (!pending.empty()) {
+    obs::registry().counter(obs::metric::kServiceCancelled).add(pending.size());
+    obs::registry()
+        .counter(tenant_metric(obs::metric::kServiceCancelled, name))
+        .add(pending.size());
+  }
+  for (const auto& state : pending) {
+    fulfill(state,
+            Error{ErrorCode::kCancelled, "EvalService: tenant unregistered"});
+  }
+  session.reset();
+  return {};
+}
+
+EvalService::Tenant* EvalService::pick_next_locked(std::string& name_out) {
+  if (tenants_.empty()) return nullptr;
+  auto ready = [](const Tenant& t) {
+    return !t.busy && !t.closing && !t.queue.empty();
+  };
+  // Round-robin: resume after the last-served tenant so a chatty tenant
+  // cannot starve the others.
+  auto it = tenants_.upper_bound(rr_cursor_);
+  for (std::size_t step = 0; step < tenants_.size(); ++step) {
+    if (it == tenants_.end()) it = tenants_.begin();
+    if (ready(it->second)) {
+      name_out = it->first;
+      return &it->second;
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+bool EvalService::any_ready_locked() const {
+  for (const auto& [name, tenant] : tenants_) {
+    if (!tenant.busy && !tenant.closing && !tenant.queue.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t EvalService::run_round() {
+  std::string name;
+  std::vector<Request> batch;
+  engine::EvalSession* session = nullptr;
+  std::shared_ptr<const engine::EvalPlan> plan;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Tenant* tenant = pick_next_locked(name);
+    if (tenant == nullptr) return 0;
+    rr_cursor_ = name;
+    const std::size_t width =
+        std::min(tenant->queue.size(), tenant->options.max_batch_width);
+    batch.reserve(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      batch.push_back(std::move(tenant->queue.front()));
+      tenant->queue.pop_front();
+    }
+    tenant->busy = true;
+    session = tenant->session.get();
+    plan = tenant->plan;
+    ++rounds_;
+  }
+
+  // The batched replay runs outside the service lock: the session
+  // parallelizes over its own pool, and other tenants keep admitting and
+  // (under the background scheduler + pump) even serving concurrently.
+  const std::size_t width = batch.size();
+  std::vector<std::span<const double>> columns;
+  columns.reserve(width);
+  for (const Request& request : batch) columns.push_back(request.charges);
+  Expected<std::vector<EvalResult>> served =
+      session->try_evaluate_batch(*plan, columns);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Tenant& tenant = tenants_.at(name);  // alive: closing waits on busy
+    tenant.busy = false;
+    ++tenant.batches;
+    tenant.batch_columns += width;
+    tenant.max_batch_seen = std::max(tenant.max_batch_seen, width);
+    obs::Registry& reg = obs::registry();
+    reg.counter(obs::metric::kServiceBatches).add(1);
+    reg.counter(obs::metric::kServiceBatchColumns).add(width);
+    reg.gauge(obs::metric::kServiceBatchWidth)
+        .record_max(static_cast<double>(width));
+    if (served.ok()) {
+      tenant.served += width;
+      reg.counter(obs::metric::kServiceServed).add(width);
+      reg.counter(tenant_metric(obs::metric::kServiceServed, name)).add(width);
+    } else {
+      tenant.errors += width;
+      reg.counter(obs::metric::kServiceErrors).add(width);
+      reg.counter(tenant_metric(obs::metric::kServiceErrors, name)).add(width);
+      if (tenant.options.error_budget > 0 &&
+          tenant.errors > tenant.options.error_budget) {
+        tenant.quarantined = true;
+      }
+    }
+  }
+  idle_cv_.notify_all();
+
+  if (served.ok()) {
+    std::vector<EvalResult>& results = served.value();
+    for (std::size_t c = 0; c < width; ++c) {
+      fulfill(batch[c].state, std::move(results[c]));
+    }
+  } else {
+    for (std::size_t c = 0; c < width; ++c) {
+      fulfill(batch[c].state, Error(served.error()));
+    }
+  }
+  return width;
+}
+
+std::size_t EvalService::pump() { return run_round(); }
+
+void EvalService::scheduler_main() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || any_ready_locked(); });
+      if (stop_) return;
+    }
+    run_round();
+  }
+}
+
+std::size_t EvalService::num_tenants() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+obs::Json EvalService::state_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "treecode-service/v1";
+  doc["scheduler_running"] = scheduler_.joinable() && !stop_;
+  doc["rounds"] = rounds_;
+  doc["num_tenants"] = static_cast<std::uint64_t>(tenants_.size());
+  obs::Json tenants = obs::Json::array();
+  for (const auto& [name, tenant] : tenants_) {
+    obs::Json t = obs::Json::object();
+    t["name"] = name;
+    t["queue_depth"] = static_cast<std::uint64_t>(tenant.queue.size());
+    t["busy"] = tenant.busy;
+    t["closing"] = tenant.closing;
+    t["quarantined"] = tenant.quarantined;
+    t["source_size"] = static_cast<std::uint64_t>(tenant.source_size);
+    t["max_batch_width"] =
+        static_cast<std::uint64_t>(tenant.options.max_batch_width);
+    t["max_queue_depth"] =
+        static_cast<std::uint64_t>(tenant.options.max_queue_depth);
+    t["error_budget"] = tenant.options.error_budget;
+    t["submitted"] = tenant.submitted;
+    t["served"] = tenant.served;
+    t["rejected"] = tenant.rejected;
+    t["errors"] = tenant.errors;
+    t["batches"] = tenant.batches;
+    t["batch_columns"] = tenant.batch_columns;
+    t["max_batch_seen"] = static_cast<std::uint64_t>(tenant.max_batch_seen);
+    t["mean_batch_width"] =
+        tenant.batches > 0 ? static_cast<double>(tenant.batch_columns) /
+                                 static_cast<double>(tenant.batches)
+                           : 0.0;
+    if (tenant.plan != nullptr) {
+      char key_hex[19];
+      std::snprintf(key_hex, sizeof key_hex, "0x%016llx",
+                    static_cast<unsigned long long>(tenant.plan->key));
+      obs::Json plan = obs::Json::object();
+      plan["key"] = key_hex;
+      plan["self"] = tenant.plan->self;
+      plan["num_targets"] = static_cast<std::uint64_t>(tenant.plan->num_targets());
+      plan["num_entries"] =
+          static_cast<std::uint64_t>(tenant.plan->entries.size());
+      plan["bytes"] = static_cast<std::uint64_t>(tenant.plan->memory_bytes());
+      plan["basis_bytes"] =
+          static_cast<std::uint64_t>(tenant.plan->basis.size() * sizeof(double));
+      t["plan"] = std::move(plan);
+    }
+    if (tenant.session != nullptr) {
+      t["governor"] = engine::governor_json(tenant.session->governor());
+      t["plan_cache"] = engine::plan_cache_json(tenant.session->cache());
+    }
+    tenants.push_back(std::move(t));
+  }
+  doc["tenants"] = std::move(tenants);
+  return doc;
+}
+
+std::vector<obs::slo::Rule> EvalService::slo_rules() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<obs::slo::Rule> rules;
+  {
+    obs::slo::Rule aggregate;
+    aggregate.name = "service-error-rate";
+    aggregate.kind = obs::slo::RuleKind::kCounterRatio;
+    aggregate.metric = obs::metric::kServiceErrors;
+    aggregate.denominator = obs::metric::kServiceRequests;
+    aggregate.threshold = 0.01;
+    rules.push_back(std::move(aggregate));
+  }
+  for (const auto& [name, tenant] : tenants_) {
+    obs::slo::Rule rejected;
+    rejected.name = "service-rejected-share-" + name;
+    rejected.kind = obs::slo::RuleKind::kCounterRatio;
+    rejected.metric = tenant_metric(obs::metric::kServiceRejected, name);
+    rejected.denominator = tenant_metric(obs::metric::kServiceSubmitted, name);
+    rejected.threshold = 0.5;
+    rules.push_back(std::move(rejected));
+
+    obs::slo::Rule errors;
+    errors.name = "service-error-share-" + name;
+    errors.kind = obs::slo::RuleKind::kCounterRatio;
+    errors.metric = tenant_metric(obs::metric::kServiceErrors, name);
+    errors.denominator = tenant_metric(obs::metric::kServiceSubmitted, name);
+    errors.threshold = 0.05;
+    rules.push_back(std::move(errors));
+  }
+  return rules;
+}
+
+}  // namespace treecode::service

@@ -12,6 +12,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kFaultInjected: return "fault_injected";
     case ErrorCode::kNonFinite: return "non_finite";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kRejected: return "rejected";
   }
   return "unknown";
 }

@@ -42,6 +42,8 @@ enum class ErrorCode : std::uint8_t {
   kFaultInjected,   ///< a TREECODE_FAULT_INJECT site fired (tests/CI only)
   kNonFinite,       ///< non-finite input or computed potential detected
   kInternal,        ///< invariant violation / should-not-happen
+  kRejected,        ///< admission control refused the request (queue full,
+                    ///< tenant quarantined, service shutting down)
 };
 
 /// Stable lower-case name for a code ("memory_budget", "deadline", ...).

@@ -8,16 +8,22 @@
 //       [--threads 4] [--evals 4] [--audit-samples 64]
 //       [--memory-budget-bytes 0] [--out inspect.json]
 //       [--openmetrics-out metrics.prom] [--telemetry-out records.jsonl]
-//       [--slo]
+//       [--slo] [--service]
 //
 // With no --out the document prints to stdout. --slo checks the default
 // engine SLO rules against the final snapshot and includes the watchdog
-// status block. Exit status: 0 on success, 1 on engine error, 2 when --slo
-// found breaches.
+// status block. --service swaps the single-session demo for a two-tenant
+// EvalService demo (concurrent submitters, coalesced batched replays) and
+// adds the `service` block — tenants, queues, request accounting, batch
+// occupancy, per-tenant governor ledgers; --slo then also checks the
+// service's per-tenant rules. Exit status: 0 on success, 1 on engine
+// error, 2 when --slo found breaches.
 
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "dist/distributions.hpp"
 #include "engine/eval_session.hpp"
@@ -26,8 +32,63 @@
 #include "obs/recorder.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
+#include "service/eval_service.hpp"
 #include "tree/octree.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+// Two random-cloud tenants, `evals` submissions each from concurrent
+// submitter threads, so the scheduler actually coalesces batches. Returns
+// the service document to attach, or a null Json on failure.
+treecode::obs::Json run_service_demo(std::size_t n, const treecode::EvalConfig& cfg,
+                                     int evals, int* exit_code, bool check_slo) {
+  using namespace treecode;
+  service::EvalService svc;
+  service::EvalService::TenantOptions topt;
+  topt.eval = cfg;
+  topt.tree = TreeConfig{.leaf_capacity = 8};
+  const char* names[2] = {"cloud-a", "cloud-b"};
+  const std::size_t sizes[2] = {n, n / 2 + 1};
+  for (int t = 0; t < 2; ++t) {
+    const ParticleSystem ps = dist::uniform_cube(sizes[t], /*seed=*/42 + t);
+    if (auto r = svc.try_register_tenant(names[t], ps, {}, topt); !r.ok()) {
+      std::fprintf(stderr, "register %s failed: %s\n", names[t],
+                   r.error().message.c_str());
+      *exit_code = 1;
+      return {};
+    }
+  }
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<double> charges(sizes[t], 1.0 / static_cast<double>(sizes[t]));
+      std::vector<service::EvalService::Ticket> tickets;
+      for (int i = 0; i < evals; ++i) {
+        charges[0] = static_cast<double>(i + 1);
+        if (auto r = svc.try_submit(names[t], charges); r.ok()) {
+          tickets.push_back(std::move(r).value());
+        }
+      }
+      for (auto& ticket : tickets) (void)ticket.wait();
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+
+  obs::Json doc = svc.state_json();
+  if (check_slo) {
+    obs::slo::Watchdog watchdog;
+    for (obs::slo::Rule& rule : svc.slo_rules()) {
+      watchdog.add_rule(std::move(rule));
+    }
+    watchdog.check(obs::registry().snapshot());
+    doc["slo"] = watchdog.status_json();
+    if (watchdog.breaches() > 0 && *exit_code == 0) *exit_code = 2;
+  }
+  return doc;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace treecode;
@@ -35,7 +96,7 @@ int main(int argc, char** argv) {
     const CliFlags flags(argc, argv,
                          {"n", "alpha", "degree", "threads", "evals",
                           "audit-samples", "memory-budget-bytes", "out",
-                          "openmetrics-out", "telemetry-out", "slo"});
+                          "openmetrics-out", "telemetry-out", "slo", "service"});
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 4'000));
     const int evals = static_cast<int>(flags.get_int("evals", 4));
     const std::string out = flags.get_string("out", "");
@@ -56,41 +117,52 @@ int main(int argc, char** argv) {
     cfg.memory_budget_bytes =
         static_cast<std::size_t>(flags.get_int("memory-budget-bytes", 0));
 
-    const ParticleSystem ps = dist::uniform_cube(n, /*seed=*/42);
-    engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}), cfg);
-
-    // A warm replay loop: compile once, then refresh + replay per "solver
-    // iteration" — the lifecycle the telemetry records should show.
-    auto plan = session.try_compile_self();
-    if (!plan.ok()) {
-      std::fprintf(stderr, "compile failed: %s\n", plan.error().message.c_str());
-      return 1;
-    }
-    std::vector<double> charges(session.sorted_charges().begin(),
-                                session.sorted_charges().end());
-    for (int i = 0; i < evals; ++i) {
-      for (double& q : charges) q = -q;
-      if (auto r = session.try_update_charges_sorted(charges); !r.ok()) {
-        std::fprintf(stderr, "update failed: %s\n", r.error().message.c_str());
-        return 1;
-      }
-      if (auto r = session.try_evaluate(*plan.value()); !r.ok()) {
-        std::fprintf(stderr, "evaluate failed: %s\n", r.error().message.c_str());
-        return 1;
-      }
-    }
-
-    obs::Json doc = engine::inspect_json(&session);
-
     int exit_code = 0;
-    if (flags.get_bool("slo")) {
-      obs::slo::Watchdog watchdog;
-      for (obs::slo::Rule& rule : obs::slo::default_engine_rules()) {
-        watchdog.add_rule(std::move(rule));
+    obs::Json doc;
+    if (flags.get_bool("service")) {
+      // Service demo: the service block carries per-tenant governors and
+      // plan caches, so the document has no single-session block.
+      obs::Json service_doc =
+          run_service_demo(n, cfg, evals, &exit_code, flags.get_bool("slo"));
+      if (exit_code == 1) return 1;
+      doc = engine::inspect_json(nullptr);
+      doc["service"] = std::move(service_doc);
+    } else {
+      const ParticleSystem ps = dist::uniform_cube(n, /*seed=*/42);
+      engine::EvalSession session(Tree(ps, TreeConfig{.leaf_capacity = 8}), cfg);
+
+      // A warm replay loop: compile once, then refresh + replay per "solver
+      // iteration" — the lifecycle the telemetry records should show.
+      auto plan = session.try_compile_self();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "compile failed: %s\n", plan.error().message.c_str());
+        return 1;
       }
-      watchdog.check(obs::registry().snapshot());
-      doc["slo"] = watchdog.status_json();
-      if (watchdog.breaches() > 0) exit_code = 2;
+      std::vector<double> charges(session.sorted_charges().begin(),
+                                  session.sorted_charges().end());
+      for (int i = 0; i < evals; ++i) {
+        for (double& q : charges) q = -q;
+        if (auto r = session.try_update_charges_sorted(charges); !r.ok()) {
+          std::fprintf(stderr, "update failed: %s\n", r.error().message.c_str());
+          return 1;
+        }
+        if (auto r = session.try_evaluate(*plan.value()); !r.ok()) {
+          std::fprintf(stderr, "evaluate failed: %s\n", r.error().message.c_str());
+          return 1;
+        }
+      }
+
+      doc = engine::inspect_json(&session);
+
+      if (flags.get_bool("slo")) {
+        obs::slo::Watchdog watchdog;
+        for (obs::slo::Rule& rule : obs::slo::default_engine_rules()) {
+          watchdog.add_rule(std::move(rule));
+        }
+        watchdog.check(obs::registry().snapshot());
+        doc["slo"] = watchdog.status_json();
+        if (watchdog.breaches() > 0) exit_code = 2;
+      }
     }
 
     if (!openmetrics_out.empty() &&
