@@ -7,6 +7,7 @@
 
 #include "obs/openmetrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -146,6 +147,9 @@ std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
   known.emplace_back("metrics-out");
   known.emplace_back("openmetrics-out");
   known.emplace_back("telemetry-out");
+  known.emplace_back("trace-requests-out");
+  known.emplace_back("trace-requests");
+  known.emplace_back("trace-sample-rate");
   known.emplace_back("telemetry");
   known.emplace_back("slo");
   known.emplace_back("repeat");
@@ -161,6 +165,9 @@ ObsOptions obs_options_from(const CliFlags& flags) {
   opts.metrics_out = flags.get_string("metrics-out", "");
   opts.openmetrics_out = flags.get_string("openmetrics-out", "");
   opts.telemetry_out = flags.get_string("telemetry-out", "");
+  opts.trace_requests_out = flags.get_string("trace-requests-out", "");
+  opts.trace_requests = flags.get_bool("trace-requests");
+  opts.trace_sample_rate = flags.get_double("trace-sample-rate", 1.0);
   opts.telemetry = flags.get_bool("telemetry");
   opts.slo = flags.get_bool("slo");
   if (opts.active()) {
@@ -180,6 +187,15 @@ ObsOptions obs_options_from(const CliFlags& flags) {
     obs::telemetry::enable();
     if (!opts.telemetry_out.empty()) obs::telemetry::set_sink(opts.telemetry_out);
   }
+  if (!opts.trace_requests_out.empty() || opts.trace_requests) {
+    // Fixed seed 1 after a reset: the id stream — and so the retained-trace
+    // set — is reproducible run to run for the same workload.
+    obs::reqtrace::reset();
+    obs::reqtrace::SamplerConfig config;
+    config.seed = 1;
+    config.sample_rate = opts.trace_sample_rate;
+    obs::reqtrace::enable(config);
+  }
   return opts;
 }
 
@@ -191,6 +207,9 @@ void emit_reports(const ObsOptions& opts, const obs::RunReport& report) {
     obs::recorder::dump(opts.recorder_out, "run complete");
   }
   if (!opts.telemetry_out.empty()) obs::telemetry::close_sink();
+  if (!opts.trace_requests_out.empty()) {
+    obs::reqtrace::write_jsonl(opts.trace_requests_out);
+  }
   if (opts.slo) {
     // Before the report/metric dumps: the check's slo.* counters and any
     // breach warnings belong in the same snapshot the outputs capture.

@@ -127,19 +127,26 @@ struct ObsOptions {
   std::string metrics_out;      ///< MetricsSnapshot JSON path ("" = off)
   std::string openmetrics_out;  ///< OpenMetrics exposition path ("" = off)
   std::string telemetry_out;    ///< request-telemetry JSONL path ("" = off)
+  /// Retained request-trace JSONL path ("" = off). Arms reqtrace with
+  /// sampler seed 1; healthy-trace keep rate from --trace-sample-rate.
+  std::string trace_requests_out;
+  bool trace_requests = false;  ///< arm reqtrace without an output file
+  double trace_sample_rate = 1.0;
   bool telemetry = false;       ///< ring-only telemetry, no JSONL sink
   bool slo = false;             ///< check default engine SLO rules at exit
 
   [[nodiscard]] bool active() const {
     return !json_out.empty() || !trace_out.empty() || !recorder_out.empty() ||
            !metrics_out.empty() || !openmetrics_out.empty() ||
-           !telemetry_out.empty() || telemetry || slo;
+           !telemetry_out.empty() || !trace_requests_out.empty() ||
+           trace_requests || telemetry || slo;
   }
 };
 
 /// Append the shared flag names ("json-out", "trace-out", "recorder-out",
-/// "metrics-out", "openmetrics-out", "telemetry-out", "telemetry", "slo",
-/// "repeat", "warmup") to a binary's known-flags list.
+/// "metrics-out", "openmetrics-out", "telemetry-out", "trace-requests-out",
+/// "trace-requests", "trace-sample-rate", "telemetry", "slo", "repeat",
+/// "warmup") to a binary's known-flags list.
 std::vector<std::string> with_obs_flags(std::vector<std::string> known);
 
 /// Read the shared observability flags. Resets registry values (so the

@@ -44,7 +44,11 @@ Lock-order family:
 
 API-contract family:
   try-telemetry-exit          a public try_* entry point with an exit
-                              path that skips the telemetry emit helper.
+                              path that skips the telemetry emit helper,
+                              or an emit helper that never finishes the
+                              request's trace context (RequestScope::finish
+                              / reqtrace::finish_request), leaving the
+                              tail sampler without a verdict.
   engine-request-count        the telemetry emit helper must count
                               obs::metric::kEngineRequests before its
                               first early return, so the SLO error-rate
@@ -490,6 +494,19 @@ def rule_try_telemetry_exit(idx: _Index) -> list[Finding]:
                     f"{fn.qual_name} returns before its telemetry "
                     "emit_request call; this exit path is invisible to the "
                     "request log and the engine.requests counter"))
+    # The emit helper is also where a request's trace verdict is decided:
+    # it must call RequestScope::finish (or reqtrace::finish_request)
+    # so every entry-point exit feeds the tail sampler. A helper that
+    # skipped it would silently exempt its layer from trace retention.
+    for fn in (fn for f in idx.files for fn in f.functions
+               if fn.name in EMIT_HELPERS):
+        if not any(c.name in ("finish", "finish_request") for c in fn.calls):
+            out.append(_finding(
+                idx, "try-telemetry-exit", fn.file, fn.line,
+                f"{fn.qual_name} never finishes the request's trace context "
+                "(RequestScope::finish / reqtrace::finish_request); its "
+                "entry points' verdicts would be invisible to the "
+                "tail-based trace sampler"))
     return out
 
 

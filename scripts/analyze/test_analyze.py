@@ -423,6 +423,49 @@ class RuleMatrixTest(unittest.TestCase):
                     f"{rule}: analyze-allow comment not honored")
 
 
+TELE_HELPER_NO_FINISH = """
+namespace treecode::engine {
+void emit_request(RequestScope& scope) {
+  registry().counter(obs::metric::kEngineRequests).add(1);
+}
+}
+"""
+
+TELE_HELPER_FINISHES = """
+namespace treecode::engine {
+void emit_request(RequestScope& scope) {
+  registry().counter(obs::metric::kEngineRequests).add(1);
+  scope.finish(verdict);
+}
+}
+"""
+
+TELE_HELPER_FREE_FINISH = TELE_HELPER_FINISHES.replace(
+    "scope.finish(verdict);", "reqtrace::finish_request(ctx, verdict);")
+
+
+class TraceFinishTest(unittest.TestCase):
+    """The telemetry emit helper must also finish the request's trace
+    context, so every entry-point verdict reaches the tail sampler."""
+
+    def test_helper_without_finish_fires(self):
+        found = _token_findings(
+            {"src/engine/fake_emit.cpp": TELE_HELPER_NO_FINISH},
+            "try-telemetry-exit")
+        self.assertTrue(found, "finish-less emit helper not flagged")
+        self.assertIn("tail-based", found[0].message)
+
+    def test_helper_with_scope_finish_is_silent(self):
+        self.assertEqual([], _token_findings(
+            {"src/engine/fake_emit.cpp": TELE_HELPER_FINISHES},
+            "try-telemetry-exit"))
+
+    def test_helper_with_free_finish_request_is_silent(self):
+        self.assertEqual([], _token_findings(
+            {"src/engine/fake_emit.cpp": TELE_HELPER_FREE_FINISH},
+            "try-telemetry-exit"))
+
+
 class CrossTuLockCycleTest(unittest.TestCase):
     """The cycle exists only in the merged graph, never in either TU alone."""
 

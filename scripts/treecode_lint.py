@@ -10,7 +10,9 @@ Rules (suppress a finding with a same-line ``// lint-allow: <rule>``):
                          src/multipole/). Use ipow() (multipole/ipow.hpp):
                          std::pow with an integer exponent routes through the
                          general exp/log machinery per accepted interaction.
-  span-registry          Every obs::TraceSpan / ScopedTimer name argument and
+  span-registry          Every obs::TraceSpan / ScopedTimer / reqtrace
+                         RequestScope / PhaseSpan name argument, every
+                         reqtrace::record_span name (second) argument, and
                          every parallel_for(_blocked) trailing trace-name
                          argument is a constant from src/obs/spans.hpp
                          (obs::span::kFoo), so a typo'd span name cannot
@@ -78,10 +80,12 @@ HOT_ATOMIC_FILES = ("src/obs/metrics.hpp", "src/parallel/")
 POW_HOT_DIRS = ("src/core/", "src/multipole/")
 
 # Exempt from span-registry: the registry itself, the headers that *define*
-# TraceSpan / ScopedTimer (constructor declarations are not call sites), and
-# parallel_for's implementation, which forwards its caller's trace_name and
-# supplies the registry fallback for anonymous sweeps.
+# TraceSpan / ScopedTimer / RequestScope / PhaseSpan / record_span
+# (constructor declarations and name_-forwarding bodies are not call sites),
+# and parallel_for's implementation, which forwards its caller's trace_name
+# and supplies the registry fallback for anonymous sweeps.
 SPAN_EXEMPT_FILES = ("src/obs/spans.hpp", "src/obs/trace.hpp", "src/util/timer.hpp",
+                     "src/obs/reqtrace.hpp", "src/obs/reqtrace.cpp",
                      "src/parallel/parallel_for.hpp", "src/parallel/parallel_for.cpp")
 
 # The central span registry and the shape of its entries.
@@ -115,8 +119,13 @@ NAKED_NEW_RE = re.compile(r"(?<![:\w])new\b(?!\s*\()")  # excludes placement new
 ALLOC_CALL_RE = re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\(")
 
 POW_RE = re.compile(r"\bstd::pow\s*\(")
-SPAN_RE = re.compile(r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s+\w+\s*(\()|"
-                     r"\b(?:obs::)?(?:TraceSpan|ScopedTimer)\s*(\()")
+SPAN_RE = re.compile(
+    r"\b(?:obs::|reqtrace::)*(?:TraceSpan|ScopedTimer|RequestScope|PhaseSpan)"
+    r"\s+\w+\s*(\()|"
+    r"\b(?:obs::|reqtrace::)*(?:TraceSpan|ScopedTimer|RequestScope|PhaseSpan)"
+    r"\s*(\()")
+# reqtrace::record_span(ctx, name, ...): the span name is the SECOND argument.
+RECORD_SPAN_RE = re.compile(r"\brecord_span\s*(\()")
 PARALLEL_FOR_RE = re.compile(r"\bparallel_for(?:_blocked)?\s*(\()")
 
 THROW_RE = re.compile(r"\bthrow\b")
@@ -335,7 +344,11 @@ class Linter:
             for m in SPAN_RE.finditer(code):
                 paren = m.start(1) if m.group(1) else m.start(2)
                 check_span_arg(extract_first_arg(code, paren), m.start(),
-                               "TraceSpan/ScopedTimer name")
+                               "TraceSpan/ScopedTimer/RequestScope/PhaseSpan name")
+            for m in RECORD_SPAN_RE.finditer(code):
+                args = extract_args(code, m.start(1))
+                if len(args) >= 2:
+                    check_span_arg(args[1], m.start(), "record_span name")
             for m in PARALLEL_FOR_RE.finditer(code):
                 args = extract_args(code, m.start(1))
                 last = args[-1].strip() if args else ""

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Validate a request-telemetry JSONL sink (treecode-request-record/v1).
+"""Validate a request-telemetry JSONL sink (treecode-request-record/v1|v2).
 
 Each line must parse as JSON and conform to
 scripts/telemetry_record_schema.json (checked with the same stdlib subset
-validator that validate_report.py uses). Cross-line checks: seq values are
-unique, and the known enumerations (api, rung_name) only contain values the
-emitter can produce. Line *order* is not checked — concurrent emitters take
-their seq before the sink lock, so a sink may interleave.
+validator that validate_report.py uses); the schema accepts both v1 lines
+and v2 lines (which add trace_id, queue_wait_seconds, batch_seq). Cross-line
+checks: seq values are unique, the known enumerations (api, rung_name) only
+contain values the emitter can produce, v2 trace_id values are 32 lowercase
+hex chars, and nonzero trace ids are unique per (trace_id, api) — each entry
+point records one exit, while the same trace legitimately reappears across
+*different* apis (a service_submit admission and its service_serve
+fulfillment share one trace). Line *order* is not checked — concurrent
+emitters take their seq before the sink lock, so a sink may interleave.
 
 Usage: validate_telemetry.py RECORDS.jsonl [SCHEMA.json]
        validate_telemetry.py --self-test
@@ -24,14 +29,22 @@ _APIS = {
     "compile", "compile_self", "update_charges", "update_charges_sorted",
     "evaluate_plan", "evaluate_at", "evaluate_self", "evaluate_batch",
     "service_register", "service_submit", "service_unregister",
+    "service_serve",
 }
 _RUNGS = {"basis_replay", "plain_replay", "traversal", "direct", "none"}
+_ZERO_TRACE = "0" * 32
+
+
+def _valid_trace_id(value):
+    return (isinstance(value, str) and len(value) == 32
+            and all(c in "0123456789abcdef" for c in value))
 
 
 def validate_file(path, schema):
     """Return a list of error strings (empty when the sink conforms)."""
     errors = []
     seqs = set()
+    trace_keys = set()
     n = 0
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -63,6 +76,17 @@ def validate_file(path, schema):
                     and len(key) == 18):
                 errors.append(f"line {lineno}: plan_key {key!r} is not an "
                               "0x-prefixed 16-digit hex string")
+            if record.get("schema") == "treecode-request-record/v2":
+                trace_id = record.get("trace_id")
+                if not _valid_trace_id(trace_id):
+                    errors.append(f"line {lineno}: trace_id {trace_id!r} is "
+                                  "not 32 lowercase hex chars")
+                elif trace_id != _ZERO_TRACE:
+                    tk = (trace_id, api)
+                    if tk in trace_keys:
+                        errors.append(f"line {lineno}: duplicate trace_id "
+                                      f"{trace_id} for api {api!r}")
+                    trace_keys.add(tk)
     if n == 0:
         errors.append("empty sink: expected at least one record line")
     return errors
@@ -97,6 +121,34 @@ def _self_test():
     bad_key["plan_key"] = "deadbeef"
     cases.append(([bad_key], False))
     cases.append(([], False))  # empty sink
+
+    good_v2 = copy.deepcopy(good)
+    good_v2["schema"] = "treecode-request-record/v2"
+    good_v2["seq"] = 2
+    good_v2["api"] = "service_serve"
+    good_v2["trace_id"] = "00c0ffee" * 4
+    good_v2["queue_wait_seconds"] = 1e-4
+    good_v2["batch_seq"] = 3
+    cases.append(([good, good_v2], True))  # mixed v1 + v2 sink
+    untraced = copy.deepcopy(good_v2)
+    untraced["seq"] = 3
+    untraced["trace_id"] = "0" * 32  # tracing off: zero id, repeatable
+    repeat_zero = copy.deepcopy(untraced)
+    repeat_zero["seq"] = 4
+    cases.append(([good_v2, untraced, repeat_zero], True))
+    missing_trace = copy.deepcopy(good_v2)
+    del missing_trace["trace_id"]
+    cases.append(([missing_trace], False))  # v2 requires trace_id
+    bad_trace = copy.deepcopy(good_v2)
+    bad_trace["trace_id"] = "0xDEADBEEF"
+    cases.append(([bad_trace], False))
+    dup_trace = copy.deepcopy(good_v2)
+    dup_trace["seq"] = 5
+    cases.append(([good_v2, dup_trace], False))  # same trace_id + api
+    cross_api = copy.deepcopy(good_v2)
+    cross_api["seq"] = 6
+    cross_api["api"] = "service_submit"
+    cases.append(([good_v2, cross_api], True))  # same trace, different api
 
     schema = _load_schema(None)
     for i, (lines, expect_ok) in enumerate(cases):
@@ -138,7 +190,7 @@ def main(argv):
         return 1
     with open(path, encoding="utf-8") as f:
         n = sum(1 for line in f if line.strip())
-    print(f"OK {path}: {n} valid treecode-request-record/v1 line(s)")
+    print(f"OK {path}: {n} valid treecode-request-record/v1|v2 line(s)")
     return 0
 
 

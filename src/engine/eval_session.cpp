@@ -19,6 +19,7 @@
 #include "obs/metric_names.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/telemetry.hpp"
 #include "util/timer.hpp"
 #include "obs/spans.hpp"
@@ -126,11 +127,23 @@ class DeadlineScope {
 void emit_request(obs::telemetry::Api api, std::uint64_t key, double wall,
                   bool ok, ErrorCode code, const EvalStats* stats,
                   const PlanCache& cache, const EvalConfig& config,
-                  unsigned threads, std::uint32_t batch_width = 0) {
+                  unsigned threads, obs::reqtrace::RequestScope& scope,
+                  std::uint32_t batch_width = 0) {
   // Counted before the telemetry-enabled gate: engine.requests is the SLO
   // error-rate denominator (obs/slo.cpp) and must cover every entry-point
   // call, with or without a telemetry session.
   obs::registry().counter(obs::metric::kEngineRequests).add(1);
+  // Finish the request trace before the telemetry gate, so every exit path
+  // records its span and runs the tail decision even with telemetry off.
+  obs::reqtrace::Verdict verdict;
+  verdict.ok = ok;
+  verdict.error_code = static_cast<std::uint8_t>(code);
+  if (stats != nullptr) {
+    verdict.rung = static_cast<std::int8_t>(stats->served_rung);
+  }
+  verdict.deadline_missed = code == ErrorCode::kDeadline;
+  verdict.wall_seconds = wall;
+  scope.finish(verdict);
   if (!obs::telemetry::enabled()) return;
   obs::telemetry::RequestRecord r;
   r.api = api;
@@ -151,6 +164,8 @@ void emit_request(obs::telemetry::Api api, std::uint64_t key, double wall,
                                  : std::numeric_limits<double>::quiet_NaN();
   r.threads = threads;
   r.batch_width = batch_width;
+  r.trace_hi = scope.context().trace_hi;
+  r.trace_lo = scope.context().trace_lo;
   obs::telemetry::emit(r);
 }
 
@@ -188,32 +203,35 @@ EvalSession::EvalSession(Tree tree, const EvalConfig& config, const Options& opt
 Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile(
     std::span<const Vec3> targets) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineCompile);
   Expected<std::shared_ptr<const EvalPlan>> plan =
       try_compile_impl(targets, /*self=*/false);
   emit_request(obs::telemetry::Api::kCompile,
                plan.ok() ? plan.value()->key : 0, timer.seconds(), plan.ok(),
                plan.ok() ? ErrorCode::kOk : plan.error().code,
-               /*stats=*/nullptr, cache_, config_, pool_.width());
+               /*stats=*/nullptr, cache_, config_, pool_.width(), rscope);
   return plan;
 }
 
 Expected<std::shared_ptr<const EvalPlan>> EvalSession::try_compile_self() {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineCompileSelf);
   Expected<std::shared_ptr<const EvalPlan>> plan =
       try_compile_impl(tree_.positions(), /*self=*/true);
   emit_request(obs::telemetry::Api::kCompileSelf,
                plan.ok() ? plan.value()->key : 0, timer.seconds(), plan.ok(),
                plan.ok() ? ErrorCode::kOk : plan.error().code,
-               /*stats=*/nullptr, cache_, config_, pool_.width());
+               /*stats=*/nullptr, cache_, config_, pool_.width(), rscope);
   return plan;
 }
 
 Expected<void> EvalSession::try_update_charges(std::span<const double> charges) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineUpdateCharges);
   Expected<void> result = try_update_charges_impl(charges);
   emit_request(obs::telemetry::Api::kUpdateCharges, 0, timer.seconds(),
                result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
-               /*stats=*/nullptr, cache_, config_, pool_.width());
+               /*stats=*/nullptr, cache_, config_, pool_.width(), rscope);
   return result;
 }
 
@@ -241,10 +259,11 @@ Expected<void> EvalSession::try_update_charges_impl(std::span<const double> char
 
 Expected<void> EvalSession::try_update_charges_sorted(std::span<const double> charges) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineUpdateChargesSorted);
   Expected<void> result = try_update_charges_sorted_impl(charges);
   emit_request(obs::telemetry::Api::kUpdateChargesSorted, 0, timer.seconds(),
                result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
-               /*stats=*/nullptr, cache_, config_, pool_.width());
+               /*stats=*/nullptr, cache_, config_, pool_.width(), rscope);
   return result;
 }
 
@@ -1105,12 +1124,13 @@ Expected<EvalResult> EvalSession::serve_direct(std::span<const Vec3> targets, bo
 
 Expected<EvalResult> EvalSession::try_evaluate(const EvalPlan& plan) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineEvaluatePlan);
   Expected<EvalResult> served = try_evaluate_impl(plan);
   emit_request(obs::telemetry::Api::kEvaluatePlan, plan.key, timer.seconds(),
                served.ok(), served.ok() ? served.value().stats.outcome
                                         : served.error().code,
                served.ok() ? &served.value().stats : nullptr, cache_, config_,
-               pool_.width());
+               pool_.width(), rscope);
   return served;
 }
 
@@ -1128,6 +1148,7 @@ Expected<EvalResult> EvalSession::try_evaluate_impl(const EvalPlan& plan) {
 Expected<std::vector<EvalResult>> EvalSession::try_evaluate_batch(
     const EvalPlan& plan, std::span<const std::span<const double>> charge_columns) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineEvaluateBatch);
   Expected<std::vector<EvalResult>> served =
       try_evaluate_batch_impl(plan, charge_columns);
   const EvalStats* stats =
@@ -1136,7 +1157,7 @@ Expected<std::vector<EvalResult>> EvalSession::try_evaluate_batch(
                served.ok(),
                served.ok() ? (stats != nullptr ? stats->outcome : ErrorCode::kOk)
                            : served.error().code,
-               stats, cache_, config_, pool_.width(),
+               stats, cache_, config_, pool_.width(), rscope,
                static_cast<std::uint32_t>(charge_columns.size()));
   return served;
 }
@@ -1538,18 +1559,20 @@ Expected<std::vector<EvalResult>> EvalSession::try_evaluate_batch_impl(
 
 Expected<EvalResult> EvalSession::try_evaluate_at(std::span<const Vec3> targets) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineEvaluateAt);
   std::uint64_t key = 0;
   Expected<EvalResult> served = try_evaluate_at_impl(targets, /*self=*/false, key);
   emit_request(obs::telemetry::Api::kEvaluateAt, key, timer.seconds(),
                served.ok(), served.ok() ? served.value().stats.outcome
                                         : served.error().code,
                served.ok() ? &served.value().stats : nullptr, cache_, config_,
-               pool_.width());
+               pool_.width(), rscope);
   return served;
 }
 
 Expected<EvalResult> EvalSession::try_evaluate() {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqEngineEvaluateSelf);
   std::uint64_t key = 0;
   Expected<EvalResult> served =
       try_evaluate_at_impl(tree_.positions(), /*self=*/true, key);
@@ -1557,7 +1580,7 @@ Expected<EvalResult> EvalSession::try_evaluate() {
                served.ok(), served.ok() ? served.value().stats.outcome
                                         : served.error().code,
                served.ok() ? &served.value().stats : nullptr, cache_, config_,
-               pool_.width());
+               pool_.width(), rscope);
   return served;
 }
 

@@ -1,0 +1,259 @@
+#include "obs/httpd.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+
+namespace treecode::obs::httpd {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// Minimal %XX + '+' decoding for query values ("n=32" needs none, but a
+/// curl user typing %2F should not get a silent mismatch).
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (ch == '+') {
+      out += ' ';
+    } else if (ch == '%' && i + 2 < text.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(text[i + 1]);
+      const int lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += ch;
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+/// Parse "GET /traces?n=8 HTTP/1.1" into a Request. False on malformed.
+bool parse_request_line(std::string_view line, Request& out) {
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos) return false;
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) return false;
+  out.method = std::string(line.substr(0, method_end));
+  std::string_view target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const std::size_t query_begin = target.find('?');
+  out.path = std::string(target.substr(0, query_begin));
+  if (query_begin != std::string_view::npos) {
+    std::string_view query = target.substr(query_begin + 1);
+    while (!query.empty()) {
+      const std::size_t amp = query.find('&');
+      const std::string_view pair = query.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        out.query.emplace_back(
+            url_decode(pair.substr(0, eq)),
+            eq == std::string_view::npos ? "" : url_decode(pair.substr(eq + 1)));
+      }
+      if (amp == std::string_view::npos) break;
+      query.remove_prefix(amp + 1);
+    }
+  }
+  return true;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer gone; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const Response& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     status_text(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, response.body);
+}
+
+}  // namespace
+
+std::string Request::query_value(std::string_view key,
+                                 std::string fallback) const {
+  for (const auto& [name, value] : query) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+Server::~Server() { stop(); }
+
+void Server::handle(std::string path, Handler handler) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+StartResult Server::try_start(std::uint16_t port) {
+  StartResult result;
+  if (running_.load(std::memory_order_acquire)) {
+    result.error = "httpd: already running on port " + std::to_string(port_);
+    return result;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    result.error = std::string("httpd: socket failed: ") + std::strerror(errno);
+    return result;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    result.error = "httpd: bind 127.0.0.1:" + std::to_string(port) +
+                   " failed: " + std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+  if (::listen(fd, 64) != 0) {
+    result.error = std::string("httpd: listen failed: ") + std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  result.ok = true;
+  result.port = port_;
+  return result;
+}
+
+void Server::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (stop check) or EINTR
+    if ((pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  // Bound both directions so a stalled peer cannot wedge the accept loop.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+
+  std::string raw;
+  char buf[2048];
+  while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  registry().counter(metric::kHttpRequests).add(1);
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  Request request;
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos ||
+      !parse_request_line(std::string_view(raw).substr(0, line_end), request)) {
+    registry().counter(metric::kHttpErrors).add(1);
+    send_response(fd, Response{400, "text/plain", "bad request\n"});
+    return;
+  }
+  if (request.method != "GET" && request.method != "HEAD") {
+    registry().counter(metric::kHttpErrors).add(1);
+    send_response(fd, Response{405, "text/plain", "method not allowed\n"});
+    return;
+  }
+  const Handler* handler = nullptr;
+  for (const auto& [path, route] : routes_) {
+    if (path == request.path) {
+      handler = &route;
+      break;
+    }
+  }
+  if (handler == nullptr) {
+    registry().counter(metric::kHttpErrors).add(1);
+    send_response(fd, Response{404, "text/plain", "not found\n"});
+    return;
+  }
+  Response response;
+  try {
+    response = (*handler)(request);
+  } catch (const std::exception& e) {
+    registry().counter(metric::kHttpErrors).add(1);
+    response = Response{500, "text/plain", std::string("error: ") + e.what() + "\n"};
+  }
+  if (request.method == "HEAD") response.body.clear();
+  send_response(fd, response);
+}
+
+}  // namespace treecode::obs::httpd

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file httpd.hpp
+/// Minimal dependency-free blocking HTTP/1.1 server for live observability
+/// scrapes: GET /metrics (OpenMetrics), /healthz (SLO status), /state
+/// (engine/service state JSON), /traces (retained request traces).
+///
+/// Deliberately tiny: one listening socket bound to loopback, one accept
+/// thread (poll with a timeout so stop() is prompt), one connection served
+/// at a time, Connection: close on every response. That is the right shape
+/// for an operator's curl / Prometheus scrape loop — a handful of requests
+/// per scrape interval — and keeps the server from ever contending with
+/// the evaluation pool for cores. Handlers run on the accept thread and
+/// must be safe to call concurrently with serving (the registry snapshot,
+/// service state_json and reqtrace exports all are).
+///
+/// This layer lives in obs and cannot see engine/service/util types, so
+/// start errors surface as a plain StartResult rather than Expected; the
+/// service boundary (EvalService::start_http) wraps it into the typed
+/// error taxonomy. Requests and errors feed the httpd.* registry counters.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace treecode::obs::httpd {
+
+/// One parsed request line. Only the method, path and query string are
+/// parsed — headers are read and discarded (nothing here needs them).
+struct Request {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string path;    ///< target up to '?', e.g. "/traces"
+  std::vector<std::pair<std::string, std::string>> query;  ///< decoded pairs
+
+  /// First value for `key`, or `fallback` when absent.
+  [[nodiscard]] std::string query_value(std::string_view key,
+                                        std::string fallback = "") const;
+};
+
+/// Handler output. `content_type` defaults to JSON; /metrics overrides it
+/// with the OpenMetrics text type.
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Outcome of Server::try_start (obs cannot return util::Expected).
+struct StartResult {
+  bool ok = false;
+  std::uint16_t port = 0;  ///< bound port (useful with requested port 0)
+  std::string error;
+};
+
+class Server {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  Server() = default;
+  /// Stops the accept loop and closes the socket.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register `handler` for exact-match `path`. Call before try_start —
+  /// the route table is read by the accept thread without a lock.
+  void handle(std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral), start the accept thread.
+  /// Fails (never throws) if already running or the socket calls fail.
+  [[nodiscard]] StartResult try_start(std::uint16_t port);
+
+  /// Stop the accept thread and close the socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Requests answered (any status) since construction.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace treecode::obs::httpd

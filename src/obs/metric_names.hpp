@@ -106,6 +106,16 @@ inline constexpr const char* kServiceBatches = "service.batches";
 inline constexpr const char* kServiceBatchColumns = "service.batch_columns";
 inline constexpr const char* kServiceBatchWidth = "service.batch_width";
 
+// -- per-tenant service latency (fan-out bases; see service_tenant_metric) ---
+/// Per-tenant fan-outs insert the tenant after the "service." prefix:
+/// `service.<tenant>.request_seconds` / `.deadline_slack_seconds` — submit
+/// -to-fulfill latency and deadline slack histograms whose p50/p99 the
+/// OpenMetrics exposition and `treecode-inspect --service` surface.
+inline constexpr const char* kServiceRequestSeconds = "service.request_seconds";
+inline constexpr const char* kServiceDeadlineSlackSeconds =
+    "service.deadline_slack_seconds";
+inline constexpr const char* kServiceQueueWaitSeconds = "service.queue_wait_seconds";
+
 // -- audit engine ------------------------------------------------------------
 inline constexpr const char* kAuditTightness = "audit.tightness";
 inline constexpr const char* kAuditSamples = "audit.samples";
@@ -133,6 +143,17 @@ inline constexpr const char* kTelemetryErrors = "telemetry.errors";
 inline constexpr const char* kTelemetryRequestSeconds = "telemetry.request_seconds";
 inline constexpr const char* kTelemetrySinkRotations = "telemetry.sink_rotations";
 inline constexpr const char* kTelemetrySinkErrors = "telemetry.sink_errors";
+
+// -- request tracing (obs/reqtrace.hpp) --------------------------------------
+inline constexpr const char* kTraceSpans = "reqtrace.spans";
+inline constexpr const char* kTraceRequests = "reqtrace.requests";
+inline constexpr const char* kTraceRetained = "reqtrace.retained";
+inline constexpr const char* kTraceSampledOut = "reqtrace.sampled_out";
+inline constexpr const char* kTraceForcedKeeps = "reqtrace.forced_keeps";
+
+// -- observability HTTP endpoint (obs/httpd.hpp) -----------------------------
+inline constexpr const char* kHttpRequests = "httpd.requests";
+inline constexpr const char* kHttpErrors = "httpd.errors";
 
 // -- SLO watchdog ------------------------------------------------------------
 inline constexpr const char* kSloChecks = "slo.checks";

@@ -60,6 +60,28 @@ inline constexpr const char* kEngineRefreshWorker = "engine.refresh.worker";
 inline constexpr const char* kEngineReplayWorker = "engine.replay.worker";
 inline constexpr const char* kEngineDirectWorker = "engine.direct.worker";
 
+// -- request tracing (obs/reqtrace.hpp RequestScope / service spans) ---------
+// Root request-scope names, one per engine entry point. Direct calls mint a
+// root trace under these; calls inside a service batch become child spans.
+inline constexpr const char* kReqEngineCompile = "engine.req.compile";
+inline constexpr const char* kReqEngineCompileSelf = "engine.req.compile_self";
+inline constexpr const char* kReqEngineUpdateCharges = "engine.req.update_charges";
+inline constexpr const char* kReqEngineUpdateChargesSorted =
+    "engine.req.update_charges_sorted";
+inline constexpr const char* kReqEngineEvaluatePlan = "engine.req.evaluate_plan";
+inline constexpr const char* kReqEngineEvaluateAt = "engine.req.evaluate_at";
+inline constexpr const char* kReqEngineEvaluateSelf = "engine.req.evaluate_self";
+inline constexpr const char* kReqEngineEvaluateBatch = "engine.req.evaluate_batch";
+// Service request lifecycle: the root request span (submit -> fulfill), the
+// admission slice of submit, the queue-wait span, and the coalesced batch
+// span that carries flow links back to its member request spans.
+inline constexpr const char* kServiceRequest = "service.request";
+inline constexpr const char* kReqServiceSubmit = "service.req.submit";
+inline constexpr const char* kServiceQueueWait = "service.queue_wait";
+inline constexpr const char* kServiceBatch = "service.batch";
+inline constexpr const char* kReqServiceRegister = "service.req.register";
+inline constexpr const char* kReqServiceUnregister = "service.req.unregister";
+
 // -- audit engine ------------------------------------------------------------
 inline constexpr const char* kAuditFinalize = "time.audit_finalize";
 

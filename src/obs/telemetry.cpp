@@ -12,6 +12,7 @@
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
 
 namespace treecode::obs::telemetry {
 
@@ -39,6 +40,10 @@ struct Slot {
   std::atomic<double> audit_max_tightness{0.0};
   std::atomic<std::uint32_t> threads{0};
   std::atomic<std::uint32_t> batch_width{0};
+  std::atomic<std::uint64_t> trace_hi{0};
+  std::atomic<std::uint64_t> trace_lo{0};
+  std::atomic<double> queue_wait_seconds{0.0};
+  std::atomic<std::uint64_t> batch_seq{0};
 };
 
 static_assert((kRingCapacity & (kRingCapacity - 1)) == 0, "ring index uses a mask");
@@ -138,6 +143,7 @@ const char* api_name(Api api) {
     case Api::kServiceRegister: return "service_register";
     case Api::kServiceSubmit: return "service_submit";
     case Api::kServiceUnregister: return "service_unregister";
+    case Api::kServiceServe: return "service_serve";
   }
   return "unknown";
 }
@@ -218,6 +224,11 @@ void emit(RequestRecord record) {
                                  std::memory_order_relaxed);
   slot.threads.store(record.threads, std::memory_order_relaxed);
   slot.batch_width.store(record.batch_width, std::memory_order_relaxed);
+  slot.trace_hi.store(record.trace_hi, std::memory_order_relaxed);
+  slot.trace_lo.store(record.trace_lo, std::memory_order_relaxed);
+  slot.queue_wait_seconds.store(record.queue_wait_seconds,
+                                std::memory_order_relaxed);
+  slot.batch_seq.store(record.batch_seq, std::memory_order_relaxed);
   slot.end.store(record.seq + 1, std::memory_order_release);
 
   Registry& reg = registry();
@@ -254,6 +265,10 @@ std::vector<RequestRecord> records() {
     r.audit_max_tightness = slot.audit_max_tightness.load(std::memory_order_relaxed);
     r.threads = slot.threads.load(std::memory_order_relaxed);
     r.batch_width = slot.batch_width.load(std::memory_order_relaxed);
+    r.trace_hi = slot.trace_hi.load(std::memory_order_relaxed);
+    r.trace_lo = slot.trace_lo.load(std::memory_order_relaxed);
+    r.queue_wait_seconds = slot.queue_wait_seconds.load(std::memory_order_relaxed);
+    r.batch_seq = slot.batch_seq.load(std::memory_order_relaxed);
     const std::uint64_t begin = slot.begin.load(std::memory_order_relaxed);
     if (begin != end) continue;  // torn: writer was mid-update
     r.seq = end - 1;
@@ -274,7 +289,7 @@ Json to_json(const RequestRecord& record) {
   std::snprintf(key_hex, sizeof key_hex, "0x%016llx",
                 static_cast<unsigned long long>(record.plan_key));
   Json doc = Json::object();
-  doc["schema"] = "treecode-request-record/v1";
+  doc["schema"] = "treecode-request-record/v2";
   doc["seq"] = record.seq;
   doc["ts_us"] = record.ts_us;
   doc["api"] = api_name(record.api);
@@ -292,6 +307,9 @@ Json to_json(const RequestRecord& record) {
   doc["audit_max_tightness"] = record.audit_max_tightness;
   doc["threads"] = static_cast<std::uint64_t>(record.threads);
   doc["batch_width"] = static_cast<std::uint64_t>(record.batch_width);
+  doc["trace_id"] = reqtrace::trace_id_hex(record.trace_hi, record.trace_lo);
+  doc["queue_wait_seconds"] = record.queue_wait_seconds;
+  doc["batch_seq"] = record.batch_seq;
   return doc;
 }
 

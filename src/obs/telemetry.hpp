@@ -51,6 +51,7 @@ enum class Api : std::uint8_t {
   kServiceRegister,    ///< service tenant registration (EvalService)
   kServiceSubmit,      ///< service request admission (EvalService)
   kServiceUnregister,  ///< service tenant teardown (EvalService)
+  kServiceServe,       ///< one coalesced request at fulfillment (EvalService)
 };
 
 /// Human-readable name for an Api ("compile", "evaluate_at", ...).
@@ -77,6 +78,12 @@ struct RequestRecord {
   double audit_max_tightness = 0.0;     ///< max |error|/bound this request
   std::uint32_t threads = 0;    ///< session pool width
   std::uint32_t batch_width = 0;  ///< multi-RHS columns (0 = not a batch)
+  // v2 fields (treecode-request-record/v2). A zero trace id means request
+  // tracing was off; JSON renders it as 32 '0' hex chars.
+  std::uint64_t trace_hi = 0;   ///< obs/reqtrace.hpp trace id, high half
+  std::uint64_t trace_lo = 0;   ///< low half
+  double queue_wait_seconds = 0.0;  ///< admission -> batch pickup (service)
+  std::uint64_t batch_seq = 0;  ///< service scheduler round (0 = no batch)
 };
 
 /// Number of ring slots. Power of two so the slot index is a mask.
@@ -118,7 +125,7 @@ std::vector<RequestRecord> records();
 /// Total records ever emitted (including ones the ring has overwritten).
 std::uint64_t emitted_count();
 
-/// One record as a `treecode-request-record/v1` JSON object — the same
+/// One record as a `treecode-request-record/v2` JSON object — the same
 /// shape the JSONL sink writes per line (validated by
 /// scripts/validate_telemetry.py against scripts/telemetry_record_schema.json).
 Json to_json(const RequestRecord& record);

@@ -1,12 +1,16 @@
 #include "service/eval_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "engine/introspect.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "util/timer.hpp"
 #include "util/validate.hpp"
@@ -20,6 +24,30 @@ namespace {
 /// base constants live in obs/metric_names.hpp.
 std::string tenant_metric(const char* base, const std::string& tenant) {
   return std::string(base) + "." + tenant;
+}
+
+/// Per-tenant latency series name: the tenant slots in after the
+/// "service." prefix — `service.<tenant>.request_seconds` — so a tenant's
+/// latency histograms group as their own OpenMetrics subsystem.
+std::string service_tenant_metric(const char* base, const std::string& tenant) {
+  constexpr std::string_view prefix = "service.";
+  return std::string(prefix) + tenant + "." + (base + prefix.size());
+}
+
+std::span<const double> request_seconds_bounds() {
+  // Same decades as telemetry.request_seconds: coalesced serves cluster
+  // around milliseconds, but queue wait under load pushes the p99 out.
+  static const std::vector<double> bounds =
+      obs::exponential_buckets(1e-6, 4.0, 16);
+  return bounds;
+}
+
+std::span<const double> deadline_slack_bounds() {
+  // Slack goes negative exactly when the deadline was missed, so the
+  // buckets must straddle zero; symmetric coarse decades around it.
+  static const std::vector<double> bounds = {-10.0, -1.0, -0.1, -0.01, 0.0,
+                                             0.01,  0.1,  1.0,  10.0,  100.0};
+  return bounds;
 }
 
 /// Construct a service Error, counting it on the aggregate error series.
@@ -46,8 +74,15 @@ Error service_rejection(const std::string& tenant, std::string message) {
 /// counted unconditionally (the per-tenant SLO denominators divide by it),
 /// the record itself only while telemetry is enabled.
 void emit_request(obs::telemetry::Api api, std::uint64_t plan_key, double wall,
-                  bool ok, ErrorCode code, std::uint32_t batch_width) {
+                  bool ok, ErrorCode code, std::uint32_t batch_width,
+                  obs::reqtrace::RequestScope& scope) {
   obs::registry().counter(obs::metric::kServiceRequests).add(1);
+  obs::reqtrace::Verdict verdict;
+  verdict.ok = ok;
+  verdict.error_code = static_cast<std::uint8_t>(code);
+  verdict.deadline_missed = code == ErrorCode::kDeadline;
+  verdict.wall_seconds = wall;
+  scope.finish(verdict);  // no-op when the scope was released at admission
   if (!obs::telemetry::enabled()) return;
   obs::telemetry::RequestRecord r;
   r.api = api;
@@ -57,6 +92,37 @@ void emit_request(obs::telemetry::Api api, std::uint64_t plan_key, double wall,
   r.ok = ok;
   r.wall_seconds = wall;
   r.batch_width = batch_width;
+  r.trace_hi = scope.context().trace_hi;
+  r.trace_lo = scope.context().trace_lo;
+  obs::telemetry::emit(r);
+}
+
+/// One Api::kServiceServe record per coalesced request at fulfillment —
+/// where the v2 fields (trace id, queue wait, scheduler round) carry real
+/// values. Not an entry point: it neither counts service.requests nor owns
+/// a trace scope (run_round finishes the request's trace itself).
+void emit_served(std::uint64_t plan_key, double wall, bool ok, ErrorCode code,
+                 std::int8_t rung, std::uint64_t targets, double deadline_slack,
+                 double queue_wait, std::uint64_t batch_seq,
+                 std::uint32_t batch_width, std::uint32_t threads,
+                 const obs::reqtrace::TraceContext& trace) {
+  if (!obs::telemetry::enabled()) return;
+  obs::telemetry::RequestRecord r;
+  r.api = obs::telemetry::Api::kServiceServe;
+  r.plan_key = plan_key;
+  r.rung = rung;
+  r.outcome = static_cast<std::uint8_t>(code);
+  r.outcome_name = error_code_name(code);
+  r.ok = ok;
+  r.wall_seconds = wall;
+  r.targets = targets;
+  r.deadline_slack_seconds = deadline_slack;
+  r.threads = threads;
+  r.batch_width = batch_width;
+  r.trace_hi = trace.trace_hi;
+  r.trace_lo = trace.trace_lo;
+  r.queue_wait_seconds = queue_wait;
+  r.batch_seq = batch_seq;
   obs::telemetry::emit(r);
 }
 
@@ -107,6 +173,7 @@ EvalService::EvalService(const Options& options) : options_(options) {
 }
 
 EvalService::~EvalService() {
+  stop_http();  // handlers read service state; stop them before teardown
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -117,12 +184,12 @@ EvalService::~EvalService() {
   // Cancel everything still queued, then let the tenant map tear the
   // sessions down (each PlanCache withdraws its gauge contribution and
   // returns its reservations).
-  std::vector<std::shared_ptr<detail::RequestState>> pending;
+  std::vector<Request> pending;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, tenant] : tenants_) {
       for (Request& request : tenant.queue) {
-        pending.push_back(std::move(request.state));
+        pending.push_back(std::move(request));
       }
       tenant.queue.clear();
     }
@@ -130,8 +197,23 @@ EvalService::~EvalService() {
   if (!pending.empty()) {
     obs::registry().counter(obs::metric::kServiceCancelled).add(pending.size());
   }
-  for (const auto& state : pending) {
-    fulfill(state, Error{ErrorCode::kCancelled, "EvalService: service shut down"});
+  cancel_pending(pending, "EvalService: service shut down");
+}
+
+void EvalService::cancel_pending(std::vector<Request>& pending,
+                                 const char* message) {
+  const std::int64_t now = obs::reqtrace::now_us();
+  for (Request& request : pending) {
+    // Close the root span at cancellation and run the tail decision with
+    // an error verdict: every cancelled request's trace is retained.
+    obs::reqtrace::record_span(request.trace, obs::span::kServiceRequest,
+                               obs::reqtrace::SpanKind::kRequest,
+                               request.submit_us, now);
+    obs::reqtrace::Verdict verdict;
+    verdict.ok = false;
+    verdict.error_code = static_cast<std::uint8_t>(ErrorCode::kCancelled);
+    obs::reqtrace::finish_request(request.trace, verdict);
+    fulfill(request.state, Error{ErrorCode::kCancelled, message});
   }
 }
 
@@ -140,6 +222,7 @@ Expected<void> EvalService::try_register_tenant(const std::string& name,
                                                 std::vector<Vec3> targets,
                                                 const TenantOptions& options) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqServiceRegister);
   Expected<void> result = try_register_tenant_impl(name, std::move(particles),
                                                    std::move(targets), options);
   std::uint64_t key = 0;
@@ -151,7 +234,7 @@ Expected<void> EvalService::try_register_tenant(const std::string& name,
   }
   emit_request(obs::telemetry::Api::kServiceRegister, key, timer.seconds(),
                result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
-               /*batch_width=*/0);
+               /*batch_width=*/0, rscope);
   return result;
 }
 
@@ -221,15 +304,21 @@ Expected<void> EvalService::try_register_tenant_impl(const std::string& name,
 Expected<EvalService::Ticket> EvalService::try_submit(
     const std::string& name, std::span<const double> charges) {
   const Timer timer;
-  Expected<Ticket> result = try_submit_impl(name, charges);
+  // The root span of the request trace. On admission the impl releases the
+  // scope — the request outlives this call, so the scheduler records the
+  // root span and runs the tail decision at fulfillment. On rejection the
+  // scope finishes here (inside emit_request) with the rejection verdict.
+  obs::reqtrace::RequestScope rscope(obs::span::kServiceRequest);
+  Expected<Ticket> result = try_submit_impl(name, charges, rscope);
   emit_request(obs::telemetry::Api::kServiceSubmit, 0, timer.seconds(),
                result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
-               /*batch_width=*/0);
+               /*batch_width=*/0, rscope);
   return result;
 }
 
 Expected<EvalService::Ticket> EvalService::try_submit_impl(
-    const std::string& name, std::span<const double> charges) {
+    const std::string& name, std::span<const double> charges,
+    obs::reqtrace::RequestScope& rscope) {
   std::shared_ptr<detail::RequestState> state;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -276,8 +365,21 @@ Expected<EvalService::Ticket> EvalService::try_submit_impl(
                                          name + "'");
     }
     state = std::make_shared<detail::RequestState>();
-    tenant.queue.push_back(
-        Request{std::vector<double>(charges.begin(), charges.end()), state});
+    Request request;
+    request.charges.assign(charges.begin(), charges.end());
+    request.state = state;
+    request.trace = rscope.context();
+    request.submit_us = rscope.start_us();
+    request.enqueue_us = obs::reqtrace::now_us();
+    request.submitted_at = std::chrono::steady_clock::now();
+    // Admission is a child slice; the root span (submit -> fulfill) is
+    // recorded by the scheduler, which takes over the tail decision.
+    obs::reqtrace::record_span(obs::reqtrace::child_of(request.trace),
+                               obs::span::kReqServiceSubmit,
+                               obs::reqtrace::SpanKind::kPhase,
+                               request.submit_us, request.enqueue_us);
+    (void)rscope.release();
+    tenant.queue.push_back(std::move(request));
     ++tenant.submitted;
     obs::registry().counter(obs::metric::kServiceSubmitted).add(1);
     obs::registry()
@@ -290,15 +392,16 @@ Expected<EvalService::Ticket> EvalService::try_submit_impl(
 
 Expected<void> EvalService::try_unregister_tenant(const std::string& name) {
   const Timer timer;
+  obs::reqtrace::RequestScope rscope(obs::span::kReqServiceUnregister);
   Expected<void> result = try_unregister_tenant_impl(name);
   emit_request(obs::telemetry::Api::kServiceUnregister, 0, timer.seconds(),
                result.ok(), result.ok() ? ErrorCode::kOk : result.error().code,
-               /*batch_width=*/0);
+               /*batch_width=*/0, rscope);
   return result;
 }
 
 Expected<void> EvalService::try_unregister_tenant_impl(const std::string& name) {
-  std::vector<std::shared_ptr<detail::RequestState>> pending;
+  std::vector<Request> pending;
   std::unique_ptr<engine::EvalSession> session;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -315,8 +418,9 @@ Expected<void> EvalService::try_unregister_tenant_impl(const std::string& name) 
     tenant.closing = true;  // no new admissions, no new batches
     idle_cv_.wait(lock, [&] { return !tenant.busy; });
     for (Request& request : tenant.queue) {
-      pending.push_back(std::move(request.state));
+      pending.push_back(std::move(request));
     }
+    tenant.queue.clear();
     // The session (plan cache, reservations) leaves the table under the
     // lock but is destroyed outside it: PlanCache's destructor withdraws
     // the tenant's plan/basis bytes from the shared gauges in this step.
@@ -332,10 +436,7 @@ Expected<void> EvalService::try_unregister_tenant_impl(const std::string& name) 
         .counter(tenant_metric(obs::metric::kServiceCancelled, name))
         .add(pending.size());
   }
-  for (const auto& state : pending) {
-    fulfill(state,
-            Error{ErrorCode::kCancelled, "EvalService: tenant unregistered"});
-  }
+  cancel_pending(pending, "EvalService: tenant unregistered");
   session.reset();
   return {};
 }
@@ -371,6 +472,9 @@ std::size_t EvalService::run_round() {
   std::vector<Request> batch;
   engine::EvalSession* session = nullptr;
   std::shared_ptr<const engine::EvalPlan> plan;
+  double latency_slo = 0.0;
+  double deadline_seconds = 0.0;
+  std::uint64_t batch_seq = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     Tenant* tenant = pick_next_locked(name);
@@ -386,8 +490,23 @@ std::size_t EvalService::run_round() {
     tenant->busy = true;
     session = tenant->session.get();
     plan = tenant->plan;
-    ++rounds_;
+    latency_slo = tenant->options.latency_slo_seconds;
+    deadline_seconds = tenant->options.eval.deadline_seconds;
+    batch_seq = ++rounds_;
   }
+
+  // Queue-wait spans close at pickup, and the batch trace is minted here —
+  // on the scheduling thread, never inside workers, so the id stream (and
+  // the retained set) is independent of the session pool's schedule.
+  const std::int64_t pickup_us = obs::reqtrace::now_us();
+  const auto pickup_at = std::chrono::steady_clock::now();
+  for (const Request& request : batch) {
+    obs::reqtrace::record_span(obs::reqtrace::child_of(request.trace),
+                               obs::span::kServiceQueueWait,
+                               obs::reqtrace::SpanKind::kQueue,
+                               request.enqueue_us, pickup_us);
+  }
+  const obs::reqtrace::TraceContext batch_ctx = obs::reqtrace::mint_request();
 
   // The batched replay runs outside the service lock: the session
   // parallelizes over its own pool, and other tenants keep admitting and
@@ -396,8 +515,13 @@ std::size_t EvalService::run_round() {
   std::vector<std::span<const double>> columns;
   columns.reserve(width);
   for (const Request& request : batch) columns.push_back(request.charges);
-  Expected<std::vector<EvalResult>> served =
-      session->try_evaluate_batch(*plan, columns);
+  Expected<std::vector<EvalResult>> served = [&] {
+    // Lend the batch context to the engine: its evaluate_batch scope and
+    // replay phase spans become children of the batch span.
+    const obs::reqtrace::ContextGuard guard(batch_ctx);
+    return session->try_evaluate_batch(*plan, columns);
+  }();
+  const auto threads = static_cast<std::uint32_t>(session->pool().width());
 
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -427,16 +551,95 @@ std::size_t EvalService::run_round() {
   }
   idle_cv_.notify_all();
 
-  if (served.ok()) {
-    std::vector<EvalResult>& results = served.value();
-    for (std::size_t c = 0; c < width; ++c) {
-      fulfill(batch[c].state, std::move(results[c]));
+  // Per-request accounting at fulfillment: close the root span, run the
+  // tail decision (a retained member force-keeps the batch trace so its
+  // flow links resolve), feed the tenant latency histograms, emit the
+  // kServiceServe record, wake the waiter.
+  const std::int64_t done_us = obs::reqtrace::now_us();
+  const auto done_at = std::chrono::steady_clock::now();
+  obs::Registry& reg = obs::registry();
+  bool any_deadline = false;
+  std::int8_t max_rung = -1;
+  std::vector<std::uint64_t> flows;
+  flows.reserve(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    Request& request = batch[c];
+    const double latency =
+        std::chrono::duration<double>(done_at - request.submitted_at).count();
+    const double queue_wait =
+        std::chrono::duration<double>(pickup_at - request.submitted_at).count();
+    const bool ok = served.ok();
+    const EvalStats* stats = ok ? &served.value()[c].stats : nullptr;
+    const ErrorCode code = ok ? stats->outcome : served.error().code;
+    const std::int8_t rung =
+        stats != nullptr ? static_cast<std::int8_t>(stats->served_rung) : -1;
+
+    obs::reqtrace::Verdict verdict;
+    verdict.ok = ok;
+    verdict.error_code = static_cast<std::uint8_t>(code);
+    verdict.rung = rung;
+    verdict.deadline_missed = code == ErrorCode::kDeadline;
+    verdict.slo_breach = latency_slo > 0.0 && latency > latency_slo;
+    verdict.wall_seconds = latency;
+    if (verdict.deadline_missed) any_deadline = true;
+    max_rung = std::max(max_rung, rung);
+
+    obs::reqtrace::record_span(request.trace, obs::span::kServiceRequest,
+                               obs::reqtrace::SpanKind::kRequest,
+                               request.submit_us, done_us);
+    obs::reqtrace::finish_request(request.trace, verdict, &batch_ctx);
+    if (obs::reqtrace::is_retained(request.trace)) {
+      flows.push_back(request.trace.span_id);
     }
-  } else {
-    for (std::size_t c = 0; c < width; ++c) {
-      fulfill(batch[c].state, Error(served.error()));
+
+    reg.histogram(obs::metric::kServiceRequestSeconds, request_seconds_bounds())
+        .observe(latency);
+    reg.histogram(
+           service_tenant_metric(obs::metric::kServiceRequestSeconds, name),
+           request_seconds_bounds())
+        .observe(latency);
+    reg.histogram(obs::metric::kServiceQueueWaitSeconds,
+                  request_seconds_bounds())
+        .observe(queue_wait);
+    if (deadline_seconds > 0.0) {
+      const double slack = deadline_seconds - latency;
+      reg.histogram(obs::metric::kServiceDeadlineSlackSeconds,
+                    deadline_slack_bounds())
+          .observe(slack);
+      reg.histogram(service_tenant_metric(
+                        obs::metric::kServiceDeadlineSlackSeconds, name),
+                    deadline_slack_bounds())
+          .observe(slack);
+    }
+    emit_served(plan->key, latency, ok, code, rung,
+                stats != nullptr ? stats->targets_served : 0,
+                deadline_seconds > 0.0 ? deadline_seconds - latency : 0.0,
+                queue_wait, batch_seq, static_cast<std::uint32_t>(width),
+                threads, request.trace);
+
+    if (ok) {
+      fulfill(request.state, std::move(served.value()[c]));
+    } else {
+      fulfill(request.state, Error(served.error()));
     }
   }
+
+  // The batch span fans in from every *retained* member request span (flow
+  // links must resolve in an export), then runs its own tail decision under
+  // the members' aggregated verdict — so an errored or degraded member also
+  // keeps the batch trace even when force-keep notes were not needed.
+  obs::reqtrace::Verdict batch_verdict;
+  batch_verdict.ok = served.ok();
+  batch_verdict.error_code = static_cast<std::uint8_t>(
+      served.ok() ? ErrorCode::kOk : served.error().code);
+  batch_verdict.rung = max_rung;
+  batch_verdict.deadline_missed = any_deadline;
+  batch_verdict.wall_seconds =
+      std::chrono::duration<double>(done_at - pickup_at).count();
+  obs::reqtrace::record_span(batch_ctx, obs::span::kServiceBatch,
+                             obs::reqtrace::SpanKind::kBatch, pickup_us,
+                             done_us, flows);
+  obs::reqtrace::finish_request(batch_ctx, batch_verdict);
   return width;
 }
 
@@ -465,6 +668,10 @@ obs::Json EvalService::state_json() const {
   doc["scheduler_running"] = scheduler_.joinable() && !stop_;
   doc["rounds"] = rounds_;
   doc["num_tenants"] = static_cast<std::uint64_t>(tenants_.size());
+  doc["http_port"] =
+      static_cast<std::uint64_t>(http_ != nullptr ? http_->port() : 0);
+  // One registry snapshot serves every tenant's latency summary below.
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
   obs::Json tenants = obs::Json::array();
   for (const auto& [name, tenant] : tenants_) {
     obs::Json t = obs::Json::object();
@@ -509,6 +716,18 @@ obs::Json EvalService::state_json() const {
       t["governor"] = engine::governor_json(tenant.session->governor());
       t["plan_cache"] = engine::plan_cache_json(tenant.session->cache());
     }
+    t["latency_slo_seconds"] = tenant.options.latency_slo_seconds;
+    const auto hist = snap.histograms.find(
+        service_tenant_metric(obs::metric::kServiceRequestSeconds, name));
+    if (hist != snap.histograms.end() && hist->second.total > 0) {
+      const obs::HistogramSnapshot& h = hist->second;
+      obs::Json latency = obs::Json::object();
+      latency["count"] = h.total;
+      latency["mean_seconds"] = h.sum / static_cast<double>(h.total);
+      latency["p50_seconds"] = obs::openmetrics::histogram_quantile(h, 0.50);
+      latency["p99_seconds"] = obs::openmetrics::histogram_quantile(h, 0.99);
+      t["latency"] = std::move(latency);
+    }
     tenants.push_back(std::move(t));
   }
   doc["tenants"] = std::move(tenants);
@@ -543,8 +762,99 @@ std::vector<obs::slo::Rule> EvalService::slo_rules() const {
     errors.denominator = tenant_metric(obs::metric::kServiceSubmitted, name);
     errors.threshold = 0.05;
     rules.push_back(std::move(errors));
+
+    if (tenant.options.latency_slo_seconds > 0.0) {
+      obs::slo::Rule p99;
+      p99.name = "service-latency-p99-" + name;
+      p99.kind = obs::slo::RuleKind::kHistogramQuantile;
+      p99.metric =
+          service_tenant_metric(obs::metric::kServiceRequestSeconds, name);
+      p99.quantile = 0.99;
+      p99.threshold = tenant.options.latency_slo_seconds;
+      rules.push_back(std::move(p99));
+    }
   }
   return rules;
+}
+
+Expected<std::uint16_t> EvalService::start_http(std::uint16_t port) {
+  auto server = std::make_unique<obs::httpd::Server>();
+  server->handle("/metrics", [](const obs::httpd::Request&) {
+    obs::httpd::Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::openmetrics::render(obs::registry().snapshot());
+    return response;
+  });
+  server->handle("/healthz", [this](const obs::httpd::Request&) {
+    // A fresh watchdog per scrape: /healthz reports, it does not accumulate
+    // breach side effects across scrapes beyond the slo.* counters.
+    obs::slo::Watchdog watchdog;
+    for (obs::slo::Rule& rule : obs::slo::default_engine_rules()) {
+      watchdog.add_rule(std::move(rule));
+    }
+    for (obs::slo::Rule& rule : slo_rules()) {
+      watchdog.add_rule(std::move(rule));
+    }
+    const std::vector<obs::slo::Status> statuses =
+        watchdog.check(obs::registry().snapshot());
+    bool breaching = false;
+    for (const obs::slo::Status& status : statuses) {
+      breaching = breaching || status.breached;
+    }
+    obs::Json doc = watchdog.status_json();
+    doc["status"] = breaching ? "breaching" : "ok";
+    obs::httpd::Response response;
+    response.status = breaching ? 503 : 200;
+    response.body = doc.dump(2) + "\n";
+    return response;
+  });
+  server->handle("/state", [this](const obs::httpd::Request&) {
+    obs::httpd::Response response;
+    response.body = state_json().dump(2) + "\n";
+    return response;
+  });
+  server->handle("/traces", [](const obs::httpd::Request& request) {
+    const std::string n = request.query_value("n", "32");
+    const unsigned long long max_traces = std::strtoull(n.c_str(), nullptr, 10);
+    obs::httpd::Response response;
+    response.content_type = "application/x-ndjson";
+    response.body =
+        obs::reqtrace::jsonl(static_cast<std::size_t>(max_traces));
+    return response;
+  });
+  const obs::httpd::StartResult started = server->try_start(port);
+  if (!started.ok) {
+    return service_error(ErrorCode::kInternal,
+                         "EvalService: observability endpoint failed: " +
+                             started.error);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (http_ != nullptr) {
+      // Caller raced two start_http calls; keep the first server.
+      server->stop();
+      return service_error(ErrorCode::kInvalidArgument,
+                           "EvalService: observability endpoint already running");
+    }
+    http_ = std::move(server);
+  }
+  return started.port;
+}
+
+void EvalService::stop_http() {
+  std::unique_ptr<obs::httpd::Server> server;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    server = std::move(http_);
+  }
+  // stop() joins the accept thread, whose handlers may be waiting on mu_ —
+  // so it must run with the lock released.
+  if (server != nullptr) server->stop();
+}
+
+std::uint16_t EvalService::http_port() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return http_ != nullptr ? http_->port() : 0;
 }
 
 }  // namespace treecode::service

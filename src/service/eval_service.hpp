@@ -45,6 +45,7 @@
 /// the service mutex (each session parallelizes over its own pool); the
 /// mutex only guards tenant-table and queue state.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,7 +59,9 @@
 
 #include "dist/particle_system.hpp"
 #include "engine/eval_session.hpp"
+#include "obs/httpd.hpp"
 #include "obs/json.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/slo.hpp"
 #include "util/expected.hpp"
 
@@ -94,6 +97,11 @@ class EvalService {
     /// tenant may accumulate before it is quarantined (subsequent submits
     /// rejected with kRejected). 0 = never quarantine.
     std::uint64_t error_budget = 0;
+    /// Submit-to-fulfill latency objective in seconds. When > 0: requests
+    /// slower than this are tail-kept by the request tracer (reason "slo"),
+    /// and slo_rules() adds a p99 objective over the tenant's
+    /// `service.<tenant>.request_seconds` histogram. 0 = no objective.
+    double latency_slo_seconds = 0.0;
   };
 
   struct Options {
@@ -170,13 +178,35 @@ class EvalService {
 
   /// Per-tenant SLO objectives over the fan-out counters — for each
   /// registered tenant: rejected share and error share of its submissions
-  /// (counter ratios), plus the aggregate service error rate.
+  /// (counter ratios), plus the aggregate service error rate, plus a p99
+  /// latency objective for tenants with latency_slo_seconds > 0.
   [[nodiscard]] std::vector<obs::slo::Rule> slo_rules() const;
+
+  /// Start the live observability endpoint on 127.0.0.1:`port` (0 =
+  /// ephemeral): GET /metrics (OpenMetrics), /healthz (engine + service
+  /// SLO status, 503 on breach), /state (state_json document), /traces?n=K
+  /// (retained request traces as treecode-trace/v1 JSONL). Returns the
+  /// bound port. Not a try_* entry point: serving scrapes is control
+  /// plane, not request flow, so it emits no telemetry record.
+  [[nodiscard]] Expected<std::uint16_t> start_http(std::uint16_t port);
+
+  /// Stop the observability endpoint. Idempotent; also run by ~EvalService
+  /// before teardown (handlers read service state).
+  void stop_http();
+
+  /// Bound endpoint port (0 = not running).
+  [[nodiscard]] std::uint16_t http_port() const noexcept;
 
  private:
   struct Request {
     std::vector<double> charges;
     std::shared_ptr<detail::RequestState> state;
+    obs::reqtrace::TraceContext trace;  ///< minted at try_submit admission
+    std::int64_t submit_us = 0;   ///< reqtrace clock at submit entry
+    std::int64_t enqueue_us = 0;  ///< reqtrace clock at queue push
+    /// Wall clock at admission, for latency/queue-wait metrics (valid even
+    /// when tracing is compiled out).
+    std::chrono::steady_clock::time_point submitted_at;
   };
 
   struct Tenant {
@@ -203,8 +233,12 @@ class EvalService {
                                           std::vector<Vec3> targets,
                                           const TenantOptions& options);
   Expected<Ticket> try_submit_impl(const std::string& name,
-                                   std::span<const double> charges);
+                                   std::span<const double> charges,
+                                   obs::reqtrace::RequestScope& rscope);
   Expected<void> try_unregister_tenant_impl(const std::string& name);
+  /// Complete `pending` with kCancelled (`message`), finishing each
+  /// request's trace with an error verdict so cancellations are tail-kept.
+  void cancel_pending(std::vector<Request>& pending, const char* message);
   /// One coalesce-evaluate-fulfill round; the body behind pump() and the
   /// scheduler thread.
   std::size_t run_round();
@@ -223,6 +257,7 @@ class EvalService {
   std::uint64_t rounds_ = 0;
   bool stop_ = false;
   std::thread scheduler_;
+  std::unique_ptr<obs::httpd::Server> http_;
 };
 
 }  // namespace treecode::service

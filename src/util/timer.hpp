@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace treecode {
@@ -45,13 +46,16 @@ double time_seconds(F&& f) {
 /// RAII phase timer wired into the observability layer: on destruction it
 /// accumulates the elapsed nanoseconds into the obs counter
 /// `<metric>_ns`, records a trace span named `metric` (when tracing is
-/// active), and optionally stores the elapsed seconds for callers that keep
-/// their own bookkeeping (the evaluators' build/eval seconds). `metric`
-/// must be a string literal or otherwise outlive the timer.
+/// active), joins the calling thread's active request trace as a phase
+/// span (when one is installed — this is how engine replay phases appear
+/// inside service batch traces), and optionally stores the elapsed seconds
+/// for callers that keep their own bookkeeping (the evaluators' build/eval
+/// seconds). `metric` must be a string literal or otherwise outlive the
+/// timer.
 class ScopedTimer {
  public:
   explicit ScopedTimer(const char* metric, double* out_seconds = nullptr) noexcept
-      : metric_(metric), out_(out_seconds), span_(metric) {}
+      : metric_(metric), out_(out_seconds), span_(metric), req_span_(metric) {}
 
   ~ScopedTimer() {
     const double s = timer_.seconds();
@@ -73,6 +77,7 @@ class ScopedTimer {
   const char* metric_;
   double* out_;
   obs::TraceSpan span_;
+  obs::reqtrace::PhaseSpan req_span_;
 };
 
 }  // namespace treecode

@@ -1,0 +1,214 @@
+// Observability HTTP server tests, exercised over real loopback sockets:
+// ephemeral-port bind, GET round-trip (status line, content type, body),
+// query-string decoding, the 400/404/405 taxonomy, HEAD body suppression,
+// handler-exception mapping to 500, concurrent scrapes from several client
+// threads, and stop()/restart idempotence.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/httpd.hpp"
+
+namespace treecode {
+namespace {
+
+namespace httpd = obs::httpd;
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`. Returns the raw
+/// response (status line + headers + body), empty on connect failure.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target,
+                     const std::string& method = "GET") {
+  return http_exchange(port, method + " " + target +
+                                  " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                  "Connection: close\r\n\r\n");
+}
+
+int status_of(const std::string& response) {
+  // "HTTP/1.1 200 OK\r\n..."
+  const std::size_t space = response.find(' ');
+  if (space == std::string::npos) return -1;
+  return std::atoi(response.c_str() + space + 1);
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+TEST(Httpd, EphemeralPortBindAndGetRoundTrip) {
+  httpd::Server server;
+  server.handle("/ping", [](const httpd::Request&) {
+    return httpd::Response{200, "text/plain", "pong\n"};
+  });
+  const httpd::StartResult start = server.try_start(0);
+  ASSERT_TRUE(start.ok) << start.error;
+  ASSERT_NE(start.port, 0);
+  EXPECT_EQ(server.port(), start.port);
+  EXPECT_TRUE(server.running());
+
+  const std::string response = http_get(start.port, "/ping");
+  EXPECT_EQ(status_of(response), 200);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_EQ(body_of(response), "pong\n");
+  EXPECT_GE(server.requests_served(), 1u);
+
+  // A second try_start while running must fail without disturbing the
+  // first listener.
+  EXPECT_FALSE(server.try_start(0).ok);
+  EXPECT_EQ(status_of(http_get(start.port, "/ping")), 200);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(Httpd, QueryStringIsDecodedWithDefaults) {
+  httpd::Server server;
+  server.handle("/echo", [](const httpd::Request& request) {
+    return httpd::Response{200, "text/plain",
+                           request.query_value("n", "5") + "|" +
+                               request.query_value("missing", "fallback")};
+  });
+  const httpd::StartResult start = server.try_start(0);
+  ASSERT_TRUE(start.ok) << start.error;
+  EXPECT_EQ(body_of(http_get(start.port, "/echo?n=9&other=x")), "9|fallback");
+  EXPECT_EQ(body_of(http_get(start.port, "/echo")), "5|fallback");
+  server.stop();
+}
+
+TEST(Httpd, ErrorTaxonomy) {
+  httpd::Server server;
+  server.handle("/boom", [](const httpd::Request&) -> httpd::Response {
+    throw std::runtime_error("handler exploded");
+  });
+  server.handle("/ok", [](const httpd::Request&) {
+    return httpd::Response{200, "text/plain", "fine\n"};
+  });
+  const httpd::StartResult start = server.try_start(0);
+  ASSERT_TRUE(start.ok) << start.error;
+
+  EXPECT_EQ(status_of(http_get(start.port, "/missing")), 404);
+  EXPECT_EQ(status_of(http_get(start.port, "/ok", "POST")), 405);
+  EXPECT_EQ(status_of(http_exchange(start.port, "not http at all\r\n\r\n")), 400);
+  const std::string boom = http_get(start.port, "/boom");
+  EXPECT_EQ(status_of(boom), 500);
+  EXPECT_NE(body_of(boom).find("handler exploded"), std::string::npos);
+  // Errors never wedge the accept loop.
+  EXPECT_EQ(status_of(http_get(start.port, "/ok")), 200);
+  server.stop();
+}
+
+TEST(Httpd, HeadSuppressesTheBody) {
+  httpd::Server server;
+  server.handle("/doc", [](const httpd::Request&) {
+    return httpd::Response{200, "text/plain", "content\n"};
+  });
+  const httpd::StartResult start = server.try_start(0);
+  ASSERT_TRUE(start.ok) << start.error;
+  const std::string response = http_get(start.port, "/doc", "HEAD");
+  EXPECT_EQ(status_of(response), 200);
+  EXPECT_TRUE(body_of(response).empty());
+  server.stop();
+}
+
+TEST(Httpd, ConcurrentScrapesAllSucceed) {
+  // The server serves one connection at a time; concurrent clients queue in
+  // the listen backlog. Every request must still complete with 200 and a
+  // coherent body (this is the "Prometheus + operator curl at once" shape).
+  httpd::Server server;
+  std::atomic<std::uint64_t> calls{0};
+  server.handle("/metrics", [&calls](const httpd::Request&) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return httpd::Response{200, "text/plain", "treecode_up 1\n"};
+  });
+  const httpd::StartResult start = server.try_start(0);
+  ASSERT_TRUE(start.ok) << start.error;
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const std::string response = http_get(start.port, "/metrics");
+        if (status_of(response) != 200 || body_of(response) != "treecode_up 1\n") {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(calls.load(),
+            static_cast<std::uint64_t>(kThreads * kRequestsPerThread));
+  EXPECT_GE(server.requests_served(),
+            static_cast<std::uint64_t>(kThreads * kRequestsPerThread));
+  server.stop();
+}
+
+TEST(Httpd, StopWhileIdleThenRestartOnFreshServer) {
+  // stop() must be prompt (the accept loop polls with a timeout) and leave
+  // the port free for a successor server.
+  std::uint16_t port = 0;
+  {
+    httpd::Server server;
+    server.handle("/x", [](const httpd::Request&) {
+      return httpd::Response{200, "text/plain", "x"};
+    });
+    const httpd::StartResult start = server.try_start(0);
+    ASSERT_TRUE(start.ok) << start.error;
+    port = start.port;
+    server.stop();
+  }
+  httpd::Server next;
+  next.handle("/x", [](const httpd::Request&) {
+    return httpd::Response{200, "text/plain", "y"};
+  });
+  const httpd::StartResult restart = next.try_start(port);
+  ASSERT_TRUE(restart.ok) << restart.error;
+  EXPECT_EQ(body_of(http_get(port, "/x")), "y");
+  next.stop();
+}
+
+}  // namespace
+}  // namespace treecode

@@ -127,7 +127,7 @@ TEST_F(TelemetryTest, ToJsonShapeAndSentinels) {
   tel::RequestRecord r = sample_record(0xdeadbeef);
   r.seq = 41;
   const obs::Json j = tel::to_json(r);
-  EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v1");
+  EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v2");
   EXPECT_EQ(j.at("api").as_string(), "evaluate_plan");
   EXPECT_EQ(j.at("plan_key").as_string(), "0x00000000deadbeef");
   EXPECT_EQ(j.at("rung").as_int(), 0);
@@ -136,6 +136,25 @@ TEST_F(TelemetryTest, ToJsonShapeAndSentinels) {
   // NaN slack (no deadline) must serialize as null, not a bare NaN token
   // (which JSON has no syntax for). The writer maps non-finite to null.
   EXPECT_NE(j.dump(0).find("\"deadline_slack_seconds\":null"), std::string::npos);
+  // v2 fields: an untraced record renders the zero trace id as 32 '0' hex
+  // chars; queue wait and scheduler round default to their sentinels.
+  EXPECT_EQ(j.at("trace_id").as_string(), std::string(32, '0'));
+  EXPECT_EQ(j.at("queue_wait_seconds").as_double(), 0.0);
+  EXPECT_EQ(j.at("batch_seq").as_int(), 0);
+}
+
+TEST_F(TelemetryTest, ToJsonCarriesTraceFields) {
+  tel::RequestRecord r = sample_record(7);
+  r.api = tel::Api::kServiceServe;
+  r.trace_hi = 0x0123456789abcdefULL;
+  r.trace_lo = 0xfedcba9876543210ULL;
+  r.queue_wait_seconds = 0.25;
+  r.batch_seq = 9;
+  const obs::Json j = tel::to_json(r);
+  EXPECT_EQ(j.at("api").as_string(), "service_serve");
+  EXPECT_EQ(j.at("trace_id").as_string(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(j.at("queue_wait_seconds").as_double(), 0.25);
+  EXPECT_EQ(j.at("batch_seq").as_int(), 9);
 }
 
 TEST_F(TelemetryTest, SinkWritesOneJsonLinePerRecord) {
@@ -150,7 +169,7 @@ TEST_F(TelemetryTest, SinkWritesOneJsonLinePerRecord) {
   ASSERT_EQ(lines.size(), 2u);
   for (const std::string& line : lines) {
     const obs::Json j = obs::Json::parse(line);
-    EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v1");
+    EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v2");
   }
   std::remove(path.c_str());
 }
@@ -179,7 +198,7 @@ TEST_F(TelemetryTest, SinkRotatesBySizeAndDropsOldest) {
                                     std::string(".2")}) {
     for (const std::string& line : read_lines(path + suffix)) {
       const obs::Json j = obs::Json::parse(line);
-      EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v1");
+      EXPECT_EQ(j.at("schema").as_string(), "treecode-request-record/v2");
       ++parsed;
     }
   }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -458,6 +460,77 @@ TEST(TelemetryStress, ConcurrentEmittersWithSinkAndReaders) {
   tel::reset();
   std::remove(sink.c_str());
   std::remove((sink + ".1").c_str());
+}
+
+TEST(ReqTraceStress, ConcurrentSpanWritersFinishersAndReaders) {
+  // Same seqlock contract for the request-trace span rings: 6 writer
+  // threads hammer record_span (with periodic finish_request calls so the
+  // sampler mutex runs concurrently too) while 2 readers snapshot
+  // retained(). Writers stamp a per-span relation (end == start + 1,
+  // parent == span_id ^ mask); a torn slot surfacing in a snapshot would
+  // break it — TSan certifies the slots race-free, the relation certifies
+  // the torn-read filter works even in plain builds.
+  namespace rt = obs::reqtrace;
+  rt::reset();
+  rt::SamplerConfig trace_config;
+  trace_config.seed = 9;
+  trace_config.sample_rate = 0.0;
+  rt::enable(trace_config);
+  if (!rt::enabled()) {
+    GTEST_SKIP() << "tracing compiled out (TREECODE_TRACING=OFF)";
+  }
+  // Pre-retained traces the writers append spans into.
+  std::array<rt::TraceContext, 4> hot{};
+  for (rt::TraceContext& ctx : hot) {
+    ctx = rt::mint_request();
+    rt::finish_request(ctx, rt::Verdict{.ok = false});
+  }
+  constexpr unsigned kWriters = 6;
+  constexpr std::uint64_t kPerWriter = 20000;
+  constexpr std::uint64_t kParentMask = 0x5a5a5a5a5a5a5a5aULL;
+  ThreadPool pool(kWriters);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::vector<std::jthread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        for (const rt::RetainedTrace& trace : rt::retained()) {
+          for (const rt::SpanRecord& span : trace.spans) {
+            if (span.kind != rt::SpanKind::kPhase) continue;
+            ASSERT_EQ(span.end_us, span.start_us + 1);
+            ASSERT_EQ(span.parent_span_id, span.span_id ^ kParentMask);
+          }
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.run_on_all([&](unsigned t) {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      rt::TraceContext ctx = hot[(t + i) % hot.size()];
+      ctx.span_id = (t + 1) * 1000000000ULL + i + 1;
+      ctx.parent_span_id = ctx.span_id ^ kParentMask;
+      rt::record_span(ctx, "stress.span", rt::SpanKind::kPhase,
+                      static_cast<std::int64_t>(i),
+                      static_cast<std::int64_t>(i) + 1);
+      if ((i & 2047) == 0) {
+        rt::finish_request(rt::mint_request(), rt::Verdict{.ok = false});
+      }
+    }
+  });
+  done.store(true, std::memory_order_release);
+  readers.clear();  // join
+  EXPECT_GT(snapshots.load(), 0u);
+  // The final quiescent snapshot obeys the same relation.
+  for (const rt::RetainedTrace& trace : rt::retained()) {
+    for (const rt::SpanRecord& span : trace.spans) {
+      if (span.kind != rt::SpanKind::kPhase) continue;
+      EXPECT_EQ(span.end_us, span.start_us + 1);
+      EXPECT_EQ(span.parent_span_id, span.span_id ^ kParentMask);
+    }
+  }
+  rt::reset();
 }
 
 TEST(PlanCacheStress, ConcurrentFindInsertClearUnderEvictionPressure) {

@@ -8,7 +8,9 @@
 //       [--threads 4] [--evals 4] [--audit-samples 64]
 //       [--memory-budget-bytes 0] [--out inspect.json]
 //       [--openmetrics-out metrics.prom] [--telemetry-out records.jsonl]
-//       [--slo] [--service]
+//       [--traces-out traces.jsonl] [--trace-chrome-out trace.json]
+//       [--trace-sample-rate 1.0] [--slo] [--service]
+//       [--serve PORT] [--serve-seconds 0]
 //
 // With no --out the document prints to stdout. --slo checks the default
 // engine SLO rules against the final snapshot and includes the watchdog
@@ -16,9 +18,19 @@
 // EvalService demo (concurrent submitters, coalesced batched replays) and
 // adds the `service` block — tenants, queues, request accounting, batch
 // occupancy, per-tenant governor ledgers; --slo then also checks the
-// service's per-tenant rules. Exit status: 0 on success, 1 on engine
-// error, 2 when --slo found breaches.
+// service's per-tenant rules.
+//
+// Request tracing is armed for the whole run (sampler seed 1, healthy-keep
+// rate --trace-sample-rate): --traces-out writes the retained traces as
+// treecode-trace/v1 JSONL, --trace-chrome-out as a Chrome/Perfetto
+// trace-event file. --serve PORT (requires --service; 0 = ephemeral) starts
+// the service's live observability endpoint — GET /metrics /healthz /state
+// /traces — prints `serving on http://127.0.0.1:<port>`, and holds the
+// process for --serve-seconds after the demo so a scraper can probe it.
+// Exit status: 0 on success, 1 on engine error, 2 when --slo found
+// breaches.
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -30,6 +42,7 @@
 #include "engine/introspect.hpp"
 #include "obs/openmetrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
 #include "service/eval_service.hpp"
@@ -40,14 +53,33 @@ namespace {
 
 // Two random-cloud tenants, `evals` submissions each from concurrent
 // submitter threads, so the scheduler actually coalesces batches. Returns
-// the service document to attach, or a null Json on failure.
+// the service document to attach, or a null Json on failure. serve_port
+// >= 0 starts the live endpoint (0 = ephemeral) and, after the demo,
+// holds the process serving for serve_seconds.
 treecode::obs::Json run_service_demo(std::size_t n, const treecode::EvalConfig& cfg,
-                                     int evals, int* exit_code, bool check_slo) {
+                                     int evals, int* exit_code, bool check_slo,
+                                     int serve_port, double serve_seconds) {
   using namespace treecode;
   service::EvalService svc;
+  if (serve_port >= 0) {
+    auto started = svc.start_http(static_cast<std::uint16_t>(serve_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", started.error().message.c_str());
+      *exit_code = 1;
+      return {};
+    }
+    // Scrape scripts parse this line for the bound (possibly ephemeral)
+    // port; flush so it is visible before the serving window starts.
+    std::printf("serving on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(started.value()));
+    std::fflush(stdout);
+  }
   service::EvalService::TenantOptions topt;
   topt.eval = cfg;
   topt.tree = TreeConfig{.leaf_capacity = 8};
+  // Give the demo tenants a latency objective so per-tenant p99 SLO rules
+  // and slo-reason trace retention are exercised end to end.
+  topt.latency_slo_seconds = 30.0;
   const char* names[2] = {"cloud-a", "cloud-b"};
   const std::size_t sizes[2] = {n, n / 2 + 1};
   for (int t = 0; t < 2; ++t) {
@@ -75,6 +107,11 @@ treecode::obs::Json run_service_demo(std::size_t n, const treecode::EvalConfig& 
   }
   for (std::thread& th : submitters) th.join();
 
+  if (serve_port >= 0 && serve_seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(serve_seconds));
+  }
+
   obs::Json doc = svc.state_json();
   if (check_slo) {
     obs::slo::Watchdog watchdog;
@@ -96,16 +133,30 @@ int main(int argc, char** argv) {
     const CliFlags flags(argc, argv,
                          {"n", "alpha", "degree", "threads", "evals",
                           "audit-samples", "memory-budget-bytes", "out",
-                          "openmetrics-out", "telemetry-out", "slo", "service"});
+                          "openmetrics-out", "telemetry-out", "traces-out",
+                          "trace-chrome-out", "trace-sample-rate", "slo",
+                          "service", "serve", "serve-seconds"});
     const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 4'000));
     const int evals = static_cast<int>(flags.get_int("evals", 4));
     const std::string out = flags.get_string("out", "");
     const std::string openmetrics_out = flags.get_string("openmetrics-out", "");
     const std::string telemetry_out = flags.get_string("telemetry-out", "");
+    const std::string traces_out = flags.get_string("traces-out", "");
+    const std::string trace_chrome_out = flags.get_string("trace-chrome-out", "");
+    const int serve_port = static_cast<int>(flags.get_int("serve", -1));
+    const double serve_seconds = flags.get_double("serve-seconds", 0.0);
+    if (serve_port >= 0 && !flags.get_bool("service")) {
+      std::fprintf(stderr, "--serve requires --service\n");
+      return 1;
+    }
 
     obs::telemetry::enable();
     if (!telemetry_out.empty()) obs::telemetry::set_sink(telemetry_out);
     obs::recorder::start();
+    obs::reqtrace::SamplerConfig trace_cfg;
+    trace_cfg.seed = 1;
+    trace_cfg.sample_rate = flags.get_double("trace-sample-rate", 1.0);
+    obs::reqtrace::enable(trace_cfg);
 
     EvalConfig cfg;
     cfg.alpha = flags.get_double("alpha", 0.5);
@@ -123,7 +174,8 @@ int main(int argc, char** argv) {
       // Service demo: the service block carries per-tenant governors and
       // plan caches, so the document has no single-session block.
       obs::Json service_doc =
-          run_service_demo(n, cfg, evals, &exit_code, flags.get_bool("slo"));
+          run_service_demo(n, cfg, evals, &exit_code, flags.get_bool("slo"),
+                           serve_port, serve_seconds);
       if (exit_code == 1) return 1;
       doc = engine::inspect_json(nullptr);
       doc["service"] = std::move(service_doc);
@@ -167,6 +219,13 @@ int main(int argc, char** argv) {
 
     if (!openmetrics_out.empty() &&
         !obs::openmetrics::write(openmetrics_out, obs::registry().snapshot())) {
+      return 1;
+    }
+    if (!traces_out.empty() && !obs::reqtrace::write_jsonl(traces_out)) {
+      return 1;
+    }
+    if (!trace_chrome_out.empty() &&
+        !obs::reqtrace::write_chrome_json(trace_chrome_out)) {
       return 1;
     }
     obs::telemetry::close_sink();
